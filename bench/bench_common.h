@@ -1,0 +1,100 @@
+// Shared helpers for the reproduction benches. Each bench binary prints the
+// paper-shaped table first, then runs google-benchmark kernels for the
+// underlying primitives (so `./bench_x` gives both the reproduction rows and
+// machine timings).
+#ifndef TOPOFAQ_BENCH_BENCH_COMMON_H_
+#define TOPOFAQ_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "faq/solvers.h"
+#include "graphalg/topologies.h"
+#include "hypergraph/generators.h"
+#include "lowerbounds/bounds.h"
+#include "protocols/distributed.h"
+#include "util/rng.h"
+
+namespace topofaq {
+namespace bench {
+
+/// Relations with N tuples each and a fully overlapping first attribute
+/// (the Example 2.1/2.2 worst-case-style workload).
+template <CommutativeSemiring S>
+std::vector<Relation<S>> FullOverlapRelations(const Hypergraph& h, int n) {
+  std::vector<Relation<S>> rels;
+  for (int e = 0; e < h.num_edges(); ++e) {
+    Relation<S> r{Schema(h.edge(e))};
+    for (int i = 0; i < n; ++i) {
+      std::vector<Value> row(h.edge(e).size(), 1);
+      row[0] = static_cast<Value>(i);
+      r.Add(row, S::One());
+    }
+    r.Canonicalize();
+    rels.push_back(std::move(r));
+  }
+  return rels;
+}
+
+/// Random Boolean relations (N tuples drawn from a domain of size `dom`).
+inline std::vector<Relation<BooleanSemiring>> RandomBoolRelations(
+    const Hypergraph& h, int n, uint64_t dom, Rng* rng) {
+  std::vector<Relation<BooleanSemiring>> rels;
+  for (int e = 0; e < h.num_edges(); ++e) {
+    Relation<BooleanSemiring> r{Schema(h.edge(e))};
+    for (int i = 0; i < n; ++i) {
+      std::vector<Value> row;
+      for (size_t j = 0; j < h.edge(e).size(); ++j)
+        row.push_back(rng->NextU64(dom));
+      r.Add(row, 1);
+    }
+    r.Canonicalize();
+    rels.push_back(std::move(r));
+  }
+  return rels;
+}
+
+/// Runs the structured protocol + trivial protocol + bound formulas for one
+/// (query, topology) pair and prints a row.
+template <CommutativeSemiring S>
+void ReportRow(const char* label, const FaqQuery<S>& query, Graph topology,
+               int n) {
+  DistInstance<S> inst;
+  inst.query = query;
+  inst.topology = std::move(topology);
+  inst.owners = RoundRobinOwners(query.hypergraph.num_edges(),
+                                 inst.topology.num_nodes());
+  inst.sink = 0;
+  auto smart = RunCoreForestProtocol(inst);
+  auto trivial = RunTrivialProtocol(inst);
+  if (!smart.ok() || !trivial.ok()) {
+    std::printf("%-22s ERROR: %s\n", label,
+                (!smart.ok() ? smart.status() : trivial.status())
+                    .ToString()
+                    .c_str());
+    return;
+  }
+  BoundBreakdown b =
+      ComputeBounds(query.hypergraph, inst.topology, inst.Players(), n);
+  const bool correct = smart->answer.EqualsAsFunction(trivial->answer);
+  std::printf(
+      "%-22s %8lld %9lld %9lld %9lld %7.2f  %s\n", label,
+      static_cast<long long>(smart->stats.rounds),
+      static_cast<long long>(trivial->stats.rounds),
+      static_cast<long long>(b.upper_total),
+      static_cast<long long>(b.lower_bound),
+      static_cast<double>(smart->stats.rounds) /
+          static_cast<double>(std::max<int64_t>(1, b.lower_bound)),
+      correct ? "ok" : "MISMATCH");
+}
+
+inline void PrintRowHeader() {
+  std::printf("%-22s %8s %9s %9s %9s %7s\n", "instance", "measured",
+              "trivial", "UB-form", "LB-form", "gap");
+}
+
+}  // namespace bench
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,86 @@
+// Figure 2 + §2.3 + Appendix C.2: internal-node-width machinery. Prints the
+// GHDs for H2 (T1 shape, y = 1), the W1/W2 Steiner packing of the 4-clique,
+// the GYO execution trace of H3 (Appendix C.2), and a width survey over
+// random query families.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "ghd/md_ghd.h"
+#include "ghd/width.h"
+#include "graphalg/steiner.h"
+#include "graphalg/topologies.h"
+#include "hypergraph/generators.h"
+#include "util/rng.h"
+
+namespace topofaq {
+namespace {
+
+void PrintTable() {
+  std::printf("== Figure 2: GHDs of H2, W1/W2 packing, GYO trace of H3 ==\n\n");
+  {
+    WidthResult w = ComputeWidth(PaperH2());
+    std::printf("H2 decomposition (T1 shape, y = %d):\n%s\n", w.internal_nodes,
+                w.decomposition.ghd.DebugString().c_str());
+    GyoGhd raw = BuildGyoGhd(PaperH2());
+    std::printf("raw GYO-GHD before flattening (T2 shape, y = %d)\n\n",
+                raw.ghd.InternalNodeCount());
+  }
+  {
+    auto trees = PackSteinerTrees(CliqueTopology(4), {0, 1, 2, 3}, 3, 7);
+    std::printf("W1/W2 on G2: packed %zu edge-disjoint Steiner trees "
+                "(diameters:", trees.size());
+    for (const auto& t : trees) std::printf(" %d", t.terminal_diameter);
+    std::printf(")\n\n");
+  }
+  {
+    std::printf("Appendix C.2 GYO trace of H3 (A..H = 0..7):\n%s",
+                TraceToString(PaperH3(), GyoReduce(PaperH3())).c_str());
+    CoreForest cf = DecomposeCoreForest(PaperH3());
+    std::printf("core edges:");
+    for (int e : cf.core_edges) std::printf(" e%d", e + 1);
+    std::printf("  tree root: e%d  n2 = %d\n\n", cf.root_edges[0] + 1, cf.n2());
+  }
+  std::printf("width survey over random families (y / n2 / edges):\n");
+  Rng rng(5);
+  for (const char* fam : {"forest", "acyclic-hg", "2-degenerate"}) {
+    for (int size : {5, 8, 12}) {
+      Hypergraph h = fam[0] == 'f'   ? RandomForest(1, size, &rng)
+                     : fam[0] == 'a' ? RandomAcyclicHypergraph(size, 3, &rng)
+                                     : RandomDDegenerate(size, 2, &rng);
+      WidthResult w = MinimizeWidth(h, 8, size);
+      std::printf("  %-13s size=%-3d edges=%-3d y=%-3d n2=%d\n", fam, size,
+                  h.num_edges(), w.internal_nodes, w.n2);
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_ComputeWidth(benchmark::State& state) {
+  Rng rng(1);
+  Hypergraph h = RandomAcyclicHypergraph(static_cast<int>(state.range(0)), 3,
+                                         &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeWidth(h));
+  }
+}
+BENCHMARK(BM_ComputeWidth)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_GyoReduce(benchmark::State& state) {
+  Rng rng(2);
+  Hypergraph h = RandomDDegenerate(static_cast<int>(state.range(0)), 3, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GyoReduce(h));
+  }
+}
+BENCHMARK(BM_GyoReduce)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace topofaq
+
+int main(int argc, char** argv) {
+  topofaq::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Proposition 6.1 vs Appendix I.1 vs the trivial protocol: the MCM
+// crossover. Sequential wins for k <= N; the merge protocol's
+// O(N² log k + k) takes over for k >> N; trivial is always Θ(kN²).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "lowerbounds/bounds.h"
+#include "mcm/protocols.h"
+
+namespace topofaq {
+namespace {
+
+McmInstance MakeInstance(int k, int n, uint64_t seed) {
+  Rng rng(seed);
+  McmInstance inst;
+  inst.x = BitVector::Random(n, &rng);
+  for (int i = 0; i < k; ++i)
+    inst.matrices.push_back(BitMatrix::Random(n, &rng));
+  return inst;
+}
+
+void PrintTable() {
+  std::printf("== MCM protocol comparison (Prop 6.1 / App I.1 / trivial) ==\n\n");
+  std::printf("%5s %5s | %10s %10s %10s | winner\n", "k", "N", "sequential",
+              "merge", "trivial");
+  const int n = 24;
+  for (int k : {2, 4, 8, 16, 32, 64, 128, 256}) {
+    McmInstance inst = MakeInstance(k, n, 1000 + k);
+    McmResult seq = RunMcmSequential(inst);
+    McmResult mrg = RunMcmMerge(inst);
+    // Trivial is simulated only for small k (it is Θ(kN²) rounds).
+    int64_t trivial_rounds = -1;
+    if (k <= 32) trivial_rounds = RunMcmTrivial(inst).rounds;
+    const char* winner = seq.rounds <= mrg.rounds ? "sequential" : "merge";
+    std::printf("%5d %5d | %10lld %10lld %10lld | %s\n", k, n,
+                static_cast<long long>(seq.rounds),
+                static_cast<long long>(mrg.rounds),
+                static_cast<long long>(trivial_rounds), winner);
+  }
+  std::printf("\nCrossover near N^2·log(k)/N ≈ N·log k, i.e. k slightly above "
+              "N — matching\nProp 6.1 (k <= N: sequential optimal) and "
+              "App I.1 (k >> N: merge wins).\n\n");
+}
+
+void BM_McmMerge(benchmark::State& state) {
+  McmInstance inst = MakeInstance(static_cast<int>(state.range(0)), 24, 77);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunMcmMerge(inst));
+  }
+}
+BENCHMARK(BM_McmMerge)->Arg(16)->Arg(64);
+
+void BM_F2MatMul(benchmark::State& state) {
+  Rng rng(5);
+  BitMatrix a = BitMatrix::Random(static_cast<int>(state.range(0)), &rng);
+  BitMatrix b = BitMatrix::Random(static_cast<int>(state.range(0)), &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Multiply(b));
+  }
+}
+BENCHMARK(BM_F2MatMul)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace topofaq
+
+int main(int argc, char** argv) {
+  topofaq::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

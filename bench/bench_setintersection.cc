@@ -1,0 +1,90 @@
+// Theorem 3.11: k-party set intersection in Θ(min_Δ(N/ST(G,K,Δ) + Δ))
+// rounds. Measures the pipelined Steiner-tree convergecast against the
+// formula across topologies and N.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "graphalg/steiner.h"
+#include "graphalg/topologies.h"
+#include "network/primitives.h"
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace topofaq {
+namespace {
+
+/// Runs the Theorem 3.11 protocol: plan a packing, convergecast N 1-bit
+/// items per tree chunk, all trees in parallel; returns measured rounds.
+int64_t MeasureIntersection(const Graph& g, const std::vector<NodeId>& k,
+                            int64_t n, int64_t cap) {
+  SyncNetwork net(g, cap);
+  IntersectionPlan plan = PlanIntersection(g, k, CeilDiv(n, cap));
+  int64_t finish = 0;
+  const int64_t chunk = CeilDiv(n, static_cast<int64_t>(plan.trees.size()));
+  for (const auto& tree : plan.trees) {
+    RootedTree rooted = OrientTree(g, tree.edges, k[0]);
+    finish = std::max(finish, ConvergecastItems(&net, rooted, chunk, 1, 0));
+  }
+  return finish;
+}
+
+void Row(const char* name, const Graph& g, const std::vector<NodeId>& k,
+         int64_t n, int64_t cap) {
+  IntersectionPlan plan = PlanIntersection(g, k, CeilDiv(n, cap));
+  const int64_t measured = MeasureIntersection(g, k, n, cap);
+  std::printf("%-14s N=%-6lld cap=%-3lld trees=%-2zu delta=%-2d "
+              "formula=%-6lld measured=%lld\n",
+              name, static_cast<long long>(n), static_cast<long long>(cap),
+              plan.trees.size(), plan.delta,
+              static_cast<long long>(plan.predicted_rounds),
+              static_cast<long long>(measured));
+}
+
+void PrintTable() {
+  std::printf("== Theorem 3.11: set intersection = Θ(min_Δ(N/ST + Δ)) ==\n\n");
+  Rng rng(17);
+  for (int64_t n : {1024, 4096}) {
+    Row("line(4)", LineTopology(4), {0, 1, 2, 3}, n, 1);
+    Row("clique(4)", CliqueTopology(4), {0, 1, 2, 3}, n, 1);
+    Row("clique(8)", CliqueTopology(8), {0, 1, 2, 3, 4, 5, 6, 7}, n, 1);
+    Row("grid(3x3)", GridTopology(3, 3), {0, 2, 6, 8}, n, 1);
+    Row("ring(8)", RingTopology(8), {0, 2, 4, 6}, n, 1);
+    Graph rnd = RandomConnectedTopology(9, 6, &rng);
+    Row("random(9)", rnd, {0, 3, 6, 8}, n, 1);
+  }
+  std::printf("\nWider capacity divides the N term:\n");
+  Row("clique(4)", CliqueTopology(4), {0, 1, 2, 3}, 4096, 8);
+  Row("line(4)", LineTopology(4), {0, 1, 2, 3}, 4096, 8);
+  std::printf("\n");
+}
+
+void BM_Convergecast(benchmark::State& state) {
+  Graph g = CliqueTopology(8);
+  std::vector<NodeId> k{0, 1, 2, 3, 4, 5, 6, 7};
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MeasureIntersection(g, k, n, 1));
+  }
+}
+BENCHMARK(BM_Convergecast)->Arg(1024)->Arg(4096);
+
+void BM_PackSteinerTrees(benchmark::State& state) {
+  Graph g = CliqueTopology(static_cast<int>(state.range(0)));
+  std::vector<NodeId> k;
+  for (int i = 0; i < g.num_nodes(); ++i) k.push_back(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PackSteinerTrees(g, k, g.num_nodes(), 7));
+  }
+}
+BENCHMARK(BM_PackSteinerTrees)->Arg(6)->Arg(10);
+
+}  // namespace
+}  // namespace topofaq
+
+int main(int argc, char** argv) {
+  topofaq::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Table 1, row 1 — FAQ on a Line, d = O(1), r = O(1), gap O~(1).
+// Constant-degeneracy acyclic FAQ queries computed on line topologies: the
+// measured protocol rounds stay within a small constant of the
+// (y + n2)·N / MinCut lower-bound formula (MinCut(line) = 1).
+#include "bench_common.h"
+
+namespace topofaq {
+namespace {
+
+void PrintTable() {
+  std::printf("== Table 1 / row 1: FAQ, G = line, d = O(1), r = O(1) ==\n");
+  std::printf("(gap column = measured / LB-formula; expected O~(1))\n\n");
+  bench::PrintRowHeader();
+  Rng rng(11);
+  for (int n : {128, 256, 512}) {
+    // Star FAQ (counting semiring, factor marginal) on a 5-node line.
+    Hypergraph star = StarGraph(4);
+    auto q = MakeFaqSS<CountingSemiring>(
+        star, bench::FullOverlapRelations<CountingSemiring>(star, n), {0});
+    char label[64];
+    std::snprintf(label, sizeof(label), "star4 marginal N=%d", n);
+    bench::ReportRow(label, q, LineTopology(5), n);
+  }
+  for (int n : {128, 256}) {
+    Hypergraph forest = RandomForest(1, 5, &rng);
+    auto q = MakeBcq(forest,
+                     bench::FullOverlapRelations<BooleanSemiring>(forest, n));
+    char label[64];
+    std::snprintf(label, sizeof(label), "tree5 BCQ N=%d", n);
+    bench::ReportRow(label, q, LineTopology(6), n);
+  }
+  std::printf("\n");
+}
+
+void BM_StarFaqOnLine(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Hypergraph star = StarGraph(4);
+  auto q = MakeFaqSS<CountingSemiring>(
+      star, bench::FullOverlapRelations<CountingSemiring>(star, n), {0});
+  DistInstance<CountingSemiring> inst;
+  inst.query = q;
+  inst.topology = LineTopology(5);
+  inst.owners = RoundRobinOwners(4, 5);
+  inst.sink = 0;
+  for (auto _ : state) {
+    auto res = RunCoreForestProtocol(inst);
+    benchmark::DoNotOptimize(res);
+    state.counters["rounds"] =
+        static_cast<double>(res.ok() ? res->stats.rounds : -1);
+  }
+}
+BENCHMARK(BM_StarFaqOnLine)->Arg(128)->Arg(512);
+
+}  // namespace
+}  // namespace topofaq
+
+int main(int argc, char** argv) {
+  topofaq::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Table 1, row 4 — FAQ on arbitrary G for d-degenerate hypergraphs of arity
+// r, gap O~(d²r²) (Theorems 5.2 / F.1). Sweeps (d, r).
+#include "bench_common.h"
+
+#include "hypergraph/degeneracy.h"
+
+namespace topofaq {
+namespace {
+
+void PrintTable() {
+  std::printf(
+      "== Table 1 / row 4: FAQ, arbitrary G, (d, r)-hypergraphs, gap "
+      "O~(d^2 r^2) ==\n\n");
+  bench::PrintRowHeader();
+  const int n = 96;
+  for (int r : {2, 3, 4}) {
+    for (int d : {1, 2}) {
+      Rng rng(500 + 10 * r + d);
+      Hypergraph h = RandomHypergraph(8, d, r, &rng);
+      auto q = MakeBcq(h, bench::RandomBoolRelations(h, n, 3, &rng));
+      char label[64];
+      std::snprintf(label, sizeof(label), "r=%d d=%d clique", r, d);
+      bench::ReportRow(label, q, CliqueTopology(6), n);
+    }
+  }
+  // Acyclic hypergraph FAQ with a counting aggregate.
+  for (int r : {3, 4}) {
+    Rng rng(700 + r);
+    Hypergraph h = RandomAcyclicHypergraph(5, r, &rng);
+    auto q = MakeFaqSS<NaturalSemiring>(
+        h, bench::FullOverlapRelations<NaturalSemiring>(h, n), {});
+    char label[64];
+    std::snprintf(label, sizeof(label), "acyclic r=%d count", r);
+    bench::ReportRow(label, q, GridTopology(2, 3), n);
+  }
+  std::printf("\n");
+}
+
+void BM_HypergraphFaq(benchmark::State& state) {
+  const int r = static_cast<int>(state.range(0));
+  Rng rng(500 + 10 * r + 1);
+  Hypergraph h = RandomHypergraph(8, 1, r, &rng);
+  auto q = MakeBcq(h, bench::RandomBoolRelations(h, 96, 3, &rng));
+  DistInstance<BooleanSemiring> inst;
+  inst.query = q;
+  inst.topology = CliqueTopology(6);
+  inst.owners = RoundRobinOwners(h.num_edges(), 6);
+  inst.sink = 0;
+  for (auto _ : state) {
+    auto res = RunCoreForestProtocol(inst);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_HypergraphFaq)->Arg(3)->Arg(4);
+
+}  // namespace
+}  // namespace topofaq
+
+int main(int argc, char** argv) {
+  topofaq::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Matrix-chain pipeline (Section 6): k layers of F2 matrices on a line of
+// devices (the paper's k-layer-network motivation). Runs all three
+// protocols, checks them against each other and against the Eq. (5) FAQ
+// formulation, and prints the round counts next to the Θ(kN) lower bound.
+#include <cstdio>
+
+#include "faq/solvers.h"
+#include "lowerbounds/bounds.h"
+#include "mcm/protocols.h"
+
+using namespace topofaq;
+
+int main() {
+  std::printf("== F2 matrix-chain pipeline on a line ==\n\n");
+  Rng rng(99);
+
+  const int n = 48;
+  for (int k : {2, 4, 8, 16}) {
+    McmInstance inst;
+    inst.x = BitVector::Random(n, &rng);
+    for (int i = 0; i < k; ++i)
+      inst.matrices.push_back(BitMatrix::Random(n, &rng));
+
+    McmResult seq = RunMcmSequential(inst);
+    McmResult mrg = RunMcmMerge(inst);
+    McmResult trv = RunMcmTrivial(inst);
+    McmBounds bounds = ComputeMcmBounds(k, n);
+    const BitVector expected = ChainApply(inst.matrices, inst.x);
+    const bool ok =
+        seq.y == expected && mrg.y == expected && trv.y == expected;
+
+    std::printf("k=%2d N=%d | sequential %6lld  merge %7lld  trivial %7lld "
+                "| LB k*N = %5lld | answers agree: %s\n",
+                k, n, static_cast<long long>(seq.rounds),
+                static_cast<long long>(mrg.rounds),
+                static_cast<long long>(trv.rounds),
+                static_cast<long long>(bounds.lower), ok ? "yes" : "NO");
+  }
+
+  // Cross-check the FAQ-SS formulation (Eq. (5)) on a small instance.
+  McmInstance small;
+  small.x = BitVector::Random(6, &rng);
+  for (int i = 0; i < 3; ++i)
+    small.matrices.push_back(BitMatrix::Random(6, &rng));
+  auto res = BruteForceSolve(McmAsFaq(small));
+  if (!res.ok()) {
+    std::printf("FAQ error: %s\n", res.status().ToString().c_str());
+    return 1;
+  }
+  const bool faq_ok =
+      DecodeFaqVector(*res, 6) == ChainApply(small.matrices, small.x);
+  std::printf("\nEq. (5) FAQ-SS over GF(2) equals the chain product: %s\n",
+              faq_ok ? "yes" : "NO");
+  std::printf("Sequential is Θ(kN) — tight by Theorem 6.4's min-entropy "
+              "lower bound (k <= N).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: build a small FAQ query, solve it centrally, then run the
+// paper's distributed protocol on two topologies and compare the measured
+// round counts with the Theorem 4.1 bound formulas.
+#include <cstdio>
+
+#include "faq/solvers.h"
+#include "graphalg/topologies.h"
+#include "hypergraph/generators.h"
+#include "lowerbounds/bounds.h"
+#include "protocols/distributed.h"
+
+using namespace topofaq;
+
+int main() {
+  std::printf("== topofaq quickstart ==\n\n");
+
+  // The star query H1 of Figure 1: q() :- R(A,B), S(A,C), T(A,D), U(A,E).
+  Hypergraph h = PaperH1();
+  std::printf("query hypergraph: %s\n", h.DebugString().c_str());
+
+  // Relations: every player knows values 0..N-1 on the shared attribute A,
+  // plus a private second column.
+  const int n = 256;
+  std::vector<Relation<BooleanSemiring>> rels;
+  for (int e = 0; e < h.num_edges(); ++e) {
+    Relation<BooleanSemiring> r{Schema(h.edge(e))};
+    for (int i = 0; i < n; ++i) r.Add({static_cast<Value>(i), 1});
+    rels.push_back(std::move(r));
+  }
+  auto query = MakeBcq(h, std::move(rels));
+
+  // 1. Centralized evaluation (Theorem G.3 GHD message passing).
+  auto central = SolveBcq(query);
+  std::printf("centralized BCQ answer: %s\n\n",
+              *central ? "satisfiable" : "unsatisfiable");
+
+  // 2. Width machinery: y(H1) = 1, one star.
+  WidthResult w = ComputeWidth(h);
+  std::printf("internal-node-width y(H) = %d, n2(H) = %d\n\n",
+              w.internal_nodes, w.n2);
+
+  // 3. Distributed execution on the Figure 1 topologies.
+  for (const char* name : {"line G1", "clique G2"}) {
+    DistInstance<BooleanSemiring> inst;
+    inst.query = query;
+    inst.topology =
+        (name[0] == 'l') ? LineTopology(4) : CliqueTopology(4);
+    inst.owners = {0, 1, 2, 3};
+    inst.sink = 1;
+    ProtocolStats stats;
+    auto ans = RunBcqProtocol(inst, &stats);
+    if (!ans.ok()) {
+      std::printf("protocol error: %s\n", ans.status().ToString().c_str());
+      return 1;
+    }
+    auto trivial = RunTrivialProtocol(inst);
+    BoundBreakdown b =
+        ComputeBounds(h, inst.topology, inst.Players(), n);
+    std::printf("%-9s : protocol %6lld rounds | trivial %6lld rounds | "
+                "UB formula %lld | LB formula %lld\n",
+                name, static_cast<long long>(stats.rounds),
+                static_cast<long long>(trivial->stats.rounds),
+                static_cast<long long>(b.upper_total),
+                static_cast<long long>(b.lower_bound));
+  }
+  std::printf("\nThe clique halves the star phase (Example 2.3) and both "
+              "beat the trivial protocol.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "entropy/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace topofaq {
+
+BitDist::BitDist(int n_bits) : n_bits_(n_bits) {
+  TOPOFAQ_CHECK(n_bits >= 0 && n_bits <= 24);
+  p_.assign(1ULL << n_bits, 0.0);
+}
+
+void BitDist::Normalize() {
+  const double total = TotalMass();
+  TOPOFAQ_CHECK(total > 0);
+  for (double& v : p_) v /= total;
+}
+
+double BitDist::TotalMass() const {
+  double t = 0;
+  for (double v : p_) t += v;
+  return t;
+}
+
+double BitDist::MinEntropy() const {
+  double mx = 0;
+  for (double v : p_) mx = std::max(mx, v);
+  TOPOFAQ_CHECK(mx > 0);
+  return -std::log2(mx);
+}
+
+double BitDist::ShannonEntropy() const {
+  double h = 0;
+  for (double v : p_)
+    if (v > 0) h -= v * std::log2(v);
+  return h;
+}
+
+double BitDist::SmoothMinEntropy(double eps) const {
+  TOPOFAQ_CHECK(eps >= 0 && eps < 1);
+  if (eps == 0) return MinEntropy();
+  // Cap atoms at threshold t with Σ max(p - t, 0) = eps: sort descending
+  // and walk down.
+  std::vector<double> sorted(p_.begin(), p_.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  double excess = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    // Candidate threshold: sorted[i] (cap everything above to this level).
+    const double t = sorted[i];
+    // Mass removed if capping the first i atoms to t:
+    // excess accumulated below is Σ_{j<i}(sorted[j] - sorted[i]) computed
+    // incrementally.
+    if (i > 0) excess += (sorted[i - 1] - t) * static_cast<double>(i);
+    if (excess >= eps) {
+      // Between this and the previous threshold: solve t' with
+      // Σ_{j<i}(sorted[j]-t') = eps  =>  t' = t + (excess - eps)/i.
+      const double t_prime = t + (excess - eps) / static_cast<double>(i);
+      return -std::log2(t_prime);
+    }
+  }
+  // Everything could be flattened below the smallest atom.
+  const double t_prime =
+      std::max(1e-300, (TotalMass() - eps) / static_cast<double>(sorted.size()));
+  return -std::log2(t_prime);
+}
+
+BitDist BitDist::Uniform(int n_bits) {
+  BitDist d(n_bits);
+  const double v = 1.0 / static_cast<double>(d.size());
+  for (uint64_t x = 0; x < d.size(); ++x) d.p_[x] = v;
+  return d;
+}
+
+BitDist BitDist::PointMass(int n_bits, uint64_t x) {
+  BitDist d(n_bits);
+  d.p_[x] = 1.0;
+  return d;
+}
+
+BitDist BitDist::UniformOnSet(int n_bits,
+                              const std::vector<uint64_t>& support) {
+  BitDist d(n_bits);
+  TOPOFAQ_CHECK(!support.empty());
+  const double v = 1.0 / static_cast<double>(support.size());
+  for (uint64_t x : support) {
+    TOPOFAQ_CHECK(x < d.size());
+    d.p_[x] += v;
+  }
+  return d;
+}
+
+double StatDistance(const BitDist& a, const BitDist& b) {
+  TOPOFAQ_CHECK(a.n_bits() == b.n_bits());
+  double s = 0;
+  for (uint64_t x = 0; x < a.size(); ++x) s += std::abs(a.p(x) - b.p(x));
+  return s / 2;
+}
+
+double GuessingProbability(const BitDist& d) {
+  double mx = 0;
+  for (uint64_t x = 0; x < d.size(); ++x) mx = std::max(mx, d.p(x));
+  return mx;
+}
+
+}  // namespace topofaq

@@ -1,0 +1,58 @@
+// Exact distributions over F2^n (n small) and the entropy notions of
+// Section 6.2.1: min-entropy H∞, smooth min-entropy H∞^ε, Shannon entropy,
+// and statistical distance. These power the small-scale executions of
+// Theorem 6.3 / H.9 and the Appendix I.3 Shannon counterexample.
+#ifndef TOPOFAQ_ENTROPY_DISTRIBUTION_H_
+#define TOPOFAQ_ENTROPY_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace topofaq {
+
+/// A probability distribution over {0,1}^n, stored densely (n <= 24).
+class BitDist {
+ public:
+  explicit BitDist(int n_bits);
+
+  int n_bits() const { return n_bits_; }
+  size_t size() const { return p_.size(); }
+  double p(uint64_t x) const { return p_[x]; }
+  void set_p(uint64_t x, double v) { p_[x] = v; }
+
+  /// Scales to total mass 1. Requires positive mass.
+  void Normalize();
+  double TotalMass() const;
+
+  /// H∞(X) = -log2 max_x Pr[X = x].
+  double MinEntropy() const;
+
+  /// Shannon entropy (bits).
+  double ShannonEntropy() const;
+
+  /// Smooth min-entropy H∞^ε: mass ε may be discarded; the optimum caps the
+  /// largest atoms (water-filling), giving -log2 of the resulting max.
+  double SmoothMinEntropy(double eps) const;
+
+  static BitDist Uniform(int n_bits);
+  static BitDist PointMass(int n_bits, uint64_t x);
+  static BitDist UniformOnSet(int n_bits, const std::vector<uint64_t>& support);
+
+ private:
+  int n_bits_;
+  std::vector<double> p_;
+};
+
+/// Total-variation distance (1/2)·Σ|p - q|.
+double StatDistance(const BitDist& a, const BitDist& b);
+
+/// Lemma 6.3 quantity: the best guessing probability max_x Pr[X = x]
+/// (success of any deterministic guesser without side information).
+double GuessingProbability(const BitDist& d);
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_ENTROPY_DISTRIBUTION_H_

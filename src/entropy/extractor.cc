@@ -1,0 +1,54 @@
+#include "entropy/extractor.h"
+
+#include <bit>
+#include <cmath>
+
+namespace topofaq {
+namespace {
+
+std::vector<uint64_t> RandomSupport(int n, int k, Rng* rng) {
+  TOPOFAQ_CHECK(k <= n);
+  return rng->Sample(1ULL << n, 1ULL << k);
+}
+
+}  // namespace
+
+ExtractorResult InnerProductExperiment(int n, int k1, int k2, Rng* rng) {
+  TOPOFAQ_CHECK(n <= 20);
+  ExtractorResult res;
+  res.n = n;
+  res.k1 = k1;
+  res.k2 = k2;
+  res.delta = static_cast<double>(k1 + k2) / n - 1.0;
+  res.theorem_bound =
+      res.delta > 0 ? std::pow(2.0, -res.delta * n / 2.0 - 1.0) : 1.0;
+
+  const auto sy = RandomSupport(n, k1, rng);
+  const auto sz = RandomSupport(n, k2, rng);
+  const double py = 1.0 / static_cast<double>(sy.size());
+
+  // distance = (1/2) Σ_y Σ_b | Pr[y, <y,z>=b] - p_y/2 |.
+  double dist = 0;
+  for (uint64_t y : sy) {
+    int64_t ones = 0;
+    for (uint64_t z : sz) ones += std::popcount(y & z) & 1;
+    const double p1 = py * static_cast<double>(ones) /
+                      static_cast<double>(sz.size());
+    const double p0 = py - p1;
+    dist += std::abs(p0 - py / 2) + std::abs(p1 - py / 2);
+  }
+  res.distance = dist / 2;
+  return res;
+}
+
+ShannonCounterexample ShannonCounterexampleNumbers(int n, double alpha) {
+  ShannonCounterexample c;
+  c.n = n;
+  c.alpha = alpha;
+  c.t = static_cast<int>(alpha * n);
+  c.h_x = (1 - alpha) * c.t + alpha * (n - c.t);
+  c.h_ax_given_leak = alpha * n;
+  return c;
+}
+
+}  // namespace topofaq

@@ -1,0 +1,42 @@
+// The inner-product two-source extractor experiment (Theorem H.9, from
+// Dodis–Oliveira): if H∞(y) + H∞(z) >= (1+Δ)n for independent sources over
+// F2^n, then (y, <y,z>) is 2^{-Δn/2-1}-close to D_y × U_1. We compute the
+// exact statistical distance for random flat sources and compare it to the
+// bound.
+#ifndef TOPOFAQ_ENTROPY_EXTRACTOR_H_
+#define TOPOFAQ_ENTROPY_EXTRACTOR_H_
+
+#include "entropy/distribution.h"
+
+namespace topofaq {
+
+struct ExtractorResult {
+  int n = 0;
+  int k1 = 0;  ///< H∞(y) (flat source: log2 of support size)
+  int k2 = 0;  ///< H∞(z)
+  double delta = 0;          ///< (k1 + k2)/n - 1
+  double distance = 0;       ///< exact statistical distance
+  double theorem_bound = 0;  ///< 2^{-Δn/2 - 1} (when Δ > 0)
+};
+
+/// Exact distance of (y, <y,z>) from D_y × U_1 for y, z uniform on random
+/// supports of sizes 2^k1 and 2^k2.
+ExtractorResult InnerProductExperiment(int n, int k1, int k2, Rng* rng);
+
+/// Appendix I.3's counterexample numbers: for the span-vs-complement source
+/// x (mass 1-α on a random t = αn dimensional subspace) and the leak
+/// f(A) = (A x*_1 .. A x*_t), Shannon entropy drops from H(x) ≈ 2α(1-α)n to
+/// H(Ax | f(A)) <= α·n — Shannon cannot support the inductive argument of
+/// Lemma 6.2, which is why the proof needs min-entropy.
+struct ShannonCounterexample {
+  int n = 0;
+  int t = 0;         ///< subspace dimension αn
+  double alpha = 0;
+  double h_x = 0;               ///< (1-α)·t + α·(n-t)
+  double h_ax_given_leak = 0;   ///< upper bound (1-α)·0 + α·n
+};
+ShannonCounterexample ShannonCounterexampleNumbers(int n, double alpha);
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_ENTROPY_EXTRACTOR_H_

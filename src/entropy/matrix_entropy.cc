@@ -1,0 +1,74 @@
+#include "entropy/matrix_entropy.h"
+
+#include <bit>
+#include <cmath>
+
+namespace topofaq {
+
+MatrixVectorEntropyResult MatrixVectorExperiment(int m, int n, double gamma,
+                                                 int support_log2, Rng* rng) {
+  TOPOFAQ_CHECK(m >= 1 && m <= 16 && n >= 1 && n <= 20);
+  MatrixVectorEntropyResult res;
+  res.m = m;
+  res.n = n;
+  res.gamma = gamma;
+  res.theorem_floor = (1.0 - std::sqrt(2.0 * gamma)) * m;
+
+  // Leak: fix `leak_count` random entries of A.
+  const int leak_count =
+      static_cast<int>(std::llround(gamma * static_cast<double>(m) * n));
+  std::vector<uint64_t> leaked_mask(m, 0);   // per row: which columns fixed
+  std::vector<uint64_t> leaked_bits(m, 0);   // the fixed values
+  for (uint64_t cell : rng->Sample(static_cast<uint64_t>(m) * n,
+                                   static_cast<uint64_t>(leak_count))) {
+    const int row = static_cast<int>(cell / n);
+    const int col = static_cast<int>(cell % n);
+    leaked_mask[row] |= 1ULL << col;
+    if (rng->NextBool()) leaked_bits[row] |= 1ULL << col;
+  }
+
+  // x source: uniform over random nonzero vectors.
+  const uint64_t support_size = 1ULL << support_log2;
+  std::vector<uint64_t> support;
+  {
+    std::vector<uint64_t> picks =
+        rng->Sample((1ULL << n) - 1, support_size);  // values in [0, 2^n-1)
+    for (uint64_t v : picks) support.push_back(v + 1);  // skip 0
+  }
+  res.hinf_x = static_cast<double>(support_log2);
+
+  // Exact distribution of Ax: per row i, (Ax)_i = <a_i, x>. Given x, rows
+  // are independent; row i is uniform iff x hits a free (unleaked) column,
+  // else deterministic with bit <leaked_bits_i, x>.
+  BitDist dist(m);
+  const double px = 1.0 / static_cast<double>(support.size());
+  for (uint64_t x : support) {
+    uint64_t det_mask = 0;   // rows with deterministic output
+    uint64_t det_bits = 0;
+    int free_rows = 0;
+    for (int i = 0; i < m; ++i) {
+      const bool has_free = (x & ~leaked_mask[i] & ((1ULL << n) - 1)) != 0;
+      if (has_free) {
+        ++free_rows;
+      } else {
+        det_mask |= 1ULL << i;
+        if (std::popcount(x & leaked_bits[i]) & 1) det_bits |= 1ULL << i;
+      }
+    }
+    const double w = px / std::pow(2.0, free_rows);
+    // Add w to every z agreeing with det_bits on det_mask: enumerate the
+    // free-row subcube.
+    uint64_t free_mask = ~det_mask & ((1ULL << m) - 1);
+    uint64_t sub = 0;
+    while (true) {
+      dist.set_p(det_bits | sub, dist.p(det_bits | sub) + w);
+      if (sub == free_mask) break;
+      sub = (sub - free_mask) & free_mask;  // next subset of free_mask
+    }
+  }
+  res.hinf_ax = dist.MinEntropy();
+  res.ax_dist = std::move(dist);
+  return res;
+}
+
+}  // namespace topofaq

@@ -1,0 +1,30 @@
+// Small-scale exact execution of Theorem 6.3 / H.3: if A ∈ F2^{m×n} retains
+// min-entropy (1-γ)mn after leaking γmn entries and x is an independent
+// source with H∞(x) >= αn, then H∞(Ax) >= (1-√(2γ))m. We fix a random γ
+// fraction of A's entries (the leak), take x uniform on a random support,
+// and compute the distribution of Ax exactly (rows of A are independent
+// given x).
+#ifndef TOPOFAQ_ENTROPY_MATRIX_ENTROPY_H_
+#define TOPOFAQ_ENTROPY_MATRIX_ENTROPY_H_
+
+#include "entropy/distribution.h"
+
+namespace topofaq {
+
+struct MatrixVectorEntropyResult {
+  int m = 0, n = 0;
+  double gamma = 0;           ///< leaked fraction of entries
+  double hinf_x = 0;          ///< H∞ of the x source
+  double hinf_ax = 0;         ///< exact H∞(Ax)
+  double theorem_floor = 0;   ///< (1 - sqrt(2γ)) · m
+  BitDist ax_dist{0};
+};
+
+/// x uniform over 2^support_log2 random *nonzero* vectors; A uniform except
+/// round(γ·m·n) fixed random entries. Exact output distribution (m <= 16).
+MatrixVectorEntropyResult MatrixVectorExperiment(int m, int n, double gamma,
+                                                 int support_log2, Rng* rng);
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_ENTROPY_MATRIX_ENTROPY_H_

@@ -1,0 +1,155 @@
+// Centralized FAQ solvers:
+//
+//  * BruteForceSolve — joins everything, then eliminates bound variables in
+//    the canonical innermost-first order of Eq. (4). Exponential; the
+//    ground-truth oracle for tests.
+//  * YannakakisSolve — the GHD message-passing upward pass of Theorem G.3:
+//    O~(N) for acyclic H, with aggregate push-down (Corollary G.2) at every
+//    node; cyclic cores are finished brute-force at the root. This mirrors,
+//    step for step, what the distributed protocol computes.
+#ifndef TOPOFAQ_FAQ_SOLVERS_H_
+#define TOPOFAQ_FAQ_SOLVERS_H_
+
+#include <algorithm>
+#include <functional>
+
+#include "faq/query.h"
+#include "ghd/width.h"
+
+namespace topofaq {
+
+namespace internal {
+
+/// Unit relation: empty schema, single empty tuple annotated 1.
+template <CommutativeSemiring S>
+Relation<S> UnitRelation() {
+  Relation<S> r{Schema(std::vector<VarId>{})};
+  r.Add(std::initializer_list<Value>{}, S::One());
+  return r;
+}
+
+/// Eliminates `vars` from r (descending VarId: the Eq. (4) innermost-first
+/// order restricted to this bag), applying each variable's op.
+template <CommutativeSemiring S>
+Relation<S> EliminateAll(Relation<S> r, std::vector<VarId> vars,
+                         const FaqQuery<S>& q) {
+  std::sort(vars.begin(), vars.end(), std::greater<>());
+  for (VarId v : vars)
+    if (r.schema().Contains(v)) r = EliminateVar(r, v, q.OpFor(v));
+  return r;
+}
+
+/// Joins a bag of relations and eliminates their bound variables, working
+/// one variable-connected component at a time: components share no
+/// variables (hence no relations), so evaluating them independently and
+/// cross-multiplying the reduced results is a Theorem G.1-sanctioned
+/// reordering that avoids materializing cross products of unreduced inputs.
+template <CommutativeSemiring S>
+Relation<S> JoinAndEliminate(std::vector<Relation<S>> parts,
+                             const FaqQuery<S>& q) {
+  // Union-find over parts by shared variables.
+  std::vector<int> comp(parts.size());
+  for (size_t i = 0; i < parts.size(); ++i) comp[i] = static_cast<int>(i);
+  std::function<int(int)> find = [&](int x) {
+    return comp[x] == x ? x : comp[x] = find(comp[x]);
+  };
+  for (size_t i = 0; i < parts.size(); ++i)
+    for (size_t j = i + 1; j < parts.size(); ++j)
+      if (!parts[i].schema().SharedWith(parts[j].schema()).empty())
+        comp[find(static_cast<int>(i))] = find(static_cast<int>(j));
+
+  Relation<S> acc = UnitRelation<S>();
+  for (size_t root = 0; root < parts.size(); ++root) {
+    if (find(static_cast<int>(root)) != static_cast<int>(root)) continue;
+    Relation<S> part = UnitRelation<S>();
+    for (size_t i = 0; i < parts.size(); ++i)
+      if (find(static_cast<int>(i)) == static_cast<int>(root))
+        part = Join(part, parts[i]);
+    std::vector<VarId> bound;
+    for (VarId v : part.schema().vars())
+      if (std::find(q.free_vars.begin(), q.free_vars.end(), v) ==
+          q.free_vars.end())
+        bound.push_back(v);
+    part = EliminateAll(std::move(part), bound, q);
+    acc = Join(acc, part);  // disjoint schemas: scalar/cross combination
+  }
+  return acc;
+}
+
+}  // namespace internal
+
+/// Ground-truth solver. Returns a relation over exactly `free_vars`.
+template <CommutativeSemiring S>
+Result<Relation<S>> BruteForceSolve(const FaqQuery<S>& q) {
+  TOPOFAQ_RETURN_IF_ERROR(q.Validate());
+  Relation<S> acc = internal::JoinAndEliminate(q.relations, q);
+  return Project(acc, q.free_vars);
+}
+
+/// Theorem G.3 solver over a supplied decomposition; free variables must lie
+/// in the root bag (F ⊆ V(C(H)), the Appendix G.5 restriction).
+template <CommutativeSemiring S>
+Result<Relation<S>> YannakakisSolveOn(const FaqQuery<S>& q, const GyoGhd& gg) {
+  TOPOFAQ_RETURN_IF_ERROR(q.Validate());
+  const Ghd& ghd = gg.ghd;
+  const auto& root_chi = ghd.node(ghd.root()).chi;
+  for (VarId v : q.free_vars)
+    if (!std::binary_search(root_chi.begin(), root_chi.end(), v))
+      return Status::FailedPrecondition(
+          "free variable " + std::to_string(v) +
+          " outside V(C(H)): unsupported choice of F (Appendix G.5)");
+
+  // Upward pass: message[v] = relation over χ(v) ∩ χ(parent(v)).
+  std::vector<Relation<S>> state(ghd.num_nodes());
+  for (int v = 0; v < ghd.num_nodes(); ++v) {
+    const int e = ghd.node(v).edge_id;
+    state[v] = (e >= 0) ? q.relations[e] : internal::UnitRelation<S>();
+  }
+  for (int v : ghd.BottomUpOrder()) {
+    for (int c : ghd.node(v).children) state[v] = Join(state[v], state[c]);
+    if (v == ghd.root()) break;
+    // Push down aggregates over variables private to this subtree
+    // (Corollary G.2): everything in the current schema that is not in the
+    // parent bag. RIP guarantees such variables occur nowhere else.
+    const auto& parent_chi = ghd.node(ghd.node(v).parent).chi;
+    std::vector<VarId> private_vars;
+    for (VarId x : state[v].schema().vars())
+      if (!std::binary_search(parent_chi.begin(), parent_chi.end(), x))
+        private_vars.push_back(x);
+    state[v] = internal::EliminateAll(std::move(state[v]), private_vars, q);
+  }
+  // Root: eliminate the remaining bound variables, then order columns as F.
+  Relation<S>& root_rel = state[ghd.root()];
+  std::vector<VarId> bound;
+  for (VarId v : root_rel.schema().vars())
+    if (std::find(q.free_vars.begin(), q.free_vars.end(), v) ==
+        q.free_vars.end())
+      bound.push_back(v);
+  root_rel = internal::EliminateAll(std::move(root_rel), bound, q);
+  return Project(root_rel, q.free_vars);
+}
+
+/// Theorem G.3 solver using the canonical minimized decomposition; when F is
+/// non-empty the decomposition is re-rooted so that F ⊆ χ(root) whenever the
+/// query shape permits it.
+template <CommutativeSemiring S>
+Result<Relation<S>> YannakakisSolve(const FaqQuery<S>& q) {
+  if (q.free_vars.empty())
+    return YannakakisSolveOn(q, ComputeWidth(q.hypergraph).decomposition);
+  std::vector<VarId> f = q.free_vars;
+  std::sort(f.begin(), f.end());
+  auto w = MinimizeWidthWithRoot(q.hypergraph, f, /*restarts=*/4, /*seed=*/1);
+  if (!w.ok()) return w.status();
+  return YannakakisSolveOn(q, w->decomposition);
+}
+
+/// Convenience for BCQ: true iff the query is satisfiable.
+inline Result<bool> SolveBcq(const FaqQuery<BooleanSemiring>& q) {
+  auto r = YannakakisSolve(q);
+  if (!r.ok()) return r.status();
+  return !r->empty();
+}
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_FAQ_SOLVERS_H_

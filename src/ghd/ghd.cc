@@ -1,0 +1,169 @@
+#include "ghd/ghd.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace topofaq {
+
+int Ghd::AddNode(GhdNode node) {
+  std::sort(node.chi.begin(), node.chi.end());
+  node.chi.erase(std::unique(node.chi.begin(), node.chi.end()), node.chi.end());
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void Ghd::SetParent(int child, int parent) {
+  TOPOFAQ_CHECK(child != parent);
+  nodes_[child].parent = parent;
+  nodes_[parent].children.push_back(child);
+}
+
+void Ghd::Rehang(int child, int new_parent) {
+  const int old = nodes_[child].parent;
+  TOPOFAQ_CHECK(old >= 0);
+  auto& siblings = nodes_[old].children;
+  siblings.erase(std::find(siblings.begin(), siblings.end(), child));
+  SetParent(child, new_parent);
+}
+
+int Ghd::InternalNodeCount() const {
+  int c = 0;
+  for (const auto& n : nodes_)
+    if (!n.children.empty()) ++c;
+  return c;
+}
+
+int Ghd::Depth() const {
+  if (root_ < 0) return 0;
+  int best = 0;
+  std::queue<std::pair<int, int>> q;
+  q.push({root_, 0});
+  while (!q.empty()) {
+    auto [v, d] = q.front();
+    q.pop();
+    best = std::max(best, d);
+    for (int c : nodes_[v].children) q.push({c, d + 1});
+  }
+  return best;
+}
+
+std::vector<int> Ghd::BottomUpOrder() const {
+  std::vector<int> order, stack{root_};
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    for (int c : nodes_[v].children) stack.push_back(c);
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<int> Ghd::AncestorsOf(int v) const {
+  std::vector<int> out;
+  for (int p = nodes_[v].parent; p >= 0; p = nodes_[p].parent) out.push_back(p);
+  return out;
+}
+
+Status Ghd::Validate(const Hypergraph& h) const {
+  if (root_ < 0 || root_ >= num_nodes())
+    return Status::FailedPrecondition("invalid root");
+  // Tree structure: every non-root node has a parent; reachability from root
+  // covers all nodes exactly once.
+  std::vector<bool> seen(num_nodes(), false);
+  std::vector<int> stack{root_};
+  int count = 0;
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    if (seen[v]) return Status::FailedPrecondition("cycle in GHD tree");
+    seen[v] = true;
+    ++count;
+    for (int c : nodes_[v].children) {
+      if (nodes_[c].parent != v)
+        return Status::FailedPrecondition("child/parent mismatch");
+      stack.push_back(c);
+    }
+  }
+  if (count != num_nodes())
+    return Status::FailedPrecondition("GHD tree not connected");
+
+  // Property 1: coverage.
+  for (int e = 0; e < h.num_edges(); ++e) {
+    bool covered = false;
+    for (int v = 0; v < num_nodes() && !covered; ++v) {
+      const auto& n = nodes_[v];
+      if (std::find(n.lambda.begin(), n.lambda.end(), e) == n.lambda.end())
+        continue;
+      covered = std::includes(n.chi.begin(), n.chi.end(), h.edge(e).begin(),
+                              h.edge(e).end());
+    }
+    if (!covered)
+      return Status::FailedPrecondition("hyperedge " + std::to_string(e) +
+                                        " not covered by any node");
+  }
+
+  // Property 2 (RIP): it suffices to check single vertices — for a set V',
+  // the V'-nodes are the intersection of the per-vertex connected subtrees,
+  // and an intersection of subtrees of a tree is connected.
+  for (int x = 0; x < h.num_vertices(); ++x) {
+    const VarId v = static_cast<VarId>(x);
+    std::vector<int> holders;
+    for (int i = 0; i < num_nodes(); ++i)
+      if (std::binary_search(nodes_[i].chi.begin(), nodes_[i].chi.end(), v))
+        holders.push_back(i);
+    if (holders.size() <= 1) continue;
+    // BFS within holder-induced subgraph.
+    std::vector<bool> is_holder(num_nodes(), false);
+    for (int i : holders) is_holder[i] = true;
+    std::vector<bool> visited(num_nodes(), false);
+    std::vector<int> st{holders[0]};
+    visited[holders[0]] = true;
+    int reached = 0;
+    while (!st.empty()) {
+      int u = st.back();
+      st.pop_back();
+      ++reached;
+      std::vector<int> nbrs = nodes_[u].children;
+      if (nodes_[u].parent >= 0) nbrs.push_back(nodes_[u].parent);
+      for (int w : nbrs)
+        if (is_holder[w] && !visited[w]) {
+          visited[w] = true;
+          st.push_back(w);
+        }
+    }
+    if (reached != static_cast<int>(holders.size()))
+      return Status::FailedPrecondition("RIP violated for vertex " +
+                                        std::to_string(x));
+  }
+  return Status::Ok();
+}
+
+Status Ghd::ValidateReduced(const Hypergraph& h) const {
+  TOPOFAQ_RETURN_IF_ERROR(Validate(h));
+  for (int e = 0; e < h.num_edges(); ++e) {
+    bool found = false;
+    for (int v = 0; v < num_nodes() && !found; ++v)
+      found = (nodes_[v].chi == h.edge(e));
+    if (!found)
+      return Status::FailedPrecondition(
+          "no node with bag equal to hyperedge " + std::to_string(e));
+  }
+  return Status::Ok();
+}
+
+std::string Ghd::DebugString() const {
+  std::string out;
+  for (int v = 0; v < num_nodes(); ++v) {
+    out += "node " + std::to_string(v) + (v == root_ ? " (root)" : "") + ": chi={";
+    for (size_t j = 0; j < nodes_[v].chi.size(); ++j) {
+      if (j) out += ",";
+      out += std::to_string(nodes_[v].chi[j]);
+    }
+    out += "} parent=" + std::to_string(nodes_[v].parent) +
+           " edge=" + std::to_string(nodes_[v].edge_id) + "\n";
+  }
+  return out;
+}
+
+}  // namespace topofaq

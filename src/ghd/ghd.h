@@ -1,0 +1,74 @@
+// Generalized Hypertree Decompositions (Definition 2.4): a rooted tree T
+// with bags χ(v) ⊆ V(H) and edge covers λ(v) ⊆ E(H), satisfying
+//   (1) every hyperedge e has a node v with e ⊆ χ(v) and e ∈ λ(v), and
+//   (2) the running intersection property (RIP): for every vertex set V',
+//       the nodes whose bags contain V' are connected in T.
+#ifndef TOPOFAQ_GHD_GHD_H_
+#define TOPOFAQ_GHD_GHD_H_
+
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "util/status.h"
+
+namespace topofaq {
+
+/// One node of a GHD.
+struct GhdNode {
+  std::vector<VarId> chi;   ///< bag (sorted, unique)
+  std::vector<int> lambda;  ///< hyperedge ids covered at this node
+  int parent = -1;
+  std::vector<int> children;
+  /// For reduced-GHD nodes: the hyperedge with χ(v) == edge; -1 for the
+  /// synthetic core root of Construction 2.8 (when its bag is not an edge).
+  int edge_id = -1;
+};
+
+/// A rooted GHD. Node 0 conventionally exists; `root()` names the root.
+class Ghd {
+ public:
+  Ghd() = default;
+
+  int AddNode(GhdNode node);
+  void SetParent(int child, int parent);
+  /// Detaches `child` from its current parent and re-hangs it under
+  /// `new_parent` (subtree moves along).
+  void Rehang(int child, int new_parent);
+
+  int root() const { return root_; }
+  void set_root(int r) { root_ = r; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const GhdNode& node(int i) const { return nodes_[i]; }
+  GhdNode& mutable_node(int i) { return nodes_[i]; }
+
+  /// Number of internal (non-leaf) nodes — the paper's y(T), Definition 2.9.
+  int InternalNodeCount() const;
+
+  /// Longest root-to-leaf path length (edges).
+  int Depth() const;
+
+  /// Nodes in a bottom-up order (children before parents).
+  std::vector<int> BottomUpOrder() const;
+
+  /// Ancestors of `v` from parent to root.
+  std::vector<int> AncestorsOf(int v) const;
+
+  /// Checks tree-structural integrity, hyperedge coverage and RIP against H.
+  Status Validate(const Hypergraph& h) const;
+
+  /// Checks the reduced-GHD property (Definition 2.4): every hyperedge id has
+  /// a node whose bag *equals* it. Multi-hyperedges over the same vertex set
+  /// may share or duplicate bags.
+  Status ValidateReduced(const Hypergraph& h) const;
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<GhdNode> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_GHD_GHD_H_

@@ -1,0 +1,68 @@
+#include "ghd/gyo_ghd.h"
+
+#include <algorithm>
+
+namespace topofaq {
+
+GyoGhd BuildGyoGhd(const Hypergraph& h) {
+  GyoGhd out;
+  out.core_forest = DecomposeCoreForest(h);
+  const CoreForest& cf = out.core_forest;
+  Ghd& ghd = out.ghd;
+  out.node_of_edge.assign(h.num_edges(), -1);
+
+  // Root r' with χ = V(C(H)).
+  GhdNode root_node;
+  root_node.chi = cf.core_vertices;
+  int root = ghd.AddNode(root_node);
+  ghd.set_root(root);
+
+  auto equals_core = [&](int e) { return h.edge(e) == cf.core_vertices; };
+
+  // The root can absorb exactly one hyperedge whose vertex set equals
+  // V(C(H)) — prefer a tree-root edge (the acyclic connected case), then a
+  // core edge.
+  int absorbed = -1;
+  for (int e : cf.root_edges)
+    if (absorbed < 0 && equals_core(e)) absorbed = e;
+  for (int e : cf.core_edges)
+    if (absorbed < 0 && equals_core(e)) absorbed = e;
+  if (absorbed >= 0) {
+    ghd.mutable_node(root).edge_id = absorbed;
+    ghd.mutable_node(root).lambda.push_back(absorbed);
+    out.node_of_edge[absorbed] = root;
+  }
+
+  // Children of r' for the remaining core edges and tree-root edges.
+  auto add_edge_node = [&](int e, int parent) {
+    GhdNode n;
+    n.chi = h.edge(e);
+    n.lambda = {e};
+    n.edge_id = e;
+    int id = ghd.AddNode(n);
+    ghd.SetParent(id, parent);
+    out.node_of_edge[e] = id;
+    return id;
+  };
+  for (int e : cf.core_edges)
+    if (e != absorbed) add_edge_node(e, root);
+  for (int e : cf.root_edges)
+    if (e != absorbed) add_edge_node(e, root);
+
+  // Forest edges attach below their GYO parent, processed in reverse
+  // deletion order so parents exist first.
+  std::vector<int> forest = cf.forest_edges;
+  std::sort(forest.begin(), forest.end(), [&](int a, int b) {
+    return cf.gyo.delete_time[a] > cf.gyo.delete_time[b];
+  });
+  for (int e : forest) {
+    const int p = cf.parent[e];
+    TOPOFAQ_CHECK(p >= 0);
+    TOPOFAQ_CHECK_MSG(out.node_of_edge[p] >= 0,
+                      "GYO parent not yet materialized");
+    add_edge_node(e, out.node_of_edge[p]);
+  }
+  return out;
+}
+
+}  // namespace topofaq

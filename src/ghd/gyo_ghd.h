@@ -1,0 +1,27 @@
+// Construction 2.8: building a GYO-GHD from the core/forest decomposition.
+// The root r' carries χ(r') = V(C(H)); every residual (core) hyperedge gets a
+// leaf child of r'; every GYO tree in W(H) hangs below r' via its root edge.
+// If a hyperedge's vertex set equals V(C(H)) (e.g. H acyclic and connected),
+// that edge *is* the root node, keeping the decomposition reduced.
+#ifndef TOPOFAQ_GHD_GYO_GHD_H_
+#define TOPOFAQ_GHD_GYO_GHD_H_
+
+#include "ghd/ghd.h"
+#include "hypergraph/gyo.h"
+
+namespace topofaq {
+
+/// A GYO-GHD together with the decomposition it was built from.
+struct GyoGhd {
+  Ghd ghd;
+  CoreForest core_forest;
+  /// ghd node id for each hyperedge (the node with χ == edge).
+  std::vector<int> node_of_edge;
+};
+
+/// Builds the canonical GYO-GHD of H via Construction 2.8.
+GyoGhd BuildGyoGhd(const Hypergraph& h);
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_GHD_GYO_GHD_H_

@@ -1,0 +1,104 @@
+#include "ghd/md_ghd.h"
+
+#include <algorithm>
+
+namespace topofaq {
+namespace {
+
+bool SubsetOf(const std::vector<VarId>& a, const std::vector<VarId>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+std::vector<VarId> IntersectSorted(const std::vector<VarId>& a,
+                                   const std::vector<VarId>& b) {
+  std::vector<VarId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+int FlattenToMdGhd(Ghd* ghd) {
+  int rehangs = 0;
+  bool changed = true;
+  // Corollary F.7 bounds the process by |E(T)| * y(T); we guard generously.
+  const int max_steps = ghd->num_nodes() * ghd->num_nodes() + 16;
+  while (changed) {
+    changed = false;
+    for (int v = 0; v < ghd->num_nodes() && !changed; ++v) {
+      const int u = ghd->node(v).parent;
+      if (u < 0) continue;
+      const std::vector<VarId> inter =
+          IntersectSorted(ghd->node(v).chi, ghd->node(u).chi);
+      // Topmost strict ancestor of u whose bag contains the intersection.
+      // Synthetic core roots (edge_id < 0) are not valid targets: a
+      // Construction 2.8 GYO-GHD only hangs hyperedges e ⊂ V(C(H)) or tree
+      // roots there, and re-hanging arbitrary nodes onto the wide core bag
+      // would leave the protocol nothing to star-reduce.
+      int target = -1;
+      for (int w : ghd->AncestorsOf(u))
+        if (ghd->node(w).edge_id >= 0 && SubsetOf(inter, ghd->node(w).chi))
+          target = w;  // ancestors run parent→root: the last hit is topmost
+      if (target >= 0) {
+        ghd->Rehang(v, target);
+        ++rehangs;
+        changed = true;
+      }
+    }
+    TOPOFAQ_CHECK_MSG(rehangs <= max_steps, "MD-GHD flattening did not settle");
+  }
+  return rehangs;
+}
+
+std::vector<PrivateAttributeWitness> FindPrivateAttributes(const Hypergraph& h,
+                                                           const Ghd& ghd) {
+  // subtree_vertices[v] = union of bags in v's subtree.
+  std::vector<std::vector<VarId>> subtree(ghd.num_nodes());
+  for (int v : ghd.BottomUpOrder()) {
+    std::vector<VarId> acc = ghd.node(v).chi;
+    for (int c : ghd.node(v).children)
+      acc.insert(acc.end(), subtree[c].begin(), subtree[c].end());
+    std::sort(acc.begin(), acc.end());
+    acc.erase(std::unique(acc.begin(), acc.end()), acc.end());
+    subtree[v] = std::move(acc);
+  }
+
+  std::vector<PrivateAttributeWitness> out;
+  for (int u : ghd.BottomUpOrder()) {
+    if (ghd.node(u).children.empty()) continue;
+    // p must appear in u's bag, in some child's bag, and nowhere outside u's
+    // subtree.
+    for (VarId p : ghd.node(u).chi) {
+      bool outside = false;
+      for (int v = 0; v < ghd.num_nodes() && !outside; ++v) {
+        if (v == u) continue;
+        // v outside u's subtree? A node is in u's subtree iff u is an
+        // ancestor-or-self.
+        bool in_subtree = (v == u);
+        for (int a = v; a >= 0 && !in_subtree; a = ghd.node(a).parent)
+          if (a == u) in_subtree = true;
+        if (in_subtree) continue;
+        outside = std::binary_search(ghd.node(v).chi.begin(),
+                                     ghd.node(v).chi.end(), p);
+      }
+      if (outside) continue;
+      bool in_child = false;
+      for (int c : ghd.node(u).children)
+        if (std::binary_search(ghd.node(c).chi.begin(), ghd.node(c).chi.end(),
+                               p)) {
+          in_child = true;
+          break;
+        }
+      if (!in_child) continue;
+      // Two distinct hyperedges incident on p.
+      std::vector<int> incident = h.IncidentEdges(p);
+      if (incident.size() < 2) continue;
+      out.push_back(PrivateAttributeWitness{u, p, incident[0], incident[1]});
+      break;  // one witness per internal node
+    }
+  }
+  return out;
+}
+
+}  // namespace topofaq

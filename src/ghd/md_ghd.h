@@ -1,0 +1,39 @@
+// Construction F.6 (MD-GHD): repeatedly re-hang a child v from its parent u
+// to the topmost strict ancestor w of u with χ(v) ∩ χ(u) ⊆ χ(w). This
+// preserves GHD validity, terminates within |E(T)|·y(T) steps
+// (Corollary F.7), and can only lower the internal-node count — it is the
+// O(1)-approximation engine for internal-node-width used in Appendix F.
+//
+// Also implements the Lemma F.3 witnesses: for every internal node u_i of an
+// MD-GHD (bottom-up order) there is a "private" attribute p_i that appears
+// only in u_i's subtree and is covered by two distinct hyperedges.
+#ifndef TOPOFAQ_GHD_MD_GHD_H_
+#define TOPOFAQ_GHD_MD_GHD_H_
+
+#include <vector>
+
+#include "ghd/ghd.h"
+
+namespace topofaq {
+
+/// Flattens `ghd` in place per Construction F.6. Returns the number of
+/// re-hang operations performed.
+int FlattenToMdGhd(Ghd* ghd);
+
+/// A Lemma F.3 witness for one internal node.
+struct PrivateAttributeWitness {
+  int internal_node;  ///< ghd node id u_i
+  VarId attribute;    ///< p_i: appears only in the subtree of u_i
+  int edge_a;         ///< hyperedge id of one relation incident on p_i
+  int edge_b;         ///< a distinct hyperedge id also incident on p_i
+};
+
+/// Extracts Lemma F.3 witnesses from an MD-GHD of an acyclic H (one per
+/// internal node that has a child sharing an attribute). Nodes without a
+/// two-edge witness are skipped (can happen for the synthetic core root).
+std::vector<PrivateAttributeWitness> FindPrivateAttributes(const Hypergraph& h,
+                                                           const Ghd& ghd);
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_GHD_MD_GHD_H_

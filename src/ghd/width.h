@@ -1,0 +1,40 @@
+// Internal-node-width y(H) (Definition 2.9): the minimum number of internal
+// nodes over GYO-GHDs of H. Computing the exact minimum over all GYO-GHDs is
+// a search over GYO tie-breaking and attachment choices; the paper only needs
+// an O(1)-approximation (Appendix F), obtained by flattening to an MD-GHD.
+//
+// ComputeWidth() returns the canonical flattened GYO-GHD; MinimizeWidth()
+// additionally explores randomized GYO orderings (via vertex/edge relabeling)
+// and keeps the best decomposition found — deterministic given the seed.
+#ifndef TOPOFAQ_GHD_WIDTH_H_
+#define TOPOFAQ_GHD_WIDTH_H_
+
+#include "ghd/gyo_ghd.h"
+#include "util/rng.h"
+
+namespace topofaq {
+
+struct WidthResult {
+  GyoGhd decomposition;  ///< flattened (MD) GYO-GHD achieving the width
+  int internal_nodes = 0;  ///< y of the returned decomposition
+  int n2 = 0;              ///< |V(C(H))| of the returned decomposition
+};
+
+/// Canonical GYO-GHD, flattened. Deterministic.
+WidthResult ComputeWidth(const Hypergraph& h);
+
+/// Best decomposition over `restarts` randomized GYO orderings plus the
+/// canonical one. Ties prefer smaller n2.
+WidthResult MinimizeWidth(const Hypergraph& h, int restarts, uint64_t seed);
+
+/// Like MinimizeWidth, but guarantees the root bag contains `required_vars`
+/// (needed when the FAQ's free variables F must lie in V(C(H)); for acyclic
+/// single-tree H the join tree is re-rooted at a node covering F). Fails if
+/// no bag covers the variables or the hypergraph's core cannot host them.
+Result<WidthResult> MinimizeWidthWithRoot(const Hypergraph& h,
+                                          const std::vector<VarId>& required_vars,
+                                          int restarts, uint64_t seed);
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_GHD_WIDTH_H_

@@ -1,0 +1,122 @@
+#include "graphalg/graph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace topofaq {
+
+int Graph::AddEdge(NodeId u, NodeId v) {
+  TOPOFAQ_CHECK(u >= 0 && u < n_ && v >= 0 && v < n_);
+  TOPOFAQ_CHECK_MSG(u != v, "self-loop");
+  TOPOFAQ_CHECK_MSG(!HasEdge(u, v), "parallel edge");
+  const int id = num_edges();
+  edges_.emplace_back(u, v);
+  adj_[u].emplace_back(v, id);
+  adj_[v].emplace_back(u, id);
+  return id;
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const { return EdgeBetween(u, v) >= 0; }
+
+int Graph::EdgeBetween(NodeId u, NodeId v) const {
+  for (const auto& [w, e] : adj_[u])
+    if (w == v) return e;
+  return -1;
+}
+
+NodeId Graph::OtherEnd(int e, NodeId u) const {
+  const auto& [a, b] = edges_[e];
+  TOPOFAQ_CHECK(u == a || u == b);
+  return u == a ? b : a;
+}
+
+std::vector<int> Graph::BfsDistances(NodeId src,
+                                     const std::vector<bool>* edge_alive) const {
+  std::vector<int> dist(n_, -1);
+  std::deque<NodeId> q{src};
+  dist[src] = 0;
+  while (!q.empty()) {
+    NodeId v = q.front();
+    q.pop_front();
+    for (const auto& [w, e] : adj_[v]) {
+      if (edge_alive != nullptr && !(*edge_alive)[e]) continue;
+      if (dist[w] < 0) {
+        dist[w] = dist[v] + 1;
+        q.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> Graph::ShortestPath(NodeId src, NodeId dst,
+                                        const std::vector<bool>* edge_alive) const {
+  if (src == dst) return {src};
+  std::vector<int> parent(n_, -1);
+  std::deque<NodeId> q{src};
+  std::vector<bool> seen(n_, false);
+  seen[src] = true;
+  while (!q.empty()) {
+    NodeId v = q.front();
+    q.pop_front();
+    for (const auto& [w, e] : adj_[v]) {
+      if (edge_alive != nullptr && !(*edge_alive)[e]) continue;
+      if (!seen[w]) {
+        seen[w] = true;
+        parent[w] = v;
+        if (w == dst) {
+          std::vector<NodeId> path{dst};
+          for (NodeId x = dst; x != src;) {
+            x = parent[x];
+            path.push_back(x);
+          }
+          std::reverse(path.begin(), path.end());
+          return path;
+        }
+        q.push_back(w);
+      }
+    }
+  }
+  return {};
+}
+
+bool Graph::IsConnected() const {
+  if (n_ == 0) return true;
+  auto d = BfsDistances(0);
+  return std::all_of(d.begin(), d.end(), [](int x) { return x >= 0; });
+}
+
+int Graph::Diameter() const {
+  int best = 0;
+  for (NodeId v = 0; v < n_; ++v) {
+    auto d = BfsDistances(v);
+    for (int x : d) {
+      if (x < 0) return -1;
+      best = std::max(best, x);
+    }
+  }
+  return best;
+}
+
+int Graph::DiameterAmong(const std::vector<NodeId>& k) const {
+  int best = 0;
+  for (NodeId v : k) {
+    auto d = BfsDistances(v);
+    for (NodeId w : k) {
+      if (d[w] < 0) return -1;
+      best = std::max(best, d[w]);
+    }
+  }
+  return best;
+}
+
+std::string Graph::DebugString() const {
+  std::string s = "G(n=" + std::to_string(n_) + "; ";
+  for (int e = 0; e < num_edges(); ++e) {
+    if (e) s += ", ";
+    s += std::to_string(edges_[e].first) + "-" + std::to_string(edges_[e].second);
+  }
+  return s + ")";
+}
+
+}  // namespace topofaq

@@ -1,0 +1,67 @@
+// The network topology G = (V, E): a simple undirected graph. Nodes are
+// players/routers; each edge is a private point-to-point channel
+// (Model 2.1).
+#ifndef TOPOFAQ_GRAPHALG_GRAPH_H_
+#define TOPOFAQ_GRAPHALG_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace topofaq {
+
+/// Simple undirected graph with stable edge ids.
+class Graph {
+ public:
+  Graph() : n_(0) {}
+  explicit Graph(int n) : n_(n), adj_(n) { TOPOFAQ_CHECK(n >= 0); }
+
+  /// Adds edge {u, v}; returns its id. Parallel edges and self-loops are
+  /// rejected.
+  int AddEdge(NodeId u, NodeId v);
+
+  int num_nodes() const { return n_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  std::pair<NodeId, NodeId> edge(int e) const { return edges_[e]; }
+
+  /// Neighbors of v as (neighbor, edge id) pairs.
+  const std::vector<std::pair<NodeId, int>>& Neighbors(NodeId v) const {
+    return adj_[v];
+  }
+  int DegreeOf(NodeId v) const { return static_cast<int>(adj_[v].size()); }
+
+  bool HasEdge(NodeId u, NodeId v) const;
+  /// Edge id of {u, v}, or -1.
+  int EdgeBetween(NodeId u, NodeId v) const;
+  /// The endpoint of edge e that is not u.
+  NodeId OtherEnd(int e, NodeId u) const;
+
+  /// BFS hop distances from src; -1 for unreachable. `edge_alive` (if
+  /// non-null, indexed by edge id) restricts traversal to alive edges.
+  std::vector<int> BfsDistances(NodeId src,
+                                const std::vector<bool>* edge_alive = nullptr) const;
+
+  /// Shortest path (list of node ids, src..dst inclusive); empty if
+  /// unreachable or src == dst.
+  std::vector<NodeId> ShortestPath(NodeId src, NodeId dst,
+                                   const std::vector<bool>* edge_alive = nullptr) const;
+
+  bool IsConnected() const;
+  /// Largest pairwise distance; -1 if disconnected.
+  int Diameter() const;
+  /// Largest pairwise distance among nodes in K.
+  int DiameterAmong(const std::vector<NodeId>& k) const;
+
+  std::string DebugString() const;
+
+ private:
+  int n_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+  std::vector<std::vector<std::pair<NodeId, int>>> adj_;
+};
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_GRAPHALG_GRAPH_H_

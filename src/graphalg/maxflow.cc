@@ -1,0 +1,147 @@
+#include "graphalg/maxflow.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace topofaq {
+namespace {
+
+/// Standard Dinic implementation over an explicit arc list.
+class Dinic {
+ public:
+  explicit Dinic(int n) : head_(n, -1), level_(n), it_(n) {}
+
+  void AddEdge(int u, int v, int64_t cap) {
+    arcs_.push_back({v, head_[u], cap});
+    head_[u] = static_cast<int>(arcs_.size()) - 1;
+    arcs_.push_back({u, head_[v], cap});  // undirected: same capacity back
+    head_[v] = static_cast<int>(arcs_.size()) - 1;
+  }
+
+  int64_t Run(int s, int t) {
+    int64_t flow = 0;
+    while (Bfs(s, t)) {
+      it_ = head_;
+      int64_t f;
+      while ((f = Dfs(s, t, std::numeric_limits<int64_t>::max())) > 0) flow += f;
+    }
+    return flow;
+  }
+
+  /// Nodes reachable from s in the final residual graph (the cut side).
+  std::vector<bool> ReachableFrom(int s) {
+    std::vector<bool> seen(head_.size(), false);
+    std::deque<int> q{s};
+    seen[s] = true;
+    while (!q.empty()) {
+      int v = q.front();
+      q.pop_front();
+      for (int a = head_[v]; a >= 0; a = arcs_[a].next)
+        if (arcs_[a].cap > 0 && !seen[arcs_[a].to]) {
+          seen[arcs_[a].to] = true;
+          q.push_back(arcs_[a].to);
+        }
+    }
+    return seen;
+  }
+
+ private:
+  struct Arc {
+    int to;
+    int next;
+    int64_t cap;
+  };
+
+  bool Bfs(int s, int t) {
+    std::fill(level_.begin(), level_.end(), -1);
+    std::deque<int> q{s};
+    level_[s] = 0;
+    while (!q.empty()) {
+      int v = q.front();
+      q.pop_front();
+      for (int a = head_[v]; a >= 0; a = arcs_[a].next)
+        if (arcs_[a].cap > 0 && level_[arcs_[a].to] < 0) {
+          level_[arcs_[a].to] = level_[v] + 1;
+          q.push_back(arcs_[a].to);
+        }
+    }
+    return level_[t] >= 0;
+  }
+
+  int64_t Dfs(int v, int t, int64_t pushed) {
+    if (v == t) return pushed;
+    for (int& a = it_[v]; a >= 0; a = arcs_[a].next) {
+      Arc& arc = arcs_[a];
+      if (arc.cap <= 0 || level_[arc.to] != level_[v] + 1) continue;
+      int64_t f = Dfs(arc.to, t, std::min(pushed, arc.cap));
+      if (f > 0) {
+        arc.cap -= f;
+        arcs_[a ^ 1].cap += f;
+        return f;
+      }
+    }
+    return 0;
+  }
+
+  std::vector<int> head_, level_, it_;
+  std::vector<Arc> arcs_;
+};
+
+Dinic BuildDinic(const Graph& g, int64_t capacity, int extra_nodes) {
+  Dinic d(g.num_nodes() + extra_nodes);
+  for (int e = 0; e < g.num_edges(); ++e) {
+    auto [u, v] = g.edge(e);
+    d.AddEdge(u, v, capacity);
+  }
+  return d;
+}
+
+}  // namespace
+
+int64_t MaxFlow(const Graph& g, NodeId s, NodeId t, int64_t capacity) {
+  TOPOFAQ_CHECK(s != t);
+  Dinic d = BuildDinic(g, capacity, 0);
+  return d.Run(s, t);
+}
+
+int64_t MaxFlowFromSet(const Graph& g, const std::vector<NodeId>& sources,
+                       NodeId t, int64_t capacity) {
+  Dinic d = BuildDinic(g, capacity, 1);
+  const int super = g.num_nodes();
+  const int64_t inf = std::numeric_limits<int64_t>::max() / 4;
+  bool any = false;
+  for (NodeId s : sources) {
+    if (s == t) continue;
+    d.AddEdge(super, s, inf);
+    any = true;
+  }
+  if (!any) return 0;
+  return d.Run(super, t);
+}
+
+MinCutResult MinCutBetween(const Graph& g, const std::vector<NodeId>& k) {
+  TOPOFAQ_CHECK_MSG(k.size() >= 2, "need at least two terminals");
+  MinCutResult best;
+  best.value = std::numeric_limits<int64_t>::max();
+  const NodeId k0 = k[0];
+  for (size_t i = 1; i < k.size(); ++i) {
+    Dinic d = BuildDinic(g, 1, 0);
+    int64_t f = d.Run(k0, k[i]);
+    if (f < best.value) {
+      best.value = f;
+      auto reach = d.ReachableFrom(k0);
+      best.side_a.clear();
+      for (NodeId v = 0; v < g.num_nodes(); ++v)
+        if (reach[v]) best.side_a.push_back(v);
+      best.cut_edges.clear();
+      for (int e = 0; e < g.num_edges(); ++e) {
+        auto [u, v] = g.edge(e);
+        if (reach[u] != reach[v]) best.cut_edges.push_back(e);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace topofaq

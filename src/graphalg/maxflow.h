@@ -1,0 +1,36 @@
+// Dinic max-flow on undirected graphs, plus the Steiner min-cut
+// MinCut(G, K) (Definition 3.6): the smallest edge cut separating the
+// terminal set K into two non-empty parts.
+#ifndef TOPOFAQ_GRAPHALG_MAXFLOW_H_
+#define TOPOFAQ_GRAPHALG_MAXFLOW_H_
+
+#include <vector>
+
+#include "graphalg/graph.h"
+
+namespace topofaq {
+
+/// Max s-t flow value with unit (or integer `capacity`) capacity per
+/// undirected edge.
+int64_t MaxFlow(const Graph& g, NodeId s, NodeId t, int64_t capacity = 1);
+
+/// Max flow from a *set* of sources to t (adds a virtual super-source).
+int64_t MaxFlowFromSet(const Graph& g, const std::vector<NodeId>& sources,
+                       NodeId t, int64_t capacity = 1);
+
+struct MinCutResult {
+  int64_t value = 0;
+  /// Side A of the optimal cut (contains at least one terminal); B = V \ A.
+  std::vector<NodeId> side_a;
+  /// Edge ids crossing the cut.
+  std::vector<int> cut_edges;
+};
+
+/// MinCut(G, K): minimum edge cut separating the terminals K (|K| >= 2).
+/// Classic reduction: fix k0 ∈ K and take the best max-flow min-cut
+/// against every other terminal.
+MinCutResult MinCutBetween(const Graph& g, const std::vector<NodeId>& k);
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_GRAPHALG_MAXFLOW_H_

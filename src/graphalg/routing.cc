@@ -1,0 +1,43 @@
+#include "graphalg/routing.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "graphalg/maxflow.h"
+#include "util/bits.h"
+
+namespace topofaq {
+
+GatherPlan PlanGatherTo(const Graph& g, const std::vector<NodeId>& k,
+                        NodeId target, int64_t packets) {
+  GatherPlan plan;
+  plan.target = target;
+  std::vector<NodeId> sources;
+  for (NodeId v : k)
+    if (v != target) sources.push_back(v);
+  if (sources.empty()) {
+    plan.flow = 0;
+    plan.rounds = 0;
+    return plan;
+  }
+  plan.flow = MaxFlowFromSet(g, sources, target);
+  TOPOFAQ_CHECK_MSG(plan.flow > 0, "players disconnected from target");
+  auto dist = g.BfsDistances(target);
+  for (NodeId v : k) plan.eccentricity = std::max(plan.eccentricity, dist[v]);
+  plan.rounds = CeilDiv(packets, plan.flow) + plan.eccentricity;
+  return plan;
+}
+
+GatherPlan PlanGather(const Graph& g, const std::vector<NodeId>& k,
+                      int64_t packets) {
+  TOPOFAQ_CHECK(!k.empty());
+  GatherPlan best;
+  best.rounds = std::numeric_limits<int64_t>::max();
+  for (NodeId t : k) {
+    GatherPlan cand = PlanGatherTo(g, k, t, packets);
+    if (cand.rounds < best.rounds) best = cand;
+  }
+  return best;
+}
+
+}  // namespace topofaq

@@ -1,0 +1,34 @@
+// τ_MCF(G, K, N') (Definition 3.12): rounds needed to route N'·log2(N') bits
+// from all players in K to one designated player, at log2(N') bits per edge
+// per round — i.e. N' unit "packets" with one packet per edge per round.
+// The flow bound below (packets / maxflow + eccentricity) is the planning
+// estimate; network/primitives.h provides the exact store-and-forward
+// simulation used by the protocols.
+#ifndef TOPOFAQ_GRAPHALG_ROUTING_H_
+#define TOPOFAQ_GRAPHALG_ROUTING_H_
+
+#include <vector>
+
+#include "graphalg/graph.h"
+
+namespace topofaq {
+
+struct GatherPlan {
+  NodeId target = -1;       ///< best sink among K
+  int64_t flow = 0;         ///< max packets absorbed per round at the target
+  int eccentricity = 0;     ///< max distance from K to the target
+  int64_t rounds = 0;       ///< ceil(packets/flow) + eccentricity
+};
+
+/// Flow-based estimate of τ_MCF: tries every player in K as the sink and
+/// keeps the cheapest.
+GatherPlan PlanGather(const Graph& g, const std::vector<NodeId>& k,
+                      int64_t packets);
+
+/// Same, with a fixed sink.
+GatherPlan PlanGatherTo(const Graph& g, const std::vector<NodeId>& k,
+                        NodeId target, int64_t packets);
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_GRAPHALG_ROUTING_H_

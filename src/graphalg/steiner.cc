@@ -1,0 +1,156 @@
+#include "graphalg/steiner.h"
+
+#include "util/bits.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <set>
+
+namespace topofaq {
+namespace {
+
+/// Terminal diameter of a tree given as an edge mask.
+int TerminalDiameter(const Graph& g, const std::vector<NodeId>& k,
+                     const std::vector<bool>& tree_edges) {
+  int best = 0;
+  for (NodeId v : k) {
+    auto d = g.BfsDistances(v, &tree_edges);
+    for (NodeId w : k) {
+      if (d[w] < 0) return -1;  // not spanning
+      best = std::max(best, d[w]);
+    }
+  }
+  return best;
+}
+
+/// One randomized attempt: connect terminals in random order via shortest
+/// paths in the residual graph. Returns edge ids or empty on failure.
+std::vector<int> TryBuildTree(const Graph& g, std::vector<NodeId> terminals,
+                              const std::vector<bool>& residual, int max_diameter,
+                              Rng* rng) {
+  rng->Shuffle(&terminals);
+  std::vector<bool> in_tree_node(g.num_nodes(), false);
+  std::vector<bool> tree_edge(g.num_edges(), false);
+  std::vector<int> edges;
+  in_tree_node[terminals[0]] = true;
+
+  for (size_t i = 1; i < terminals.size(); ++i) {
+    const NodeId t = terminals[i];
+    if (in_tree_node[t]) continue;
+    // BFS from t through residual edges until any tree node is reached.
+    std::vector<int> parent_edge(g.num_nodes(), -1);
+    std::vector<bool> seen(g.num_nodes(), false);
+    std::deque<NodeId> q{t};
+    seen[t] = true;
+    NodeId hit = -1;
+    while (!q.empty() && hit < 0) {
+      NodeId v = q.front();
+      q.pop_front();
+      // Randomize neighbor visiting order for diversity across restarts.
+      std::vector<std::pair<NodeId, int>> nbrs = g.Neighbors(v);
+      rng->Shuffle(&nbrs);
+      for (const auto& [w, e] : nbrs) {
+        if (!residual[e] || seen[w]) continue;
+        seen[w] = true;
+        parent_edge[w] = e;
+        if (in_tree_node[w]) {
+          hit = w;
+          break;
+        }
+        q.push_back(w);
+      }
+    }
+    if (hit < 0) return {};
+    // Walk back from the hit to t, committing path edges.
+    for (NodeId v = hit; v != t;) {
+      const int e = parent_edge[v];
+      tree_edge[e] = true;
+      edges.push_back(e);
+      in_tree_node[v] = true;
+      v = g.OtherEnd(e, v);
+    }
+    in_tree_node[t] = true;
+  }
+  const int diam = TerminalDiameter(g, terminals, tree_edge);
+  if (diam < 0 || diam > max_diameter) return {};
+  return edges;
+}
+
+}  // namespace
+
+std::vector<SteinerTree> PackSteinerTrees(const Graph& g,
+                                          const std::vector<NodeId>& k,
+                                          int max_diameter, uint64_t seed,
+                                          int restarts) {
+  TOPOFAQ_CHECK(!k.empty());
+  Rng rng(seed);
+  std::vector<bool> residual(g.num_edges(), true);
+  std::vector<SteinerTree> trees;
+  if (k.size() == 1) return trees;
+  while (true) {
+    std::vector<int> best;
+    for (int attempt = 0; attempt < restarts; ++attempt) {
+      std::vector<int> cand = TryBuildTree(g, k, residual, max_diameter, &rng);
+      if (cand.empty()) continue;
+      if (best.empty() || cand.size() < best.size()) best = std::move(cand);
+    }
+    if (best.empty()) break;
+    std::vector<bool> mask(g.num_edges(), false);
+    for (int e : best) {
+      residual[e] = false;
+      mask[e] = true;
+    }
+    SteinerTree tree;
+    tree.edges = std::move(best);
+    tree.terminal_diameter = TerminalDiameter(g, k, mask);
+    trees.push_back(std::move(tree));
+  }
+  return trees;
+}
+
+IntersectionPlan PlanIntersection(const Graph& g, const std::vector<NodeId>& k,
+                                  int64_t n_items, uint64_t seed) {
+  IntersectionPlan best;
+  best.predicted_rounds = std::numeric_limits<int64_t>::max();
+  if (k.size() <= 1) {
+    best.delta = 0;
+    best.predicted_rounds = 0;
+    return best;
+  }
+  const int diam_lo = g.DiameterAmong(k);
+  TOPOFAQ_CHECK_MSG(diam_lo >= 0, "terminals not connected");
+  for (int delta = std::max(1, diam_lo); delta <= g.num_nodes(); ++delta) {
+    if (delta >= best.predicted_rounds) break;  // rounds >= Δ: can't improve
+    auto trees = PackSteinerTrees(g, k, delta, seed + delta);
+    if (trees.empty()) continue;
+    const int64_t rounds =
+        CeilDiv(n_items, static_cast<int64_t>(trees.size())) + delta;
+    if (rounds < best.predicted_rounds) {
+      best.predicted_rounds = rounds;
+      best.delta = delta;
+      best.trees = std::move(trees);
+    }
+  }
+  TOPOFAQ_CHECK_MSG(!best.trees.empty(), "no Steiner tree found");
+  return best;
+}
+
+bool ValidatePacking(const Graph& g, const std::vector<NodeId>& k,
+                     int max_diameter, const std::vector<SteinerTree>& trees) {
+  std::set<int> used;
+  for (const auto& t : trees) {
+    std::vector<bool> mask(g.num_edges(), false);
+    for (int e : t.edges) {
+      if (e < 0 || e >= g.num_edges()) return false;
+      if (used.count(e)) return false;  // edge-disjointness
+      used.insert(e);
+      mask[e] = true;
+    }
+    const int diam = TerminalDiameter(g, k, mask);
+    if (diam < 0 || diam > max_diameter) return false;
+  }
+  return true;
+}
+
+}  // namespace topofaq

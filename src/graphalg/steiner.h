@@ -1,0 +1,50 @@
+// Edge-disjoint Steiner-tree packing ST(G, K, Δ) (Definitions 3.8/3.9):
+// the maximum number of edge-disjoint trees, each spanning all terminals K
+// with pairwise terminal distance (within the tree) at most Δ. Lau's theorem
+// (Theorem 3.10) guarantees ST(G, K, |V|) = Ω(MinCut(G, K)); we implement a
+// randomized greedy packer (sequential terminal connection with restarts)
+// that achieves the constant-factor regime needed by Theorem 3.11 and pick
+// the Δ minimizing N/ST(G,K,Δ) + Δ.
+#ifndef TOPOFAQ_GRAPHALG_STEINER_H_
+#define TOPOFAQ_GRAPHALG_STEINER_H_
+
+#include <vector>
+
+#include "graphalg/graph.h"
+#include "util/rng.h"
+
+namespace topofaq {
+
+/// One packed Steiner tree.
+struct SteinerTree {
+  std::vector<int> edges;  ///< edge ids of G
+  /// Terminal diameter within the tree (max pairwise hop distance among K).
+  int terminal_diameter = 0;
+};
+
+/// Packs edge-disjoint Steiner trees for terminals `k` with terminal
+/// diameter <= `max_diameter`. Deterministic given `seed`. `restarts`
+/// bounds the random attempts per additional tree.
+std::vector<SteinerTree> PackSteinerTrees(const Graph& g,
+                                          const std::vector<NodeId>& k,
+                                          int max_diameter, uint64_t seed,
+                                          int restarts = 24);
+
+/// The Theorem 3.11 optimizer: sweeps Δ ∈ [1, |V|] and returns the packing
+/// minimizing rounds(Δ) = ceil(n_items / ST(G,K,Δ)) + Δ.
+struct IntersectionPlan {
+  int delta = 0;                   ///< chosen Δ
+  std::vector<SteinerTree> trees;  ///< the packing for that Δ
+  int64_t predicted_rounds = 0;    ///< ceil(n_items/|trees|) + Δ
+};
+IntersectionPlan PlanIntersection(const Graph& g, const std::vector<NodeId>& k,
+                                  int64_t n_items, uint64_t seed = 0x5eed);
+
+/// Validates edge-disjointness, terminal spanning, connectivity and the
+/// diameter bound of a packing; used by tests.
+bool ValidatePacking(const Graph& g, const std::vector<NodeId>& k,
+                     int max_diameter, const std::vector<SteinerTree>& trees);
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_GRAPHALG_STEINER_H_

@@ -1,0 +1,99 @@
+#include "graphalg/topologies.h"
+
+namespace topofaq {
+
+Graph LineTopology(int n) {
+  TOPOFAQ_CHECK(n >= 1);
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+Graph CliqueTopology(int n) {
+  TOPOFAQ_CHECK(n >= 1);
+  Graph g(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) g.AddEdge(i, j);
+  return g;
+}
+
+Graph StarTopology(int n) {
+  TOPOFAQ_CHECK(n >= 2);
+  Graph g(n);
+  for (int i = 1; i < n; ++i) g.AddEdge(0, i);
+  return g;
+}
+
+Graph RingTopology(int n) {
+  TOPOFAQ_CHECK(n >= 3);
+  Graph g(n);
+  for (int i = 0; i < n; ++i) g.AddEdge(i, (i + 1) % n);
+  return g;
+}
+
+Graph GridTopology(int rows, int cols) {
+  TOPOFAQ_CHECK(rows >= 1 && cols >= 1);
+  Graph g(rows * cols);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.AddEdge(r * cols + c, r * cols + c + 1);
+      if (r + 1 < rows) g.AddEdge(r * cols + c, (r + 1) * cols + c);
+    }
+  return g;
+}
+
+Graph BalancedTreeTopology(int branching, int depth) {
+  TOPOFAQ_CHECK(branching >= 1 && depth >= 0);
+  int n = 1, layer = 1;
+  for (int d = 0; d < depth; ++d) {
+    layer *= branching;
+    n += layer;
+  }
+  Graph g(n);
+  // Children of node v in BFS order: positions are assigned level by level.
+  int next = 1;
+  for (int v = 0; v < n && next < n; ++v)
+    for (int b = 0; b < branching && next < n; ++b) g.AddEdge(v, next++);
+  return g;
+}
+
+Graph RandomConnectedTopology(int n, int extra_edges, Rng* rng) {
+  TOPOFAQ_CHECK(n >= 2);
+  Graph g(n);
+  // Random recursive tree: node i attaches to a uniform earlier node.
+  for (int i = 1; i < n; ++i)
+    g.AddEdge(static_cast<NodeId>(rng->NextU64(i)), i);
+  int added = 0, guard = 0;
+  while (added < extra_edges && guard < 100 * extra_edges + 100) {
+    ++guard;
+    NodeId u = static_cast<NodeId>(rng->NextU64(n));
+    NodeId v = static_cast<NodeId>(rng->NextU64(n));
+    if (u == v || g.HasEdge(u, v)) continue;
+    g.AddEdge(u, v);
+    ++added;
+  }
+  return g;
+}
+
+Graph DumbbellTopology(int a, int b) {
+  TOPOFAQ_CHECK(a >= 1 && b >= 1);
+  Graph g(a + b);
+  for (int i = 0; i < a; ++i)
+    for (int j = i + 1; j < a; ++j) g.AddEdge(i, j);
+  for (int i = 0; i < b; ++i)
+    for (int j = i + 1; j < b; ++j) g.AddEdge(a + i, a + j);
+  g.AddEdge(a - 1, a);  // the bridge
+  return g;
+}
+
+Graph MpcZeroTopology(int k, int p) {
+  TOPOFAQ_CHECK(k >= 1 && p >= 1);
+  Graph g(k + p);
+  for (int i = 0; i < p; ++i)
+    for (int j = i + 1; j < p; ++j) g.AddEdge(k + i, k + j);
+  for (int player = 0; player < k; ++player)
+    for (int i = 0; i < p; ++i) g.AddEdge(player, k + i);
+  return g;
+}
+
+}  // namespace topofaq

@@ -1,0 +1,43 @@
+// Network-topology generators: the paper's G1 (line) and G2 (clique) plus
+// the standard families used in the benchmarks, the MPC comparison topologies
+// of Appendix A, and random connected graphs.
+#ifndef TOPOFAQ_GRAPHALG_TOPOLOGIES_H_
+#define TOPOFAQ_GRAPHALG_TOPOLOGIES_H_
+
+#include "graphalg/graph.h"
+#include "util/rng.h"
+
+namespace topofaq {
+
+/// Path 0-1-...-(n-1). G1 of Figure 1 is LineTopology(4).
+Graph LineTopology(int n);
+
+/// Complete graph. G2 of Figure 1 is CliqueTopology(4).
+Graph CliqueTopology(int n);
+
+/// Node 0 is the hub; 1..n-1 are spokes.
+Graph StarTopology(int n);
+
+/// Cycle 0-1-...-(n-1)-0.
+Graph RingTopology(int n);
+
+/// rows x cols grid, node id = r*cols + c.
+Graph GridTopology(int rows, int cols);
+
+/// Complete `branching`-ary tree of the given depth (depth 0 = single root).
+Graph BalancedTreeTopology(int branching, int depth);
+
+/// Random tree plus `extra_edges` random chords: always connected.
+Graph RandomConnectedTopology(int n, int extra_edges, Rng* rng);
+
+/// Two cliques of sizes a and b joined by a single bridge edge — MinCut = 1
+/// no matter how well-connected the sides are.
+Graph DumbbellTopology(int a, int b);
+
+/// MPC(0) topology G' of Appendix A.1: k player nodes (ids 0..k-1, no edges
+/// among them) each connected to every node of a p-clique (ids k..k+p-1).
+Graph MpcZeroTopology(int k, int p);
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_GRAPHALG_TOPOLOGIES_H_

@@ -1,0 +1,44 @@
+#include "hypergraph/degeneracy.h"
+
+#include <algorithm>
+
+namespace topofaq {
+
+DegeneracyResult ComputeDegeneracy(const Hypergraph& h) {
+  DegeneracyResult res;
+  const int n = h.num_vertices();
+  const int m = h.num_edges();
+  std::vector<bool> vertex_gone(n, true);
+  std::vector<bool> edge_gone(m, false);
+  for (int e = 0; e < m; ++e)
+    for (VarId v : h.edge(e)) vertex_gone[v] = false;
+
+  int remaining = 0;
+  for (int v = 0; v < n; ++v)
+    if (!vertex_gone[v]) ++remaining;
+
+  while (remaining > 0) {
+    // Find the min-degree remaining vertex (degree over surviving edges).
+    int best = -1, best_deg = 0;
+    for (int v = 0; v < n; ++v) {
+      if (vertex_gone[v]) continue;
+      int deg = 0;
+      for (int e = 0; e < m; ++e)
+        if (!edge_gone[e] && h.EdgeContains(e, static_cast<VarId>(v))) ++deg;
+      if (best < 0 || deg < best_deg) {
+        best = v;
+        best_deg = deg;
+      }
+    }
+    res.degeneracy = std::max(res.degeneracy, best_deg);
+    res.elimination_order.push_back(static_cast<VarId>(best));
+    vertex_gone[best] = true;
+    --remaining;
+    for (int e = 0; e < m; ++e)
+      if (!edge_gone[e] && h.EdgeContains(e, static_cast<VarId>(best)))
+        edge_gone[e] = true;
+  }
+  return res;
+}
+
+}  // namespace topofaq

@@ -1,0 +1,26 @@
+// Degeneracy of a (hyper)graph (Definition 3.3): the smallest d such that
+// every sub(hyper)graph has a vertex of degree at most d. Computed by the
+// standard min-degree peeling order (remove the vertex together with its
+// incident hyperedges).
+#ifndef TOPOFAQ_HYPERGRAPH_DEGENERACY_H_
+#define TOPOFAQ_HYPERGRAPH_DEGENERACY_H_
+
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace topofaq {
+
+struct DegeneracyResult {
+  int degeneracy = 0;
+  /// Vertices in peeling order (min-degree first).
+  std::vector<VarId> elimination_order;
+};
+
+/// Peels min-degree vertices; degeneracy is the maximum min-degree observed.
+/// Only vertices appearing in at least one edge are considered.
+DegeneracyResult ComputeDegeneracy(const Hypergraph& h);
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_HYPERGRAPH_DEGENERACY_H_

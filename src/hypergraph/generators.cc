@@ -1,0 +1,169 @@
+#include "hypergraph/generators.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace topofaq {
+
+Hypergraph PaperH0() {
+  return Hypergraph(1, {{0}, {0}, {0}, {0}});
+}
+
+Hypergraph PaperH1() {
+  // A=0, B=1, C=2, D=3, E=4.
+  return Hypergraph(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+}
+
+Hypergraph PaperH2() {
+  // A=0, B=1, C=2, D=3, E=4, F=5.
+  return Hypergraph(6, {{0, 1, 2}, {1, 3}, {2, 5}, {0, 1, 4}});
+}
+
+Hypergraph PaperH3() {
+  // A..H = 0..7.
+  return Hypergraph(8, {{0, 1, 2},
+                        {1, 2, 3},
+                        {0, 2, 3},
+                        {0, 1, 4},
+                        {0, 5},
+                        {1, 6},
+                        {6, 7}});
+}
+
+Hypergraph StarGraph(int leaves) {
+  TOPOFAQ_CHECK(leaves >= 1);
+  std::vector<std::vector<VarId>> edges;
+  for (int i = 1; i <= leaves; ++i)
+    edges.push_back({0, static_cast<VarId>(i)});
+  return Hypergraph(leaves + 1, std::move(edges));
+}
+
+Hypergraph PathGraph(int edges) {
+  TOPOFAQ_CHECK(edges >= 1);
+  std::vector<std::vector<VarId>> e;
+  for (int i = 0; i < edges; ++i)
+    e.push_back({static_cast<VarId>(i), static_cast<VarId>(i + 1)});
+  return Hypergraph(edges + 1, std::move(e));
+}
+
+Hypergraph CycleGraph(int n) {
+  TOPOFAQ_CHECK(n >= 3);
+  std::vector<std::vector<VarId>> e;
+  for (int i = 0; i < n; ++i)
+    e.push_back({static_cast<VarId>(i), static_cast<VarId>((i + 1) % n)});
+  return Hypergraph(n, std::move(e));
+}
+
+Hypergraph CliqueGraph(int n) {
+  TOPOFAQ_CHECK(n >= 2);
+  std::vector<std::vector<VarId>> e;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      e.push_back({static_cast<VarId>(i), static_cast<VarId>(j)});
+  return Hypergraph(n, std::move(e));
+}
+
+Hypergraph RandomTree(int n, Rng* rng) {
+  TOPOFAQ_CHECK(n >= 2);
+  if (n == 2) return Hypergraph(2, {{0, 1}});
+  // Prüfer sequence of length n-2.
+  std::vector<int> prufer(n - 2);
+  for (auto& p : prufer) p = static_cast<int>(rng->NextU64(n));
+  std::vector<int> degree(n, 1);
+  for (int p : prufer) ++degree[p];
+  std::vector<std::vector<VarId>> edges;
+  // Standard decoding.
+  std::vector<bool> used(n, false);
+  for (int p : prufer) {
+    int leaf = -1;
+    for (int v = 0; v < n; ++v)
+      if (degree[v] == 1 && !used[v]) {
+        leaf = v;
+        break;
+      }
+    edges.push_back({static_cast<VarId>(std::min(leaf, p)),
+                     static_cast<VarId>(std::max(leaf, p))});
+    used[leaf] = true;
+    --degree[p];
+  }
+  std::vector<int> last;
+  for (int v = 0; v < n; ++v)
+    if (!used[v] && degree[v] == 1) last.push_back(v);
+  TOPOFAQ_CHECK(last.size() == 2);
+  edges.push_back({static_cast<VarId>(last[0]), static_cast<VarId>(last[1])});
+  return Hypergraph(n, std::move(edges));
+}
+
+Hypergraph RandomForest(int trees, int tree_size, Rng* rng) {
+  TOPOFAQ_CHECK(trees >= 1 && tree_size >= 2);
+  std::vector<std::vector<VarId>> edges;
+  for (int t = 0; t < trees; ++t) {
+    Hypergraph tree = RandomTree(tree_size, rng);
+    const VarId offset = static_cast<VarId>(t * tree_size);
+    for (const auto& e : tree.edges())
+      edges.push_back({e[0] + offset, e[1] + offset});
+  }
+  return Hypergraph(trees * tree_size, std::move(edges));
+}
+
+Hypergraph RandomDDegenerate(int n, int d, Rng* rng) {
+  TOPOFAQ_CHECK(n >= 2 && d >= 1);
+  std::vector<std::vector<VarId>> edges;
+  for (int i = 1; i < n; ++i) {
+    const int back = std::min(i, d);
+    // Choose `back` distinct earlier vertices.
+    auto picks = rng->Sample(static_cast<uint64_t>(i), static_cast<uint64_t>(back));
+    for (uint64_t p : picks)
+      edges.push_back({static_cast<VarId>(p), static_cast<VarId>(i)});
+  }
+  return Hypergraph(n, std::move(edges));
+}
+
+Hypergraph RandomAcyclicHypergraph(int num_edges, int max_arity, Rng* rng) {
+  TOPOFAQ_CHECK(num_edges >= 1 && max_arity >= 2);
+  std::vector<std::vector<VarId>> edges;
+  VarId next_vertex = 0;
+  // First edge: fresh vertices.
+  {
+    int a = static_cast<int>(rng->NextInt(2, max_arity));
+    std::vector<VarId> e;
+    for (int i = 0; i < a; ++i) e.push_back(next_vertex++);
+    edges.push_back(std::move(e));
+  }
+  for (int k = 1; k < num_edges; ++k) {
+    const auto& host = edges[rng->NextU64(edges.size())];
+    int overlap = static_cast<int>(
+        rng->NextInt(1, static_cast<int64_t>(host.size())));
+    overlap = std::min<int>(overlap, max_arity - 1);
+    auto picks = rng->Sample(host.size(), static_cast<uint64_t>(overlap));
+    std::vector<VarId> e;
+    for (uint64_t p : picks) e.push_back(host[p]);
+    const int fresh = static_cast<int>(
+        rng->NextInt(1, max_arity - overlap));
+    for (int i = 0; i < fresh; ++i) e.push_back(next_vertex++);
+    edges.push_back(std::move(e));
+  }
+  return Hypergraph(static_cast<int>(next_vertex), std::move(edges));
+}
+
+Hypergraph RandomHypergraph(int n, int d, int r, Rng* rng) {
+  TOPOFAQ_CHECK(n >= 2 && d >= 1 && r >= 2);
+  std::vector<std::vector<VarId>> edges;
+  for (int i = 1; i < n; ++i) {
+    const int back = std::min(i, d);
+    auto picks = rng->Sample(static_cast<uint64_t>(i),
+                             static_cast<uint64_t>(back));
+    // Pack the back-neighbors into hyperedges of arity <= r (vertex i plus
+    // up to r-1 back-neighbors each).
+    size_t idx = 0;
+    while (idx < picks.size()) {
+      std::vector<VarId> e{static_cast<VarId>(i)};
+      for (int j = 0; j < r - 1 && idx < picks.size(); ++j, ++idx)
+        e.push_back(static_cast<VarId>(picks[idx]));
+      edges.push_back(std::move(e));
+    }
+  }
+  return Hypergraph(n, std::move(edges));
+}
+
+}  // namespace topofaq

@@ -1,0 +1,63 @@
+// Query-hypergraph generators: the concrete queries used in the paper's
+// figures and examples (H0, H1, H2, H3) plus parameterized random families
+// used by the benchmarks (forests, d-degenerate graphs, acyclic hypergraphs).
+#ifndef TOPOFAQ_HYPERGRAPH_GENERATORS_H_
+#define TOPOFAQ_HYPERGRAPH_GENERATORS_H_
+
+#include "hypergraph/hypergraph.h"
+#include "util/rng.h"
+
+namespace topofaq {
+
+/// H0 (Example 2.1): four self-loop edges R(A), S(A), T(A), U(A).
+Hypergraph PaperH0();
+
+/// H1 (Figure 1): the star R(A,B), S(A,C), T(A,D), U(A,E);
+/// vertices A,B,C,D,E = 0..4.
+Hypergraph PaperH1();
+
+/// H2 (Figure 1): R(A,B,C), S(B,D), T(C,F), U(A,B,E);
+/// vertices A..F = 0..5 (paper order A,B,C,D,E,F).
+Hypergraph PaperH2();
+
+/// H3 (Appendix C.2): e1=(A,B,C), e2=(B,C,D), e3=(A,C,D), e4=(A,B,E),
+/// e5=(A,F), e6=(B,G), e7=(G,H); vertices A..H = 0..7.
+Hypergraph PaperH3();
+
+/// Star with `leaves` leaf edges (center,leaf_i); vertex 0 is the center.
+Hypergraph StarGraph(int leaves);
+
+/// Path with `edges` edges 0-1-2-...-edges.
+Hypergraph PathGraph(int edges);
+
+/// Cycle on n >= 3 vertices.
+Hypergraph CycleGraph(int n);
+
+/// Clique on n vertices (all arity-2 edges).
+Hypergraph CliqueGraph(int n);
+
+/// Uniformly random spanning tree on n vertices (random Prüfer sequence).
+Hypergraph RandomTree(int n, Rng* rng);
+
+/// Forest: `trees` independent random trees of `tree_size` vertices each.
+Hypergraph RandomForest(int trees, int tree_size, Rng* rng);
+
+/// d-degenerate simple graph on n vertices: vertex i >= 1 connects to
+/// min(i, d) distinct random earlier vertices. Degeneracy <= d by
+/// construction.
+Hypergraph RandomDDegenerate(int n, int d, Rng* rng);
+
+/// Random connected acyclic hypergraph with `num_edges` hyperedges of arity
+/// up to `max_arity`: grown join-tree style — each new edge overlaps an
+/// existing edge in a nonempty subset and adds fresh vertices, which keeps
+/// the hypergraph alpha-acyclic.
+Hypergraph RandomAcyclicHypergraph(int num_edges, int max_arity, Rng* rng);
+
+/// d-degenerate hypergraph of arity <= r: starts from RandomDDegenerate-like
+/// vertex growth, grouping each new vertex's back-neighbors into hyperedges
+/// of arity <= r.
+Hypergraph RandomHypergraph(int n, int d, int r, Rng* rng);
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_HYPERGRAPH_GENERATORS_H_

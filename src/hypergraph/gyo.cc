@@ -1,0 +1,176 @@
+#include "hypergraph/gyo.h"
+
+#include <algorithm>
+#include <set>
+
+namespace topofaq {
+namespace {
+
+bool IsSubset(const std::vector<VarId>& a, const std::vector<VarId>& b) {
+  // Both sorted.
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+}  // namespace
+
+std::vector<int> GyoResult::TreeRoots() const {
+  std::vector<int> roots;
+  for (size_t e = 0; e < deleted.size(); ++e)
+    if (deleted[e] && parent[e] == -1) roots.push_back(static_cast<int>(e));
+  return roots;
+}
+
+std::vector<std::vector<int>> GyoResult::Children(int num_edges) const {
+  std::vector<std::vector<int>> ch(num_edges);
+  for (int e = 0; e < num_edges; ++e)
+    if (deleted[e] && parent[e] >= 0) ch[parent[e]].push_back(e);
+  return ch;
+}
+
+GyoResult GyoReduce(const Hypergraph& h) {
+  const int m = h.num_edges();
+  GyoResult res;
+  res.deleted.assign(m, false);
+  res.delete_time.assign(m, -1);
+  res.residual_set.resize(m);
+  res.parent.assign(m, -1);
+
+  // Working sets.
+  std::vector<std::vector<VarId>> w(m);
+  for (int e = 0; e < m; ++e) w[e] = h.edge(e);
+
+  int time = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+
+    // Step (a): eliminate a vertex present in exactly one alive working set.
+    // Count degrees over alive working sets.
+    std::vector<int> deg(h.num_vertices(), 0);
+    std::vector<int> holder(h.num_vertices(), -1);
+    for (int e = 0; e < m; ++e) {
+      if (res.deleted[e]) continue;
+      for (VarId v : w[e]) {
+        ++deg[v];
+        holder[v] = e;
+      }
+    }
+    for (int v = 0; v < h.num_vertices(); ++v) {
+      if (deg[v] == 1) {
+        const int e = holder[v];
+        auto& we = w[e];
+        we.erase(std::find(we.begin(), we.end(), static_cast<VarId>(v)));
+        res.trace.push_back(GyoStep{GyoStep::Kind::kEliminateVertex,
+                                    static_cast<VarId>(v), e, -1});
+        progress = true;
+      }
+    }
+    if (progress) continue;  // re-derive degrees before trying deletions
+
+    // Step (b): delete an alive edge whose working set is contained in
+    // another alive edge's working set. An empty working set is always
+    // deletable (it represents a fully-absorbed relation). Among deletable
+    // edges we pick the one with the smallest working set (ties: smallest
+    // id); deleting most-absorbed edges first makes later-deleted edges
+    // valid join-forest parents for them, which keeps each GYO tree large
+    // and the core C(H) small (cf. the Appendix C.2 trace, where e5, e6, e7
+    // are deleted before the eventual tree root e4).
+    int pick = -1, pick_container = -1;
+    for (int e = 0; e < m; ++e) {
+      if (res.deleted[e]) continue;
+      int container = -1;
+      for (int f = 0; f < m && container < 0; ++f) {
+        if (f == e || res.deleted[f]) continue;
+        if (IsSubset(w[e], w[f])) container = f;
+      }
+      const bool deletable = w[e].empty() || container >= 0;
+      if (!deletable) continue;
+      if (pick < 0 || w[e].size() < w[pick].size()) {
+        pick = e;
+        pick_container = container;
+      }
+    }
+    if (pick >= 0) {
+      res.deleted[pick] = true;
+      res.delete_time[pick] = time++;
+      res.residual_set[pick] = w[pick];
+      res.trace.push_back(
+          GyoStep{GyoStep::Kind::kDeleteEdge, 0, pick, pick_container});
+      progress = true;
+    }
+  }
+
+  for (int e = 0; e < m; ++e) {
+    if (!res.deleted[e]) {
+      res.residual_set[e] = w[e];
+      res.residual_edges.push_back(e);
+    }
+  }
+  res.acyclic = res.residual_edges.empty();
+
+  // Parent assignment (post-hoc): the residual set of a deleted edge e is
+  // contained in the working set of every candidate f that was alive when e
+  // was deleted (see DESIGN.md). Valid parents are edges deleted strictly
+  // later whose *original* vertex set contains residual_set[e]; preferring
+  // the earliest-deleted such edge keeps trees local. If none exists the
+  // edge is a tree root.
+  for (int e = 0; e < m; ++e) {
+    if (!res.deleted[e]) continue;
+    // An empty residual set shares nothing with the rest of H: the edge is a
+    // tree root (otherwise unrelated components would be spliced together).
+    if (res.residual_set[e].empty()) continue;
+    int best = -1;
+    for (int f = 0; f < m; ++f) {
+      if (f == e || !res.deleted[f]) continue;
+      if (res.delete_time[f] <= res.delete_time[e]) continue;
+      if (!IsSubset(res.residual_set[e], h.edge(f))) continue;
+      if (best < 0 || res.delete_time[f] < res.delete_time[best]) best = f;
+    }
+    res.parent[e] = best;
+  }
+  return res;
+}
+
+CoreForest DecomposeCoreForest(const Hypergraph& h) {
+  CoreForest cf;
+  cf.gyo = GyoReduce(h);
+  cf.core_edges = cf.gyo.residual_edges;
+  cf.root_edges = cf.gyo.TreeRoots();
+  for (int e = 0; e < h.num_edges(); ++e)
+    if (cf.gyo.deleted[e] && cf.gyo.parent[e] != -1) cf.forest_edges.push_back(e);
+  cf.parent = cf.gyo.parent;
+
+  std::set<VarId> verts;
+  for (int e : cf.core_edges) verts.insert(h.edge(e).begin(), h.edge(e).end());
+  for (int e : cf.root_edges) verts.insert(h.edge(e).begin(), h.edge(e).end());
+  cf.core_vertices.assign(verts.begin(), verts.end());
+  return cf;
+}
+
+bool IsAcyclic(const Hypergraph& h) { return GyoReduce(h).acyclic; }
+
+std::string TraceToString(const Hypergraph& h, const GyoResult& r) {
+  std::string out;
+  auto edge_name = [&](int e) {
+    std::string s = "e" + std::to_string(e) + "={";
+    for (size_t j = 0; j < h.edge(e).size(); ++j) {
+      if (j) s += ",";
+      s += std::to_string(h.edge(e)[j]);
+    }
+    return s + "}";
+  };
+  for (const auto& step : r.trace) {
+    if (step.kind == GyoStep::Kind::kEliminateVertex) {
+      out += "eliminate vertex " + std::to_string(step.vertex) + " from " +
+             edge_name(step.edge) + "\n";
+    } else {
+      out += "delete " + edge_name(step.edge);
+      if (step.into_edge >= 0) out += " (contained in " + edge_name(step.into_edge) + ")";
+      out += "\n";
+    }
+  }
+  out += r.acyclic ? "acyclic: H' is empty\n" : "cyclic: H' non-empty\n";
+  return out;
+}
+
+}  // namespace topofaq

@@ -1,0 +1,95 @@
+// The GYO algorithm (Graham / Yu–Ozsoyoglu) and the core/forest decomposition
+// of Definitions 2.6–2.7: repeatedly (a) eliminate a vertex contained in only
+// one hyperedge, (b) delete a hyperedge whose (current) vertex set is
+// contained in another's. The leftover hypergraph H' is the GYO-reduction;
+// the deleted hyperedges form a forest of acyclic hypergraphs, and H is
+// acyclic iff everything is deleted.
+//
+// We additionally record, for every deleted edge, its *residual set* (working
+// vertex set at deletion time) and a parent edge chosen so that the deleted
+// edges form join-forest trees. Parent choices are made to maximize tree
+// depth toward later-deleted edges, which keeps each GYO tree as large as
+// possible and hence the core C(H) (residual edges plus one root edge per
+// tree, Definition 2.7 and Appendix C.2) as small as possible.
+#ifndef TOPOFAQ_HYPERGRAPH_GYO_H_
+#define TOPOFAQ_HYPERGRAPH_GYO_H_
+
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace topofaq {
+
+/// One step of the GYO execution trace (Definition 2.6 / Appendix C.2).
+struct GyoStep {
+  enum class Kind { kEliminateVertex, kDeleteEdge };
+  Kind kind;
+  VarId vertex = 0;    ///< for kEliminateVertex
+  int edge = -1;       ///< edge acted upon
+  int into_edge = -1;  ///< for kDeleteEdge: a containing edge (-1 if the
+                       ///< working set was empty and no container exists)
+};
+
+/// Full result of running GYO on a hypergraph.
+struct GyoResult {
+  std::vector<GyoStep> trace;
+
+  /// Per original edge id.
+  std::vector<bool> deleted;
+  std::vector<int> delete_time;                  ///< -1 if never deleted
+  std::vector<std::vector<VarId>> residual_set;  ///< working set at deletion
+                                                 ///< (or at termination if alive)
+  /// Join-forest parent for deleted edges: another *deleted-later* edge when
+  /// one exists, else -1 (the edge is the root of its GYO tree; it either
+  /// attaches to the residual core or stands alone).
+  std::vector<int> parent;
+
+  /// Edge ids still alive at termination (the GYO-reduction H').
+  std::vector<int> residual_edges;
+
+  /// True iff every hyperedge was deleted (Definition 2.5: H is acyclic).
+  bool acyclic = false;
+
+  /// Tree roots: deleted edges with parent == -1.
+  std::vector<int> TreeRoots() const;
+
+  /// Children lists induced by `parent` (indexed by edge id).
+  std::vector<std::vector<int>> Children(int num_edges) const;
+};
+
+/// Runs GYO to completion. Deterministic: ties are broken by smallest
+/// vertex / edge id. An edge whose working set becomes empty is always
+/// deletable (so H' is empty exactly when H is acyclic, matching the paper).
+GyoResult GyoReduce(const Hypergraph& h);
+
+/// The decomposition of Definition 2.7 / Construction 2.8 ingredients.
+struct CoreForest {
+  /// Edges of the GYO-reduction H' (possibly empty).
+  std::vector<int> core_edges;
+  /// One root edge per GYO tree; these join the core (Definition 2.7).
+  std::vector<int> root_edges;
+  /// Deleted edges that are not tree roots; these form W(H).
+  std::vector<int> forest_edges;
+  /// V(C(H)) = vertices of core_edges ∪ root_edges; n2(H) = its size
+  /// (Definition 3.1).
+  std::vector<VarId> core_vertices;
+  /// Join-forest parent over all deleted edges (as in GyoResult).
+  std::vector<int> parent;
+  GyoResult gyo;
+
+  int n2() const { return static_cast<int>(core_vertices.size()); }
+};
+
+/// Runs GYO and assembles the C(H)/W(H) decomposition.
+CoreForest DecomposeCoreForest(const Hypergraph& h);
+
+/// True iff H is acyclic (Definition 2.5, via GYO).
+bool IsAcyclic(const Hypergraph& h);
+
+/// Pretty-printed trace for documentation/benches (Appendix C.2 style).
+std::string TraceToString(const Hypergraph& h, const GyoResult& r);
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_HYPERGRAPH_GYO_H_

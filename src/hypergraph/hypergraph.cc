@@ -1,0 +1,69 @@
+#include "hypergraph/hypergraph.h"
+
+#include <algorithm>
+
+namespace topofaq {
+
+Hypergraph::Hypergraph(int num_vertices, std::vector<std::vector<VarId>> edges)
+    : num_vertices_(num_vertices), edges_(std::move(edges)) {
+  TOPOFAQ_CHECK(num_vertices_ >= 0);
+  for (auto& e : edges_) {
+    std::sort(e.begin(), e.end());
+    e.erase(std::unique(e.begin(), e.end()), e.end());
+    TOPOFAQ_CHECK_MSG(!e.empty(), "empty hyperedge");
+    TOPOFAQ_CHECK_MSG(e.back() < static_cast<VarId>(num_vertices_),
+                      "hyperedge vertex out of range");
+  }
+}
+
+int Hypergraph::MaxArity() const {
+  int r = 0;
+  for (const auto& e : edges_) r = std::max<int>(r, static_cast<int>(e.size()));
+  return r;
+}
+
+int Hypergraph::Degree(VarId v) const {
+  int d = 0;
+  for (const auto& e : edges_)
+    if (std::binary_search(e.begin(), e.end(), v)) ++d;
+  return d;
+}
+
+std::vector<int> Hypergraph::IncidentEdges(VarId v) const {
+  std::vector<int> out;
+  for (int i = 0; i < num_edges(); ++i)
+    if (EdgeContains(i, v)) out.push_back(i);
+  return out;
+}
+
+bool Hypergraph::EdgeContains(int e, VarId v) const {
+  const auto& ed = edges_[e];
+  return std::binary_search(ed.begin(), ed.end(), v);
+}
+
+std::vector<VarId> Hypergraph::UsedVertices() const {
+  std::vector<bool> used(num_vertices_, false);
+  for (const auto& e : edges_)
+    for (VarId v : e) used[v] = true;
+  std::vector<VarId> out;
+  for (int v = 0; v < num_vertices_; ++v)
+    if (used[v]) out.push_back(static_cast<VarId>(v));
+  return out;
+}
+
+std::string Hypergraph::DebugString() const {
+  std::string s = "H(n=" + std::to_string(num_vertices_) + "; ";
+  for (int i = 0; i < num_edges(); ++i) {
+    if (i) s += ", ";
+    s += "e" + std::to_string(i) + "={";
+    for (size_t j = 0; j < edges_[i].size(); ++j) {
+      if (j) s += ",";
+      s += std::to_string(edges_[i][j]);
+    }
+    s += "}";
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace topofaq

@@ -1,0 +1,57 @@
+// Multi-hypergraph H = (V, E): the structure underlying an FAQ query.
+// Vertices are variables (VarId); hyperedges are the attribute sets of the
+// input functions. Multiple hyperedges over the same vertex set are allowed
+// (H is a multi-hypergraph in the paper).
+#ifndef TOPOFAQ_HYPERGRAPH_HYPERGRAPH_H_
+#define TOPOFAQ_HYPERGRAPH_HYPERGRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace topofaq {
+
+/// A multi-hypergraph over vertices [0, num_vertices). Hyperedges keep their
+/// insertion order; edge ids index into edges().
+class Hypergraph {
+ public:
+  Hypergraph() : num_vertices_(0) {}
+  /// Each edge is sorted and de-duplicated on construction. Vertices must lie
+  /// in [0, num_vertices).
+  Hypergraph(int num_vertices, std::vector<std::vector<VarId>> edges);
+
+  int num_vertices() const { return num_vertices_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const std::vector<VarId>& edge(int e) const { return edges_[e]; }
+  const std::vector<std::vector<VarId>>& edges() const { return edges_; }
+
+  /// Maximum hyperedge arity (the paper's r).
+  int MaxArity() const;
+
+  /// Number of hyperedges containing v (Definition 3.2).
+  int Degree(VarId v) const;
+
+  /// Ids of hyperedges containing v.
+  std::vector<int> IncidentEdges(VarId v) const;
+
+  bool EdgeContains(int e, VarId v) const;
+
+  /// True if every hyperedge has arity <= 2 (H is a "simple graph" in the
+  /// paper's sense; self-loops of arity 1 allowed, as in query H0).
+  bool IsGraph() const { return MaxArity() <= 2; }
+
+  /// Vertices that appear in at least one hyperedge.
+  std::vector<VarId> UsedVertices() const;
+
+  std::string DebugString() const;
+
+ private:
+  int num_vertices_;
+  std::vector<std::vector<VarId>> edges_;
+};
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_HYPERGRAPH_HYPERGRAPH_H_

@@ -1,0 +1,69 @@
+#include "lowerbounds/bounds.h"
+
+#include <algorithm>
+
+#include "ghd/width.h"
+#include "graphalg/maxflow.h"
+#include "graphalg/routing.h"
+#include "graphalg/steiner.h"
+#include "hypergraph/degeneracy.h"
+#include "util/bits.h"
+
+namespace topofaq {
+
+std::string BoundBreakdown::ToString() const {
+  return "y=" + std::to_string(y) + " n2=" + std::to_string(n2) +
+         " d=" + std::to_string(degeneracy) + " r=" + std::to_string(arity) +
+         " UB=" + std::to_string(upper_total) +
+         " (star=" + std::to_string(star_term) +
+         " core=" + std::to_string(core_term) +
+         ") LB=" + std::to_string(lower_bound) +
+         " mincut=" + std::to_string(min_cut);
+}
+
+BoundBreakdown ComputeBounds(const Hypergraph& h, const Graph& g,
+                             const std::vector<NodeId>& k, int64_t n,
+                             uint64_t seed) {
+  BoundBreakdown b;
+  WidthResult w = MinimizeWidth(h, /*restarts=*/8, seed);
+  b.y = w.internal_nodes;
+  b.n2 = w.n2;
+  b.degeneracy = ComputeDegeneracy(h).degeneracy;
+  b.arity = h.MaxArity();
+
+  if (k.size() >= 2) {
+    IntersectionPlan plan = PlanIntersection(g, k, n, seed);
+    b.star_term = static_cast<int64_t>(b.y) * plan.predicted_rounds;
+    // The Lemma 4.2 core term: nothing to ship when the query is acyclic
+    // and connected (the core is the last star's root bag).
+    const CoreForest& cf = w.decomposition.core_forest;
+    const bool pure_star_phase =
+        cf.core_edges.empty() && cf.root_edges.size() == 1;
+    if (!pure_star_phase) {
+      GatherPlan gather = PlanGather(
+          g, k,
+          static_cast<int64_t>(b.n2) * std::max(1, b.degeneracy) * n);
+      b.core_term = gather.rounds;
+    }
+    b.min_cut = MinCutBetween(g, k).value;
+  } else {
+    b.min_cut = 1;
+  }
+  b.upper_total = b.star_term + b.core_term;
+  b.lower_bound =
+      CeilDiv(static_cast<int64_t>(b.y + b.n2) * n, std::max<int64_t>(1, b.min_cut));
+  return b;
+}
+
+McmBounds ComputeMcmBounds(int k, int n) {
+  McmBounds b;
+  b.sequential = static_cast<int64_t>(k + 1) * n;
+  b.merge = static_cast<int64_t>(n) * n *
+                std::max(1, CeilLog2(static_cast<uint64_t>(std::max(2, k)))) +
+            k + 2 * n;
+  b.trivial = static_cast<int64_t>(k) * n * n;
+  b.lower = static_cast<int64_t>(k) * n;
+  return b;
+}
+
+}  // namespace topofaq

@@ -1,0 +1,57 @@
+// The paper's bound formulas, evaluated on concrete (H, G, K, N):
+//
+//   upper  (Thm 4.1 / 5.2):  y(H)·min_Δ(N/ST(G,K,Δ) + Δ)
+//                            + τ_MCF(G, K, n2(H)·d·N)
+//   lower  (Thm 4.4 / 5.1):  Ω̃((y(H) + n2(H)) · N / MinCut(G, K))
+//   MCM    (Prop 6.1 / Thm 6.4): Θ(k·N) on the line for k <= N
+//
+// These are the planning/reporting quantities the benches print next to the
+// measured round counts of the executable protocols.
+#ifndef TOPOFAQ_LOWERBOUNDS_BOUNDS_H_
+#define TOPOFAQ_LOWERBOUNDS_BOUNDS_H_
+
+#include <string>
+#include <vector>
+
+#include "graphalg/graph.h"
+#include "hypergraph/hypergraph.h"
+
+namespace topofaq {
+
+struct BoundBreakdown {
+  int y = 0;            ///< internal-node-width (minimized decomposition)
+  int n2 = 0;           ///< |V(C(H))|
+  int degeneracy = 0;   ///< d (Definition 3.3)
+  int arity = 0;        ///< r
+  int64_t star_term = 0;    ///< y · min_Δ(N/ST + Δ)
+  int64_t core_term = 0;    ///< τ_MCF flow estimate for n2·d·N packets
+  int64_t upper_total = 0;  ///< star_term + core_term
+  int64_t min_cut = 0;      ///< MinCut(G, K)
+  int64_t lower_bound = 0;  ///< (y + n2) · N / MinCut (constants dropped)
+
+  double Gap() const {
+    return lower_bound > 0
+               ? static_cast<double>(upper_total) / static_cast<double>(lower_bound)
+               : 0.0;
+  }
+  std::string ToString() const;
+};
+
+/// Evaluates both formulas for computing a size-N query of shape `h` on `g`
+/// with players `k`.
+BoundBreakdown ComputeBounds(const Hypergraph& h, const Graph& g,
+                             const std::vector<NodeId>& k, int64_t n,
+                             uint64_t seed = 0xb0d);
+
+/// Section 6: round bounds for MCM on the line (capacity 1 bit).
+struct McmBounds {
+  int64_t sequential = 0;  ///< ~ (k+1)·N   (Prop 6.1)
+  int64_t merge = 0;       ///< ~ N²·ceil(log2 k) + k (App I.1)
+  int64_t trivial = 0;     ///< ~ k·N²
+  int64_t lower = 0;       ///< Ω(k·N) for k <= N (Thm 6.4)
+};
+McmBounds ComputeMcmBounds(int k, int n);
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_LOWERBOUNDS_BOUNDS_H_

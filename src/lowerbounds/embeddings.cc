@@ -1,0 +1,403 @@
+#include "lowerbounds/embeddings.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "ghd/md_ghd.h"
+#include "ghd/width.h"
+#include "graphalg/maxflow.h"
+
+namespace topofaq {
+namespace {
+
+using BRel = Relation<BooleanSemiring>;
+
+/// Relation on a 2-edge {u, v} (schema sorted) with values `vals` at
+/// position of `var` and the constant 1 at the other position.
+BRel ValuesTimesOne(const std::vector<VarId>& edge, VarId var,
+                    const std::vector<uint64_t>& vals) {
+  BRel r{Schema(edge)};
+  std::vector<Value> row(edge.size(), 1);
+  const int pos = Schema(edge).PositionOf(var);
+  TOPOFAQ_CHECK(pos >= 0);
+  for (uint64_t v : vals) {
+    row[pos] = v;
+    r.Add(row, 1);
+  }
+  r.Canonicalize();
+  return r;
+}
+
+/// [0, n) at `var`'s position, 1 elsewhere.
+BRel RangeTimesOne(const std::vector<VarId>& edge, VarId var, uint64_t n) {
+  std::vector<uint64_t> vals(n);
+  for (uint64_t i = 0; i < n; ++i) vals[i] = i;
+  return ValuesTimesOne(edge, var, vals);
+}
+
+/// The all-ones singleton tuple.
+BRel AllOnes(const std::vector<VarId>& edge) {
+  BRel r{Schema(edge)};
+  std::vector<Value> row(edge.size(), 1);
+  r.Add(row, 1);
+  return r;
+}
+
+}  // namespace
+
+Result<BcqEmbedding> EmbedAtVertices(const Hypergraph& h,
+                                     const std::vector<VarId>& centers,
+                                     const TribesInstance& tribes) {
+  if (tribes.m() > static_cast<int>(centers.size()))
+    return Status::InvalidArgument("not enough centers for the TRIBES size");
+  // Validate: pairwise non-adjacent (no edge contains two centers), each
+  // with >= 2 incident edges.
+  std::set<VarId> chosen(centers.begin(), centers.begin() + tribes.m());
+  for (int e = 0; e < h.num_edges(); ++e) {
+    int hits = 0;
+    for (VarId v : h.edge(e))
+      if (chosen.count(v)) ++hits;
+    if (hits > 1)
+      return Status::InvalidArgument("centers are adjacent (edge " +
+                                     std::to_string(e) + ")");
+  }
+
+  BcqEmbedding out;
+  out.m = tribes.m();
+  std::vector<BRel> rels(h.num_edges());
+  std::vector<bool> assigned(h.num_edges(), false);
+
+  for (int i = 0; i < tribes.m(); ++i) {
+    const VarId o = centers[i];
+    std::vector<int> inc = h.IncidentEdges(o);
+    if (inc.size() < 2)
+      return Status::InvalidArgument("center of degree < 2");
+    const int e_s = inc[0], e_t = inc[1];
+    rels[e_s] = ValuesTimesOne(h.edge(e_s), o, tribes.pairs[i].first);
+    rels[e_t] = ValuesTimesOne(h.edge(e_t), o, tribes.pairs[i].second);
+    assigned[e_s] = assigned[e_t] = true;
+    out.s_edges.push_back(e_s);
+    out.t_edges.push_back(e_t);
+    // Remaining edges at o impose no constraint on o.
+    for (size_t j = 2; j < inc.size(); ++j) {
+      rels[inc[j]] = RangeTimesOne(h.edge(inc[j]), o,
+                                   static_cast<uint64_t>(tribes.n));
+      assigned[inc[j]] = true;
+    }
+  }
+  for (int e = 0; e < h.num_edges(); ++e)
+    if (!assigned[e]) rels[e] = AllOnes(h.edge(e));
+
+  out.query = MakeBcq(h, std::move(rels));
+  return out;
+}
+
+namespace {
+
+/// Internal (degree >= 2) vertices on the larger bipartition side of a
+/// forest — the set O of Lemma 4.3.
+std::vector<VarId> ForestCenters(const Hypergraph& h) {
+  const int n = h.num_vertices();
+  // Bipartition by BFS levels over the simple-graph adjacency.
+  std::vector<std::vector<VarId>> adj(n);
+  for (int e = 0; e < h.num_edges(); ++e) {
+    const auto& ed = h.edge(e);
+    if (ed.size() != 2) return {};
+    adj[ed[0]].push_back(ed[1]);
+    adj[ed[1]].push_back(ed[0]);
+  }
+  std::vector<int> side(n, -1);
+  for (int root = 0; root < n; ++root) {
+    if (side[root] >= 0 || adj[root].empty()) continue;
+    side[root] = 0;
+    std::vector<VarId> stack{static_cast<VarId>(root)};
+    while (!stack.empty()) {
+      VarId v = stack.back();
+      stack.pop_back();
+      for (VarId w : adj[v])
+        if (side[w] < 0) {
+          side[w] = 1 - side[v];
+          stack.push_back(w);
+        }
+    }
+  }
+  std::vector<VarId> even, odd;
+  for (int v = 0; v < n; ++v) {
+    if (adj[v].size() < 2) continue;
+    (side[v] == 0 ? even : odd).push_back(static_cast<VarId>(v));
+  }
+  return even.size() >= odd.size() ? even : odd;
+}
+
+}  // namespace
+
+int ForestEmbeddingCapacity(const Hypergraph& h) {
+  return static_cast<int>(ForestCenters(h).size());
+}
+
+Result<BcqEmbedding> EmbedTribesInForest(const Hypergraph& h,
+                                         const TribesInstance& tribes) {
+  if (h.MaxArity() > 2)
+    return Status::InvalidArgument("forest embedding needs arity 2");
+  return EmbedAtVertices(h, ForestCenters(h), tribes);
+}
+
+namespace {
+
+std::vector<VarId> GreedyIndependentCenters(const Hypergraph& h) {
+  // Greedy IS among degree->=2 vertices, lowest degree first (Turán-style).
+  std::vector<VarId> cands;
+  for (int v = 0; v < h.num_vertices(); ++v)
+    if (h.Degree(static_cast<VarId>(v)) >= 2)
+      cands.push_back(static_cast<VarId>(v));
+  std::stable_sort(cands.begin(), cands.end(), [&](VarId a, VarId b) {
+    return h.Degree(a) < h.Degree(b);
+  });
+  std::vector<VarId> chosen;
+  std::set<VarId> blocked;
+  for (VarId v : cands) {
+    if (blocked.count(v)) continue;
+    chosen.push_back(v);
+    for (int e : h.IncidentEdges(v))
+      for (VarId w : h.edge(e)) blocked.insert(w);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace
+
+int IndependentSetCapacity(const Hypergraph& h) {
+  return static_cast<int>(GreedyIndependentCenters(h).size());
+}
+
+Result<BcqEmbedding> EmbedTribesByIndependentSet(const Hypergraph& h,
+                                                 const TribesInstance& tribes) {
+  return EmbedAtVertices(h, GreedyIndependentCenters(h), tribes);
+}
+
+std::vector<std::vector<VarId>> FindDisjointCycles(const Hypergraph& h) {
+  const int n = h.num_vertices();
+  std::vector<std::vector<VarId>> cycles;
+  std::vector<bool> gone(n, false);
+  while (true) {
+    // DFS for a cycle in the surviving induced subgraph.
+    std::vector<std::vector<VarId>> adj(n);
+    for (int e = 0; e < h.num_edges(); ++e) {
+      const auto& ed = h.edge(e);
+      if (ed.size() != 2 || gone[ed[0]] || gone[ed[1]]) continue;
+      adj[ed[0]].push_back(ed[1]);
+      adj[ed[1]].push_back(ed[0]);
+    }
+    std::vector<int> state(n, 0), parent(n, -1);
+    std::vector<VarId> cycle;
+    for (int s = 0; s < n && cycle.empty(); ++s) {
+      if (gone[s] || state[s] != 0) continue;
+      // Iterative DFS.
+      std::vector<std::pair<VarId, size_t>> stack{{static_cast<VarId>(s), 0}};
+      state[s] = 1;
+      while (!stack.empty() && cycle.empty()) {
+        auto& [v, idx] = stack.back();
+        if (idx >= adj[v].size()) {
+          state[v] = 2;
+          stack.pop_back();
+          continue;
+        }
+        VarId w = adj[v][idx++];
+        if (static_cast<int>(w) == parent[v]) {
+          parent[v] = -2;  // consume one parent edge (handles multi-edges)
+          continue;
+        }
+        if (state[w] == 1) {
+          // Back edge: recover cycle w .. v.
+          cycle.push_back(w);
+          for (int i = static_cast<int>(stack.size()) - 1;
+               i >= 0 && stack[i].first != w; --i)
+            cycle.push_back(stack[i].first);
+          std::reverse(cycle.begin() + 1, cycle.end());
+          break;
+        }
+        if (state[w] == 0) {
+          state[w] = 1;
+          parent[w] = static_cast<int>(v);
+          stack.push_back({w, 0});
+        }
+      }
+    }
+    if (cycle.empty()) break;
+    for (VarId v : cycle) gone[v] = true;
+    cycles.push_back(std::move(cycle));
+  }
+  return cycles;
+}
+
+Result<BcqEmbedding> EmbedTribesOnCycles(const Hypergraph& h,
+                                         const TribesInstance& tribes) {
+  if (h.MaxArity() > 2)
+    return Status::InvalidArgument("cycle embedding needs arity 2");
+  auto cycles = FindDisjointCycles(h);
+  if (tribes.m() > static_cast<int>(cycles.size()))
+    return Status::InvalidArgument("not enough vertex-disjoint cycles");
+  const uint64_t s =
+      std::max<uint64_t>(2, static_cast<uint64_t>(std::sqrt(tribes.n)));
+
+  BcqEmbedding out;
+  out.m = tribes.m();
+  std::vector<BRel> rels(h.num_edges());
+  std::vector<bool> assigned(h.num_edges(), false);
+  auto edge_between = [&](VarId a, VarId b) {
+    for (int e = 0; e < h.num_edges(); ++e) {
+      const auto& ed = h.edge(e);
+      if (ed.size() == 2 && ((ed[0] == a && ed[1] == b) ||
+                             (ed[0] == b && ed[1] == a)) &&
+          !assigned[e])
+        return e;
+    }
+    return -1;
+  };
+
+  for (int i = 0; i < tribes.m(); ++i) {
+    const auto& cyc = cycles[i];
+    TOPOFAQ_CHECK(cyc.size() >= 3 || (cyc.size() == 2));
+    // Pair encoding over [s]²: value v in [s²] is the point (v/s, v%s).
+    auto pair_rel = [&](int e, VarId first_attr, VarId second_attr,
+                        const std::vector<uint64_t>& vals) {
+      BRel r{Schema(h.edge(e))};
+      const int p_first = Schema(h.edge(e)).PositionOf(first_attr);
+      const int p_second = Schema(h.edge(e)).PositionOf(second_attr);
+      std::vector<Value> row(2, 0);
+      for (uint64_t v : vals) {
+        if (v >= s * s) continue;  // truncate to the encodable universe
+        row[p_first] = v / s;
+        row[p_second] = v % s;
+        r.Add(row, 1);
+      }
+      r.Canonicalize();
+      return r;
+    };
+    const int e_s = edge_between(cyc[0], cyc[1]);
+    TOPOFAQ_CHECK(e_s >= 0);
+    rels[e_s] = pair_rel(e_s, cyc[0], cyc[1], tribes.pairs[i].first);
+    assigned[e_s] = true;
+    const int e_t = edge_between(cyc[2 % cyc.size()], cyc[1]);
+    TOPOFAQ_CHECK(e_t >= 0);
+    // Reversed attribute order (R_T(c3, c2), Appendix E.3).
+    rels[e_t] = pair_rel(e_t, cyc[2 % cyc.size()], cyc[1],
+                         tribes.pairs[i].second);
+    assigned[e_t] = true;
+    out.s_edges.push_back(e_s);
+    out.t_edges.push_back(e_t);
+    // Identity on the remaining cycle edges c3-c4-...-cl-c1.
+    for (size_t j = 2; j + 1 <= cyc.size(); ++j) {
+      const VarId a = cyc[j % cyc.size()];
+      const VarId b = cyc[(j + 1) % cyc.size()];
+      if (a == cyc[0] || b == cyc[0]) {
+        // closing edge cl-c1 handled below with identity too
+      }
+      const int e = edge_between(a, b);
+      if (e < 0) continue;
+      BRel r{Schema(h.edge(e))};
+      for (uint64_t v = 0; v < s; ++v)
+        r.Add({static_cast<Value>(v), static_cast<Value>(v)}, 1);
+      rels[e] = std::move(r);
+      assigned[e] = true;
+    }
+  }
+  // All other edges: the full relation [s] × [s] (no constraint).
+  for (int e = 0; e < h.num_edges(); ++e) {
+    if (assigned[e]) continue;
+    if (h.edge(e).size() == 2) {
+      rels[e] = FullRelation<BooleanSemiring>(Schema(h.edge(e)), s);
+    } else {
+      rels[e] = FullRelation<BooleanSemiring>(Schema(h.edge(e)), s);
+    }
+  }
+  out.query = MakeBcq(h, std::move(rels));
+  return out;
+}
+
+std::vector<VarId> GreedyStrongIndependentSet(
+    const Hypergraph& h, const std::vector<VarId>& candidates) {
+  std::vector<VarId> chosen;
+  std::set<VarId> blocked;
+  for (VarId v : candidates) {
+    if (blocked.count(v)) continue;
+    chosen.push_back(v);
+    for (int e : h.IncidentEdges(v))
+      for (VarId w : h.edge(e)) blocked.insert(w);
+  }
+  return chosen;
+}
+
+namespace {
+
+std::vector<VarId> HypergraphCenters(const Hypergraph& h) {
+  GyoGhd gg = BuildGyoGhd(h);
+  FlattenToMdGhd(&gg.ghd);
+  auto witnesses = FindPrivateAttributes(h, gg.ghd);
+  std::vector<VarId> attrs;
+  for (const auto& w : witnesses) attrs.push_back(w.attribute);
+  // Also admit any degree->=2 vertex as a fallback candidate (useful for
+  // cyclic cores where the forest is shallow).
+  for (int v = 0; v < h.num_vertices(); ++v)
+    if (h.Degree(static_cast<VarId>(v)) >= 2)
+      attrs.push_back(static_cast<VarId>(v));
+  std::vector<VarId> dedup;
+  std::set<VarId> seen;
+  for (VarId v : attrs)
+    if (seen.insert(v).second) dedup.push_back(v);
+  return GreedyStrongIndependentSet(h, dedup);
+}
+
+}  // namespace
+
+int HypergraphEmbeddingCapacity(const Hypergraph& h) {
+  return static_cast<int>(HypergraphCenters(h).size());
+}
+
+Result<BcqEmbedding> EmbedTribesInHypergraph(const Hypergraph& h,
+                                             const TribesInstance& tribes) {
+  std::vector<VarId> centers = HypergraphCenters(h);
+  if (tribes.m() > static_cast<int>(centers.size()))
+    return Status::InvalidArgument("not enough strong-IS witnesses");
+  // Same planting as EmbedAtVertices, generalized to arity r: S_i / T_i at
+  // the private attribute's position, 1 elsewhere.
+  return EmbedAtVertices(h, centers, tribes);
+}
+
+Result<WorstCaseAssignment> AssignAcrossMinCut(const Graph& g,
+                                               const BcqEmbedding& embedding) {
+  if (g.num_nodes() < 2)
+    return Status::InvalidArgument("need at least two nodes");
+  std::vector<NodeId> all(g.num_nodes());
+  for (int v = 0; v < g.num_nodes(); ++v) all[v] = v;
+  MinCutResult cut = MinCutBetween(g, all);
+
+  WorstCaseAssignment out;
+  out.min_cut = cut.value;
+  std::vector<bool> in_a(g.num_nodes(), false);
+  for (NodeId v : cut.side_a) in_a[v] = true;
+  // Alice: a node on side A; Bob: a node on side B (also the sink).
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (in_a[v] && out.alice < 0) out.alice = v;
+    if (!in_a[v] && out.bob < 0) out.bob = v;
+  }
+  TOPOFAQ_CHECK(out.alice >= 0 && out.bob >= 0);
+
+  const int k = embedding.query.hypergraph.num_edges();
+  out.owners.assign(k, out.alice);
+  std::set<int> s_set(embedding.s_edges.begin(), embedding.s_edges.end());
+  std::set<int> t_set(embedding.t_edges.begin(), embedding.t_edges.end());
+  for (int e = 0; e < k; ++e) {
+    if (s_set.count(e))
+      out.owners[e] = out.alice;
+    else if (t_set.count(e))
+      out.owners[e] = out.bob;
+    else
+      out.owners[e] = (e % 2 == 0) ? out.alice : out.bob;
+  }
+  return out;
+}
+
+}  // namespace topofaq

@@ -1,0 +1,88 @@
+// TRIBES → BCQ reductions (the paper's lower-bound constructions):
+//
+//  * EmbedAtVertices        — the common engine: given pairwise non-adjacent
+//                             degree-≥2 vertices o_1..o_m of a simple graph,
+//                             plant (S_i, T_i) on two edges at o_i and pad
+//                             the rest ([N]×{1} near o_i, {(1,1)} elsewhere)
+//                             exactly as in Lemma 4.3.
+//  * EmbedTribesInForest    — Lemma 4.3: O = the larger bipartition side of
+//                             internal nodes (|O| >= y/2).
+//  * EmbedTribesOnCycles    — Theorem 4.4 case 1: vertex-disjoint cycles,
+//                             √N×√N pair encoding with identity chains.
+//  * EmbedTribesByIndependentSet — Theorem 4.4 case 2 (Turán greedy).
+//  * EmbedTribesInHypergraph— Theorem F.8: MD-GHD private attributes +
+//                             strong independent set (Theorem F.5).
+//  * AssignAcrossMinCut     — Lemma 4.4: worst-case assignment placing all
+//                             S-relations on one side of a minimum cut of G
+//                             and all T-relations on the other.
+#ifndef TOPOFAQ_LOWERBOUNDS_EMBEDDINGS_H_
+#define TOPOFAQ_LOWERBOUNDS_EMBEDDINGS_H_
+
+#include <vector>
+
+#include "faq/query.h"
+#include "graphalg/graph.h"
+#include "lowerbounds/tribes.h"
+#include "util/status.h"
+
+namespace topofaq {
+
+/// A BCQ instance functionally equivalent to a TRIBES instance.
+struct BcqEmbedding {
+  FaqQuery<BooleanSemiring> query;
+  /// Hyperedge ids carrying the S_i / T_i relations (Alice / Bob sides of
+  /// the induced two-party problem).
+  std::vector<int> s_edges;
+  std::vector<int> t_edges;
+  int m = 0;  ///< number of TRIBES pairs embedded
+};
+
+/// Core engine shared by Lemma 4.3 and the Theorem 4.4 independent-set case.
+/// `centers` must be pairwise non-adjacent vertices of degree >= 2; one
+/// TRIBES pair is planted per center (requires tribes.m() <= centers.size()).
+Result<BcqEmbedding> EmbedAtVertices(const Hypergraph& h,
+                                     const std::vector<VarId>& centers,
+                                     const TribesInstance& tribes);
+
+/// Lemma 4.3. `h` must be an arity-2 forest. Capacity is |O| >= y(H)/2.
+Result<BcqEmbedding> EmbedTribesInForest(const Hypergraph& h,
+                                         const TribesInstance& tribes);
+/// Number of TRIBES pairs EmbedTribesInForest can host.
+int ForestEmbeddingCapacity(const Hypergraph& h);
+
+/// Theorem 4.4 case 2: greedy independent set among degree->=2 vertices.
+Result<BcqEmbedding> EmbedTribesByIndependentSet(const Hypergraph& h,
+                                                 const TribesInstance& tribes);
+int IndependentSetCapacity(const Hypergraph& h);
+
+/// Theorem 4.4 case 1: embed pairs on vertex-disjoint cycles using the
+/// √N×√N two-attribute encoding. `h` must be a simple graph.
+Result<BcqEmbedding> EmbedTribesOnCycles(const Hypergraph& h,
+                                         const TribesInstance& tribes);
+/// Vertex-disjoint cycles found by the greedy peeler.
+std::vector<std::vector<VarId>> FindDisjointCycles(const Hypergraph& h);
+
+/// Theorem F.8 for hypergraphs: witnesses from an MD-GHD, thinned to a
+/// strong independent set (no hyperedge contains two chosen attributes).
+Result<BcqEmbedding> EmbedTribesInHypergraph(const Hypergraph& h,
+                                             const TribesInstance& tribes);
+int HypergraphEmbeddingCapacity(const Hypergraph& h);
+
+/// Greedy strong independent set (Theorem F.5 guarantees >= |V|/(d(r-1))).
+std::vector<VarId> GreedyStrongIndependentSet(const Hypergraph& h,
+                                              const std::vector<VarId>& candidates);
+
+/// Lemma 4.4: a worst-case assignment across a minimum cut separating the
+/// players.
+struct WorstCaseAssignment {
+  std::vector<NodeId> owners;
+  int64_t min_cut = 0;
+  NodeId alice = -1;  ///< node holding all S relations (side A)
+  NodeId bob = -1;    ///< node holding all T relations (side B); also sink
+};
+Result<WorstCaseAssignment> AssignAcrossMinCut(const Graph& g,
+                                               const BcqEmbedding& embedding);
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_LOWERBOUNDS_EMBEDDINGS_H_

@@ -1,0 +1,56 @@
+#include "lowerbounds/tribes.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace topofaq {
+
+bool TribesInstance::Evaluate() const {
+  for (bool b : PairIntersects())
+    if (!b) return false;
+  return true;
+}
+
+std::vector<bool> TribesInstance::PairIntersects() const {
+  std::vector<bool> out;
+  out.reserve(pairs.size());
+  for (const auto& [s, t] : pairs) {
+    std::vector<uint64_t> inter;
+    std::set_intersection(s.begin(), s.end(), t.begin(), t.end(),
+                          std::back_inserter(inter));
+    out.push_back(!inter.empty());
+  }
+  return out;
+}
+
+TribesInstance RandomTribes(int m, int n, double p_intersect, Rng* rng) {
+  TOPOFAQ_CHECK(n >= 2);
+  TribesInstance inst;
+  inst.n = n;
+  for (int i = 0; i < m; ++i) {
+    const bool want_intersect = rng->NextBool(p_intersect);
+    // Split the universe into two halves; S draws from the lower half, T
+    // from the upper half, so they are disjoint by construction. If the
+    // pair should intersect, plant exactly one common element.
+    std::vector<uint64_t> s, t;
+    const uint64_t half = static_cast<uint64_t>(n) / 2;
+    for (uint64_t v : rng->Sample(half, std::max<uint64_t>(1, half / 2)))
+      s.push_back(v);
+    for (uint64_t v : rng->Sample(half, std::max<uint64_t>(1, half / 2)))
+      t.push_back(half + v);
+    if (want_intersect) {
+      const uint64_t common = rng->NextU64(n);
+      s.push_back(common);
+      t.push_back(common);
+    }
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    std::sort(t.begin(), t.end());
+    t.erase(std::unique(t.begin(), t.end()), t.end());
+    inst.pairs.emplace_back(std::move(s), std::move(t));
+  }
+  return inst;
+}
+
+}  // namespace topofaq

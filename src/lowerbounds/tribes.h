@@ -1,0 +1,36 @@
+// The TRIBES function (Theorem 2.3): TRIBES_{m,N}(X̄, Ȳ) = ∧_i DISJ_N(X_i,
+// Y_i), where DISJ_N(X, Y) = 1 iff X ∩ Y ≠ ∅. Jayram et al. prove the
+// randomized two-party round lower bound Ω(m·N); all BCQ lower bounds in the
+// paper reduce from it.
+#ifndef TOPOFAQ_LOWERBOUNDS_TRIBES_H_
+#define TOPOFAQ_LOWERBOUNDS_TRIBES_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace topofaq {
+
+/// One TRIBES instance: m set pairs over the universe [0, n).
+struct TribesInstance {
+  int n = 0;
+  /// pairs[i] = (S_i, T_i), each a sorted subset of [0, n).
+  std::vector<std::pair<std::vector<uint64_t>, std::vector<uint64_t>>> pairs;
+
+  int m() const { return static_cast<int>(pairs.size()); }
+
+  /// TRIBES value: 1 iff every pair intersects.
+  bool Evaluate() const;
+
+  /// Per-pair DISJ values.
+  std::vector<bool> PairIntersects() const;
+};
+
+/// Random instance: each pair intersects with probability `p_intersect`,
+/// planted in the style of the hard distribution of Remark G.5 (at most one
+/// common element per pair).
+TribesInstance RandomTribes(int m, int n, double p_intersect, Rng* rng);
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_LOWERBOUNDS_TRIBES_H_

@@ -1,0 +1,87 @@
+#include "mcm/bitmatrix.h"
+
+#include <bit>
+
+namespace topofaq {
+
+bool BitVector::Dot(const BitVector& other) const {
+  TOPOFAQ_CHECK(n_ == other.n_);
+  uint64_t acc = 0;
+  for (size_t i = 0; i < words_.size(); ++i)
+    acc ^= words_[i] & other.words_[i];
+  return std::popcount(acc) & 1;
+}
+
+void BitVector::Xor(const BitVector& other) {
+  TOPOFAQ_CHECK(n_ == other.n_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+}
+
+BitVector BitVector::Random(int n, Rng* rng) {
+  BitVector v(n);
+  for (auto& w : v.words_) w = rng->NextU64();
+  // Mask tail bits beyond n.
+  if (n % 64 != 0 && !v.words_.empty())
+    v.words_.back() &= (1ULL << (n % 64)) - 1;
+  return v;
+}
+
+BitVector BitMatrix::Apply(const BitVector& x) const {
+  TOPOFAQ_CHECK(x.size() == n_);
+  BitVector y(n_);
+  for (int r = 0; r < n_; ++r) y.Set(r, rows_[r].Dot(x));
+  return y;
+}
+
+BitMatrix BitMatrix::Multiply(const BitMatrix& other) const {
+  TOPOFAQ_CHECK(n_ == other.n_);
+  // C[r] = XOR over c with this[r][c]=1 of other.row(c).
+  BitMatrix out(n_);
+  for (int r = 0; r < n_; ++r) {
+    BitVector acc(n_);
+    for (int c = 0; c < n_; ++c)
+      if (Get(r, c)) acc.Xor(other.rows_[c]);
+    out.rows_[r] = std::move(acc);
+  }
+  return out;
+}
+
+int BitMatrix::Rank() const {
+  std::vector<BitVector> rows = rows_;
+  int rank = 0;
+  for (int col = 0; col < n_ && rank < n_; ++col) {
+    int pivot = -1;
+    for (int r = rank; r < n_; ++r)
+      if (rows[r].Get(col)) {
+        pivot = r;
+        break;
+      }
+    if (pivot < 0) continue;
+    std::swap(rows[rank], rows[pivot]);
+    for (int r = 0; r < n_; ++r)
+      if (r != rank && rows[r].Get(col)) rows[r].Xor(rows[rank]);
+    ++rank;
+  }
+  return rank;
+}
+
+BitMatrix BitMatrix::Identity(int n) {
+  BitMatrix m(n);
+  for (int i = 0; i < n; ++i) m.Set(i, i, true);
+  return m;
+}
+
+BitMatrix BitMatrix::Random(int n, Rng* rng) {
+  BitMatrix m(n);
+  for (int r = 0; r < n; ++r) m.rows_[r] = BitVector::Random(n, rng);
+  return m;
+}
+
+BitVector ChainApply(const std::vector<BitMatrix>& matrices,
+                     const BitVector& x) {
+  BitVector y = x;
+  for (const auto& m : matrices) y = m.Apply(y);
+  return y;
+}
+
+}  // namespace topofaq

@@ -1,0 +1,84 @@
+// Dense F2 linear algebra for the Matrix Chain Multiplication problem
+// (Section 6): N×N bit matrices and N-bit vectors with word-packed storage,
+// XOR-accumulation products, and rank (used by the entropy experiments).
+#ifndef TOPOFAQ_MCM_BITMATRIX_H_
+#define TOPOFAQ_MCM_BITMATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace topofaq {
+
+/// A vector over F2, bit-packed into 64-bit words.
+class BitVector {
+ public:
+  BitVector() : n_(0) {}
+  explicit BitVector(int n) : n_(n), words_((n + 63) / 64, 0) {}
+
+  int size() const { return n_; }
+  bool Get(int i) const { return (words_[i >> 6] >> (i & 63)) & 1; }
+  void Set(int i, bool v) {
+    const uint64_t mask = 1ULL << (i & 63);
+    if (v)
+      words_[i >> 6] |= mask;
+    else
+      words_[i >> 6] &= ~mask;
+  }
+
+  /// Inner product over F2.
+  bool Dot(const BitVector& other) const;
+  void Xor(const BitVector& other);
+
+  bool operator==(const BitVector& o) const {
+    return n_ == o.n_ && words_ == o.words_;
+  }
+
+  static BitVector Random(int n, Rng* rng);
+
+  const std::vector<uint64_t>& words() const { return words_; }
+
+ private:
+  int n_;
+  std::vector<uint64_t> words_;
+};
+
+/// An N×N matrix over F2 (row-major bit-packed rows).
+class BitMatrix {
+ public:
+  BitMatrix() : n_(0) {}
+  explicit BitMatrix(int n) : n_(n), rows_(n, BitVector(n)) {}
+
+  int size() const { return n_; }
+  bool Get(int r, int c) const { return rows_[r].Get(c); }
+  void Set(int r, int c, bool v) { rows_[r].Set(c, v); }
+  const BitVector& row(int r) const { return rows_[r]; }
+
+  /// y = A·x over F2.
+  BitVector Apply(const BitVector& x) const;
+
+  /// C = this · other over F2.
+  BitMatrix Multiply(const BitMatrix& other) const;
+
+  int Rank() const;
+
+  bool operator==(const BitMatrix& o) const {
+    return n_ == o.n_ && rows_ == o.rows_;
+  }
+
+  static BitMatrix Identity(int n);
+  static BitMatrix Random(int n, Rng* rng);
+
+ private:
+  int n_;
+  std::vector<BitVector> rows_;
+};
+
+/// A_k · A_{k-1} · ... · A_1 · x (the Problem 1.1 chain).
+BitVector ChainApply(const std::vector<BitMatrix>& matrices, const BitVector& x);
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_MCM_BITMATRIX_H_

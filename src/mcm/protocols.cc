@@ -1,0 +1,139 @@
+#include "mcm/protocols.h"
+
+#include <algorithm>
+
+#include "graphalg/topologies.h"
+#include "network/primitives.h"
+
+namespace topofaq {
+namespace {
+
+Graph McmLine(int k) { return LineTopology(k + 2); }
+
+}  // namespace
+
+McmResult RunMcmSequential(const McmInstance& inst) {
+  const int k = inst.k();
+  const int n = inst.n();
+  SyncNetwork net(McmLine(k), inst.capacity_bits);
+  McmResult out;
+  BitVector y = inst.x;
+  int64_t round = 0;
+  // P_i -> P_{i+1}: the current partial product, N bits; P_{i+1} multiplies.
+  for (int i = 0; i <= k; ++i) {
+    round = UnicastBits(&net, i, i + 1, n, round);
+    if (i + 1 <= k) y = inst.matrices[i].Apply(y);  // A_{i+1} is at P_{i+1}
+  }
+  out.y = y;
+  out.rounds = round;
+  out.total_bits = net.total_bits();
+  return out;
+}
+
+McmResult RunMcmMerge(const McmInstance& inst) {
+  const int k = inst.k();
+  const int n = inst.n();
+  SyncNetwork net(McmLine(k), inst.capacity_bits);
+  McmResult out;
+  if (k == 0) {
+    out.rounds = UnicastBits(&net, 0, 1, n, 0);
+    out.y = inst.x;
+    out.total_bits = net.total_bits();
+    return out;
+  }
+
+  // Active accumulators: (player, product over a contiguous range). In each
+  // iteration adjacent pairs merge; transfers run on edge-disjoint line
+  // segments, hence in parallel.
+  struct Acc {
+    int player;           // line node id (player i holds A_i at node i)
+    BitMatrix product;    // product over its range, later-range-major
+  };
+  std::vector<Acc> active;
+  active.reserve(k);
+  for (int i = 1; i <= k; ++i) active.push_back({i, inst.matrices[i - 1]});
+
+  int64_t round = 0;
+  while (active.size() > 1) {
+    std::vector<Acc> next;
+    int64_t iter_finish = round;
+    for (size_t j = 0; j + 1 < active.size(); j += 2) {
+      // Left sends its N² bits to right; right multiplies (right-range
+      // product times left-range product).
+      const Acc& left = active[j];
+      Acc& right = active[j + 1];
+      iter_finish = std::max(
+          iter_finish, UnicastBits(&net, left.player, right.player,
+                                   static_cast<int64_t>(n) * n, round));
+      right.product = right.product.Multiply(left.product);
+      next.push_back(std::move(right));
+    }
+    if (active.size() % 2 == 1) next.push_back(std::move(active.back()));
+    active = std::move(next);
+    round = iter_finish;
+  }
+
+  // x flows from P0 to the surviving accumulator's player, the result to
+  // P_{k+1}.
+  const int holder = active[0].player;
+  round = UnicastBits(&net, 0, holder, n, round);
+  BitVector y = active[0].product.Apply(inst.x);
+  round = UnicastBits(&net, holder, k + 1, n, round);
+  out.y = y;
+  out.rounds = round;
+  out.total_bits = net.total_bits();
+  return out;
+}
+
+McmResult RunMcmTrivial(const McmInstance& inst) {
+  const int k = inst.k();
+  const int n = inst.n();
+  SyncNetwork net(McmLine(k), inst.capacity_bits);
+  std::vector<FlowDemand> demands;
+  demands.push_back({0, n});  // x
+  for (int i = 1; i <= k; ++i)
+    demands.push_back({i, static_cast<int64_t>(n) * n});
+  McmResult out;
+  out.rounds = GatherFlows(&net, demands, k + 1, 0);
+  out.y = ChainApply(inst.matrices, inst.x);
+  out.total_bits = net.total_bits();
+  return out;
+}
+
+FaqQuery<Gf2Semiring> McmAsFaq(const McmInstance& inst) {
+  const int k = inst.k();
+  const int n = inst.n();
+  // Variables z_0..z_k; edges: {z_0} for x, {z_{j-1}, z_j} for A_j.
+  std::vector<std::vector<VarId>> edges;
+  edges.push_back({0});
+  for (int j = 1; j <= k; ++j)
+    edges.push_back({static_cast<VarId>(j - 1), static_cast<VarId>(j)});
+  Hypergraph h(k + 1, edges);
+
+  std::vector<Relation<Gf2Semiring>> rels;
+  Relation<Gf2Semiring> xr{Schema({0})};
+  for (int v = 0; v < n; ++v)
+    if (inst.x.Get(v)) xr.Add({static_cast<Value>(v)}, 1);
+  rels.push_back(std::move(xr));
+  for (int j = 1; j <= k; ++j) {
+    // Schema is sorted: (z_{j-1}, z_j); A_j(z_j, z_{j-1}) = A_j[row, col].
+    Relation<Gf2Semiring> ar{Schema({static_cast<VarId>(j - 1),
+                                     static_cast<VarId>(j)})};
+    for (int row = 0; row < n; ++row)
+      for (int col = 0; col < n; ++col)
+        if (inst.matrices[j - 1].Get(row, col))
+          ar.Add({static_cast<Value>(col), static_cast<Value>(row)}, 1);
+    rels.push_back(std::move(ar));
+  }
+  return MakeFaqSS<Gf2Semiring>(std::move(h), std::move(rels),
+                                {static_cast<VarId>(k)});
+}
+
+BitVector DecodeFaqVector(const Relation<Gf2Semiring>& rel, int n) {
+  BitVector y(n);
+  for (size_t i = 0; i < rel.size(); ++i)
+    if (rel.annot(i)) y.Set(static_cast<int>(rel.tuple(i)[0]), true);
+  return y;
+}
+
+}  // namespace topofaq

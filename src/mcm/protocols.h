@@ -1,0 +1,63 @@
+// The three MCM protocols of Section 6 / Appendix I.1, run on the line
+// topology P0 - P1 - ... - P_{k+1} (Problem 1.1): P0 holds x, P_i holds A_i,
+// and P_{k+1} must learn A_k ··· A_1 · x.
+//
+//  * Sequential (Prop. 6.1): P_i computes the partial product y_i = A_i
+//    y_{i-1} and streams it right — Θ(kN) rounds at 1 bit/round; tight by
+//    Theorem 6.4.
+//  * Merge (App. I.1): log k halving iterations of parallel N²-bit matrix
+//    transfers — O(N² log k + k) rounds, better when k >> N.
+//  * Trivial: ship every matrix to P_{k+1} — Θ(kN²) rounds.
+//
+// Each returns the computed vector plus exact round/bit accounting from the
+// SyncNetwork ledger; answers are validated against ChainApply.
+#ifndef TOPOFAQ_MCM_PROTOCOLS_H_
+#define TOPOFAQ_MCM_PROTOCOLS_H_
+
+#include <vector>
+
+#include "faq/query.h"
+#include "mcm/bitmatrix.h"
+#include "network/simulator.h"
+
+namespace topofaq {
+
+struct McmInstance {
+  std::vector<BitMatrix> matrices;  ///< A_1 .. A_k
+  BitVector x;
+  /// Channel budget per round. Section 6 counts one F2 element per round
+  /// (footnote 12 semantics), i.e. 1 bit.
+  int64_t capacity_bits = 1;
+
+  int k() const { return static_cast<int>(matrices.size()); }
+  int n() const { return x.size(); }
+};
+
+struct McmResult {
+  BitVector y;
+  int64_t rounds = 0;
+  int64_t total_bits = 0;
+};
+
+/// Proposition 6.1: sequential partial products, O(kN) rounds.
+McmResult RunMcmSequential(const McmInstance& inst);
+
+/// Appendix I.1: bottom-to-top merge, O(N² log(k) + k) rounds.
+McmResult RunMcmMerge(const McmInstance& inst);
+
+/// Trivial protocol: every matrix to P_{k+1}, Θ(kN²) rounds.
+McmResult RunMcmTrivial(const McmInstance& inst);
+
+/// Eq. (5): the same computation expressed as FAQ-SS over GF(2) with
+/// variables z_0..z_k, hyperedges {z_0} (x) and {z_{j-1}, z_j} (A_j), and
+/// free variable z_k. Solving it with the generic engine must agree with
+/// ChainApply.
+FaqQuery<Gf2Semiring> McmAsFaq(const McmInstance& inst);
+
+/// Decodes the relation over {z_k} returned by an FAQ solver back to a
+/// vector (value v present with annotation 1 ⇔ y[v] = 1).
+BitVector DecodeFaqVector(const Relation<Gf2Semiring>& rel, int n);
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_MCM_PROTOCOLS_H_

@@ -1,0 +1,41 @@
+#include "network/simulator.h"
+
+#include <algorithm>
+
+namespace topofaq {
+
+SyncNetwork::SyncNetwork(Graph g, int64_t capacity_bits)
+    : g_(std::move(g)), capacity_bits_(capacity_bits) {
+  TOPOFAQ_CHECK(capacity_bits_ >= 1);
+  TOPOFAQ_CHECK_MSG(capacity_bits_ <= 65535, "per-round capacity too large");
+  usage_fwd_.resize(g_.num_edges());
+  usage_bwd_.resize(g_.num_edges());
+}
+
+int64_t SyncNetwork::Used(int edge, bool forward, int64_t round) const {
+  const auto& u = forward ? usage_fwd_[edge] : usage_bwd_[edge];
+  if (round >= static_cast<int64_t>(u.size())) return 0;
+  return u[round];
+}
+
+int64_t SyncNetwork::Remaining(int edge, bool forward, int64_t round) const {
+  return capacity_bits_ - Used(edge, forward, round);
+}
+
+int64_t SyncNetwork::Reserve(int edge, NodeId from, int64_t round, int64_t bits) {
+  TOPOFAQ_CHECK(edge >= 0 && edge < g_.num_edges());
+  TOPOFAQ_CHECK(round >= 0);
+  TOPOFAQ_CHECK(bits >= 0);
+  const bool fwd = ForwardDir(edge, from);
+  auto& u = fwd ? usage_fwd_[edge] : usage_bwd_[edge];
+  if (round >= static_cast<int64_t>(u.size())) u.resize(round + 1, 0);
+  const int64_t grant = std::min(bits, capacity_bits_ - u[round]);
+  u[round] = static_cast<uint16_t>(u[round] + grant);
+  if (grant > 0) {
+    horizon_ = std::max(horizon_, round + 1);
+    total_bits_ += grant;
+  }
+  return grant;
+}
+
+}  // namespace topofaq

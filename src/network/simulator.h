@@ -1,0 +1,65 @@
+// The synchronous network of Model 2.1: topology G with private
+// point-to-point channels, each carrying at most `capacity_bits` per
+// direction per round (the paper's O(r·log2 D) budget; footnote 6 notes the
+// bounds generalize to any per-edge budget B).
+//
+// SyncNetwork is a *transport ledger*: protocols reserve (edge, direction,
+// round) bit budgets through it, and it accounts rounds and bits exactly.
+// Any subset of edges may be used in the same round (Model 2.1), so
+// parallel protocol phases are expressed simply by scheduling onto the same
+// rounds; capacity violations are impossible by construction.
+#ifndef TOPOFAQ_NETWORK_SIMULATOR_H_
+#define TOPOFAQ_NETWORK_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graphalg/graph.h"
+
+namespace topofaq {
+
+class SyncNetwork {
+ public:
+  /// `capacity_bits` is the per-direction per-round budget of every channel.
+  SyncNetwork(Graph g, int64_t capacity_bits);
+
+  const Graph& graph() const { return g_; }
+  int64_t capacity_bits() const { return capacity_bits_; }
+
+  /// Bits already reserved on (edge, direction) at `round`.
+  int64_t Used(int edge, bool forward, int64_t round) const;
+
+  /// Remaining budget on (edge, direction) at `round`.
+  int64_t Remaining(int edge, bool forward, int64_t round) const;
+
+  /// Reserves up to `bits` on the channel from `from` across `edge` at
+  /// `round`; returns the amount actually granted (0 if the round is full).
+  int64_t Reserve(int edge, NodeId from, int64_t round, int64_t bits);
+
+  /// Highest round index with any traffic, plus one (the protocol's round
+  /// count if it started at round 0).
+  int64_t horizon() const { return horizon_; }
+
+  /// Total bits ever reserved.
+  int64_t total_bits() const { return total_bits_; }
+
+  /// Direction flag for traffic leaving `from` over `edge`.
+  bool ForwardDir(int edge, NodeId from) const {
+    return g_.edge(edge).first == from;
+  }
+
+ private:
+  Graph g_;
+  int64_t capacity_bits_;
+  /// Per-round used bits, grown on demand. uint16 keeps long simulations
+  /// (millions of rounds x hundreds of edges) memory-friendly; capacities
+  /// above 65535 bits/round are rejected at construction.
+  std::vector<std::vector<uint16_t>> usage_fwd_;
+  std::vector<std::vector<uint16_t>> usage_bwd_;
+  int64_t horizon_ = 0;
+  int64_t total_bits_ = 0;
+};
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_NETWORK_SIMULATOR_H_

@@ -1,0 +1,250 @@
+// The paper's distributed protocols, executed against the SyncNetwork
+// transport ledger:
+//
+//  * RunTrivialProtocol    — ship every relation to the sink and solve
+//                            locally (Lemma 3.1, cost τ_MCF).
+//  * RunCoreForestProtocol — the main upper bound (Theorems 4.1 / 5.2,
+//                            Algorithms 1–3): process the GYO-GHD bottom-up;
+//                            each star is one broadcast of the center
+//                            relation plus one aggregated set-intersection
+//                            over a packed family of edge-disjoint Steiner
+//                            trees (Theorem 3.11); the leftover core is
+//                            finished with the trivial protocol.
+//
+// Transport is simulated round-by-round with exact capacity accounting;
+// relation payloads are computed at the owning node exactly when the
+// simulated transfer completes, so answers are bit-identical to the
+// centralized solvers while round counts reflect Model 2.1.
+#ifndef TOPOFAQ_PROTOCOLS_DISTRIBUTED_H_
+#define TOPOFAQ_PROTOCOLS_DISTRIBUTED_H_
+
+#include <algorithm>
+
+#include "faq/solvers.h"
+#include "ghd/width.h"
+#include "network/primitives.h"
+#include "network/simulator.h"
+#include "protocols/instance.h"
+
+namespace topofaq {
+
+/// Lemma 3.1: gather all relations at the sink, solve centrally.
+template <CommutativeSemiring S>
+Result<ProtocolResult<S>> RunTrivialProtocol(const DistInstance<S>& inst) {
+  DistInstance<S> in = inst;
+  TOPOFAQ_RETURN_IF_ERROR(in.Finalize());
+  SyncNetwork net(in.topology, in.capacity_bits);
+
+  std::vector<FlowDemand> demands;
+  for (int e = 0; e < in.query.hypergraph.num_edges(); ++e)
+    if (in.owners[e] != in.sink)
+      demands.push_back(
+          {in.owners[e], in.query.relations[e].EncodedBits(in.bits_per_attr)});
+  int64_t finish = demands.empty() ? 0 : GatherFlows(&net, demands, in.sink, 0);
+
+  auto answer = BruteForceSolve(in.query);
+  if (!answer.ok()) return answer.status();
+  ProtocolResult<S> out;
+  out.answer = std::move(answer.value());
+  out.stats.rounds = finish;
+  out.stats.total_bits = net.total_bits();
+  return out;
+}
+
+namespace internal {
+
+/// Picks, for each Steiner tree in the plan, the convergecast root: the
+/// plan's trees all span K_star, and the center owner is a terminal, so it
+/// roots every tree.
+inline std::vector<RootedTree> OrientAll(const Graph& g,
+                                         const std::vector<SteinerTree>& trees,
+                                         NodeId root) {
+  std::vector<RootedTree> out;
+  out.reserve(trees.size());
+  for (const auto& t : trees) out.push_back(OrientTree(g, t.edges, root));
+  return out;
+}
+
+}  // namespace internal
+
+/// Options for the structured protocol.
+struct CoreForestOptions {
+  /// Width-minimization restarts (0: canonical decomposition only).
+  int width_restarts = 8;
+  uint64_t seed = 0xfa0;
+};
+
+/// The Theorem 4.1 / 5.2 protocol. Works for any assignment of relations to
+/// players; requires F ⊆ V(C(H)) (Appendix G.5).
+template <CommutativeSemiring S>
+Result<ProtocolResult<S>> RunCoreForestProtocol(
+    const DistInstance<S>& inst, const CoreForestOptions& opts = {}) {
+  DistInstance<S> in = inst;
+  TOPOFAQ_RETURN_IF_ERROR(in.Finalize());
+  WidthResult w;
+  if (in.query.free_vars.empty()) {
+    w = opts.width_restarts > 0
+            ? MinimizeWidth(in.query.hypergraph, opts.width_restarts, opts.seed)
+            : ComputeWidth(in.query.hypergraph);
+  } else {
+    std::vector<VarId> f = in.query.free_vars;
+    std::sort(f.begin(), f.end());
+    auto rooted = MinimizeWidthWithRoot(in.query.hypergraph, f,
+                                        opts.width_restarts, opts.seed);
+    if (!rooted.ok()) return rooted.status();
+    w = std::move(rooted.value());
+  }
+  const Ghd& ghd = w.decomposition.ghd;
+  const auto& root_chi = ghd.node(ghd.root()).chi;
+  for (VarId v : in.query.free_vars)
+    if (!std::binary_search(root_chi.begin(), root_chi.end(), v))
+      return Status::FailedPrecondition(
+          "free variable outside V(C(H)) (Appendix G.5)");
+
+  SyncNetwork net(in.topology, in.capacity_bits);
+  int64_t round = 0;
+
+  // Node state: current relation + owning player.
+  const int n_nodes = ghd.num_nodes();
+  std::vector<Relation<S>> state(n_nodes);
+  std::vector<NodeId> node_owner(n_nodes, in.sink);
+  std::vector<bool> removed(n_nodes, false);
+  for (int v = 0; v < n_nodes; ++v) {
+    const int e = ghd.node(v).edge_id;
+    if (e >= 0) {
+      state[v] = in.query.relations[e];
+      node_owner[v] = in.owners[e];
+    } else {
+      state[v] = internal::UnitRelation<S>();
+    }
+  }
+  // Bottom-up star elimination (Lemma 4.1 / F.1): repeatedly take an
+  // internal node whose children are all leaves, run Algorithm 1/2/3 on that
+  // star. The root (whether a real relation or the synthetic core bag) is
+  // handled after the loop.
+  // The root is itself a star center when it carries a real relation (the
+  // acyclic case): Algorithm 2 applies there too. The synthetic core bag
+  // (cyclic H or a multi-component forest) is finished by the trivial
+  // protocol instead.
+  const bool root_is_relation = ghd.node(ghd.root()).edge_id >= 0;
+  auto order = ghd.BottomUpOrder();
+  for (int center : order) {
+    if (center == ghd.root() && !root_is_relation) break;
+    if (ghd.node(center).children.empty()) continue;
+    // BottomUpOrder guarantees children were already processed (their own
+    // subtrees are folded into them), so this is now a bottom star.
+    const auto& kids = ghd.node(center).children;
+
+    // Algorithm 1/2/3 star step. Participants: the center owner and the
+    // leaf owners.
+    std::vector<NodeId> leaf_owners;
+    for (int c : kids)
+      if (node_owner[c] != node_owner[center])
+        leaf_owners.push_back(node_owner[c]);
+    std::vector<NodeId> k_star{node_owner[center]};
+    k_star.insert(k_star.end(), leaf_owners.begin(), leaf_owners.end());
+    std::sort(k_star.begin(), k_star.end());
+    k_star.erase(std::unique(k_star.begin(), k_star.end()), k_star.end());
+
+    const int64_t center_bits = state[center].EncodedBits(in.bits_per_attr);
+    const int64_t n_items = static_cast<int64_t>(state[center].size());
+
+    if (k_star.size() > 1 && n_items > 0) {
+      // One Steiner-tree packing serves both phases (all trees span K_star
+      // and are rooted at the center owner): step 3's broadcast of the
+      // center relation flows *down* the trees in chunks, and the
+      // Theorem 3.11 combine flows *up* as a pipelined convergecast of the
+      // |R_center| aggregated values.
+      const int64_t star_bits = center_bits + n_items * S::kValueBits;
+      const int64_t plan_items =
+          std::max<int64_t>(1, CeilDiv(star_bits, in.capacity_bits));
+      IntersectionPlan plan = PlanIntersection(in.topology, k_star, plan_items,
+                                               opts.seed + center);
+      auto rooted = internal::OrientAll(in.topology, plan.trees,
+                                        node_owner[center]);
+      round = MultiTreeBroadcast(&net, rooted, center_bits, round);
+
+      // Leaves now hold the center relation; messages are computed locally
+      // (Corollary G.2 push-down of private bound variables), then combined
+      // on the way up.
+      const int64_t chunk = CeilDiv(n_items, static_cast<int64_t>(rooted.size()));
+      int64_t finish = round;
+      for (auto& tree : rooted)
+        finish = std::max(finish, ConvergecastItems(&net, tree, chunk,
+                                                    S::kValueBits, round));
+      round = finish;
+    }
+
+    // Functional leaf messages: relation over χ(center) ∩ χ(leaf) with
+    // private bound variables aggregated out.
+    std::vector<Relation<S>> messages;
+    for (int c : kids) {
+      const auto& center_schema = state[center].schema();
+      std::vector<VarId> private_vars;
+      for (VarId x : state[c].schema().vars())
+        if (!center_schema.Contains(x)) private_vars.push_back(x);
+      messages.push_back(
+          internal::EliminateAll(state[c], private_vars, in.query));
+      removed[c] = true;
+    }
+
+    // Functional update of the center relation (what the convergecast
+    // delivered): R'_center = R_center ⊗ Π_c message_c, elementwise over
+    // center tuples (message schemas are subsets of the center schema, so
+    // the center schema is preserved).
+    for (const auto& msg : messages) state[center] = Join(state[center], msg);
+  }
+
+  // Finish. If the root was a star center it now holds the fully reduced
+  // relation: eliminate remaining bound variables locally and route the
+  // answer to the sink. Otherwise (synthetic core bag) gather the surviving
+  // relations at the sink with the trivial protocol and solve the residual
+  // core there (Lemma 4.2 / F.2).
+  Relation<S> acc = internal::UnitRelation<S>();
+  if (root_is_relation) {
+    acc = std::move(state[ghd.root()]);
+    std::vector<VarId> bound;
+    for (VarId v : acc.schema().vars())
+      if (std::find(in.query.free_vars.begin(), in.query.free_vars.end(), v) ==
+          in.query.free_vars.end())
+        bound.push_back(v);
+    acc = internal::EliminateAll(std::move(acc), bound, in.query);
+  } else {
+    std::vector<FlowDemand> demands;
+    std::vector<Relation<S>> at_sink;
+    for (int c : ghd.node(ghd.root()).children) {
+      if (removed[c]) continue;
+      if (node_owner[c] != in.sink)
+        demands.push_back(
+            {node_owner[c], state[c].EncodedBits(in.bits_per_attr)});
+      at_sink.push_back(state[c]);
+    }
+    if (!demands.empty()) round = GatherFlows(&net, demands, in.sink, round);
+    acc = internal::JoinAndEliminate(at_sink, in.query);
+  }
+  acc = Project(acc, in.query.free_vars);
+  if (root_is_relation && node_owner[ghd.root()] != in.sink)
+    round = UnicastBits(&net, node_owner[ghd.root()], in.sink,
+                        std::max<int64_t>(1, acc.EncodedBits(in.bits_per_attr)),
+                        round);
+
+  ProtocolResult<S> out;
+  out.answer = std::move(acc);
+  out.stats.rounds = round;
+  out.stats.total_bits = net.total_bits();
+  return out;
+}
+
+/// BCQ wrapper: runs the structured protocol, answer is satisfiability.
+inline Result<bool> RunBcqProtocol(const DistInstance<BooleanSemiring>& inst,
+                                   ProtocolStats* stats = nullptr,
+                                   const CoreForestOptions& opts = {}) {
+  auto r = RunCoreForestProtocol(inst, opts);
+  if (!r.ok()) return r.status();
+  if (stats != nullptr) *stats = r->stats;
+  return !r->answer.empty();
+}
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_PROTOCOLS_DISTRIBUTED_H_

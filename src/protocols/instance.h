@@ -1,0 +1,84 @@
+// A distributed FAQ instance (Model 2.1): the query, the topology G, the
+// assignment of input functions to players, the designated sink, and the
+// channel budget (the paper's O(r·log2 D) bits per edge per round).
+#ifndef TOPOFAQ_PROTOCOLS_INSTANCE_H_
+#define TOPOFAQ_PROTOCOLS_INSTANCE_H_
+
+#include <vector>
+
+#include "faq/query.h"
+#include "graphalg/graph.h"
+#include "util/bits.h"
+
+namespace topofaq {
+
+template <CommutativeSemiring S>
+struct DistInstance {
+  FaqQuery<S> query;
+  Graph topology;
+  /// owners[e] = node holding relation e. More than one function may live on
+  /// one player (|K| <= k, as exploited by the lower bounds).
+  std::vector<NodeId> owners;
+  /// The pre-determined player that must know the answer.
+  NodeId sink = 0;
+  /// Per-attribute wire width: log2(D). Derived by default.
+  int bits_per_attr = 0;
+  /// Per-edge per-round budget. Model 2.1 allots O(r·log2 D) bits so that
+  /// "any tuple in any function can be communicated" each round; for
+  /// annotated tuples this means r·log2(D) + kValueBits (the default).
+  int64_t capacity_bits = 0;
+
+  /// Fills derived fields and validates shapes.
+  Status Finalize() {
+    TOPOFAQ_RETURN_IF_ERROR(query.Validate());
+    if (static_cast<int>(owners.size()) != query.hypergraph.num_edges())
+      return Status::InvalidArgument("one owner per relation required");
+    for (NodeId o : owners)
+      if (o < 0 || o >= topology.num_nodes())
+        return Status::InvalidArgument("owner node out of range");
+    if (sink < 0 || sink >= topology.num_nodes())
+      return Status::InvalidArgument("sink out of range");
+    if (!topology.IsConnected())
+      return Status::InvalidArgument("topology must be connected");
+    if (bits_per_attr == 0)
+      bits_per_attr = BitsForDomain(query.DomainSize());
+    if (capacity_bits == 0)
+      capacity_bits =
+          static_cast<int64_t>(std::max(1, query.hypergraph.MaxArity())) *
+              bits_per_attr +
+          S::kValueBits;
+    return Status::Ok();
+  }
+
+  /// Distinct players (the set K).
+  std::vector<NodeId> Players() const {
+    std::vector<NodeId> k = owners;
+    std::sort(k.begin(), k.end());
+    k.erase(std::unique(k.begin(), k.end()), k.end());
+    return k;
+  }
+};
+
+/// Round/byte accounting common to all protocols.
+struct ProtocolStats {
+  int64_t rounds = 0;
+  int64_t total_bits = 0;
+};
+
+template <CommutativeSemiring S>
+struct ProtocolResult {
+  Relation<S> answer;
+  ProtocolStats stats;
+};
+
+/// Spreads relations over nodes round-robin (the default assignment used by
+/// upper-bound experiments; upper bounds hold for *every* assignment).
+inline std::vector<NodeId> RoundRobinOwners(int num_relations, int num_nodes) {
+  std::vector<NodeId> owners(num_relations);
+  for (int e = 0; e < num_relations; ++e) owners[e] = e % num_nodes;
+  return owners;
+}
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_PROTOCOLS_INSTANCE_H_

@@ -1,0 +1,180 @@
+// Semiring-annotated relations in *listing representation*: a function
+// f_e : ∏_{v∈e} Dom(v) → D is stored as the list of its tuples with non-zero
+// value, R_e = {(y, f_e(y)) : f_e(y) ≠ 0} — exactly the input representation
+// assumed by the paper (Section 1).
+//
+// Storage is flat (row-major, fixed arity stride) for cache friendliness; the
+// annotation array is parallel to the rows.
+#ifndef TOPOFAQ_RELATION_RELATION_H_
+#define TOPOFAQ_RELATION_RELATION_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "semiring/semiring.h"
+#include "util/bits.h"
+#include "util/check.h"
+#include "util/types.h"
+
+namespace topofaq {
+
+/// An ordered list of distinct variables naming a relation's columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<VarId> vars) : vars_(std::move(vars)) {
+    for (size_t i = 0; i < vars_.size(); ++i)
+      for (size_t j = i + 1; j < vars_.size(); ++j)
+        TOPOFAQ_CHECK_MSG(vars_[i] != vars_[j], "duplicate variable in schema");
+  }
+
+  size_t arity() const { return vars_.size(); }
+  const std::vector<VarId>& vars() const { return vars_; }
+  VarId var(size_t i) const { return vars_[i]; }
+
+  /// Position of `v` in this schema, or -1 if absent.
+  int PositionOf(VarId v) const {
+    for (size_t i = 0; i < vars_.size(); ++i)
+      if (vars_[i] == v) return static_cast<int>(i);
+    return -1;
+  }
+  bool Contains(VarId v) const { return PositionOf(v) >= 0; }
+
+  /// Variables present in both schemas, in this schema's order.
+  std::vector<VarId> SharedWith(const Schema& other) const {
+    std::vector<VarId> out;
+    for (VarId v : vars_)
+      if (other.Contains(v)) out.push_back(v);
+    return out;
+  }
+
+  bool operator==(const Schema& other) const { return vars_ == other.vars_; }
+
+ private:
+  std::vector<VarId> vars_;
+};
+
+/// A relation annotated with values from semiring S.
+template <CommutativeSemiring S>
+class Relation {
+ public:
+  using SemiringValue = typename S::Value;
+
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t arity() const { return schema_.arity(); }
+  size_t size() const { return annots_.size(); }
+  bool empty() const { return annots_.empty(); }
+
+  /// The i-th tuple as a read-only view.
+  std::span<const Value> tuple(size_t i) const {
+    return {data_.data() + i * arity(), arity()};
+  }
+  SemiringValue annot(size_t i) const { return annots_[i]; }
+  void set_annot(size_t i, SemiringValue v) { annots_[i] = v; }
+
+  /// Appends (t, v). Zero-annotated tuples are dropped (listing rep stores
+  /// only non-zeros). Duplicates are merged by Canonicalize().
+  void Add(std::span<const Value> t, SemiringValue v) {
+    TOPOFAQ_CHECK(t.size() == arity());
+    if (S::IsZero(v)) return;
+    data_.insert(data_.end(), t.begin(), t.end());
+    annots_.push_back(v);
+  }
+  void Add(std::initializer_list<Value> t, SemiringValue v) {
+    Add(std::span<const Value>(t.begin(), t.size()), v);
+  }
+  /// Convenience: annotation = 1.
+  void Add(std::initializer_list<Value> t) { Add(t, S::One()); }
+
+  /// Sorts rows lexicographically, merges duplicate tuples with S::Add, and
+  /// drops zero annotations. After this, the relation is a canonical function
+  /// representation: pointwise-equal functions compare equal.
+  void Canonicalize() {
+    const size_t a = arity();
+    const size_t n = size();
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+      return std::lexicographical_compare(
+          data_.begin() + x * a, data_.begin() + (x + 1) * a,
+          data_.begin() + y * a, data_.begin() + (y + 1) * a);
+    });
+    std::vector<Value> nd;
+    std::vector<SemiringValue> na;
+    nd.reserve(data_.size());
+    na.reserve(n);
+    for (size_t idx = 0; idx < n;) {
+      size_t run_end = idx + 1;
+      while (run_end < n &&
+             std::equal(data_.begin() + order[idx] * a,
+                        data_.begin() + (order[idx] + 1) * a,
+                        data_.begin() + order[run_end] * a))
+        ++run_end;
+      SemiringValue acc = annots_[order[idx]];
+      for (size_t j = idx + 1; j < run_end; ++j)
+        acc = S::Add(acc, annots_[order[j]]);
+      if (!S::IsZero(acc)) {
+        nd.insert(nd.end(), data_.begin() + order[idx] * a,
+                  data_.begin() + (order[idx] + 1) * a);
+        na.push_back(acc);
+      }
+      idx = run_end;
+    }
+    data_ = std::move(nd);
+    annots_ = std::move(na);
+  }
+
+  /// Exact function equality (both sides are canonicalized copies).
+  bool EqualsAsFunction(const Relation& other) const {
+    if (!(schema_ == other.schema_)) return false;
+    Relation a = *this, b = other;
+    a.Canonicalize();
+    b.Canonicalize();
+    return a.data_ == b.data_ && a.annots_ == b.annots_;
+  }
+
+  /// Wire size in bits when shipped over the network: each tuple costs
+  /// arity·bits_per_attr (the paper's r·log2 D) plus kValueBits annotation.
+  int64_t EncodedBits(int bits_per_attr) const {
+    return static_cast<int64_t>(size()) *
+           (static_cast<int64_t>(arity()) * bits_per_attr + S::kValueBits);
+  }
+
+  /// Largest attribute value + 1 appearing anywhere (lower bound on D).
+  uint64_t MaxValuePlusOne() const {
+    uint64_t m = 1;
+    for (Value v : data_) m = std::max(m, v + 1);
+    return m;
+  }
+
+  std::string DebugString() const {
+    std::string out = "[";
+    for (size_t i = 0; i < size(); ++i) {
+      if (i) out += ", ";
+      out += "(";
+      for (size_t j = 0; j < arity(); ++j) {
+        if (j) out += ",";
+        out += std::to_string(tuple(i)[j]);
+      }
+      out += ")";
+    }
+    out += "]";
+    return out;
+  }
+
+ private:
+  Schema schema_;
+  std::vector<Value> data_;             // row-major, stride = arity()
+  std::vector<SemiringValue> annots_;   // parallel to rows
+};
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_RELATION_RELATION_H_

@@ -1,0 +1,120 @@
+// Commutative semirings (D, ⊕, ⊗) with additive identity 0 and multiplicative
+// identity 1, exactly as required by the FAQ framework (Abo Khamis et al.,
+// PODS'16) and by Section 1 of the paper: ⊕ and ⊗ are commutative monoids,
+// ⊗ distributes over ⊕, and 0 annihilates under ⊗.
+//
+// A semiring is a stateless struct with:
+//   using Value = ...;
+//   static Value Zero();            // additive identity
+//   static Value One();             // multiplicative identity
+//   static Value Add(Value, Value);
+//   static Value Multiply(Value, Value);
+//   static bool IsZero(Value);
+//   static constexpr int kValueBits;  // wire size of one annotation value
+//   static constexpr const char* kName;
+#ifndef TOPOFAQ_SEMIRING_SEMIRING_H_
+#define TOPOFAQ_SEMIRING_SEMIRING_H_
+
+#include <algorithm>
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+#include <limits>
+
+namespace topofaq {
+
+/// Concept satisfied by all semiring structs in this library.
+template <typename S>
+concept CommutativeSemiring = requires(typename S::Value a, typename S::Value b) {
+  { S::Zero() } -> std::same_as<typename S::Value>;
+  { S::One() } -> std::same_as<typename S::Value>;
+  { S::Add(a, b) } -> std::same_as<typename S::Value>;
+  { S::Multiply(a, b) } -> std::same_as<typename S::Value>;
+  { S::IsZero(a) } -> std::same_as<bool>;
+  { S::kValueBits } -> std::convertible_to<int>;
+};
+
+/// The Boolean semiring ({0,1}, ∨, ∧). BCQ and natural join live here
+/// (paper Section 1: F = ∅ gives BCQ, F = V gives natural join).
+struct BooleanSemiring {
+  using Value = uint8_t;
+  static Value Zero() { return 0; }
+  static Value One() { return 1; }
+  static Value Add(Value a, Value b) { return a | b; }
+  static Value Multiply(Value a, Value b) { return a & b; }
+  static bool IsZero(Value a) { return a == 0; }
+  static constexpr int kValueBits = 1;
+  static constexpr const char* kName = "Boolean";
+};
+
+/// (ℝ≥0, +, ×): probability/counting semiring; PGM marginals (Section 1).
+struct CountingSemiring {
+  using Value = double;
+  static Value Zero() { return 0.0; }
+  static Value One() { return 1.0; }
+  static Value Add(Value a, Value b) { return a + b; }
+  static Value Multiply(Value a, Value b) { return a * b; }
+  static bool IsZero(Value a) { return a == 0.0; }
+  static constexpr int kValueBits = 64;
+  static constexpr const char* kName = "Counting";
+};
+
+/// (ℕ, +, ×) over uint64 (wrapping): exact count aggregation.
+struct NaturalSemiring {
+  using Value = uint64_t;
+  static Value Zero() { return 0; }
+  static Value One() { return 1; }
+  static Value Add(Value a, Value b) { return a + b; }
+  static Value Multiply(Value a, Value b) { return a * b; }
+  static bool IsZero(Value a) { return a == 0; }
+  static constexpr int kValueBits = 64;
+  static constexpr const char* kName = "Natural";
+};
+
+/// Tropical (min, +) semiring: shortest-path style aggregation.
+struct MinPlusSemiring {
+  using Value = double;
+  static Value Zero() { return std::numeric_limits<double>::infinity(); }
+  static Value One() { return 0.0; }
+  static Value Add(Value a, Value b) { return std::min(a, b); }
+  static Value Multiply(Value a, Value b) { return a + b; }
+  static bool IsZero(Value a) { return std::isinf(a) && a > 0; }
+  static constexpr int kValueBits = 64;
+  static constexpr const char* kName = "MinPlus";
+};
+
+/// (max, ×) over ℝ≥0: MAP / most-probable-explanation aggregation in PGMs.
+struct MaxProductSemiring {
+  using Value = double;
+  static Value Zero() { return 0.0; }
+  static Value One() { return 1.0; }
+  static Value Add(Value a, Value b) { return std::max(a, b); }
+  static Value Multiply(Value a, Value b) { return a * b; }
+  static bool IsZero(Value a) { return a == 0.0; }
+  static constexpr int kValueBits = 64;
+  static constexpr const char* kName = "MaxProduct";
+};
+
+/// GF(2) = F2 (⊕ = XOR, ⊗ = AND). The MCM problem of Section 6 is FAQ-SS
+/// over this semiring (Eq. (5) of the paper).
+struct Gf2Semiring {
+  using Value = uint8_t;
+  static Value Zero() { return 0; }
+  static Value One() { return 1; }
+  static Value Add(Value a, Value b) { return a ^ b; }
+  static Value Multiply(Value a, Value b) { return a & b; }
+  static bool IsZero(Value a) { return a == 0; }
+  static constexpr int kValueBits = 1;
+  static constexpr const char* kName = "GF2";
+};
+
+static_assert(CommutativeSemiring<BooleanSemiring>);
+static_assert(CommutativeSemiring<CountingSemiring>);
+static_assert(CommutativeSemiring<NaturalSemiring>);
+static_assert(CommutativeSemiring<MinPlusSemiring>);
+static_assert(CommutativeSemiring<MaxProductSemiring>);
+static_assert(CommutativeSemiring<Gf2Semiring>);
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_SEMIRING_SEMIRING_H_

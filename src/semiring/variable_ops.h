@@ -1,0 +1,60 @@
+// Per-bound-variable aggregate operators for the *general* FAQ problem
+// (Eq. (4) of the paper): each bound variable i carries its own ⊕(i), which is
+// either the semiring's ⊗ (a "product aggregate") or forms a commutative
+// semiring (D, ⊕(i), ⊗) sharing the same 0 and 1 (a "semiring aggregate").
+//
+// We realize this generality over a numeric domain: a runtime VarOp selects
+// the aggregate applied when a bound variable is eliminated.
+#ifndef TOPOFAQ_SEMIRING_VARIABLE_OPS_H_
+#define TOPOFAQ_SEMIRING_VARIABLE_OPS_H_
+
+#include <algorithm>
+
+#include "semiring/semiring.h"
+
+namespace topofaq {
+
+/// Aggregate operator choices for bound variables in a general FAQ.
+enum class VarOp {
+  kSemiringSum,  ///< the semiring's own ⊕ (FAQ-SS default)
+  kMax,          ///< (D, max, ⊗) semiring aggregate
+  kMin,          ///< (D, min, ⊗) semiring aggregate
+  kProduct,      ///< ⊕(i) = ⊗ (product aggregate)
+};
+
+/// Returns a stable display name.
+inline const char* VarOpName(VarOp op) {
+  switch (op) {
+    case VarOp::kSemiringSum:
+      return "sum";
+    case VarOp::kMax:
+      return "max";
+    case VarOp::kMin:
+      return "min";
+    case VarOp::kProduct:
+      return "prod";
+  }
+  return "?";
+}
+
+/// Applies `op` to two accumulated values of semiring S. kMax/kMin require an
+/// ordered Value type; they are only meaningful for numeric semirings
+/// (Counting / MaxProduct / MinPlus share Value = double).
+template <CommutativeSemiring S>
+typename S::Value ApplyVarOp(VarOp op, typename S::Value a, typename S::Value b) {
+  switch (op) {
+    case VarOp::kSemiringSum:
+      return S::Add(a, b);
+    case VarOp::kMax:
+      return std::max(a, b);
+    case VarOp::kMin:
+      return std::min(a, b);
+    case VarOp::kProduct:
+      return S::Multiply(a, b);
+  }
+  return S::Zero();
+}
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_SEMIRING_VARIABLE_OPS_H_

@@ -1,0 +1,34 @@
+// Small integer helpers used for communication-cost accounting.
+#ifndef TOPOFAQ_UTIL_BITS_H_
+#define TOPOFAQ_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace topofaq {
+
+/// ceil(a / b) for positive b.
+inline int64_t CeilDiv(int64_t a, int64_t b) {
+  TOPOFAQ_CHECK(b > 0);
+  return (a + b - 1) / b;
+}
+
+/// ceil(log2(x)) for x >= 1; 0 for x == 1.
+inline int CeilLog2(uint64_t x) {
+  TOPOFAQ_CHECK(x >= 1);
+  return x == 1 ? 0 : 64 - std::countl_zero(x - 1);
+}
+
+/// Number of bits needed to encode a value in [0, domain_size); at least 1.
+/// This is the paper's log2(D) factor for a single attribute value.
+inline int BitsForDomain(uint64_t domain_size) {
+  TOPOFAQ_CHECK(domain_size >= 1);
+  int b = CeilLog2(domain_size);
+  return b < 1 ? 1 : b;
+}
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_UTIL_BITS_H_

@@ -1,0 +1,45 @@
+// Invariant-checking macros.
+//
+// TOPOFAQ_CHECK is used for programmer-error invariants that must hold in all
+// build modes (the library is an algorithms/research engine, so we prefer
+// loud, immediate failure over silently wrong round counts). Recoverable,
+// input-dependent failures use util/status.h instead.
+#ifndef TOPOFAQ_UTIL_CHECK_H_
+#define TOPOFAQ_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace topofaq {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const char* msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace topofaq
+
+#define TOPOFAQ_CHECK(cond)                                                 \
+  do {                                                                      \
+    if (!(cond)) ::topofaq::internal::CheckFailed(__FILE__, __LINE__, #cond, ""); \
+  } while (0)
+
+#define TOPOFAQ_CHECK_MSG(cond, msg)                                        \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::topofaq::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg));   \
+  } while (0)
+
+#ifdef NDEBUG
+#define TOPOFAQ_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define TOPOFAQ_DCHECK(cond) TOPOFAQ_CHECK(cond)
+#endif
+
+#endif  // TOPOFAQ_UTIL_CHECK_H_

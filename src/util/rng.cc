@@ -1,0 +1,74 @@
+#include "util/rng.h"
+
+#include <unordered_set>
+
+namespace topofaq {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextU64(uint64_t bound) {
+  TOPOFAQ_CHECK(bound > 0);
+  // Rejection sampling over the largest multiple of bound.
+  const uint64_t limit = bound * (UINT64_MAX / bound);
+  uint64_t x;
+  do {
+    x = NextU64();
+  } while (x >= limit);
+  return x % bound;
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  TOPOFAQ_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextU64(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+std::vector<uint64_t> Rng::Sample(uint64_t n, uint64_t k) {
+  TOPOFAQ_CHECK(k <= n);
+  // Floyd's algorithm: k iterations, O(k) memory.
+  std::unordered_set<uint64_t> chosen;
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  for (uint64_t j = n - k; j < n; ++j) {
+    uint64_t t = NextU64(j + 1);
+    if (chosen.count(t)) t = j;
+    chosen.insert(t);
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace topofaq

@@ -1,0 +1,119 @@
+// Status / Result<T>: lightweight error propagation without exceptions,
+// in the style of Arrow / RocksDB status objects.
+#ifndef TOPOFAQ_UTIL_STATUS_H_
+#define TOPOFAQ_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace topofaq {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kNotFound,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the OK path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : v_(std::move(status)) {  // NOLINT
+    TOPOFAQ_CHECK_MSG(!std::get<Status>(v_).ok(),
+                      "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  /// Crashes if not OK; use only after checking ok() or in tests.
+  const T& value() const& {
+    TOPOFAQ_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    TOPOFAQ_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    TOPOFAQ_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(std::move(v_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace topofaq
+
+/// Propagates a non-OK Status from the current function.
+#define TOPOFAQ_RETURN_IF_ERROR(expr)          \
+  do {                                         \
+    ::topofaq::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#endif  // TOPOFAQ_UTIL_STATUS_H_

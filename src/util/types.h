@@ -1,0 +1,20 @@
+// Shared low-level identifiers used across modules.
+#ifndef TOPOFAQ_UTIL_TYPES_H_
+#define TOPOFAQ_UTIL_TYPES_H_
+
+#include <cstdint>
+
+namespace topofaq {
+
+/// Identifier for a query variable (a vertex of the query hypergraph H).
+using VarId = uint32_t;
+
+/// A single attribute value; domains are [0, D).
+using Value = uint64_t;
+
+/// Identifier for a node of the network topology G.
+using NodeId = int;
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_UTIL_TYPES_H_

@@ -1,0 +1,227 @@
+// Graph, max-flow/min-cut, Steiner-tree packing and gather-planning tests —
+// including the Example 2.3 packing (two edge-disjoint Hamiltonian paths in
+// the 4-clique G2) and MinCut(G1, K) = 1 from Example 2.4.
+#include <gtest/gtest.h>
+
+#include "graphalg/graph.h"
+#include "graphalg/maxflow.h"
+#include "graphalg/routing.h"
+#include "graphalg/steiner.h"
+#include "graphalg/topologies.h"
+#include "util/rng.h"
+
+namespace topofaq {
+namespace {
+
+TEST(Graph, BasicAccessors) {
+  Graph g(4);
+  int e01 = g.AddEdge(0, 1);
+  int e12 = g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.EdgeBetween(2, 1), e12);
+  EXPECT_EQ(g.OtherEnd(e01, 0), 1);
+  EXPECT_EQ(g.OtherEnd(e01, 1), 0);
+  EXPECT_EQ(g.DegreeOf(1), 2);
+}
+
+TEST(Graph, BfsDistancesAndPaths) {
+  Graph g = LineTopology(5);
+  auto d = g.BfsDistances(0);
+  EXPECT_EQ(d[4], 4);
+  auto p = g.ShortestPath(0, 3);
+  EXPECT_EQ(p, (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(Graph, EdgeFilterRestrictsTraversal) {
+  Graph g = CliqueTopology(4);
+  std::vector<bool> alive(g.num_edges(), false);
+  alive[g.EdgeBetween(0, 1)] = true;
+  alive[g.EdgeBetween(1, 2)] = true;
+  auto d = g.BfsDistances(0, &alive);
+  EXPECT_EQ(d[2], 2);  // forced through 1
+  EXPECT_EQ(d[3], -1);
+}
+
+TEST(Graph, Diameters) {
+  EXPECT_EQ(LineTopology(6).Diameter(), 5);
+  EXPECT_EQ(CliqueTopology(6).Diameter(), 1);
+  EXPECT_EQ(RingTopology(8).Diameter(), 4);
+  EXPECT_EQ(GridTopology(3, 4).Diameter(), 5);
+  EXPECT_EQ(LineTopology(6).DiameterAmong({1, 3}), 2);
+}
+
+TEST(Topologies, ShapesAndSizes) {
+  EXPECT_EQ(CliqueTopology(5).num_edges(), 10);
+  EXPECT_EQ(StarTopology(7).num_edges(), 6);
+  EXPECT_EQ(GridTopology(3, 3).num_edges(), 12);
+  EXPECT_EQ(BalancedTreeTopology(2, 3).num_nodes(), 15);
+  EXPECT_EQ(BalancedTreeTopology(2, 3).num_edges(), 14);
+  EXPECT_EQ(DumbbellTopology(4, 4).num_edges(), 2 * 6 + 1);
+  Graph mpc = MpcZeroTopology(3, 4);
+  EXPECT_EQ(mpc.num_nodes(), 7);
+  EXPECT_EQ(mpc.num_edges(), 6 + 12);  // p-clique + k*p links
+  EXPECT_TRUE(mpc.IsConnected());
+}
+
+TEST(Topologies, RandomConnectedIsConnected) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_TRUE(RandomConnectedTopology(12, 5, &rng).IsConnected());
+}
+
+// --- Max flow / min cut -----------------------------------------------------
+
+TEST(MaxFlow, LineHasUnitFlow) {
+  EXPECT_EQ(MaxFlow(LineTopology(5), 0, 4), 1);
+}
+
+TEST(MaxFlow, CliqueFlowEqualsDegree) {
+  EXPECT_EQ(MaxFlow(CliqueTopology(5), 0, 4), 4);
+}
+
+TEST(MaxFlow, RingHasTwoPaths) { EXPECT_EQ(MaxFlow(RingTopology(6), 0, 3), 2); }
+
+TEST(MaxFlow, CapacityScalesFlow) {
+  EXPECT_EQ(MaxFlow(LineTopology(3), 0, 2, /*capacity=*/7), 7);
+}
+
+TEST(MaxFlow, FromSetUsesAllSources) {
+  Graph g = StarTopology(5);
+  // Sources are all spokes; hub absorbs 4 unit flows.
+  EXPECT_EQ(MaxFlowFromSet(g, {1, 2, 3, 4}, 0), 4);
+}
+
+TEST(MinCut, LineSeparatingCutIsOne) {
+  // Example 2.4: MinCut(G1, K) = 1.
+  MinCutResult r = MinCutBetween(LineTopology(4), {0, 1, 2, 3});
+  EXPECT_EQ(r.value, 1);
+  EXPECT_EQ(r.cut_edges.size(), 1u);
+}
+
+TEST(MinCut, CliqueCutIsDegree) {
+  MinCutResult r = MinCutBetween(CliqueTopology(4), {0, 1, 2, 3});
+  EXPECT_EQ(r.value, 3);
+}
+
+TEST(MinCut, DumbbellBridgeIsTheCut) {
+  Graph g = DumbbellTopology(4, 4);
+  MinCutResult r = MinCutBetween(g, {0, 7});
+  EXPECT_EQ(r.value, 1);
+  ASSERT_EQ(r.cut_edges.size(), 1u);
+  auto [u, v] = g.edge(r.cut_edges[0]);
+  EXPECT_EQ(u, 3);
+  EXPECT_EQ(v, 4);
+}
+
+TEST(MinCut, SubsetTerminalsCanHaveLargerCut) {
+  // On a line with terminals at both ends of a 2-wide section... use grid:
+  Graph g = GridTopology(3, 3);
+  MinCutResult corner = MinCutBetween(g, {0, 8});
+  EXPECT_EQ(corner.value, 2);  // corner degree limits the cut
+}
+
+// --- Steiner tree packing ----------------------------------------------------
+
+TEST(Steiner, LinePacksExactlyOneTree) {
+  Graph g = LineTopology(4);
+  auto trees = PackSteinerTrees(g, {0, 1, 2, 3}, 3, /*seed=*/1);
+  ASSERT_EQ(trees.size(), 1u);
+  EXPECT_TRUE(ValidatePacking(g, {0, 1, 2, 3}, 3, trees));
+}
+
+TEST(Steiner, CliquePacksTwoHamiltonianPaths) {
+  // Example 2.3 / Figure 2: W1 and W2 — two edge-disjoint diameter-3
+  // Steiner trees in the 4-clique spanning all four players.
+  Graph g = CliqueTopology(4);
+  auto trees = PackSteinerTrees(g, {0, 1, 2, 3}, 3, /*seed=*/7);
+  EXPECT_EQ(trees.size(), 2u);
+  EXPECT_TRUE(ValidatePacking(g, {0, 1, 2, 3}, 3, trees));
+}
+
+TEST(Steiner, CliqueDiameterTwoPacksOneStar) {
+  Graph g = CliqueTopology(4);
+  auto trees = PackSteinerTrees(g, {0, 1, 2, 3}, 2, /*seed=*/3);
+  EXPECT_GE(trees.size(), 1u);
+  EXPECT_TRUE(ValidatePacking(g, {0, 1, 2, 3}, 2, trees));
+}
+
+TEST(Steiner, LargerCliquePacksAboutHalfN) {
+  Graph g = CliqueTopology(8);
+  std::vector<NodeId> k{0, 1, 2, 3, 4, 5, 6, 7};
+  auto trees = PackSteinerTrees(g, k, 7, /*seed=*/11, /*restarts=*/48);
+  // 8-clique has 28 edges; a spanning tree needs 7: at most 4 trees. Lau's
+  // bound guarantees Ω(MinCut) = Ω(7); our greedy should find >= 3.
+  EXPECT_GE(trees.size(), 3u);
+  EXPECT_TRUE(ValidatePacking(g, k, 7, trees));
+}
+
+TEST(Steiner, PackingRespectsMinCutUpperBound) {
+  Rng rng(21);
+  for (int iter = 0; iter < 10; ++iter) {
+    Graph g = RandomConnectedTopology(10, 6, &rng);
+    std::vector<NodeId> k{0, 3, 7, 9};
+    auto cut = MinCutBetween(g, k);
+    auto trees = PackSteinerTrees(g, k, g.num_nodes(), /*seed=*/iter);
+    EXPECT_LE(static_cast<int64_t>(trees.size()), cut.value);
+    EXPECT_TRUE(ValidatePacking(g, k, g.num_nodes(), trees));
+  }
+}
+
+TEST(Steiner, PlanIntersectionPrefersParallelismOnClique) {
+  // N/ST + Δ: on the 4-clique with N=1000, Δ=3 with 2 trees (500+3) beats
+  // Δ=2 with 1 tree (1000+2) — the Example 2.2 → 2.3 improvement.
+  Graph g = CliqueTopology(4);
+  IntersectionPlan plan = PlanIntersection(g, {0, 1, 2, 3}, 1000);
+  EXPECT_GE(plan.trees.size(), 2u);
+  EXPECT_LE(plan.predicted_rounds, 1000 / 2 + plan.delta + 1);
+}
+
+TEST(Steiner, PlanIntersectionOnLineIsSerial) {
+  Graph g = LineTopology(4);
+  IntersectionPlan plan = PlanIntersection(g, {0, 1, 2, 3}, 1000);
+  EXPECT_EQ(plan.trees.size(), 1u);
+  EXPECT_EQ(plan.predicted_rounds, 1000 + 3);
+}
+
+// --- Gather planning ----------------------------------------------------------
+
+TEST(Routing, GatherOnLineLimitedByBridge) {
+  GatherPlan p = PlanGatherTo(LineTopology(4), {0, 1, 2, 3}, 3, 300);
+  EXPECT_EQ(p.flow, 1);
+  EXPECT_EQ(p.rounds, 300 + 3);
+}
+
+TEST(Routing, GatherOnCliqueUsesParallelEdges) {
+  GatherPlan p = PlanGatherTo(CliqueTopology(5), {0, 1, 2, 3, 4}, 0, 400);
+  EXPECT_EQ(p.flow, 4);
+  EXPECT_EQ(p.rounds, 100 + 1);
+}
+
+TEST(Routing, PlanGatherPicksBestTarget) {
+  // On a star, the hub is the best sink (flow = #spokes).
+  Graph g = StarTopology(5);
+  GatherPlan p = PlanGather(g, {0, 1, 2, 3, 4}, 100);
+  EXPECT_EQ(p.target, 0);
+  EXPECT_EQ(p.flow, 4);
+}
+
+class SteinerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SteinerSweep, PackingsAreAlwaysValid) {
+  Rng rng(100 + GetParam());
+  Graph g = RandomConnectedTopology(8 + GetParam() % 5, 4 + GetParam() % 7, &rng);
+  std::vector<NodeId> k;
+  for (int i = 0; i < g.num_nodes(); i += 2) k.push_back(i);
+  for (int delta = g.DiameterAmong(k); delta <= g.num_nodes(); ++delta) {
+    auto trees = PackSteinerTrees(g, k, delta, /*seed=*/GetParam());
+    EXPECT_TRUE(ValidatePacking(g, k, delta, trees));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SteinerSweep, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace topofaq

@@ -1,0 +1,223 @@
+// Hypergraph, GYO reduction, degeneracy and generator tests — including the
+// exact Appendix C.2 execution of GYO on H3.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hypergraph/degeneracy.h"
+#include "hypergraph/generators.h"
+#include "hypergraph/gyo.h"
+#include "hypergraph/hypergraph.h"
+#include "util/rng.h"
+
+namespace topofaq {
+namespace {
+
+TEST(Hypergraph, BasicAccessors) {
+  Hypergraph h(4, {{0, 1}, {1, 2, 3}, {0}});
+  EXPECT_EQ(h.num_vertices(), 4);
+  EXPECT_EQ(h.num_edges(), 3);
+  EXPECT_EQ(h.MaxArity(), 3);
+  EXPECT_EQ(h.Degree(0), 2);
+  EXPECT_EQ(h.Degree(1), 2);
+  EXPECT_EQ(h.Degree(3), 1);
+  EXPECT_TRUE(h.EdgeContains(1, 3));
+  EXPECT_FALSE(h.EdgeContains(0, 3));
+  EXPECT_EQ(h.IncidentEdges(0), (std::vector<int>{0, 2}));
+}
+
+TEST(Hypergraph, EdgesAreSortedAndDeduped) {
+  Hypergraph h(5, {{3, 1, 3, 2}});
+  EXPECT_EQ(h.edge(0), (std::vector<VarId>{1, 2, 3}));
+}
+
+TEST(Hypergraph, IsGraphDetectsArity) {
+  EXPECT_TRUE(PaperH1().IsGraph());
+  EXPECT_FALSE(PaperH2().IsGraph());
+  EXPECT_TRUE(PaperH0().IsGraph());  // self-loops are arity 1
+}
+
+TEST(PaperQueries, ShapesMatchFigure1) {
+  Hypergraph h1 = PaperH1();
+  EXPECT_EQ(h1.num_edges(), 4);
+  EXPECT_EQ(h1.Degree(0), 4);  // A is the star center
+  Hypergraph h2 = PaperH2();
+  EXPECT_EQ(h2.num_edges(), 4);
+  EXPECT_EQ(h2.MaxArity(), 3);
+  Hypergraph h0 = PaperH0();
+  EXPECT_EQ(h0.num_vertices(), 1);
+  EXPECT_EQ(h0.Degree(0), 4);
+}
+
+// --- Acyclicity (Definition 2.5) ------------------------------------------
+
+TEST(Gyo, AcyclicInstances) {
+  EXPECT_TRUE(IsAcyclic(PaperH0()));
+  EXPECT_TRUE(IsAcyclic(PaperH1()));
+  EXPECT_TRUE(IsAcyclic(PaperH2()));
+  EXPECT_TRUE(IsAcyclic(StarGraph(6)));
+  EXPECT_TRUE(IsAcyclic(PathGraph(7)));
+}
+
+TEST(Gyo, CyclicInstances) {
+  EXPECT_FALSE(IsAcyclic(CycleGraph(3)));
+  EXPECT_FALSE(IsAcyclic(CycleGraph(6)));
+  EXPECT_FALSE(IsAcyclic(CliqueGraph(4)));
+  EXPECT_FALSE(IsAcyclic(PaperH3()));
+}
+
+TEST(Gyo, TriangleWithCoveringEdgeIsAcyclic) {
+  // {0,1},{1,2},{0,2},{0,1,2}: the big edge absorbs the triangle.
+  Hypergraph h(3, {{0, 1}, {1, 2}, {0, 2}, {0, 1, 2}});
+  EXPECT_TRUE(IsAcyclic(h));
+}
+
+TEST(Gyo, ResidualOfH3IsTheTriangleCore) {
+  // Appendix C.2: GYO leaves E' = {e1, e2, e3} = our edge ids 0, 1, 2.
+  GyoResult r = GyoReduce(PaperH3());
+  EXPECT_FALSE(r.acyclic);
+  EXPECT_EQ(r.residual_edges, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Gyo, H3ForestMatchesAppendixC2) {
+  // The removed edges e4..e7 (our 3..6) form one tree rooted at e4 (our 3):
+  // e5=(A,F) and e6=(B,G) hang under e4=(A,B,E); e7=(G,H) hangs under e6.
+  CoreForest cf = DecomposeCoreForest(PaperH3());
+  EXPECT_EQ(cf.root_edges, (std::vector<int>{3}));
+  EXPECT_EQ(cf.parent[4], 3);  // (A,F) under (A,B,E)
+  EXPECT_EQ(cf.parent[5], 3);  // (B,G) under (A,B,E)
+  EXPECT_EQ(cf.parent[6], 5);  // (G,H) under (B,G)
+  // V(C(H3)) = {A,B,C,D} ∪ {A,B,E} = {A,B,C,D,E}; n2 = 5 (Appendix C.2).
+  EXPECT_EQ(cf.core_vertices, (std::vector<VarId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(cf.n2(), 5);
+}
+
+TEST(Gyo, H3TraceMentionsEveryRemovedEdge) {
+  GyoResult r = GyoReduce(PaperH3());
+  std::set<int> deleted_in_trace;
+  for (const auto& s : r.trace)
+    if (s.kind == GyoStep::Kind::kDeleteEdge) deleted_in_trace.insert(s.edge);
+  EXPECT_EQ(deleted_in_trace, (std::set<int>{3, 4, 5, 6}));
+  EXPECT_FALSE(TraceToString(PaperH3(), r).empty());
+}
+
+TEST(Gyo, AcyclicForestHasSingleRootPerComponent) {
+  // Two disjoint paths: two trees, two roots.
+  Hypergraph h(8, {{0, 1}, {1, 2}, {2, 3}, {4, 5}, {5, 6}, {6, 7}});
+  CoreForest cf = DecomposeCoreForest(h);
+  EXPECT_TRUE(cf.gyo.acyclic);
+  EXPECT_TRUE(cf.core_edges.empty());
+  EXPECT_EQ(cf.root_edges.size(), 2u);
+}
+
+TEST(Gyo, StarReducesToSingleTree) {
+  CoreForest cf = DecomposeCoreForest(StarGraph(5));
+  EXPECT_TRUE(cf.gyo.acyclic);
+  EXPECT_EQ(cf.root_edges.size(), 1u);
+  EXPECT_EQ(cf.forest_edges.size(), 4u);
+  EXPECT_EQ(cf.n2(), 2);  // the root edge (center, leaf)
+}
+
+TEST(Gyo, CycleCoreKeepsAllEdges) {
+  CoreForest cf = DecomposeCoreForest(CycleGraph(5));
+  EXPECT_EQ(cf.core_edges.size(), 5u);
+  EXPECT_TRUE(cf.root_edges.empty());
+  EXPECT_EQ(cf.n2(), 5);
+}
+
+TEST(Gyo, ParentsPointToLaterDeletedContainingEdges) {
+  Rng rng(99);
+  for (int iter = 0; iter < 20; ++iter) {
+    Hypergraph h = RandomAcyclicHypergraph(8, 4, &rng);
+    GyoResult r = GyoReduce(h);
+    EXPECT_TRUE(r.acyclic);
+    for (int e = 0; e < h.num_edges(); ++e) {
+      if (!r.deleted[e] || r.parent[e] < 0) continue;
+      const int p = r.parent[e];
+      EXPECT_GT(r.delete_time[p], r.delete_time[e]);
+      // residual_set[e] ⊆ original edge p.
+      for (VarId v : r.residual_set[e]) EXPECT_TRUE(h.EdgeContains(p, v));
+    }
+  }
+}
+
+// --- Degeneracy (Definition 3.3) -------------------------------------------
+
+TEST(Degeneracy, KnownGraphs) {
+  EXPECT_EQ(ComputeDegeneracy(StarGraph(9)).degeneracy, 1);
+  EXPECT_EQ(ComputeDegeneracy(PathGraph(9)).degeneracy, 1);
+  EXPECT_EQ(ComputeDegeneracy(CycleGraph(8)).degeneracy, 2);
+  EXPECT_EQ(ComputeDegeneracy(CliqueGraph(5)).degeneracy, 4);
+}
+
+TEST(Degeneracy, TreesAreOneDegenerate) {
+  Rng rng(3);
+  for (int iter = 0; iter < 10; ++iter)
+    EXPECT_EQ(ComputeDegeneracy(RandomTree(12, &rng)).degeneracy, 1);
+}
+
+TEST(Degeneracy, RandomDDegenerateRespectsBound) {
+  Rng rng(4);
+  for (int d = 1; d <= 4; ++d) {
+    Hypergraph h = RandomDDegenerate(20, d, &rng);
+    EXPECT_LE(ComputeDegeneracy(h).degeneracy, d);
+  }
+}
+
+TEST(Degeneracy, EliminationOrderCoversUsedVertices) {
+  Hypergraph h = PaperH3();
+  DegeneracyResult r = ComputeDegeneracy(h);
+  EXPECT_EQ(r.elimination_order.size(), h.UsedVertices().size());
+}
+
+// --- Generators -------------------------------------------------------------
+
+TEST(Generators, RandomTreeHasCorrectEdgeCount) {
+  Rng rng(5);
+  for (int n = 2; n <= 15; ++n) {
+    Hypergraph t = RandomTree(n, &rng);
+    EXPECT_EQ(t.num_edges(), n - 1);
+    EXPECT_TRUE(IsAcyclic(t));
+  }
+}
+
+TEST(Generators, RandomForestIsAcyclic) {
+  Rng rng(6);
+  Hypergraph f = RandomForest(3, 5, &rng);
+  EXPECT_EQ(f.num_edges(), 3 * 4);
+  EXPECT_TRUE(IsAcyclic(f));
+}
+
+TEST(Generators, RandomAcyclicHypergraphIsAcyclic) {
+  Rng rng(7);
+  for (int iter = 0; iter < 25; ++iter) {
+    Hypergraph h = RandomAcyclicHypergraph(10, 4, &rng);
+    EXPECT_EQ(h.num_edges(), 10);
+    EXPECT_LE(h.MaxArity(), 4);
+    EXPECT_TRUE(IsAcyclic(h)) << h.DebugString();
+  }
+}
+
+TEST(Generators, RandomHypergraphRespectsArity) {
+  Rng rng(8);
+  Hypergraph h = RandomHypergraph(15, 3, 3, &rng);
+  EXPECT_LE(h.MaxArity(), 3);
+}
+
+class DegeneracySweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DegeneracySweep, GeneratedGraphsMatchRequestedDegeneracy) {
+  auto [n, d] = GetParam();
+  Rng rng(n * 100 + d);
+  Hypergraph h = RandomDDegenerate(n, d, &rng);
+  int got = ComputeDegeneracy(h).degeneracy;
+  EXPECT_LE(got, d);
+  EXPECT_GE(got, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DegeneracySweep,
+    ::testing::Combine(::testing::Values(8, 16, 32), ::testing::Values(1, 2, 3, 5)));
+
+}  // namespace
+}  // namespace topofaq

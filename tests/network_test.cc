@@ -1,0 +1,176 @@
+// Synchronous-network simulator tests: capacity enforcement, pipelining
+// round counts (the N/cap + distance shape), convergecast (Theorem 3.11
+// engine) and store-and-forward gathers.
+#include <gtest/gtest.h>
+
+#include "graphalg/steiner.h"
+#include "graphalg/topologies.h"
+#include "network/primitives.h"
+#include "network/simulator.h"
+
+namespace topofaq {
+namespace {
+
+TEST(Simulator, ReserveEnforcesCapacity) {
+  SyncNetwork net(LineTopology(2), /*capacity_bits=*/10);
+  EXPECT_EQ(net.Reserve(0, 0, 0, 6), 6);
+  EXPECT_EQ(net.Reserve(0, 0, 0, 6), 4);  // only 4 left this round
+  EXPECT_EQ(net.Reserve(0, 0, 0, 6), 0);
+  EXPECT_EQ(net.Reserve(0, 0, 1, 6), 6);  // fresh round
+  EXPECT_EQ(net.total_bits(), 16);
+}
+
+TEST(Simulator, DirectionsAreIndependent) {
+  SyncNetwork net(LineTopology(2), 8);
+  EXPECT_EQ(net.Reserve(0, 0, 0, 8), 8);  // 0 -> 1
+  EXPECT_EQ(net.Reserve(0, 1, 0, 8), 8);  // 1 -> 0, same round
+}
+
+TEST(Simulator, HorizonTracksLastTraffic) {
+  SyncNetwork net(LineTopology(2), 8);
+  EXPECT_EQ(net.horizon(), 0);
+  net.Reserve(0, 0, 5, 3);
+  EXPECT_EQ(net.horizon(), 6);
+}
+
+TEST(Unicast, SingleHopTakesCeilBitsOverCap) {
+  SyncNetwork net(LineTopology(2), 10);
+  // 35 bits at 10/round: rounds 0..3, done at round 4.
+  EXPECT_EQ(UnicastBits(&net, 0, 1, 35, 0), 4);
+}
+
+TEST(Unicast, PipeliningAddsDistanceNotProduct) {
+  // 100 bits over 4 hops at 10/round: ceil(100/10) + (4-1) = 13 rounds.
+  SyncNetwork net(LineTopology(5), 10);
+  EXPECT_EQ(UnicastBits(&net, 0, 4, 100, 0), 13);
+}
+
+TEST(Unicast, StartRoundOffsetsSchedule) {
+  SyncNetwork net(LineTopology(2), 10);
+  EXPECT_EQ(UnicastBits(&net, 0, 1, 10, 5), 6);
+}
+
+TEST(Unicast, SequentialTransfersShareEdgeFairly) {
+  SyncNetwork net(LineTopology(2), 10);
+  int64_t r1 = UnicastBits(&net, 0, 1, 50, 0);
+  EXPECT_EQ(r1, 5);
+  // Second transfer must queue behind the first on the same edge.
+  int64_t r2 = UnicastBits(&net, 0, 1, 50, 0);
+  EXPECT_EQ(r2, 10);
+}
+
+TEST(Unicast, OppositeDirectionsDoNotContend) {
+  SyncNetwork net(LineTopology(2), 10);
+  EXPECT_EQ(UnicastBits(&net, 0, 1, 50, 0), 5);
+  EXPECT_EQ(UnicastBits(&net, 1, 0, 50, 0), 5);
+}
+
+TEST(Broadcast, ReachesAllTargetsWithPipelining) {
+  // Line of 4, 100 bits, cap 10: farthest target at distance 3; pipelining
+  // gives ceil(100/10) + (3 - 1) transmission rounds, done at round 12.
+  SyncNetwork net(LineTopology(4), 10);
+  int64_t r = BroadcastBits(&net, 0, {1, 2, 3}, 100, 0);
+  EXPECT_EQ(r, 12);
+}
+
+TEST(Broadcast, StarIsSingleRoundPerChunk) {
+  SyncNetwork net(StarTopology(5), 10);
+  // Hub to all spokes: 30 bits at 10/round = 3 rounds, all spokes parallel.
+  EXPECT_EQ(BroadcastBits(&net, 0, {1, 2, 3, 4}, 30, 0), 3);
+}
+
+TEST(Broadcast, NoTargetsIsFree) {
+  SyncNetwork net(LineTopology(3), 10);
+  EXPECT_EQ(BroadcastBits(&net, 0, {0}, 100, 0), 0);
+}
+
+TEST(OrientTree, BuildsParentsAndDepths) {
+  Graph g = LineTopology(4);
+  RootedTree t = OrientTree(g, {0, 1, 2}, 1);
+  EXPECT_EQ(t.parent[0], 1);
+  EXPECT_EQ(t.parent[2], 1);
+  EXPECT_EQ(t.parent[3], 2);
+  EXPECT_EQ(t.depth[3], 2);
+  EXPECT_EQ(t.children[1].size(), 2u);
+}
+
+TEST(Convergecast, LineMatchesTheorem311Shape) {
+  // k players on a line, each with an N-item 1-bit vector, cap 1 bit:
+  // N + depth - 1 = N + 2 rounds — exactly the Example 2.1 protocol shape.
+  Graph g = LineTopology(4);
+  SyncNetwork net(g, 1);
+  RootedTree tree = OrientTree(g, {0, 1, 2}, 3);
+  int64_t r = ConvergecastItems(&net, tree, /*n_items=*/100, /*item_bits=*/1, 0);
+  EXPECT_EQ(r, 100 + 2);
+}
+
+TEST(Convergecast, WideCapacityReducesRounds) {
+  Graph g = LineTopology(4);
+  SyncNetwork net(g, 10);
+  RootedTree tree = OrientTree(g, {0, 1, 2}, 3);
+  int64_t r = ConvergecastItems(&net, tree, 100, 1, 0);
+  EXPECT_EQ(r, 10 + 2);
+}
+
+TEST(Convergecast, ItemWiderThanCapacityStillProgresses) {
+  Graph g = LineTopology(3);
+  SyncNetwork net(g, 2);
+  RootedTree tree = OrientTree(g, {0, 1}, 2);
+  // 10 items of 8 bits over 2 hops at 2 bits/round: 80/2 + lag.
+  int64_t r = ConvergecastItems(&net, tree, 10, 8, 0);
+  EXPECT_GE(r, 40);
+  EXPECT_LE(r, 40 + 8);
+}
+
+TEST(Convergecast, ParallelTreesShareNothing) {
+  // Two edge-disjoint Hamiltonian paths of the 4-clique, each carrying half
+  // the items: both finish in about N/2 + 3 (Example 2.3's N/2 + 2 shape).
+  Graph g = CliqueTopology(4);
+  auto trees = PackSteinerTrees(g, {0, 1, 2, 3}, 3, /*seed=*/7);
+  ASSERT_EQ(trees.size(), 2u);
+  SyncNetwork net(g, 1);
+  RootedTree t0 = OrientTree(g, trees[0].edges, 1);
+  RootedTree t1 = OrientTree(g, trees[1].edges, 1);
+  int64_t r0 = ConvergecastItems(&net, t0, 500, 1, 0);
+  int64_t r1 = ConvergecastItems(&net, t1, 500, 1, 0);
+  EXPECT_LE(std::max(r0, r1), 500 + 4);
+}
+
+TEST(Gather, SingleSourceMatchesUnicast) {
+  SyncNetwork net(LineTopology(3), 10);
+  int64_t r = GatherFlows(&net, {{0, 100}}, 2, 0);
+  EXPECT_EQ(r, 10 + 1);
+}
+
+TEST(Gather, LineIsBottleneckedByLastEdge) {
+  // All players send 100 bits to node 3 on a line: the edge 2-3 must carry
+  // 300 bits at 10/round => >= 30 rounds.
+  SyncNetwork net(LineTopology(4), 10);
+  int64_t r = GatherFlows(&net, {{0, 100}, {1, 100}, {2, 100}}, 3, 0);
+  EXPECT_GE(r, 30);
+  EXPECT_LE(r, 36);
+}
+
+TEST(Gather, CliqueParallelizesAcrossDirectEdges) {
+  SyncNetwork net(CliqueTopology(5), 10);
+  std::vector<FlowDemand> demands{{1, 100}, {2, 100}, {3, 100}, {4, 100}};
+  int64_t r = GatherFlows(&net, demands, 0, 0);
+  EXPECT_EQ(r, 10);  // all four direct edges in parallel
+}
+
+TEST(Gather, ZeroBitsAndSelfDemandsAreFree) {
+  SyncNetwork net(LineTopology(3), 10);
+  int64_t r = GatherFlows(&net, {{2, 0}, {0, 50}}, 2, 0);
+  EXPECT_EQ(r, 5 + 1);
+}
+
+TEST(Gather, DumbbellFunnelsThroughBridge) {
+  Graph g = DumbbellTopology(3, 3);
+  SyncNetwork net(g, 10);
+  // Sources on the left clique, sink on the right: bridge carries all.
+  int64_t r = GatherFlows(&net, {{0, 100}, {1, 100}, {2, 100}}, 5, 0);
+  EXPECT_GE(r, 30);
+}
+
+}  // namespace
+}  // namespace topofaq

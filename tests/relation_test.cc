@@ -1,0 +1,313 @@
+// Relation algebra unit + property tests, including differential testing of
+// the hash join against a naive nested-loop reference on random inputs.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "relation/ops.h"
+#include "relation/relation.h"
+#include "util/rng.h"
+
+namespace topofaq {
+namespace {
+
+using BRel = Relation<BooleanSemiring>;
+using NRel = Relation<NaturalSemiring>;
+using CRel = Relation<CountingSemiring>;
+
+TEST(Schema, PositionsAndContains) {
+  Schema s({5, 2, 9});
+  EXPECT_EQ(s.arity(), 3u);
+  EXPECT_EQ(s.PositionOf(5), 0);
+  EXPECT_EQ(s.PositionOf(2), 1);
+  EXPECT_EQ(s.PositionOf(9), 2);
+  EXPECT_EQ(s.PositionOf(7), -1);
+  EXPECT_TRUE(s.Contains(9));
+  EXPECT_FALSE(s.Contains(0));
+}
+
+TEST(Schema, SharedVarsInLeftOrder) {
+  Schema a({1, 2, 3}), b({3, 1, 7});
+  EXPECT_EQ(a.SharedWith(b), (std::vector<VarId>{1, 3}));
+  EXPECT_EQ(b.SharedWith(a), (std::vector<VarId>{3, 1}));
+}
+
+TEST(Relation, AddDropsZeros) {
+  NRel r{Schema({0})};
+  r.Add({1}, 0);  // zero annotation: not stored
+  r.Add({2}, 5);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(Relation, CanonicalizeMergesDuplicates) {
+  NRel r{Schema({0, 1})};
+  r.Add({1, 2}, 3);
+  r.Add({0, 0}, 1);
+  r.Add({1, 2}, 4);
+  r.Canonicalize();
+  ASSERT_EQ(r.size(), 2u);
+  // Sorted lexicographically.
+  EXPECT_EQ(r.tuple(0)[0], 0u);
+  EXPECT_EQ(r.annot(0), 1u);
+  EXPECT_EQ(r.tuple(1)[0], 1u);
+  EXPECT_EQ(r.annot(1), 7u);
+}
+
+TEST(Relation, CanonicalizeDropsCancellingPairsInGf2) {
+  Relation<Gf2Semiring> r{Schema({0})};
+  r.Add({4}, 1);
+  r.Add({4}, 1);  // 1 XOR 1 = 0: tuple vanishes
+  r.Add({5}, 1);
+  r.Canonicalize();
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.tuple(0)[0], 5u);
+}
+
+TEST(Relation, EqualsAsFunctionIgnoresOrder) {
+  NRel a{Schema({0})}, b{Schema({0})};
+  a.Add({1}, 2);
+  a.Add({2}, 3);
+  b.Add({2}, 3);
+  b.Add({1}, 1);
+  b.Add({1}, 1);
+  EXPECT_TRUE(a.EqualsAsFunction(b));
+}
+
+TEST(Relation, EncodedBitsMatchesFormula) {
+  BRel r{Schema({0, 1})};
+  r.Add({1, 2});
+  r.Add({3, 4});
+  // 2 tuples * (2 attrs * 10 bits + 1 annotation bit).
+  EXPECT_EQ(r.EncodedBits(10), 2 * (2 * 10 + 1));
+}
+
+TEST(Join, SimpleTwoWay) {
+  BRel r{Schema({0, 1})};  // R(A,B)
+  r.Add({1, 10});
+  r.Add({2, 20});
+  BRel s{Schema({1, 2})};  // S(B,C)
+  s.Add({10, 100});
+  s.Add({10, 101});
+  s.Add({30, 300});
+  BRel j = Join(r, s);
+  EXPECT_EQ(j.schema().vars(), (std::vector<VarId>{0, 1, 2}));
+  ASSERT_EQ(j.size(), 2u);  // (1,10,100), (1,10,101)
+  EXPECT_EQ(j.tuple(0)[0], 1u);
+  EXPECT_EQ(j.tuple(1)[2], 101u);
+}
+
+TEST(Join, AnnotationsMultiply) {
+  NRel r{Schema({0})};
+  r.Add({7}, 3);
+  NRel s{Schema({0})};
+  s.Add({7}, 5);
+  NRel j = Join(r, s);
+  ASSERT_EQ(j.size(), 1u);
+  EXPECT_EQ(j.annot(0), 15u);
+}
+
+TEST(Join, DisjointSchemasGiveCrossProduct) {
+  BRel r{Schema({0})};
+  r.Add({1});
+  r.Add({2});
+  BRel s{Schema({1})};
+  s.Add({8});
+  s.Add({9});
+  s.Add({10});
+  EXPECT_EQ(Join(r, s).size(), 6u);
+}
+
+TEST(Join, EmptyInputGivesEmptyOutput) {
+  BRel r{Schema({0})};
+  BRel s{Schema({0})};
+  s.Add({1});
+  EXPECT_TRUE(Join(r, s).empty());
+  EXPECT_TRUE(Join(s, r).empty());
+}
+
+TEST(Semijoin, KeepsMatchingLeftTuplesUnchanged) {
+  NRel r{Schema({0, 1})};
+  r.Add({1, 10}, 2);
+  r.Add({2, 20}, 3);
+  r.Add({3, 30}, 4);
+  NRel s{Schema({1, 2})};
+  s.Add({10, 5}, 9);
+  s.Add({30, 6}, 9);
+  NRel out = Semijoin(r, s);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.tuple(0)[0], 1u);
+  EXPECT_EQ(out.annot(0), 2u);  // left annotation preserved
+  EXPECT_EQ(out.tuple(1)[0], 3u);
+}
+
+TEST(Semijoin, MatchesJoinProjectForBoolean) {
+  // Definition 3.5: R1 ⋉ R2 = R1 ⋈ π_shared(R2); over the Boolean semiring
+  // the two agree exactly.
+  Rng rng(42);
+  for (int iter = 0; iter < 20; ++iter) {
+    BRel r{Schema({0, 1})}, s{Schema({1, 2})};
+    for (int i = 0; i < 15; ++i)
+      r.Add({rng.NextU64(4), rng.NextU64(4)});
+    for (int i = 0; i < 15; ++i)
+      s.Add({rng.NextU64(4), rng.NextU64(4)});
+    r.Canonicalize();
+    s.Canonicalize();
+    BRel via_def = Join(r, Project(s, {1}));
+    EXPECT_TRUE(Semijoin(r, s).EqualsAsFunction(via_def));
+  }
+}
+
+TEST(Project, SumsAnnotations) {
+  NRel r{Schema({0, 1})};
+  r.Add({1, 10}, 2);
+  r.Add({1, 11}, 3);
+  r.Add({2, 10}, 5);
+  NRel p = Project(r, {0});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.annot(0), 5u);  // tuple (1)
+  EXPECT_EQ(p.annot(1), 5u);  // tuple (2)
+}
+
+TEST(Project, ToEmptySchemaGivesGrandTotal) {
+  NRel r{Schema({0})};
+  r.Add({1}, 2);
+  r.Add({2}, 3);
+  NRel p = Project(r, {});
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.annot(0), 5u);
+}
+
+TEST(EliminateVar, MaxAggregate) {
+  CRel r{Schema({0, 1})};
+  r.Add({1, 10}, 2.0);
+  r.Add({1, 11}, 7.0);
+  r.Add({2, 12}, 4.0);
+  CRel out = EliminateVar(r, 1, VarOp::kMax);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.annot(0), 7.0);
+  EXPECT_EQ(out.annot(1), 4.0);
+}
+
+TEST(EliminateVar, ProductAggregate) {
+  CRel r{Schema({0, 1})};
+  r.Add({1, 10}, 2.0);
+  r.Add({1, 11}, 7.0);
+  CRel out = EliminateVar(r, 1, VarOp::kProduct);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.annot(0), 14.0);
+}
+
+TEST(EliminateVar, SumEqualsProject) {
+  Rng rng(5);
+  for (int iter = 0; iter < 20; ++iter) {
+    NRel r{Schema({0, 1, 2})};
+    for (int i = 0; i < 30; ++i)
+      r.Add({rng.NextU64(3), rng.NextU64(3), rng.NextU64(3)},
+            rng.NextU64(5) + 1);
+    r.Canonicalize();
+    NRel a = EliminateVar(r, 1, VarOp::kSemiringSum);
+    NRel b = Project(r, {0, 2});
+    EXPECT_TRUE(a.EqualsAsFunction(b));
+  }
+}
+
+TEST(Intersect, SameSchemaIntersection) {
+  BRel a{Schema({0})}, b{Schema({0})};
+  a.Add({1});
+  a.Add({2});
+  a.Add({3});
+  b.Add({2});
+  b.Add({3});
+  b.Add({4});
+  BRel c = Intersect(a, b);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(FullRelation, EnumeratesDomainPower) {
+  auto r = FullRelation<BooleanSemiring>(Schema({0, 1}), 3);
+  EXPECT_EQ(r.size(), 9u);
+  auto r1 = FullRelation<BooleanSemiring>(Schema({0}), 5);
+  EXPECT_EQ(r1.size(), 5u);
+}
+
+// --- Differential property tests against a naive reference ---------------
+
+NRel NaiveJoin(const NRel& a, const NRel& b) {
+  std::vector<VarId> out_vars = a.schema().vars();
+  for (VarId v : b.schema().vars())
+    if (!a.schema().Contains(v)) out_vars.push_back(v);
+  NRel out{Schema(out_vars)};
+  for (size_t i = 0; i < a.size(); ++i)
+    for (size_t j = 0; j < b.size(); ++j) {
+      bool match = true;
+      for (VarId v : a.schema().SharedWith(b.schema()))
+        if (a.tuple(i)[a.schema().PositionOf(v)] !=
+            b.tuple(j)[b.schema().PositionOf(v)])
+          match = false;
+      if (!match) continue;
+      std::vector<Value> row(a.tuple(i).begin(), a.tuple(i).end());
+      for (VarId v : out_vars)
+        if (!a.schema().Contains(v))
+          row.push_back(b.tuple(j)[b.schema().PositionOf(v)]);
+      out.Add(row, a.annot(i) * b.annot(j));
+    }
+  out.Canonicalize();
+  return out;
+}
+
+class JoinProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(JoinProperty, HashJoinMatchesNestedLoop) {
+  Rng rng(1000 + GetParam());
+  // Random schemas over variables {0..4} with guaranteed overlap patterns.
+  auto random_rel = [&](std::vector<VarId> vars, int tuples) {
+    NRel r{Schema(std::move(vars))};
+    for (int i = 0; i < tuples; ++i) {
+      std::vector<Value> row;
+      for (size_t k = 0; k < r.arity(); ++k) row.push_back(rng.NextU64(3));
+      r.Add(row, rng.NextU64(4) + 1);
+    }
+    r.Canonicalize();
+    return r;
+  };
+  std::vector<std::vector<VarId>> schemas = {
+      {0, 1}, {1, 2}, {0, 2}, {2, 3, 4}, {0}, {1, 3}};
+  NRel a = random_rel(schemas[GetParam() % schemas.size()], 20);
+  NRel b = random_rel(schemas[(GetParam() + 1) % schemas.size()], 20);
+  EXPECT_TRUE(Join(a, b).EqualsAsFunction(NaiveJoin(a, b)));
+}
+
+TEST_P(JoinProperty, JoinIsCommutativeAsFunction) {
+  Rng rng(2000 + GetParam());
+  NRel a{Schema({0, 1})}, b{Schema({1, 2})};
+  for (int i = 0; i < 25; ++i) {
+    a.Add({rng.NextU64(3), rng.NextU64(3)}, rng.NextU64(4) + 1);
+    b.Add({rng.NextU64(3), rng.NextU64(3)}, rng.NextU64(4) + 1);
+  }
+  a.Canonicalize();
+  b.Canonicalize();
+  NRel ab = Join(a, b);
+  NRel ba = Project(Join(b, a), ab.schema().vars());
+  EXPECT_TRUE(ab.EqualsAsFunction(ba));
+}
+
+TEST_P(JoinProperty, ProjectionCommutesWithUnionOfAdds) {
+  // sum over all tuples is invariant under projection order.
+  Rng rng(3000 + GetParam());
+  NRel a{Schema({0, 1, 2})};
+  for (int i = 0; i < 40; ++i)
+    a.Add({rng.NextU64(3), rng.NextU64(3), rng.NextU64(3)},
+          rng.NextU64(9) + 1);
+  a.Canonicalize();
+  NRel p1 = Project(Project(a, {0, 1}), {0});
+  NRel p2 = Project(Project(a, {0, 2}), {0});
+  EXPECT_TRUE(p1.EqualsAsFunction(p2));
+  NRel total1 = Project(p1, {});
+  NRel total2 = Project(a, {});
+  EXPECT_TRUE(total1.EqualsAsFunction(total2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, JoinProperty, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace topofaq

@@ -1,0 +1,185 @@
+// Property tests: every semiring in the library satisfies the commutative
+// semiring axioms of the paper's Section 1 footnote 2, on randomly sampled
+// values (typed parameterized suite).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "semiring/semiring.h"
+#include "semiring/variable_ops.h"
+#include "util/rng.h"
+
+namespace topofaq {
+namespace {
+
+// Per-semiring random value generation confined to well-behaved ranges
+// (e.g. non-negative for MaxProduct, finite for MinPlus).
+template <typename S>
+typename S::Value RandomValue(Rng* rng);
+
+template <>
+BooleanSemiring::Value RandomValue<BooleanSemiring>(Rng* rng) {
+  return static_cast<uint8_t>(rng->NextU64(2));
+}
+template <>
+Gf2Semiring::Value RandomValue<Gf2Semiring>(Rng* rng) {
+  return static_cast<uint8_t>(rng->NextU64(2));
+}
+template <>
+NaturalSemiring::Value RandomValue<NaturalSemiring>(Rng* rng) {
+  return rng->NextU64(1000);
+}
+template <>
+CountingSemiring::Value RandomValue<CountingSemiring>(Rng* rng) {
+  // Small integers: keeps + and * exact in double, so associativity and
+  // distributivity hold exactly.
+  return static_cast<double>(rng->NextU64(64));
+}
+
+template <typename S>
+class SemiringAxioms : public ::testing::Test {};
+
+using ExactSemirings =
+    ::testing::Types<BooleanSemiring, Gf2Semiring, NaturalSemiring,
+                     CountingSemiring>;
+TYPED_TEST_SUITE(SemiringAxioms, ExactSemirings);
+
+TYPED_TEST(SemiringAxioms, AdditiveIdentity) {
+  using S = TypeParam;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    auto a = RandomValue<S>(&rng);
+    EXPECT_EQ(S::Add(a, S::Zero()), a);
+    EXPECT_EQ(S::Add(S::Zero(), a), a);
+  }
+}
+
+TYPED_TEST(SemiringAxioms, MultiplicativeIdentity) {
+  using S = TypeParam;
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    auto a = RandomValue<S>(&rng);
+    EXPECT_EQ(S::Multiply(a, S::One()), a);
+    EXPECT_EQ(S::Multiply(S::One(), a), a);
+  }
+}
+
+TYPED_TEST(SemiringAxioms, AddCommutesAndAssociates) {
+  using S = TypeParam;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    auto a = RandomValue<S>(&rng), b = RandomValue<S>(&rng),
+         c = RandomValue<S>(&rng);
+    EXPECT_EQ(S::Add(a, b), S::Add(b, a));
+    EXPECT_EQ(S::Add(S::Add(a, b), c), S::Add(a, S::Add(b, c)));
+  }
+}
+
+TYPED_TEST(SemiringAxioms, MultiplyCommutesAndAssociates) {
+  using S = TypeParam;
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    auto a = RandomValue<S>(&rng), b = RandomValue<S>(&rng),
+         c = RandomValue<S>(&rng);
+    EXPECT_EQ(S::Multiply(a, b), S::Multiply(b, a));
+    EXPECT_EQ(S::Multiply(S::Multiply(a, b), c),
+              S::Multiply(a, S::Multiply(b, c)));
+  }
+}
+
+TYPED_TEST(SemiringAxioms, Distributivity) {
+  using S = TypeParam;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    auto a = RandomValue<S>(&rng), b = RandomValue<S>(&rng),
+         c = RandomValue<S>(&rng);
+    EXPECT_EQ(S::Multiply(a, S::Add(b, c)),
+              S::Add(S::Multiply(a, b), S::Multiply(a, c)));
+  }
+}
+
+TYPED_TEST(SemiringAxioms, ZeroAnnihilates) {
+  using S = TypeParam;
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    auto a = RandomValue<S>(&rng);
+    EXPECT_EQ(S::Multiply(a, S::Zero()), S::Zero());
+    EXPECT_EQ(S::Multiply(S::Zero(), a), S::Zero());
+  }
+}
+
+TYPED_TEST(SemiringAxioms, IsZeroRecognizesZeroOnly) {
+  using S = TypeParam;
+  EXPECT_TRUE(S::IsZero(S::Zero()));
+  EXPECT_FALSE(S::IsZero(S::One()));
+}
+
+// MinPlus and MaxProduct: identities and laws (double arithmetic, min/max
+// and +/* on small integers are exact).
+TEST(MinPlus, Axioms) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    double a = static_cast<double>(rng.NextU64(100));
+    double b = static_cast<double>(rng.NextU64(100));
+    double c = static_cast<double>(rng.NextU64(100));
+    using S = MinPlusSemiring;
+    EXPECT_EQ(S::Add(a, S::Zero()), a);
+    EXPECT_EQ(S::Multiply(a, S::One()), a);
+    EXPECT_EQ(S::Add(a, b), S::Add(b, a));
+    EXPECT_EQ(S::Multiply(a, S::Add(b, c)),
+              S::Add(S::Multiply(a, b), S::Multiply(a, c)));
+    EXPECT_EQ(S::Multiply(a, S::Zero()), S::Zero());
+  }
+  EXPECT_TRUE(MinPlusSemiring::IsZero(MinPlusSemiring::Zero()));
+  EXPECT_FALSE(MinPlusSemiring::IsZero(3.0));
+}
+
+TEST(MaxProduct, Axioms) {
+  Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    double a = static_cast<double>(rng.NextU64(30));
+    double b = static_cast<double>(rng.NextU64(30));
+    double c = static_cast<double>(rng.NextU64(30));
+    using S = MaxProductSemiring;
+    EXPECT_EQ(S::Add(a, S::Zero()), a);
+    EXPECT_EQ(S::Multiply(a, S::One()), a);
+    EXPECT_EQ(S::Add(a, b), S::Add(b, a));
+    // Distributivity needs non-negative values (true here).
+    EXPECT_EQ(S::Multiply(a, S::Add(b, c)),
+              S::Add(S::Multiply(a, b), S::Multiply(a, c)));
+  }
+}
+
+TEST(Gf2, MatchesModTwoArithmetic) {
+  for (int a = 0; a < 2; ++a)
+    for (int b = 0; b < 2; ++b) {
+      EXPECT_EQ(Gf2Semiring::Add(a, b), (a + b) % 2);
+      EXPECT_EQ(Gf2Semiring::Multiply(a, b), (a * b) % 2);
+    }
+}
+
+TEST(VarOps, ApplySelectsCorrectAggregate) {
+  using S = CountingSemiring;
+  EXPECT_EQ(ApplyVarOp<S>(VarOp::kSemiringSum, 3.0, 4.0), 7.0);
+  EXPECT_EQ(ApplyVarOp<S>(VarOp::kMax, 3.0, 4.0), 4.0);
+  EXPECT_EQ(ApplyVarOp<S>(VarOp::kMin, 3.0, 4.0), 3.0);
+  EXPECT_EQ(ApplyVarOp<S>(VarOp::kProduct, 3.0, 4.0), 12.0);
+}
+
+TEST(VarOps, NamesAreStable) {
+  EXPECT_STREQ(VarOpName(VarOp::kSemiringSum), "sum");
+  EXPECT_STREQ(VarOpName(VarOp::kMax), "max");
+  EXPECT_STREQ(VarOpName(VarOp::kMin), "min");
+  EXPECT_STREQ(VarOpName(VarOp::kProduct), "prod");
+}
+
+TEST(Semirings, NamesAreDistinct) {
+  std::vector<std::string> names{BooleanSemiring::kName,  CountingSemiring::kName,
+                                 NaturalSemiring::kName,  MinPlusSemiring::kName,
+                                 MaxProductSemiring::kName, Gf2Semiring::kName};
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+}  // namespace
+}  // namespace topofaq

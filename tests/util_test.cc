@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bits.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace topofaq {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument,
+        StatusCode::kFailedPrecondition, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kUnimplemented,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(c), "Unknown");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.NextU64() == b.NextU64()) ++same;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BoundedValuesInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextU64(17), 17u);
+}
+
+TEST(Rng, BoundedValuesCoverRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextU64(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(9);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo |= (v == -3);
+    hi |= (v == 3);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, NextDoubleUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, SampleDistinctAndInRange) {
+  Rng rng(13);
+  auto s = rng.Sample(50, 20);
+  std::set<uint64_t> set(s.begin(), s.end());
+  EXPECT_EQ(set.size(), 20u);
+  for (uint64_t v : s) EXPECT_LT(v, 50u);
+}
+
+TEST(Rng, SampleFullRange) {
+  Rng rng(13);
+  auto s = rng.Sample(10, 10);
+  std::set<uint64_t> set(s.begin(), s.end());
+  EXPECT_EQ(set.size(), 10u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(CeilDiv(10, 3), 4);
+  EXPECT_EQ(CeilDiv(9, 3), 3);
+  EXPECT_EQ(CeilDiv(1, 100), 1);
+  EXPECT_EQ(CeilDiv(0, 5), 0);
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(4), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2(1024), 10);
+  EXPECT_EQ(CeilLog2(1025), 11);
+}
+
+TEST(Bits, BitsForDomain) {
+  EXPECT_EQ(BitsForDomain(1), 1);  // at least one bit
+  EXPECT_EQ(BitsForDomain(2), 1);
+  EXPECT_EQ(BitsForDomain(256), 8);
+  EXPECT_EQ(BitsForDomain(257), 9);
+}
+
+}  // namespace
+}  // namespace topofaq
