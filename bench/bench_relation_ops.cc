@@ -1,0 +1,166 @@
+// Sorted-relation kernel microbenchmark: join and eliminate throughput at
+// 1e3–1e6 rows, for the sort-merge kernel (relation/ops.h) vs. the retained
+// hash-based reference (relation/reference_ops.h). Results are printed as a
+// table and appended as JSON to BENCH_relation_ops.json so the perf
+// trajectory of the kernel is recorded across PRs.
+//
+// Workloads:
+//  * join: R(0,1) ⋈ S(1,2), N rows each, domain ~N (output ~N rows).
+//  * join_overlap: the Example 2.1-style full-overlap join (heavy runs).
+//  * eliminate: ⊕-eliminate 2 of 3 columns of an N-row relation (FAQ-SS
+//    push-down shape — one batched group-by vs. per-variable regrouping).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "relation/exec.h"
+#include "relation/ops.h"
+#include "relation/reference_ops.h"
+#include "util/rng.h"
+
+namespace topofaq {
+namespace {
+
+using NRel = Relation<NaturalSemiring>;
+using Clock = std::chrono::steady_clock;
+
+NRel RandomRel(const std::vector<VarId>& vars, size_t n, uint64_t dom,
+               uint64_t seed) {
+  Rng rng(seed);
+  Relation<NaturalSemiring> r{Schema(vars)};
+  std::vector<Value> row(vars.size());
+  for (size_t i = 0; i < n; ++i) {
+    for (auto& v : row) v = rng.NextU64(dom);
+    r.Add(row, rng.NextU64(100) + 1);
+  }
+  r.Canonicalize();
+  return r;
+}
+
+/// Best-of-`reps` wall time of `fn` in milliseconds.
+template <typename Fn>
+double TimeMs(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    auto t0 = Clock::now();
+    fn();
+    auto t1 = Clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct Row {
+  std::string bench;
+  size_t n;
+  size_t out_rows;
+  double kernel_ms;
+  double reference_ms;
+};
+
+void Report(std::vector<Row>* rows, std::string bench, size_t n,
+            size_t out_rows, double kernel_ms, double reference_ms) {
+  std::printf("%-14s %9zu %9zu %12.3f %12.3f %9.2fx\n", bench.c_str(), n,
+              out_rows, kernel_ms, reference_ms, reference_ms / kernel_ms);
+  rows->push_back(Row{std::move(bench), n, out_rows, kernel_ms, reference_ms});
+}
+
+void BenchJoin(std::vector<Row>* rows, size_t n, int reps) {
+  // Domain ~n keeps the output near n rows (sparse, realistic shape).
+  const uint64_t dom = std::max<uint64_t>(4, n);
+  NRel r = RandomRel({0, 1}, n, dom, 17 + n);
+  NRel s = RandomRel({1, 2}, n, dom, 71 + n);
+  ExecContext ctx;
+  NRel out;
+  const double k = TimeMs(reps, [&] { out = Join(r, s, &ctx); });
+  NRel ref;
+  const double h = TimeMs(reps, [&] { ref = reference::Join(r, s); });
+  TOPOFAQ_CHECK_MSG(out.EqualsAsFunction(ref), "kernel join != reference join");
+  Report(rows, "join", n, out.size(), k, h);
+}
+
+void BenchJoinOverlap(std::vector<Row>* rows, size_t n, int reps) {
+  // Full-overlap first attribute: R(0,1) ⋈ S(0,2) on a shared prefix key —
+  // both sides canonical-prefix aligned, zero sorts in the kernel.
+  RelationBuilder<NaturalSemiring> br{Schema({0, 1})}, bs{Schema({0, 2})};
+  for (size_t i = 0; i < n; ++i) {
+    br.Append({static_cast<Value>(i), 1}, 2);
+    bs.Append({static_cast<Value>(i), 3}, 5);
+  }
+  NRel r = br.Build(), s = bs.Build();
+  ExecContext ctx;
+  NRel out;
+  const double k = TimeMs(reps, [&] { out = Join(r, s, &ctx); });
+  NRel ref;
+  const double h = TimeMs(reps, [&] { ref = reference::Join(r, s); });
+  TOPOFAQ_CHECK_MSG(out.EqualsAsFunction(ref), "kernel join != reference join");
+  Report(rows, "join_overlap", n, out.size(), k, h);
+}
+
+void BenchEliminate(std::vector<Row>* rows, size_t n, int reps) {
+  const uint64_t dom = std::max<uint64_t>(4, n / 8);
+  NRel r = RandomRel({0, 1, 2}, n, dom, 29 + n);
+  const std::vector<VarId> vars{1, 2};
+  const std::vector<VarOp> ops{VarOp::kSemiringSum, VarOp::kSemiringSum};
+  ExecContext ctx;
+  NRel out;
+  const double k = TimeMs(reps, [&] { out = Eliminate(r, vars, ops, &ctx); });
+  NRel ref;
+  const double h = TimeMs(reps, [&] {
+    ref = reference::EliminateVar(
+        reference::EliminateVar(r, 2, VarOp::kSemiringSum), 1,
+        VarOp::kSemiringSum);
+  });
+  TOPOFAQ_CHECK_MSG(out.EqualsAsFunction(ref),
+                    "kernel eliminate != reference eliminate");
+  Report(rows, "eliminate", n, out.size(), k, h);
+}
+
+void WriteJson(const std::vector<Row>& rows, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "  {\"bench\": \"%s\", \"n\": %zu, \"out_rows\": %zu, "
+                 "\"kernel_ms\": %.4f, \"reference_ms\": %.4f, "
+                 "\"speedup\": %.3f}%s\n",
+                 r.bench.c_str(), r.n, r.out_rows, r.kernel_ms,
+                 r.reference_ms, r.reference_ms / r.kernel_ms,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace topofaq
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+  std::printf("%-14s %9s %9s %12s %12s %9s\n", "bench", "n", "out",
+              "kernel_ms", "reference_ms", "speedup");
+  std::vector<topofaq::Row> rows;
+  const std::vector<size_t> sizes =
+      quick ? std::vector<size_t>{1000, 10000}
+            : std::vector<size_t>{1000, 10000, 100000, 1000000};
+  for (size_t n : sizes) {
+    const int reps = n <= 10000 ? 5 : 3;
+    topofaq::BenchJoin(&rows, n, reps);
+    topofaq::BenchJoinOverlap(&rows, n, reps);
+    topofaq::BenchEliminate(&rows, n, reps);
+  }
+  topofaq::WriteJson(rows, "BENCH_relation_ops.json");
+  return 0;
+}

@@ -7,6 +7,12 @@
 //    O~(N) for acyclic H, with aggregate push-down (Corollary G.2) at every
 //    node; cyclic cores are finished brute-force at the root. This mirrors,
 //    step for step, what the distributed protocol computes.
+//
+// Every solver threads one ExecContext through the sorted-relation kernel
+// (relation/ops.h): operators reuse the context's scratch buffers, bound
+// variables are eliminated in batches (one group-by per aggregate run
+// instead of one per variable), and callers can read operator statistics off
+// the context afterwards. Passing nullptr uses a thread-local context.
 #ifndef TOPOFAQ_FAQ_SOLVERS_H_
 #define TOPOFAQ_FAQ_SOLVERS_H_
 
@@ -15,6 +21,7 @@
 
 #include "faq/query.h"
 #include "ghd/width.h"
+#include "relation/exec.h"
 
 namespace topofaq {
 
@@ -28,15 +35,16 @@ Relation<S> UnitRelation() {
   return r;
 }
 
-/// Eliminates `vars` from r (descending VarId: the Eq. (4) innermost-first
-/// order restricted to this bag), applying each variable's op.
+/// Eliminates `vars` from r with each variable's own aggregate, batched:
+/// Eliminate() orders them descending (the Eq. (4) innermost-first order
+/// restricted to this bag) and groups once per run of equal aggregates.
 template <CommutativeSemiring S>
 Relation<S> EliminateAll(Relation<S> r, std::vector<VarId> vars,
-                         const FaqQuery<S>& q) {
-  std::sort(vars.begin(), vars.end(), std::greater<>());
-  for (VarId v : vars)
-    if (r.schema().Contains(v)) r = EliminateVar(r, v, q.OpFor(v));
-  return r;
+                         const FaqQuery<S>& q, ExecContext* ctx = nullptr) {
+  std::vector<VarOp> ops;
+  ops.reserve(vars.size());
+  for (VarId v : vars) ops.push_back(q.OpFor(v));
+  return Eliminate(std::move(r), std::move(vars), std::move(ops), ctx);
 }
 
 /// Joins a bag of relations and eliminates their bound variables, working
@@ -46,7 +54,7 @@ Relation<S> EliminateAll(Relation<S> r, std::vector<VarId> vars,
 /// reordering that avoids materializing cross products of unreduced inputs.
 template <CommutativeSemiring S>
 Relation<S> JoinAndEliminate(std::vector<Relation<S>> parts,
-                             const FaqQuery<S>& q) {
+                             const FaqQuery<S>& q, ExecContext* ctx = nullptr) {
   // Union-find over parts by shared variables.
   std::vector<int> comp(parts.size());
   for (size_t i = 0; i < parts.size(); ++i) comp[i] = static_cast<int>(i);
@@ -64,14 +72,14 @@ Relation<S> JoinAndEliminate(std::vector<Relation<S>> parts,
     Relation<S> part = UnitRelation<S>();
     for (size_t i = 0; i < parts.size(); ++i)
       if (find(static_cast<int>(i)) == static_cast<int>(root))
-        part = Join(part, parts[i]);
+        part = Join(part, parts[i], ctx);
     std::vector<VarId> bound;
     for (VarId v : part.schema().vars())
       if (std::find(q.free_vars.begin(), q.free_vars.end(), v) ==
           q.free_vars.end())
         bound.push_back(v);
-    part = EliminateAll(std::move(part), bound, q);
-    acc = Join(acc, part);  // disjoint schemas: scalar/cross combination
+    part = EliminateAll(std::move(part), bound, q, ctx);
+    acc = Join(acc, part, ctx);  // disjoint schemas: scalar/cross combination
   }
   return acc;
 }
@@ -80,16 +88,18 @@ Relation<S> JoinAndEliminate(std::vector<Relation<S>> parts,
 
 /// Ground-truth solver. Returns a relation over exactly `free_vars`.
 template <CommutativeSemiring S>
-Result<Relation<S>> BruteForceSolve(const FaqQuery<S>& q) {
+Result<Relation<S>> BruteForceSolve(const FaqQuery<S>& q,
+                                    ExecContext* ctx = nullptr) {
   TOPOFAQ_RETURN_IF_ERROR(q.Validate());
-  Relation<S> acc = internal::JoinAndEliminate(q.relations, q);
-  return Project(acc, q.free_vars);
+  Relation<S> acc = internal::JoinAndEliminate(q.relations, q, ctx);
+  return Project(acc, q.free_vars, ctx);
 }
 
 /// Theorem G.3 solver over a supplied decomposition; free variables must lie
 /// in the root bag (F ⊆ V(C(H)), the Appendix G.5 restriction).
 template <CommutativeSemiring S>
-Result<Relation<S>> YannakakisSolveOn(const FaqQuery<S>& q, const GyoGhd& gg) {
+Result<Relation<S>> YannakakisSolveOn(const FaqQuery<S>& q, const GyoGhd& gg,
+                                      ExecContext* ctx = nullptr) {
   TOPOFAQ_RETURN_IF_ERROR(q.Validate());
   const Ghd& ghd = gg.ghd;
   const auto& root_chi = ghd.node(ghd.root()).chi;
@@ -99,14 +109,15 @@ Result<Relation<S>> YannakakisSolveOn(const FaqQuery<S>& q, const GyoGhd& gg) {
           "free variable " + std::to_string(v) +
           " outside V(C(H)): unsupported choice of F (Appendix G.5)");
 
-  // Upward pass: message[v] = relation over χ(v) ∩ χ(parent(v)).
+  // Upward pass: message[v] = relation over χ(v) ∩ χ(parent(v)). Every join
+  // and batched elimination below shares `ctx`'s scratch buffers.
   std::vector<Relation<S>> state(ghd.num_nodes());
   for (int v = 0; v < ghd.num_nodes(); ++v) {
     const int e = ghd.node(v).edge_id;
     state[v] = (e >= 0) ? q.relations[e] : internal::UnitRelation<S>();
   }
   for (int v : ghd.BottomUpOrder()) {
-    for (int c : ghd.node(v).children) state[v] = Join(state[v], state[c]);
+    for (int c : ghd.node(v).children) state[v] = Join(state[v], state[c], ctx);
     if (v == ghd.root()) break;
     // Push down aggregates over variables private to this subtree
     // (Corollary G.2): everything in the current schema that is not in the
@@ -116,7 +127,7 @@ Result<Relation<S>> YannakakisSolveOn(const FaqQuery<S>& q, const GyoGhd& gg) {
     for (VarId x : state[v].schema().vars())
       if (!std::binary_search(parent_chi.begin(), parent_chi.end(), x))
         private_vars.push_back(x);
-    state[v] = internal::EliminateAll(std::move(state[v]), private_vars, q);
+    state[v] = internal::EliminateAll(std::move(state[v]), private_vars, q, ctx);
   }
   // Root: eliminate the remaining bound variables, then order columns as F.
   Relation<S>& root_rel = state[ghd.root()];
@@ -125,27 +136,29 @@ Result<Relation<S>> YannakakisSolveOn(const FaqQuery<S>& q, const GyoGhd& gg) {
     if (std::find(q.free_vars.begin(), q.free_vars.end(), v) ==
         q.free_vars.end())
       bound.push_back(v);
-  root_rel = internal::EliminateAll(std::move(root_rel), bound, q);
-  return Project(root_rel, q.free_vars);
+  root_rel = internal::EliminateAll(std::move(root_rel), bound, q, ctx);
+  return Project(root_rel, q.free_vars, ctx);
 }
 
 /// Theorem G.3 solver using the canonical minimized decomposition; when F is
 /// non-empty the decomposition is re-rooted so that F ⊆ χ(root) whenever the
 /// query shape permits it.
 template <CommutativeSemiring S>
-Result<Relation<S>> YannakakisSolve(const FaqQuery<S>& q) {
+Result<Relation<S>> YannakakisSolve(const FaqQuery<S>& q,
+                                    ExecContext* ctx = nullptr) {
   if (q.free_vars.empty())
-    return YannakakisSolveOn(q, ComputeWidth(q.hypergraph).decomposition);
+    return YannakakisSolveOn(q, ComputeWidth(q.hypergraph).decomposition, ctx);
   std::vector<VarId> f = q.free_vars;
   std::sort(f.begin(), f.end());
   auto w = MinimizeWidthWithRoot(q.hypergraph, f, /*restarts=*/4, /*seed=*/1);
   if (!w.ok()) return w.status();
-  return YannakakisSolveOn(q, w->decomposition);
+  return YannakakisSolveOn(q, w->decomposition, ctx);
 }
 
 /// Convenience for BCQ: true iff the query is satisfiable.
-inline Result<bool> SolveBcq(const FaqQuery<BooleanSemiring>& q) {
-  auto r = YannakakisSolve(q);
+inline Result<bool> SolveBcq(const FaqQuery<BooleanSemiring>& q,
+                             ExecContext* ctx = nullptr) {
+  auto r = YannakakisSolve(q, ctx);
   if (!r.ok()) return r.status();
   return !r->empty();
 }

@@ -42,12 +42,14 @@ Result<ProtocolResult<S>> RunTrivialProtocol(const DistInstance<S>& inst) {
           {in.owners[e], in.query.relations[e].EncodedBits(in.bits_per_attr)});
   int64_t finish = demands.empty() ? 0 : GatherFlows(&net, demands, in.sink, 0);
 
-  auto answer = BruteForceSolve(in.query);
+  ExecContext ctx;
+  auto answer = BruteForceSolve(in.query, &ctx);
   if (!answer.ok()) return answer.status();
   ProtocolResult<S> out;
   out.answer = std::move(answer.value());
   out.stats.rounds = finish;
   out.stats.total_bits = net.total_bits();
+  out.stats.kernel = ctx.Totals();
   return out;
 }
 
@@ -103,6 +105,10 @@ Result<ProtocolResult<S>> RunCoreForestProtocol(
 
   SyncNetwork net(in.topology, in.capacity_bits);
   int64_t round = 0;
+  // One execution context for every local relational computation the
+  // protocol simulates: scratch buffers are reused across all star steps and
+  // the kernel counters are exported in the result's ProtocolStats.
+  ExecContext ctx;
 
   // Node state: current relation + owning player.
   const int n_nodes = ghd.num_nodes();
@@ -184,7 +190,7 @@ Result<ProtocolResult<S>> RunCoreForestProtocol(
       for (VarId x : state[c].schema().vars())
         if (!center_schema.Contains(x)) private_vars.push_back(x);
       messages.push_back(
-          internal::EliminateAll(state[c], private_vars, in.query));
+          internal::EliminateAll(state[c], private_vars, in.query, &ctx));
       removed[c] = true;
     }
 
@@ -192,7 +198,8 @@ Result<ProtocolResult<S>> RunCoreForestProtocol(
     // delivered): R'_center = R_center ⊗ Π_c message_c, elementwise over
     // center tuples (message schemas are subsets of the center schema, so
     // the center schema is preserved).
-    for (const auto& msg : messages) state[center] = Join(state[center], msg);
+    for (const auto& msg : messages)
+      state[center] = Join(state[center], msg, &ctx);
   }
 
   // Finish. If the root was a star center it now holds the fully reduced
@@ -208,7 +215,7 @@ Result<ProtocolResult<S>> RunCoreForestProtocol(
       if (std::find(in.query.free_vars.begin(), in.query.free_vars.end(), v) ==
           in.query.free_vars.end())
         bound.push_back(v);
-    acc = internal::EliminateAll(std::move(acc), bound, in.query);
+    acc = internal::EliminateAll(std::move(acc), bound, in.query, &ctx);
   } else {
     std::vector<FlowDemand> demands;
     std::vector<Relation<S>> at_sink;
@@ -220,9 +227,9 @@ Result<ProtocolResult<S>> RunCoreForestProtocol(
       at_sink.push_back(state[c]);
     }
     if (!demands.empty()) round = GatherFlows(&net, demands, in.sink, round);
-    acc = internal::JoinAndEliminate(at_sink, in.query);
+    acc = internal::JoinAndEliminate(at_sink, in.query, &ctx);
   }
-  acc = Project(acc, in.query.free_vars);
+  acc = Project(acc, in.query.free_vars, &ctx);
   if (root_is_relation && node_owner[ghd.root()] != in.sink)
     round = UnicastBits(&net, node_owner[ghd.root()], in.sink,
                         std::max<int64_t>(1, acc.EncodedBits(in.bits_per_attr)),
@@ -232,6 +239,7 @@ Result<ProtocolResult<S>> RunCoreForestProtocol(
   out.answer = std::move(acc);
   out.stats.rounds = round;
   out.stats.total_bits = net.total_bits();
+  out.stats.kernel = ctx.Totals();
   return out;
 }
 

@@ -8,6 +8,7 @@
 
 #include "faq/query.h"
 #include "graphalg/graph.h"
+#include "relation/exec.h"
 #include "util/bits.h"
 
 namespace topofaq {
@@ -59,10 +60,13 @@ struct DistInstance {
   }
 };
 
-/// Round/byte accounting common to all protocols.
+/// Round/byte accounting common to all protocols, plus the rolled-up
+/// sorted-relation kernel counters for the local computation the protocol
+/// simulated (rows in/out, key comparisons, sorts paid vs. skipped).
 struct ProtocolStats {
   int64_t rounds = 0;
   int64_t total_bits = 0;
+  OpStats kernel;
 };
 
 template <CommutativeSemiring S>

@@ -1,0 +1,56 @@
+#include "relation/exec.h"
+
+#include <cstdio>
+
+namespace topofaq {
+
+OpStats ExecContext::Totals() const {
+  OpStats t;
+  t += join;
+  t += semijoin;
+  t += project;
+  t += eliminate;
+  return t;
+}
+
+void ExecContext::ResetStats() {
+  join = OpStats{};
+  semijoin = OpStats{};
+  project = OpStats{};
+  eliminate = OpStats{};
+}
+
+namespace {
+
+void AppendOp(std::string* out, const char* name, const OpStats& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s: calls=%lld in=%lld out=%lld cmp=%lld sorts=%lld "
+                "skips=%lld\n",
+                name, static_cast<long long>(s.calls),
+                static_cast<long long>(s.rows_in),
+                static_cast<long long>(s.rows_out),
+                static_cast<long long>(s.comparisons),
+                static_cast<long long>(s.sorts),
+                static_cast<long long>(s.sort_skips));
+  *out += buf;
+}
+
+}  // namespace
+
+std::string ExecContext::DebugString() const {
+  std::string out;
+  AppendOp(&out, "join", join);
+  AppendOp(&out, "semijoin", semijoin);
+  AppendOp(&out, "project", project);
+  AppendOp(&out, "eliminate", eliminate);
+  return out;
+}
+
+ExecContext& ExecContext::Resolve(ExecContext* ctx) {
+  if (ctx != nullptr) return *ctx;
+  thread_local ExecContext default_ctx;
+  return default_ctx;
+}
+
+}  // namespace topofaq

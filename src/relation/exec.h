@@ -1,0 +1,88 @@
+// Execution context for the sorted-relation kernel (see docs/kernel.md).
+//
+// Every relational operator (Join / Semijoin / Project / Eliminate) threads
+// an ExecContext through its hot loop. The context serves two purposes:
+//
+//  1. Scratch reuse: operators borrow the context's row/permutation buffers
+//     instead of allocating per call, so a message-passing pass over a GHD
+//     performs O(1) allocations per operator instead of O(rows).
+//  2. Observability: per-operator counters (calls, rows in/out, key
+//     comparisons, sorts performed vs. skipped) that the protocol layer
+//     exports in ProtocolStats and the benches print. `sort_skips` is the
+//     direct measure of how often the canonical-order invariant saved a sort.
+//
+// Callers that don't care pass nullptr; operators then fall back to a
+// thread-local default context (still reusing scratch across calls).
+#ifndef TOPOFAQ_RELATION_EXEC_H_
+#define TOPOFAQ_RELATION_EXEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace topofaq {
+
+/// Counters for one operator family. All counts are cumulative since the
+/// last ResetStats().
+struct OpStats {
+  int64_t calls = 0;
+  int64_t rows_in = 0;
+  int64_t rows_out = 0;
+  /// Key comparisons performed (merge steps + sort comparator invocations).
+  int64_t comparisons = 0;
+  /// Permutation sorts that actually ran.
+  int64_t sorts = 0;
+  /// Sorts avoided because the input was canonical with a key-prefix order.
+  int64_t sort_skips = 0;
+
+  OpStats& operator+=(const OpStats& o) {
+    calls += o.calls;
+    rows_in += o.rows_in;
+    rows_out += o.rows_out;
+    comparisons += o.comparisons;
+    sorts += o.sorts;
+    sort_skips += o.sort_skips;
+    return *this;
+  }
+};
+
+class ExecContext {
+ public:
+  ExecContext() = default;
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  // Per-operator statistics.
+  OpStats join;
+  OpStats semijoin;
+  OpStats project;
+  OpStats eliminate;
+
+  // Scratch buffers borrowed by operators; contents are undefined between
+  // calls. perm_a/perm_b hold row-order permutations, pos_* hold column
+  // positions, row is the output-row assembly buffer.
+  std::vector<size_t> perm_a;
+  std::vector<size_t> perm_b;
+  std::vector<int> pos_a;
+  std::vector<int> pos_b;
+  std::vector<int> pos_c;
+  std::vector<Value> row;
+  /// Open-addressing run directory (key hash → key-run start + 1).
+  std::vector<uint64_t> table;
+
+  /// Sum of all operator counters (the protocol-level rollup).
+  OpStats Totals() const;
+
+  void ResetStats();
+
+  std::string DebugString() const;
+
+  /// `ctx` if non-null, otherwise a thread-local shared context.
+  static ExecContext& Resolve(ExecContext* ctx);
+};
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_RELATION_EXEC_H_

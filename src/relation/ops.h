@@ -1,209 +1,584 @@
 // Relational algebra over semiring-annotated relations: natural join ⋈,
 // semijoin ⋉ (Definitions 3.4/3.5), projection with ⊕-aggregation, and
-// single-variable elimination with an arbitrary per-variable aggregate
-// (the push-down step of Corollary G.2 / Algorithm 3).
+// multi-variable elimination with per-variable aggregates (the push-down
+// step of Corollary G.2 / Algorithm 3).
+//
+// All operators run on the sorted-relation kernel (docs/kernel.md): inputs
+// are consumed through key-order row permutations — the identity, with no
+// sort at all, whenever the key columns are a schema prefix of a canonical
+// relation — and outputs are emitted through RelationBuilder in
+// nondecreasing row order wherever the access pattern allows, so the result
+// is certified canonical without a closing sort. At most one permutation
+// sort per input is paid when key orderings mismatch. The seed hash-based
+// operators survive in reference_ops.h for differential tests and speedup
+// benchmarks.
 #ifndef TOPOFAQ_RELATION_OPS_H_
 #define TOPOFAQ_RELATION_OPS_H_
 
-#include <unordered_map>
+#include <numeric>
+#include <tuple>
+#include <utility>
 #include <vector>
 
+#include "relation/exec.h"
 #include "relation/relation.h"
 #include "semiring/variable_ops.h"
 
 namespace topofaq {
 namespace internal {
 
-/// FNV-1a over a key tuple.
-inline uint64_t HashKey(std::span<const Value> key) {
+/// Lexicographic compare of columns `apos` of `a_row` vs `bpos` of `b_row`.
+/// The position vectors must have equal length.
+inline int CompareKeys(const Value* a_row, const std::vector<int>& apos,
+                       const Value* b_row, const std::vector<int>& bpos) {
+  for (size_t t = 0; t < apos.size(); ++t) {
+    const Value x = a_row[static_cast<size_t>(apos[t])];
+    const Value y = b_row[static_cast<size_t>(bpos[t])];
+    if (x < y) return -1;
+    if (x > y) return 1;
+  }
+  return 0;
+}
+
+/// Lexicographic compare of two full rows of width `n`.
+inline int CompareRows(const Value* a, const Value* b, size_t n) {
+  for (size_t t = 0; t < n; ++t) {
+    if (a[t] < b[t]) return -1;
+    if (a[t] > b[t]) return 1;
+  }
+  return 0;
+}
+
+/// Fills `perm` with the canonical (full-row lexicographic) order of `r`;
+/// the identity, sort skipped, when `r` is already canonical.
+template <CommutativeSemiring S>
+void RowOrderPerm(const Relation<S>& r, std::vector<size_t>* perm,
+                  OpStats* st) {
+  const size_t n = r.size();
+  perm->resize(n);
+  std::iota(perm->begin(), perm->end(), size_t{0});
+  if (r.canonical()) {
+    ++st->sort_skips;
+    return;
+  }
+  const Value* d = r.data().data();
+  const size_t a = r.arity();
+  std::sort(perm->begin(), perm->end(), [d, a](size_t x, size_t y) {
+    return CompareRows(d + x * a, d + y * a, a) < 0;
+  });
+  ++st->sorts;
+}
+
+/// True when `pos` names the schema prefix [0, k) in order.
+inline bool IsPrefixPositions(const std::vector<int>& pos) {
+  for (size_t t = 0; t < pos.size(); ++t)
+    if (pos[t] != static_cast<int>(t)) return false;
+  return true;
+}
+
+/// True when the key columns `pos` are the schema prefix [0, k) of a
+/// canonical relation — its rows are then already key-ordered in place and
+/// every kernel fast path (identity traversal, skipped sorts) applies.
+template <CommutativeSemiring S>
+bool IsCanonicalKeyPrefix(const Relation<S>& r, const std::vector<int>& pos) {
+  return r.canonical() && IsPrefixPositions(pos);
+}
+
+/// FNV-1a over the `pos` columns of `row`.
+inline uint64_t HashKeyAt(const Value* row, const std::vector<int>& pos) {
   uint64_t h = 1469598103934665603ULL;
-  for (Value v : key) {
-    h ^= v;
+  for (int p : pos) {
+    h ^= row[static_cast<size_t>(p)];
     h *= 1099511628211ULL;
   }
   return h;
 }
 
-/// Extracts the values of `positions` from `row` into `out`.
-inline void Gather(std::span<const Value> row, const std::vector<int>& positions,
-                   std::vector<Value>* out) {
-  out->clear();
-  for (int p : positions) out->push_back(row[static_cast<size_t>(p)]);
+/// Builds an open-addressing directory from key hashes to the key-run starts
+/// of a key-ordered traversal of `rn` rows (runs have distinct keys, so no
+/// duplicate handling is needed). `rp` maps traversal position to row id;
+/// nullptr means the identity (rows already key-ordered in place — the
+/// canonical-prefix case, spared the indirection). Entry 0 means empty;
+/// otherwise start + 1.
+inline void BuildRunDirectory(const Value* rd, size_t ra, size_t rn,
+                              const size_t* rp, const std::vector<int>& rpos,
+                              std::vector<uint64_t>* table) {
+  size_t cap = 16;
+  while (cap < rn * 2) cap <<= 1;
+  table->assign(cap, 0);
+  const uint64_t mask = cap - 1;
+  const Value* prev = nullptr;
+  for (size_t s = 0; s < rn; ++s) {
+    const Value* row = rd + (rp ? rp[s] : s) * ra;
+    if (prev != nullptr && CompareKeys(row, rpos, prev, rpos) == 0) {
+      prev = row;
+      continue;
+    }
+    prev = row;
+    uint64_t idx = HashKeyAt(row, rpos) & mask;
+    while ((*table)[idx] != 0) idx = (idx + 1) & mask;
+    (*table)[idx] = s + 1;
+  }
 }
 
-/// Groups rows of `r` by the named key positions. Returns map hash→row ids;
-/// collisions resolved by the caller re-checking key equality.
-template <CommutativeSemiring S>
-std::unordered_multimap<uint64_t, size_t> BuildHashIndex(
-    const Relation<S>& r, const std::vector<int>& key_positions) {
-  std::unordered_multimap<uint64_t, size_t> index;
-  index.reserve(r.size() * 2);
-  std::vector<Value> key;
-  for (size_t i = 0; i < r.size(); ++i) {
-    Gather(r.tuple(i), key_positions, &key);
-    index.emplace(HashKey(key), i);
+/// Returns the traversal-position run [lo, hi) whose key equals the `lpos`
+/// columns of `lrow`, or an empty range when there is no match.
+inline std::pair<size_t, size_t> ProbeRunDirectory(
+    const std::vector<uint64_t>& table, const Value* rd, size_t ra, size_t rn,
+    const size_t* rp, const std::vector<int>& rpos, const Value* lrow,
+    const std::vector<int>& lpos, int64_t* cmps) {
+  const uint64_t mask = table.size() - 1;
+  uint64_t idx = HashKeyAt(lrow, lpos) & mask;
+  while (table[idx] != 0) {
+    const size_t s = table[idx] - 1;
+    ++*cmps;
+    if (CompareKeys(rd + (rp ? rp[s] : s) * ra, rpos, lrow, lpos) == 0) {
+      size_t hi = s + 1;
+      while (hi < rn &&
+             CompareKeys(rd + (rp ? rp[hi] : hi) * ra, rpos, lrow, lpos) == 0)
+        ++hi;
+      *cmps += static_cast<int64_t>(hi - s);
+      return {s, hi};
+    }
+    idx = (idx + 1) & mask;
   }
-  return index;
+  return {0, 0};
+}
+
+/// Fills `perm` with a row ordering of `r` sorted by key columns `pos`.
+/// When `pos` is the schema prefix [0, k) of a canonical relation the rows
+/// are already key-ordered and the sort is skipped (the kernel fast path).
+template <CommutativeSemiring S>
+void KeyOrderPerm(const Relation<S>& r, const std::vector<int>& pos,
+                  std::vector<size_t>* perm, OpStats* st) {
+  const size_t n = r.size();
+  perm->resize(n);
+  std::iota(perm->begin(), perm->end(), size_t{0});
+  if (IsCanonicalKeyPrefix(r, pos)) {
+    ++st->sort_skips;
+    return;
+  }
+  const Value* d = r.data().data();
+  const size_t a = r.arity();
+  int64_t cmps = 0;
+  std::sort(perm->begin(), perm->end(), [&](size_t x, size_t y) {
+    ++cmps;
+    return CompareKeys(d + x * a, pos, d + y * a, pos) < 0;
+  });
+  ++st->sorts;
+  st->comparisons += cmps;
 }
 
 }  // namespace internal
 
 /// Natural join: output schema is left's variables followed by right's
-/// non-shared variables; annotations multiply (⊗). Output is canonicalized.
+/// non-shared variables; annotations multiply (⊗). Output is canonical.
+///
+/// Left-driven sort-merge: the left side is walked in canonical row order
+/// and matched against key-runs of the key-ordered right side — by a linear
+/// two-pointer merge when the left key is a schema prefix (keys then arrive
+/// monotonically), and by a flat hashed run directory otherwise. Because
+/// every output row is the left row extended by right extras — and runs are
+/// tie-broken by full right row — output rows stream out in nondecreasing
+/// order, so the result is certified canonical with no closing sort. At most
+/// one permutation sort is paid (on the right, only when its key columns are
+/// not already a canonical schema prefix); with no shared variables the
+/// single all-rows run makes this the streaming cross product.
 template <CommutativeSemiring S>
-Relation<S> Join(const Relation<S>& left, const Relation<S>& right) {
-  const std::vector<VarId> shared = left.schema().SharedWith(right.schema());
-  std::vector<int> lpos, rpos, rextra;
-  for (VarId v : shared) {
-    lpos.push_back(left.schema().PositionOf(v));
-    rpos.push_back(right.schema().PositionOf(v));
+Relation<S> Join(const Relation<S>& left, const Relation<S>& right,
+                 ExecContext* ctx = nullptr) {
+  ExecContext& cx = ExecContext::Resolve(ctx);
+  OpStats& st = cx.join;
+  ++st.calls;
+  st.rows_in += static_cast<int64_t>(left.size() + right.size());
+
+  const SchemaIndex lidx(left.schema());
+  const SchemaIndex ridx(right.schema());
+  std::vector<int>& lpos = cx.pos_a;
+  std::vector<int>& rpos = cx.pos_b;
+  std::vector<int>& rextra = cx.pos_c;
+  lpos.clear();
+  rpos.clear();
+  rextra.clear();
+  for (size_t i = 0; i < left.arity(); ++i) {
+    const int rp = ridx.PositionOf(left.schema().var(i));
+    if (rp >= 0) {
+      lpos.push_back(static_cast<int>(i));
+      rpos.push_back(rp);
+    }
   }
   std::vector<VarId> out_vars = left.schema().vars();
   for (size_t i = 0; i < right.arity(); ++i)
-    if (!left.schema().Contains(right.schema().var(i))) {
+    if (!lidx.Contains(right.schema().var(i))) {
       out_vars.push_back(right.schema().var(i));
       rextra.push_back(static_cast<int>(i));
     }
 
-  Relation<S> out{Schema(out_vars)};
-  auto index = internal::BuildHashIndex(right, rpos);
-  std::vector<Value> key, rkey, row;
-  for (size_t i = 0; i < left.size(); ++i) {
-    internal::Gather(left.tuple(i), lpos, &key);
-    auto [lo, hi] = index.equal_range(internal::HashKey(key));
-    for (auto it = lo; it != hi; ++it) {
-      const size_t j = it->second;
-      internal::Gather(right.tuple(j), rpos, &rkey);
-      if (rkey != key) continue;
-      row.assign(left.tuple(i).begin(), left.tuple(i).end());
-      for (int p : rextra) row.push_back(right.tuple(j)[static_cast<size_t>(p)]);
-      out.Add(row, S::Multiply(left.annot(i), right.annot(j)));
+  const Value* ld = left.data().data();
+  const Value* rd = right.data().data();
+  const size_t la = left.arity();
+  const size_t ra = right.arity();
+  const size_t ln = left.size();
+  const size_t rn = right.size();
+
+  // Left traversal in canonical row order: nullptr permutation = identity
+  // (no indirection on the hot path) when already canonical.
+  const size_t* lpm = nullptr;
+  if (left.canonical()) {
+    ++st.sort_skips;
+  } else {
+    internal::RowOrderPerm(left, &cx.perm_a, &st);
+    lpm = cx.perm_a.data();
+  }
+
+  // Right side key-ordered with full-row tiebreak so extras within a key-run
+  // stream out sorted; identity (no sort, no indirection) when the key is
+  // already a canonical schema prefix.
+  const size_t* rpm = nullptr;
+  if (internal::IsCanonicalKeyPrefix(right, rpos)) {
+    ++st.sort_skips;
+  } else {
+    std::vector<size_t>& rp = cx.perm_b;
+    rp.resize(rn);
+    std::iota(rp.begin(), rp.end(), size_t{0});
+    int64_t cmps = 0;
+    std::sort(rp.begin(), rp.end(), [&](size_t x, size_t y) {
+      ++cmps;
+      const int c =
+          internal::CompareKeys(rd + x * ra, rpos, rd + y * ra, rpos);
+      if (c != 0) return c < 0;
+      return internal::CompareRows(rd + x * ra, rd + y * ra, ra) < 0;
+    });
+    ++st.sorts;
+    st.comparisons += cmps;
+    rpm = rp.data();
+  }
+
+  // Left keys arrive monotonically under full-row traversal order exactly
+  // when the key columns are the left schema prefix — then a linear merge
+  // suffices; otherwise probe through the hashed run directory.
+  const bool lmono = internal::IsPrefixPositions(lpos);
+  if (!lmono && ln > 0 && rn > 0)
+    internal::BuildRunDirectory(rd, ra, rn, rpm, rpos, &cx.table);
+
+  RelationBuilder<S> b{Schema(std::move(out_vars))};
+  b.Reserve(std::max(ln, rn));
+  std::vector<Value>& row = cx.row;
+  row.resize(la + rextra.size());
+
+  const Value* prev_lrow = nullptr;
+  size_t lo = 0, hi = 0, j = 0;
+  for (size_t xi = 0; xi < ln && rn > 0; ++xi) {
+    const size_t x = lpm ? lpm[xi] : xi;
+    const Value* lrow = ld + x * la;
+#if defined(__GNUC__)
+    // Hide the directory-probe cache miss of the next left row behind this
+    // row's emission work.
+    if (!lmono && xi + 1 < ln) {
+      const size_t nx = lpm ? lpm[xi + 1] : xi + 1;
+      __builtin_prefetch(cx.table.data() +
+                         (internal::HashKeyAt(ld + nx * la, lpos) &
+                          (cx.table.size() - 1)));
+    }
+#endif
+    if (prev_lrow == nullptr ||
+        internal::CompareKeys(lrow, lpos, prev_lrow, lpos) != 0) {
+      if (lmono) {
+        while (j < rn &&
+               internal::CompareKeys(rd + (rpm ? rpm[j] : j) * ra, rpos, lrow,
+                                     lpos) < 0) {
+          ++st.comparisons;
+          ++j;
+        }
+        lo = hi = j;
+        while (hi < rn &&
+               internal::CompareKeys(rd + (rpm ? rpm[hi] : hi) * ra, rpos,
+                                     lrow, lpos) == 0)
+          ++hi;
+        st.comparisons += static_cast<int64_t>(hi - lo) + 1;
+        j = hi;
+      } else {
+        std::tie(lo, hi) = internal::ProbeRunDirectory(
+            cx.table, rd, ra, rn, rpm, rpos, lrow, lpos, &st.comparisons);
+      }
+    }
+    prev_lrow = lrow;
+    if (lo == hi) continue;
+    std::copy(lrow, lrow + la, row.begin());
+    for (size_t y = lo; y < hi; ++y) {
+      const size_t ry = rpm ? rpm[y] : y;
+      const Value* rrow = rd + ry * ra;
+      for (size_t t = 0; t < rextra.size(); ++t)
+        row[la + t] = rrow[static_cast<size_t>(rextra[t])];
+      b.Append(row, S::Multiply(left.annot(x), right.annot(ry)));
     }
   }
-  out.Canonicalize();
+  Relation<S> out = b.Build();
+  st.rows_out += static_cast<int64_t>(out.size());
   return out;
 }
 
 /// Semijoin left ⋉ right: rows of `left` whose projection onto the shared
 /// variables matches some non-zero row of `right`; annotations of `left`
 /// are kept unchanged (Definition 3.5 semantics).
+///
+/// Left rows are tested in their original order against a key-ordered right
+/// side (linear merge when the left key is a canonical schema prefix, hashed
+/// run-directory probes otherwise; the right-side sort is skipped when its
+/// key is a canonical schema prefix) — for a canonical left input the output
+/// is a canonical subsequence and never needs sorting.
 template <CommutativeSemiring S>
-Relation<S> Semijoin(const Relation<S>& left, const Relation<S>& right) {
-  const std::vector<VarId> shared = left.schema().SharedWith(right.schema());
-  std::vector<int> lpos, rpos;
-  for (VarId v : shared) {
-    lpos.push_back(left.schema().PositionOf(v));
-    rpos.push_back(right.schema().PositionOf(v));
-  }
-  auto index = internal::BuildHashIndex(right, rpos);
-  Relation<S> out{left.schema()};
-  std::vector<Value> key, rkey;
-  for (size_t i = 0; i < left.size(); ++i) {
-    internal::Gather(left.tuple(i), lpos, &key);
-    auto [lo, hi] = index.equal_range(internal::HashKey(key));
-    bool matched = false;
-    for (auto it = lo; it != hi && !matched; ++it) {
-      internal::Gather(right.tuple(it->second), rpos, &rkey);
-      matched = (rkey == key);
+Relation<S> Semijoin(const Relation<S>& left, const Relation<S>& right,
+                     ExecContext* ctx = nullptr) {
+  ExecContext& cx = ExecContext::Resolve(ctx);
+  OpStats& st = cx.semijoin;
+  ++st.calls;
+  st.rows_in += static_cast<int64_t>(left.size() + right.size());
+
+  const SchemaIndex ridx(right.schema());
+  std::vector<int>& lpos = cx.pos_a;
+  std::vector<int>& rpos = cx.pos_b;
+  lpos.clear();
+  rpos.clear();
+  for (size_t i = 0; i < left.arity(); ++i) {
+    const int rp = ridx.PositionOf(left.schema().var(i));
+    if (rp >= 0) {
+      lpos.push_back(static_cast<int>(i));
+      rpos.push_back(rp);
     }
-    if (matched) out.Add(left.tuple(i), left.annot(i));
   }
-  out.Canonicalize();
+
+  const Value* ld = left.data().data();
+  const Value* rd = right.data().data();
+  const size_t la = left.arity();
+  const size_t ra = right.arity();
+  const size_t ln = left.size();
+  const size_t rn = right.size();
+
+  // Right side key-ordered; identity when the key is a canonical prefix.
+  const size_t* rpm = nullptr;
+  if (internal::IsCanonicalKeyPrefix(right, rpos)) {
+    ++st.sort_skips;
+  } else {
+    internal::KeyOrderPerm(right, rpos, &cx.perm_b, &st);
+    rpm = cx.perm_b.data();
+  }
+
+  // Left keys arrive monotonically only when left is canonical and the key
+  // is its schema prefix (the traversal below is in original row order).
+  const bool lmono = internal::IsCanonicalKeyPrefix(left, lpos);
+  if (!lmono && ln > 0 && rn > 0)
+    internal::BuildRunDirectory(rd, ra, rn, rpm, rpos, &cx.table);
+
+  RelationBuilder<S> b{left.schema()};
+  const Value* prev_lrow = nullptr;
+  bool matched = false;
+  size_t j = 0;
+  for (size_t x = 0; x < ln && rn > 0; ++x) {
+    const Value* lrow = ld + x * la;
+    if (prev_lrow == nullptr ||
+        internal::CompareKeys(lrow, lpos, prev_lrow, lpos) != 0) {
+      if (lmono) {
+        while (j < rn &&
+               internal::CompareKeys(rd + (rpm ? rpm[j] : j) * ra, rpos, lrow,
+                                     lpos) < 0) {
+          ++st.comparisons;
+          ++j;
+        }
+        ++st.comparisons;
+        matched = j < rn &&
+                  internal::CompareKeys(rd + (rpm ? rpm[j] : j) * ra, rpos,
+                                        lrow, lpos) == 0;
+      } else {
+        auto [lo, hi] = internal::ProbeRunDirectory(
+            cx.table, rd, ra, rn, rpm, rpos, lrow, lpos, &st.comparisons);
+        matched = lo != hi;
+      }
+    }
+    prev_lrow = lrow;
+    if (matched) b.Append(left.tuple(x), left.annot(x));
+  }
+  Relation<S> out = b.Build();
+  st.rows_out += static_cast<int64_t>(out.size());
   return out;
 }
 
 /// π with ⊕-aggregation: projects onto `keep` (which must be a subset of the
 /// schema), summing annotations of collapsing rows with S::Add.
+///
+/// Streaming: rows are walked in kept-column order (no sort when `keep` is a
+/// canonical schema prefix) and collapsing rows merge adjacently in the
+/// builder — no hash table, and the output is canonical by construction.
 template <CommutativeSemiring S>
-Relation<S> Project(const Relation<S>& r, const std::vector<VarId>& keep) {
-  std::vector<int> pos;
+Relation<S> Project(const Relation<S>& r, const std::vector<VarId>& keep,
+                    ExecContext* ctx = nullptr) {
+  ExecContext& cx = ExecContext::Resolve(ctx);
+  OpStats& st = cx.project;
+  ++st.calls;
+  st.rows_in += static_cast<int64_t>(r.size());
+
+  const SchemaIndex idx(r.schema());
+  std::vector<int>& pos = cx.pos_a;
+  pos.clear();
   for (VarId v : keep) {
-    int p = r.schema().PositionOf(v);
+    const int p = idx.PositionOf(v);
     TOPOFAQ_CHECK_MSG(p >= 0, "projection variable not in schema");
     pos.push_back(p);
   }
-  Relation<S> out{Schema(keep)};
-  std::vector<Value> row;
-  for (size_t i = 0; i < r.size(); ++i) {
-    internal::Gather(r.tuple(i), pos, &row);
-    out.Add(row, r.annot(i));
+
+  internal::KeyOrderPerm(r, pos, &cx.perm_a, &st);
+  const Value* d = r.data().data();
+  const size_t a = r.arity();
+  RelationBuilder<S> b{Schema(keep)};
+  std::vector<Value>& row = cx.row;
+  row.resize(pos.size());
+  for (size_t t = 0; t < r.size(); ++t) {
+    const Value* src = d + cx.perm_a[t] * a;
+    for (size_t k = 0; k < pos.size(); ++k)
+      row[k] = src[static_cast<size_t>(pos[k])];
+    b.Append(row, r.annot(cx.perm_a[t]));
   }
-  out.Canonicalize();
+  Relation<S> out = b.Build();
+  st.rows_out += static_cast<int64_t>(out.size());
   return out;
+}
+
+/// Batched multi-variable elimination: removes every variable of `vars`
+/// (paired with its aggregate in `ops`) in the canonical innermost-first
+/// order of Eq. (4) — descending VarId. Variables absent from the schema are
+/// ignored.
+///
+/// Consecutive variables sharing the same aggregate are eliminated as one
+/// batch: a single group-by over the surviving columns folds the whole batch
+/// (sound because each aggregate is associative and commutative, so folding
+/// the combined group equals folding variable-at-a-time). FAQ-SS queries —
+/// every aggregate the semiring ⊕ — therefore group exactly once, where the
+/// seed kernel re-grouped once per variable.
+template <CommutativeSemiring S>
+Relation<S> Eliminate(Relation<S> r, std::vector<VarId> vars,
+                      std::vector<VarOp> ops, ExecContext* ctx = nullptr) {
+  TOPOFAQ_CHECK_MSG(vars.size() == ops.size(),
+                    "one aggregate op per eliminated variable required");
+  ExecContext& cx = ExecContext::Resolve(ctx);
+  OpStats& st = cx.eliminate;
+  ++st.calls;
+  st.rows_in += static_cast<int64_t>(r.size());
+
+  // Keep only variables present, then order descending (innermost first).
+  {
+    const SchemaIndex idx(r.schema());
+    size_t w = 0;
+    for (size_t i = 0; i < vars.size(); ++i)
+      if (idx.Contains(vars[i])) {
+        vars[w] = vars[i];
+        ops[w] = ops[i];
+        ++w;
+      }
+    vars.resize(w);
+    ops.resize(w);
+  }
+  std::vector<size_t> order(vars.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return vars[x] > vars[y]; });
+  {
+    std::vector<VarId> v2(vars.size());
+    std::vector<VarOp> o2(ops.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      v2[i] = vars[order[i]];
+      o2[i] = ops[order[i]];
+    }
+    vars = std::move(v2);
+    ops = std::move(o2);
+  }
+
+  size_t bi = 0;
+  while (bi < vars.size()) {
+    size_t be = bi + 1;
+    while (be < vars.size() && ops[be] == ops[bi]) ++be;
+    const VarOp op = ops[bi];
+
+    // Surviving columns of this batch, in schema order.
+    std::vector<VarId> kept_vars;
+    std::vector<int>& kept_pos = cx.pos_a;
+    kept_pos.clear();
+    for (size_t p = 0; p < r.arity(); ++p) {
+      const VarId v = r.schema().var(p);
+      if (std::find(vars.begin() + bi, vars.begin() + be, v) ==
+          vars.begin() + be) {
+        kept_vars.push_back(v);
+        kept_pos.push_back(static_cast<int>(p));
+      }
+    }
+
+    internal::KeyOrderPerm(r, kept_pos, &cx.perm_a, &st);
+    const Value* d = r.data().data();
+    const size_t a = r.arity();
+    const size_t n = r.size();
+    RelationBuilder<S> b{Schema(std::move(kept_vars))};
+    std::vector<Value>& row = cx.row;
+    row.resize(kept_pos.size());
+    for (size_t g = 0; g < n;) {
+      const size_t head = cx.perm_a[g];
+      typename S::Value acc = r.annot(head);
+      size_t ge = g + 1;
+      while (ge < n && internal::CompareKeys(d + cx.perm_a[ge] * a, kept_pos,
+                                             d + head * a, kept_pos) == 0) {
+        acc = ApplyVarOp<S>(op, acc, r.annot(cx.perm_a[ge]));
+        ++ge;
+      }
+      st.comparisons += static_cast<int64_t>(ge - g);
+      for (size_t k = 0; k < kept_pos.size(); ++k)
+        row[k] = d[head * a + static_cast<size_t>(kept_pos[k])];
+      b.Append(row, acc);
+      g = ge;
+    }
+    r = b.Build();
+    bi = be;
+  }
+  st.rows_out += static_cast<int64_t>(r.size());
+  return r;
 }
 
 /// Eliminates a single variable `v` with aggregate `op`: groups rows by the
 /// remaining variables and folds annotations of each group with `op`. This is
-/// one ⊕(i) application of Eq. (4); eliminating bound variables one at a time
-/// in innermost-first order realizes general FAQ semantics over the listed
-/// support.
+/// one ⊕(i) application of Eq. (4).
 template <CommutativeSemiring S>
-Relation<S> EliminateVar(const Relation<S>& r, VarId v, VarOp op) {
+Relation<S> EliminateVar(const Relation<S>& r, VarId v, VarOp op,
+                         ExecContext* ctx = nullptr) {
   TOPOFAQ_CHECK_MSG(r.schema().Contains(v), "eliminated variable not in schema");
-  std::vector<VarId> keep;
-  std::vector<int> pos;
-  for (size_t i = 0; i < r.arity(); ++i)
-    if (r.schema().var(i) != v) {
-      keep.push_back(r.schema().var(i));
-      pos.push_back(static_cast<int>(i));
-    }
-  // Group rows by the kept columns.
-  struct Group {
-    std::vector<Value> key;
-    typename S::Value acc;
-    bool init = false;
-  };
-  std::unordered_map<uint64_t, std::vector<Group>> groups;
-  std::vector<Value> key;
-  for (size_t i = 0; i < r.size(); ++i) {
-    internal::Gather(r.tuple(i), pos, &key);
-    auto& bucket = groups[internal::HashKey(key)];
-    Group* g = nullptr;
-    for (auto& cand : bucket)
-      if (cand.key == key) {
-        g = &cand;
-        break;
-      }
-    if (g == nullptr) {
-      bucket.push_back(Group{key, S::Zero(), false});
-      g = &bucket.back();
-    }
-    if (!g->init) {
-      g->acc = r.annot(i);
-      g->init = true;
-    } else {
-      g->acc = ApplyVarOp<S>(op, g->acc, r.annot(i));
-    }
-  }
-  Relation<S> out{Schema(keep)};
-  for (auto& [h, bucket] : groups)
-    for (auto& g : bucket) out.Add(g.key, g.acc);
-  out.Canonicalize();
-  return out;
+  return Eliminate(r, std::vector<VarId>{v}, std::vector<VarOp>{op}, ctx);
 }
 
 /// Intersection of two same-schema relations: tuples present (non-zero) in
-/// both, annotations multiplied. Equivalent to Join for identical schemas.
+/// both, annotations multiplied. A full-key sort-merge Join — linear with no
+/// sort at all when both sides are canonical.
 template <CommutativeSemiring S>
-Relation<S> Intersect(const Relation<S>& a, const Relation<S>& b) {
+Relation<S> Intersect(const Relation<S>& a, const Relation<S>& b,
+                      ExecContext* ctx = nullptr) {
   TOPOFAQ_CHECK_MSG(a.schema() == b.schema(), "intersection needs equal schemas");
-  return Join(a, b);
+  return Join(a, b, ctx);
 }
 
 /// The full relation [N]^arity × {1} on `schema` with domain [0, n) — used by
-/// the TRIBES embeddings ("[N] × {1}" relations of Lemma 4.3).
+/// the TRIBES embeddings ("[N] × {1}" relations of Lemma 4.3). Enumerated in
+/// lexicographic order, so the result is canonical with no sort.
 template <CommutativeSemiring S>
 Relation<S> FullRelation(const Schema& schema, uint64_t n) {
-  Relation<S> out{schema};
+  RelationBuilder<S> b{schema};
   std::vector<Value> row(schema.arity(), 0);
-  // Odometer enumeration of [n)^arity.
+  // Odometer enumeration of [n)^arity, last column fastest.
   while (true) {
-    out.Add(row, S::One());
-    size_t k = 0;
-    while (k < row.size() && ++row[k] == n) row[k++] = 0;
-    if (k == row.size()) break;
+    b.Append(row, S::One());
+    size_t k = row.size();
+    while (k > 0) {
+      if (++row[k - 1] < n) break;
+      row[k - 1] = 0;
+      --k;
+    }
+    if (k == 0) break;
   }
-  return out;
+  return b.Build();
 }
 
 }  // namespace topofaq

@@ -5,6 +5,14 @@
 //
 // Storage is flat (row-major, fixed arity stride) for cache friendliness; the
 // annotation array is parallel to the rows.
+//
+// Canonical-order invariant (docs/kernel.md): a relation is *canonical* when
+// its rows are sorted lexicographically in schema-column order, tuples are
+// distinct, and no annotation is semiring zero. Canonical relations compare
+// pointwise-equal functions as bit-equal arrays, and the sort-merge operators
+// in ops.h exploit the ordering to skip sorting entirely on shared-key-prefix
+// inputs. The `canonical()` flag tracks the invariant; RelationBuilder is the
+// sanctioned way for operators to produce sorted output directly.
 #ifndef TOPOFAQ_RELATION_RELATION_H_
 #define TOPOFAQ_RELATION_RELATION_H_
 
@@ -13,6 +21,7 @@
 #include <numeric>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "semiring/semiring.h"
@@ -27,16 +36,21 @@ class Schema {
  public:
   Schema() = default;
   explicit Schema(std::vector<VarId> vars) : vars_(std::move(vars)) {
-    for (size_t i = 0; i < vars_.size(); ++i)
-      for (size_t j = i + 1; j < vars_.size(); ++j)
-        TOPOFAQ_CHECK_MSG(vars_[i] != vars_[j], "duplicate variable in schema");
+    // Sort-based duplicate detection: O(n log n) instead of the quadratic
+    // pairwise scan.
+    std::vector<VarId> sorted = vars_;
+    std::sort(sorted.begin(), sorted.end());
+    TOPOFAQ_CHECK_MSG(
+        std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+        "duplicate variable in schema");
   }
 
   size_t arity() const { return vars_.size(); }
   const std::vector<VarId>& vars() const { return vars_; }
   VarId var(size_t i) const { return vars_[i]; }
 
-  /// Position of `v` in this schema, or -1 if absent.
+  /// Position of `v` in this schema, or -1 if absent. Linear; operators that
+  /// look up many variables should build a SchemaIndex once instead.
   int PositionOf(VarId v) const {
     for (size_t i = 0; i < vars_.size(); ++i)
       if (vars_[i] == v) return static_cast<int>(i);
@@ -58,6 +72,32 @@ class Schema {
   std::vector<VarId> vars_;
 };
 
+/// Precomputed position map for a schema: build once per operator call, then
+/// answer PositionOf in O(log arity) instead of O(arity) per lookup.
+class SchemaIndex {
+ public:
+  explicit SchemaIndex(const Schema& s) {
+    pairs_.reserve(s.arity());
+    for (size_t i = 0; i < s.arity(); ++i)
+      pairs_.emplace_back(s.var(i), static_cast<int>(i));
+    std::sort(pairs_.begin(), pairs_.end());
+  }
+
+  int PositionOf(VarId v) const {
+    auto it = std::lower_bound(
+        pairs_.begin(), pairs_.end(), v,
+        [](const std::pair<VarId, int>& p, VarId x) { return p.first < x; });
+    return (it != pairs_.end() && it->first == v) ? it->second : -1;
+  }
+  bool Contains(VarId v) const { return PositionOf(v) >= 0; }
+
+ private:
+  std::vector<std::pair<VarId, int>> pairs_;
+};
+
+template <CommutativeSemiring S>
+class RelationBuilder;
+
 /// A relation annotated with values from semiring S.
 template <CommutativeSemiring S>
 class Relation {
@@ -72,12 +112,24 @@ class Relation {
   size_t size() const { return annots_.size(); }
   bool empty() const { return annots_.empty(); }
 
+  /// True when rows are sorted lexicographically, distinct, and non-zero.
+  bool canonical() const { return canonical_; }
+
   /// The i-th tuple as a read-only view.
   std::span<const Value> tuple(size_t i) const {
     return {data_.data() + i * arity(), arity()};
   }
   SemiringValue annot(size_t i) const { return annots_[i]; }
-  void set_annot(size_t i, SemiringValue v) { annots_[i] = v; }
+  void set_annot(size_t i, SemiringValue v) {
+    annots_[i] = v;
+    // A zero annotation violates the canonical invariant (non-zero rows
+    // only); nonzero overwrites keep ordering/distinctness intact.
+    if (S::IsZero(v)) canonical_ = false;
+  }
+
+  /// Raw row storage (row-major, stride = arity). Operators use this to
+  /// compare columns without materializing per-row key vectors.
+  const std::vector<Value>& data() const { return data_; }
 
   /// Appends (t, v). Zero-annotated tuples are dropped (listing rep stores
   /// only non-zeros). Duplicates are merged by Canonicalize().
@@ -86,6 +138,7 @@ class Relation {
     if (S::IsZero(v)) return;
     data_.insert(data_.end(), t.begin(), t.end());
     annots_.push_back(v);
+    canonical_ = false;
   }
   void Add(std::initializer_list<Value> t, SemiringValue v) {
     Add(std::span<const Value>(t.begin(), t.size()), v);
@@ -95,16 +148,21 @@ class Relation {
 
   /// Sorts rows lexicographically, merges duplicate tuples with S::Add, and
   /// drops zero annotations. After this, the relation is a canonical function
-  /// representation: pointwise-equal functions compare equal.
+  /// representation: pointwise-equal functions compare equal. A no-op when
+  /// the canonical flag is already set.
   void Canonicalize() {
+    if (canonical_) return;
     const size_t a = arity();
     const size_t n = size();
     std::vector<size_t> order(n);
     std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
-      return std::lexicographical_compare(
-          data_.begin() + x * a, data_.begin() + (x + 1) * a,
-          data_.begin() + y * a, data_.begin() + (y + 1) * a);
+    const Value* d = data_.data();
+    std::sort(order.begin(), order.end(), [d, a](size_t x, size_t y) {
+      const Value* px = d + x * a;
+      const Value* py = d + y * a;
+      for (size_t k = 0; k < a; ++k)
+        if (px[k] != py[k]) return px[k] < py[k];
+      return false;
     });
     std::vector<Value> nd;
     std::vector<SemiringValue> na;
@@ -129,11 +187,15 @@ class Relation {
     }
     data_ = std::move(nd);
     annots_ = std::move(na);
+    canonical_ = true;
   }
 
-  /// Exact function equality (both sides are canonicalized copies).
+  /// Exact function equality. Canonical operands compare directly; others
+  /// are canonicalized on a copy first.
   bool EqualsAsFunction(const Relation& other) const {
     if (!(schema_ == other.schema_)) return false;
+    if (canonical_ && other.canonical_)
+      return data_ == other.data_ && annots_ == other.annots_;
     Relation a = *this, b = other;
     a.Canonicalize();
     b.Canonicalize();
@@ -170,9 +232,114 @@ class Relation {
   }
 
  private:
+  friend class RelationBuilder<S>;
+
+  Relation(Schema schema, std::vector<Value> data,
+           std::vector<SemiringValue> annots, bool canonical)
+      : schema_(std::move(schema)),
+        data_(std::move(data)),
+        annots_(std::move(annots)),
+        canonical_(canonical) {}
+
   Schema schema_;
   std::vector<Value> data_;             // row-major, stride = arity()
   std::vector<SemiringValue> annots_;   // parallel to rows
+  // Empty relations are trivially canonical; Add clears the flag.
+  bool canonical_ = true;
+};
+
+/// Accumulates operator output rows and produces a canonical Relation.
+///
+/// Append merges a row equal to the previous one with S::Add and tracks
+/// whether rows arrive in nondecreasing order. Build() then either certifies
+/// the output canonical with a single zero-dropping pass (the sorted case —
+/// every sort-merge operator emitting in key order lands here) or falls back
+/// to one Canonicalize() sort. This is what lets operators produce sorted
+/// output directly instead of sort-after-the-fact.
+template <CommutativeSemiring S>
+class RelationBuilder {
+ public:
+  using SemiringValue = typename S::Value;
+
+  explicit RelationBuilder(Schema schema)
+      : schema_(std::move(schema)), arity_(schema_.arity()) {}
+
+  void Reserve(size_t rows) {
+    data_.reserve(rows * arity_);
+    annots_.reserve(rows);
+  }
+
+  size_t rows() const { return annots_.size(); }
+
+  /// Appends (t, v). A tuple equal to the previous appended tuple is merged
+  /// into it with S::Add instead of stored again.
+  void Append(std::span<const Value> t, SemiringValue v) {
+    TOPOFAQ_DCHECK(t.size() == arity_);
+    if (!annots_.empty()) {
+      const Value* last = data_.data() + data_.size() - arity_;
+      int cmp = Compare(last, t.data());
+      if (cmp == 0) {
+        annots_.back() = S::Add(annots_.back(), v);
+        return;
+      }
+      if (cmp > 0) sorted_ = false;
+    }
+    data_.insert(data_.end(), t.begin(), t.end());
+    annots_.push_back(v);
+  }
+  void Append(std::initializer_list<Value> t, SemiringValue v) {
+    Append(std::span<const Value>(t.begin(), t.size()), v);
+  }
+
+  /// Finalizes into a canonical relation. The builder is left empty and
+  /// reusable for the same schema.
+  Relation<S> Build() {
+    if (sorted_) {
+      // Rows are already sorted and distinct; drop zero annotations
+      // (merge cancellation, e.g. GF2) with one compacting pass.
+      size_t w = 0;
+      for (size_t i = 0; i < annots_.size(); ++i) {
+        if (S::IsZero(annots_[i])) continue;
+        if (w != i) {
+          std::copy(data_.begin() + i * arity_,
+                    data_.begin() + (i + 1) * arity_,
+                    data_.begin() + w * arity_);
+          annots_[w] = annots_[i];
+        }
+        ++w;
+      }
+      data_.resize(w * arity_);
+      annots_.resize(w);
+      Relation<S> out{schema_, std::move(data_), std::move(annots_), true};
+      Clear();
+      return out;
+    }
+    Relation<S> out{schema_, std::move(data_), std::move(annots_), false};
+    Clear();
+    out.Canonicalize();
+    return out;
+  }
+
+ private:
+  int Compare(const Value* a, const Value* b) const {
+    for (size_t i = 0; i < arity_; ++i) {
+      if (a[i] < b[i]) return -1;
+      if (a[i] > b[i]) return 1;
+    }
+    return 0;
+  }
+
+  void Clear() {
+    data_ = {};
+    annots_ = {};
+    sorted_ = true;
+  }
+
+  Schema schema_;
+  size_t arity_;
+  std::vector<Value> data_;
+  std::vector<SemiringValue> annots_;
+  bool sorted_ = true;
 };
 
 }  // namespace topofaq

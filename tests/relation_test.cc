@@ -1,10 +1,14 @@
-// Relation algebra unit + property tests, including differential testing of
-// the hash join against a naive nested-loop reference on random inputs.
+// Relation algebra unit + property tests: differential testing of the
+// sort-merge kernel against a naive nested-loop reference and against the
+// retained hash-based reference operators (reference_ops.h) on random inputs
+// across several semirings, plus RelationBuilder / canonical-invariant
+// coverage.
 #include <gtest/gtest.h>
 
 #include <map>
 
 #include "relation/ops.h"
+#include "relation/reference_ops.h"
 #include "relation/relation.h"
 #include "util/rng.h"
 
@@ -51,6 +55,86 @@ TEST(Relation, CanonicalizeMergesDuplicates) {
   EXPECT_EQ(r.annot(0), 1u);
   EXPECT_EQ(r.tuple(1)[0], 1u);
   EXPECT_EQ(r.annot(1), 7u);
+}
+
+TEST(Relation, CanonicalizeMergesAllZeroToEmpty) {
+  // Every tuple's annotations cancel: the canonical form is the empty
+  // relation (the listing representation of the zero function).
+  Relation<Gf2Semiring> r{Schema({0, 1})};
+  r.Add({1, 2}, 1);
+  r.Add({3, 4}, 1);
+  r.Add({1, 2}, 1);
+  r.Add({3, 4}, 1);
+  r.Canonicalize();
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(r.canonical());
+}
+
+TEST(Relation, CanonicalFlagTracksInvariant) {
+  NRel r{Schema({0})};
+  EXPECT_TRUE(r.canonical());  // empty is trivially canonical
+  r.Add({2}, 1);
+  EXPECT_FALSE(r.canonical());
+  r.Canonicalize();
+  EXPECT_TRUE(r.canonical());
+}
+
+TEST(Relation, SetAnnotToZeroClearsCanonicalFlag) {
+  NRel r{Schema({0})};
+  r.Add({1}, 2);
+  r.Add({2}, 3);
+  r.Canonicalize();
+  r.set_annot(0, 7);  // nonzero overwrite keeps the invariant
+  EXPECT_TRUE(r.canonical());
+  r.set_annot(0, 0);  // zero row: invariant broken, flag must drop
+  EXPECT_FALSE(r.canonical());
+  r.Canonicalize();
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.tuple(0)[0], 2u);
+}
+
+TEST(SchemaIndex, MatchesLinearLookup) {
+  Schema s({9, 4, 17, 2});
+  SchemaIndex idx(s);
+  for (VarId v : {0u, 2u, 4u, 9u, 17u, 20u})
+    EXPECT_EQ(idx.PositionOf(v), s.PositionOf(v)) << v;
+  EXPECT_TRUE(idx.Contains(17));
+  EXPECT_FALSE(idx.Contains(5));
+}
+
+TEST(RelationBuilder, SortedAppendsSkipTheSort) {
+  RelationBuilder<NaturalSemiring> b{Schema({0, 1})};
+  b.Append({1, 5}, 2);
+  b.Append({1, 5}, 3);  // equal: merged with Add
+  b.Append({2, 0}, 7);
+  NRel r = b.Build();
+  EXPECT_TRUE(r.canonical());
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.annot(0), 5u);
+  EXPECT_EQ(r.annot(1), 7u);
+}
+
+TEST(RelationBuilder, UnsortedAppendsFallBackToCanonicalize) {
+  RelationBuilder<NaturalSemiring> b{Schema({0})};
+  b.Append({9}, 1);
+  b.Append({3}, 2);
+  b.Append({9}, 4);
+  NRel r = b.Build();
+  EXPECT_TRUE(r.canonical());
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.tuple(0)[0], 3u);
+  EXPECT_EQ(r.annot(1), 5u);
+}
+
+TEST(RelationBuilder, CancellationDropsRowsOnSortedPath) {
+  RelationBuilder<Gf2Semiring> b{Schema({0})};
+  b.Append({1}, 1);
+  b.Append({1}, 1);  // cancels to 0
+  b.Append({2}, 1);
+  Relation<Gf2Semiring> r = b.Build();
+  EXPECT_TRUE(r.canonical());
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.tuple(0)[0], 2u);
 }
 
 TEST(Relation, CanonicalizeDropsCancellingPairsInGf2) {
@@ -308,6 +392,194 @@ TEST_P(JoinProperty, ProjectionCommutesWithUnionOfAdds) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, JoinProperty, ::testing::Range(0, 12));
+
+// --- Edge cases around empty and disjoint schemas -------------------------
+
+TEST(Join, WithUnitRelationScalesAnnotations) {
+  NRel unit{Schema(std::vector<VarId>{})};
+  unit.Add(std::initializer_list<Value>{}, 3);
+  NRel r{Schema({0})};
+  r.Add({1}, 2);
+  r.Add({2}, 5);
+  r.Canonicalize();
+  NRel a = Join(unit, r);
+  EXPECT_EQ(a.schema().vars(), (std::vector<VarId>{0}));
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.annot(0), 6u);
+  EXPECT_EQ(a.annot(1), 15u);
+  NRel b = Join(r, unit);
+  EXPECT_TRUE(a.EqualsAsFunction(b));
+}
+
+TEST(Join, BothEmptySchemasMultiplyScalars) {
+  NRel a{Schema(std::vector<VarId>{})}, b{Schema(std::vector<VarId>{})};
+  a.Add(std::initializer_list<Value>{}, 4);
+  b.Add(std::initializer_list<Value>{}, 6);
+  NRel j = Join(a, b);
+  ASSERT_EQ(j.size(), 1u);
+  EXPECT_EQ(j.arity(), 0u);
+  EXPECT_EQ(j.annot(0), 24u);
+}
+
+TEST(Join, EmptyRelationWithDisjointSchema) {
+  NRel a{Schema({0})};  // empty
+  NRel b{Schema({1})};
+  b.Add({5}, 1);
+  EXPECT_TRUE(Join(a, b).empty());
+  EXPECT_TRUE(Join(b, a).empty());
+  EXPECT_EQ(Join(a, b).schema().vars(), (std::vector<VarId>{0, 1}));
+}
+
+TEST(Semijoin, NoSharedVariables) {
+  // With no shared variables every left row matches iff right is non-empty.
+  NRel l{Schema({0})};
+  l.Add({1}, 2);
+  l.Add({2}, 3);
+  l.Canonicalize();
+  NRel r{Schema({1})};
+  EXPECT_TRUE(Semijoin(l, r).empty());
+  r.Add({7}, 1);
+  EXPECT_TRUE(Semijoin(l, r).EqualsAsFunction(l));
+}
+
+// --- Per-variable aggregates: Max/Min vs the semiring ⊕ -------------------
+
+TEST(EliminateVar, MinAggregateDiffersFromSum) {
+  CRel r{Schema({0, 1})};
+  r.Add({1, 10}, 2.0);
+  r.Add({1, 11}, 7.0);
+  r.Canonicalize();
+  CRel mn = EliminateVar(r, 1, VarOp::kMin);
+  ASSERT_EQ(mn.size(), 1u);
+  EXPECT_EQ(mn.annot(0), 2.0);
+  CRel sum = EliminateVar(r, 1, VarOp::kSemiringSum);
+  ASSERT_EQ(sum.size(), 1u);
+  EXPECT_EQ(sum.annot(0), 9.0);
+  CRel mx = EliminateVar(r, 1, VarOp::kMax);
+  ASSERT_EQ(mx.size(), 1u);
+  EXPECT_EQ(mx.annot(0), 7.0);
+}
+
+TEST(Eliminate, IgnoresVariablesOutsideSchema) {
+  NRel r{Schema({0, 1})};
+  r.Add({1, 2}, 3);
+  r.Canonicalize();
+  NRel out = Eliminate(r, {1, 9}, {VarOp::kSemiringSum, VarOp::kSemiringSum});
+  EXPECT_EQ(out.schema().vars(), (std::vector<VarId>{0}));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.annot(0), 3u);
+}
+
+// --- Differential cross-checks against the retained reference kernel -----
+
+template <CommutativeSemiring S, typename AnnotFn>
+Relation<S> RandomRel(Rng* rng, std::vector<VarId> vars, int tuples,
+                      uint64_t dom, AnnotFn annot) {
+  Relation<S> r{Schema(std::move(vars))};
+  std::vector<Value> row;
+  for (int i = 0; i < tuples; ++i) {
+    row.clear();
+    for (size_t k = 0; k < r.arity(); ++k) row.push_back(rng->NextU64(dom));
+    r.Add(row, annot(rng));
+  }
+  r.Canonicalize();
+  return r;
+}
+
+/// Checks kernel == reference for Join/Semijoin/Project/Eliminate on random
+/// inputs over semiring S (randomized schemas with overlapping, disjoint,
+/// and identical variable sets).
+template <CommutativeSemiring S, typename AnnotFn>
+void CrossCheckAgainstReference(uint64_t seed, AnnotFn annot) {
+  Rng rng(seed);
+  const std::vector<std::vector<VarId>> schemas = {
+      {0, 1}, {1, 2}, {0, 2}, {2, 3, 4}, {0, 1}, {3}, {0, 1, 2}};
+  for (int iter = 0; iter < 30; ++iter) {
+    auto a = RandomRel<S>(&rng, schemas[iter % schemas.size()], 25, 4, annot);
+    auto b = RandomRel<S>(&rng, schemas[(iter + 1) % schemas.size()], 25, 4,
+                          annot);
+    EXPECT_TRUE(Join(a, b).EqualsAsFunction(reference::Join(a, b)))
+        << "join iter " << iter;
+    EXPECT_TRUE(Semijoin(a, b).EqualsAsFunction(reference::Semijoin(a, b)))
+        << "semijoin iter " << iter;
+    // Project onto a random (possibly reordered) subset of a's schema.
+    std::vector<VarId> keep = a.schema().vars();
+    rng.Shuffle(&keep);
+    keep.resize(rng.NextU64(keep.size() + 1));
+    EXPECT_TRUE(Project(a, keep).EqualsAsFunction(reference::Project(a, keep)))
+        << "project iter " << iter;
+    const VarId ev = a.schema().var(rng.NextU64(a.arity()));
+    for (VarOp op : {VarOp::kSemiringSum, VarOp::kMax, VarOp::kMin})
+      EXPECT_TRUE(EliminateVar(a, ev, op).EqualsAsFunction(
+          reference::EliminateVar(a, ev, op)))
+          << "eliminate iter " << iter << " op " << VarOpName(op);
+  }
+}
+
+TEST(KernelVsReference, NaturalSemiring) {
+  CrossCheckAgainstReference<NaturalSemiring>(
+      101, [](Rng* r) { return r->NextU64(5) + 1; });
+}
+
+TEST(KernelVsReference, Gf2Semiring) {
+  CrossCheckAgainstReference<Gf2Semiring>(
+      202, [](Rng*) { return static_cast<uint8_t>(1); });
+}
+
+TEST(KernelVsReference, MinPlusSemiring) {
+  CrossCheckAgainstReference<MinPlusSemiring>(
+      303, [](Rng* r) { return static_cast<double>(r->NextU64(9)); });
+}
+
+TEST(KernelVsReference, MaxProductSemiring) {
+  CrossCheckAgainstReference<MaxProductSemiring>(
+      404, [](Rng* r) { return static_cast<double>(r->NextU64(6) + 1); });
+}
+
+TEST(Eliminate, BatchedMatchesSequentialSingleVarElimination) {
+  // Multi-variable Eliminate with mixed per-variable aggregates must equal
+  // eliminating one variable at a time in descending order (the seed-kernel
+  // semantics).
+  Rng rng(777);
+  const std::vector<VarOp> op_pool = {VarOp::kSemiringSum, VarOp::kMax,
+                                      VarOp::kMin};
+  for (int iter = 0; iter < 40; ++iter) {
+    auto r = RandomRel<CountingSemiring>(
+        &rng, {0, 1, 2, 3}, 40, 3,
+        [](Rng* g) { return static_cast<double>(g->NextU64(7) + 1); });
+    std::vector<VarId> vars{1, 2, 3};
+    std::vector<VarOp> ops;
+    for (size_t i = 0; i < vars.size(); ++i)
+      ops.push_back(op_pool[rng.NextU64(op_pool.size())]);
+
+    CRel batched = Eliminate(r, vars, ops);
+
+    // Sequential oracle: descending variable order via the hash reference.
+    std::vector<size_t> order{2, 1, 0};  // vars 3, 2, 1
+    CRel seq = r;
+    for (size_t idx : order)
+      seq = reference::EliminateVar(seq, vars[idx], ops[idx]);
+    EXPECT_TRUE(batched.EqualsAsFunction(seq)) << "iter " << iter;
+  }
+}
+
+TEST(KernelOps, NonCanonicalInputsStillAgreeWithReference) {
+  // Operators accept non-canonical inputs (duplicates unmerged); the builder
+  // fallback must keep results identical to the reference kernel.
+  Rng rng(555);
+  for (int iter = 0; iter < 20; ++iter) {
+    NRel a{Schema({0, 1})}, b{Schema({1, 2})};
+    for (int i = 0; i < 20; ++i) {
+      a.Add({rng.NextU64(3), rng.NextU64(3)}, rng.NextU64(4) + 1);
+      b.Add({rng.NextU64(3), rng.NextU64(3)}, rng.NextU64(4) + 1);
+    }
+    ASSERT_FALSE(a.canonical());
+    EXPECT_TRUE(Join(a, b).EqualsAsFunction(reference::Join(a, b)));
+    EXPECT_TRUE(Semijoin(a, b).EqualsAsFunction(reference::Semijoin(a, b)));
+    EXPECT_TRUE(
+        Project(a, {1}).EqualsAsFunction(reference::Project(a, {1})));
+  }
+}
 
 }  // namespace
 }  // namespace topofaq
