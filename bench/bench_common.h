@@ -1,23 +1,66 @@
 // Shared helpers for the reproduction benches. Each bench binary prints the
 // paper-shaped table first, then runs google-benchmark kernels for the
 // underlying primitives (so `./bench_x` gives both the reproduction rows and
-// machine timings).
+// machine timings). Every bench accepts the shared flags parsed by
+// ParseBenchArgs below; in particular `--quick` trims every bench to a
+// CI-smoke-sized workload.
 #ifndef TOPOFAQ_BENCH_BENCH_COMMON_H_
 #define TOPOFAQ_BENCH_BENCH_COMMON_H_
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "faq/solvers.h"
 #include "graphalg/topologies.h"
 #include "hypergraph/generators.h"
 #include "lowerbounds/bounds.h"
 #include "protocols/distributed.h"
+#include "relation/parallel.h"
 #include "util/rng.h"
 
 namespace topofaq {
 namespace bench {
+
+/// Flags shared by every bench binary.
+struct BenchArgs {
+  /// CI smoke mode: smallest workload sizes, skip the google-benchmark
+  /// kernels, just prove the bench runs and the numbers are sane.
+  bool quick = false;
+  /// Kernel parallelism for this process (0 = leave the TOPOFAQ_PARALLELISM
+  /// / default-of-1 resolution alone).
+  int parallelism = 0;
+};
+
+/// Strips the shared flags (--quick, --parallelism N / -j N) out of
+/// argc/argv — remaining flags flow on to benchmark::Initialize. A
+/// --parallelism request is exported through the TOPOFAQ_PARALLELISM
+/// environment variable so every ExecContext the bench (or the protocol
+/// layer beneath it) creates picks it up.
+inline BenchArgs ParseBenchArgs(int* argc, char** argv) {
+  BenchArgs args;
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      args.quick = true;
+    } else if ((std::strcmp(argv[i], "--parallelism") == 0 ||
+                std::strcmp(argv[i], "-j") == 0) &&
+               i + 1 < *argc) {
+      args.parallelism = std::atoi(argv[++i]);
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  *argc = w;
+  if (args.parallelism > 0) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%d", args.parallelism);
+    setenv("TOPOFAQ_PARALLELISM", buf, 1);
+  }
+  return args;
+}
 
 /// Relations with N tuples each and a fully overlapping first attribute
 /// (the Example 2.1/2.2 worst-case-style workload). Rows are appended in

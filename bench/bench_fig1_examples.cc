@@ -7,11 +7,13 @@
 namespace topofaq {
 namespace {
 
-void PrintTable() {
+void PrintTable(bool quick) {
   std::printf("== Figure 1 / Examples 2.1-2.3: H0 and H1 on G1 and G2 ==\n\n");
   std::printf("%-26s %10s %10s %14s\n", "instance", "measured", "trivial",
               "paper shape");
-  for (int n : {256, 512}) {
+  const std::vector<int> ns =
+      quick ? std::vector<int>{256} : std::vector<int>{256, 512};
+  for (int n : ns) {
     // Example 2.1: H0 (four self-loops) on the line G1.
     {
       Hypergraph h = PaperH0();
@@ -84,7 +86,10 @@ BENCHMARK(BM_Example23Clique);
 }  // namespace topofaq
 
 int main(int argc, char** argv) {
-  topofaq::PrintTable();
+  const topofaq::bench::BenchArgs args =
+      topofaq::bench::ParseBenchArgs(&argc, argv);
+  topofaq::PrintTable(args.quick);
+  if (args.quick) return 0;  // smoke mode: reproduction table only
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

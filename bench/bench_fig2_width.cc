@@ -2,10 +2,7 @@
 // GHDs for H2 (T1 shape, y = 1), the W1/W2 Steiner packing of the 4-clique,
 // the GYO execution trace of H3 (Appendix C.2), and a width survey over
 // random query families.
-#include <benchmark/benchmark.h>
-
-#include <cstdio>
-
+#include "bench_common.h"
 #include "ghd/md_ghd.h"
 #include "ghd/width.h"
 #include "graphalg/steiner.h"
@@ -16,7 +13,7 @@
 namespace topofaq {
 namespace {
 
-void PrintTable() {
+void PrintTable(bool quick) {
   std::printf("== Figure 2: GHDs of H2, W1/W2 packing, GYO trace of H3 ==\n\n");
   {
     WidthResult w = ComputeWidth(PaperH2());
@@ -43,8 +40,10 @@ void PrintTable() {
   }
   std::printf("width survey over random families (y / n2 / edges):\n");
   Rng rng(5);
+  const std::vector<int> sizes =
+      quick ? std::vector<int>{5, 8} : std::vector<int>{5, 8, 12};
   for (const char* fam : {"forest", "acyclic-hg", "2-degenerate"}) {
-    for (int size : {5, 8, 12}) {
+    for (int size : sizes) {
       Hypergraph h = fam[0] == 'f'   ? RandomForest(1, size, &rng)
                      : fam[0] == 'a' ? RandomAcyclicHypergraph(size, 3, &rng)
                                      : RandomDDegenerate(size, 2, &rng);
@@ -79,7 +78,10 @@ BENCHMARK(BM_GyoReduce)->Arg(16)->Arg(64);
 }  // namespace topofaq
 
 int main(int argc, char** argv) {
-  topofaq::PrintTable();
+  const topofaq::bench::BenchArgs args =
+      topofaq::bench::ParseBenchArgs(&argc, argv);
+  topofaq::PrintTable(args.quick);
+  if (args.quick) return 0;  // smoke mode: reproduction table only
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -49,25 +49,28 @@ void RunHardInstance(const char* label, const Hypergraph& h, const Graph& g,
               correct ? "ok" : "WRONG");
 }
 
-void PrintTable() {
+void PrintTable(bool quick) {
   std::printf("== Lower-bound hard instances (TRIBES embeddings, worst-case "
               "cut assignment) ==\n\n");
-  RunHardInstance("star H1 on line", PaperH1(), LineTopology(4), 1, 256, 1);
+  const int big = quick ? 64 : 256;
+  const int small = quick ? 64 : 128;
+  RunHardInstance("star H1 on line", PaperH1(), LineTopology(4), 1, big, 1);
   RunHardInstance("star H1 on dumbbell", PaperH1(), DumbbellTopology(3, 3), 1,
-                  256, 2);
+                  big, 2);
   {
     Rng rng(3);
     Hypergraph forest = RandomForest(2, 5, &rng);
     int cap = ForestEmbeddingCapacity(forest);
     RunHardInstance("forest(2x5) on line", forest, LineTopology(6),
-                    std::min(cap, 3), 128, 3);
+                    std::min(cap, 3), small, 3);
     RunHardInstance("forest(2x5) on grid", forest, GridTopology(2, 3),
-                    std::min(cap, 3), 128, 4);
+                    std::min(cap, 3), small, 4);
   }
   RunHardInstance("cycle6 (IS embed) line", CycleGraph(6), LineTopology(5), 2,
-                  128, 5);
-  RunHardInstance("cycle9 (IS embed) ring", CycleGraph(9), RingTopology(6), 3,
-                  128, 6);
+                  small, 5);
+  if (!quick)
+    RunHardInstance("cycle9 (IS embed) ring", CycleGraph(9), RingTopology(6),
+                    3, small, 6);
   std::printf(
       "\nMeasured rounds track m*N/MinCut within small constants: the\n"
       "embeddings are communication-saturating, as the reduction promises.\n\n");
@@ -88,7 +91,10 @@ BENCHMARK(BM_EmbedTribes);
 }  // namespace topofaq
 
 int main(int argc, char** argv) {
-  topofaq::PrintTable();
+  const topofaq::bench::BenchArgs args =
+      topofaq::bench::ParseBenchArgs(&argc, argv);
+  topofaq::PrintTable(args.quick);
+  if (args.quick) return 0;  // smoke mode: reproduction table only
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

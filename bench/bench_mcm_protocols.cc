@@ -1,10 +1,7 @@
 // Proposition 6.1 vs Appendix I.1 vs the trivial protocol: the MCM
 // crossover. Sequential wins for k <= N; the merge protocol's
 // O(N² log k + k) takes over for k >> N; trivial is always Θ(kN²).
-#include <benchmark/benchmark.h>
-
-#include <cstdio>
-
+#include "bench_common.h"
 #include "lowerbounds/bounds.h"
 #include "mcm/protocols.h"
 
@@ -20,12 +17,15 @@ McmInstance MakeInstance(int k, int n, uint64_t seed) {
   return inst;
 }
 
-void PrintTable() {
+void PrintTable(bool quick) {
   std::printf("== MCM protocol comparison (Prop 6.1 / App I.1 / trivial) ==\n\n");
   std::printf("%5s %5s | %10s %10s %10s | winner\n", "k", "N", "sequential",
               "merge", "trivial");
   const int n = 24;
-  for (int k : {2, 4, 8, 16, 32, 64, 128, 256}) {
+  const std::vector<int> ks =
+      quick ? std::vector<int>{2, 8, 32}
+            : std::vector<int>{2, 4, 8, 16, 32, 64, 128, 256};
+  for (int k : ks) {
     McmInstance inst = MakeInstance(k, n, 1000 + k);
     McmResult seq = RunMcmSequential(inst);
     McmResult mrg = RunMcmMerge(inst);
@@ -65,7 +65,10 @@ BENCHMARK(BM_F2MatMul)->Arg(64)->Arg(256);
 }  // namespace topofaq
 
 int main(int argc, char** argv) {
-  topofaq::PrintTable();
+  const topofaq::bench::BenchArgs args =
+      topofaq::bench::ParseBenchArgs(&argc, argv);
+  topofaq::PrintTable(args.quick);
+  if (args.quick) return 0;  // smoke mode: reproduction table only
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

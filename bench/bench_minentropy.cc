@@ -2,23 +2,22 @@
 // Theorem H.9 bound 2^{-Δn/2-1}; (b) matrix-vector min-entropy propagation
 // (Theorem 6.3) for leaked matrices; (c) the Appendix I.3 Shannon-entropy
 // counterexample numbers.
-#include <benchmark/benchmark.h>
-
-#include <cstdio>
-
+#include "bench_common.h"
 #include "entropy/extractor.h"
 #include "entropy/matrix_entropy.h"
 
 namespace topofaq {
 namespace {
 
-void PrintTable() {
+void PrintTable(bool quick) {
   std::printf("== Theorem H.9: inner-product extractor ==\n\n");
   std::printf("%4s %4s %4s %8s %12s %12s\n", "n", "k1", "k2", "delta",
               "distance", "2^(-dn/2-1)");
   Rng rng(123);
-  const int n = 14;
-  for (int k : {8, 10, 12, 13, 14}) {
+  const int n = quick ? 12 : 14;
+  const std::vector<int> ks = quick ? std::vector<int>{8, 12}
+                                    : std::vector<int>{8, 10, 12, 13, 14};
+  for (int k : ks) {
     ExtractorResult r = InnerProductExperiment(n, k, n, &rng);
     std::printf("%4d %4d %4d %8.3f %12.3e %12.3e\n", r.n, r.k1, r.k2, r.delta,
                 r.distance, r.theorem_bound);
@@ -27,7 +26,10 @@ void PrintTable() {
   std::printf("\n== Theorem 6.3: H_inf(Ax) for gamma-leaked A ==\n\n");
   std::printf("%6s %6s %8s %10s %14s\n", "m", "n", "gamma", "H(Ax)",
               "(1-sqrt(2g))m");
-  for (double gamma : {0.0, 0.02, 0.05, 0.1, 0.2}) {
+  const std::vector<double> gammas =
+      quick ? std::vector<double>{0.0, 0.1}
+            : std::vector<double>{0.0, 0.02, 0.05, 0.1, 0.2};
+  for (double gamma : gammas) {
     Rng r2(55);
     auto res = MatrixVectorExperiment(12, 14, gamma, 8, &r2);
     std::printf("%6d %6d %8.2f %10.3f %14.3f\n", res.m, res.n, res.gamma,
@@ -67,7 +69,10 @@ BENCHMARK(BM_MatrixVectorEntropy);
 }  // namespace topofaq
 
 int main(int argc, char** argv) {
-  topofaq::PrintTable();
+  const topofaq::bench::BenchArgs args =
+      topofaq::bench::ParseBenchArgs(&argc, argv);
+  topofaq::PrintTable(args.quick);
+  if (args.quick) return 0;  // smoke mode: reproduction table only
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -7,13 +7,15 @@
 namespace topofaq {
 namespace {
 
-void PrintTable() {
+void PrintTable(bool quick) {
   std::printf("== Appendix A: MPC(0) topology G'(k players + p-clique) ==\n\n");
   std::printf("%-24s %6s %6s %10s %10s\n", "instance", "p", "cap",
               "measured", "trivial");
-  const int n = 256;
+  const int n = quick ? 128 : 256;
   Hypergraph star = StarGraph(4);  // k = 4 relations
-  for (int p : {2, 4, 8}) {
+  const std::vector<int> ps =
+      quick ? std::vector<int>{2, 4} : std::vector<int>{2, 4, 8};
+  for (int p : ps) {
     // Edge capacity models L/k with L = Θ(kN/p): capacity ≈ N/p per round
     // in value units; we use bits: tuple_bits * N / p.
     DistInstance<BooleanSemiring> inst;
@@ -42,7 +44,9 @@ void PrintTable() {
   std::printf("%-24s %6s %6s %10s\n", "forest depth sweep", "p", "cap",
               "measured");
   Rng rng(4);
-  for (int depth : {1, 2, 3}) {
+  const std::vector<int> depths =
+      quick ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 3};
+  for (int depth : depths) {
     // A path-of-stars forest with growing depth D'.
     Hypergraph h = PathGraph(2 * depth);
     DistInstance<BooleanSemiring> inst;
@@ -84,7 +88,10 @@ BENCHMARK(BM_MpcStar)->Arg(4)->Arg(8);
 }  // namespace topofaq
 
 int main(int argc, char** argv) {
-  topofaq::PrintTable();
+  const topofaq::bench::BenchArgs args =
+      topofaq::bench::ParseBenchArgs(&argc, argv);
+  topofaq::PrintTable(args.quick);
+  if (args.quick) return 0;  // smoke mode: reproduction table only
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,18 +1,27 @@
 // Sorted-relation kernel microbenchmark: join and eliminate throughput at
-// 1e3–1e6 rows, for the sort-merge kernel (relation/ops.h) vs. the retained
-// hash-based reference (relation/reference_ops.h). Results are printed as a
-// table and appended as JSON to BENCH_relation_ops.json so the perf
-// trajectory of the kernel is recorded across PRs.
+// 1e3–1e6 rows, for the sort-merge kernel (relation/ops.h) — serial and
+// morsel-parallel — vs. the retained hash-based reference
+// (relation/reference_ops.h). Results are printed as a table and appended as
+// JSON to BENCH_relation_ops.json so the perf trajectory of the kernel is
+// recorded across PRs; bench/check_bench_regression.py gates CI on it.
 //
 // Workloads:
 //  * join: R(0,1) ⋈ S(1,2), N rows each, domain ~N (output ~N rows).
 //  * join_overlap: the Example 2.1-style full-overlap join (heavy runs).
 //  * eliminate: ⊕-eliminate 2 of 3 columns of an N-row relation (FAQ-SS
 //    push-down shape — one batched group-by vs. per-variable regrouping).
+//
+// Flags: --quick (CI sizes), --parallelism N / -j N (default: every core),
+// --out PATH (JSON destination). Each bench runs the kernel at parallelism 1
+// and at the requested parallelism and CHECKs the outputs byte-identical.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <tuple>
 #include <vector>
 
 #include "relation/exec.h"
@@ -25,6 +34,8 @@ namespace {
 
 using NRel = Relation<NaturalSemiring>;
 using Clock = std::chrono::steady_clock;
+
+int g_parallelism = 1;
 
 NRel RandomRel(const std::vector<VarId>& vars, size_t n, uint64_t dom,
                uint64_t seed) {
@@ -57,15 +68,54 @@ struct Row {
   std::string bench;
   size_t n;
   size_t out_rows;
-  double kernel_ms;
+  double kernel_ms;    // serial kernel (parallelism 1)
+  double parallel_ms;  // kernel at g_parallelism workers
   double reference_ms;
 };
 
 void Report(std::vector<Row>* rows, std::string bench, size_t n,
-            size_t out_rows, double kernel_ms, double reference_ms) {
-  std::printf("%-14s %9zu %9zu %12.3f %12.3f %9.2fx\n", bench.c_str(), n,
-              out_rows, kernel_ms, reference_ms, reference_ms / kernel_ms);
-  rows->push_back(Row{std::move(bench), n, out_rows, kernel_ms, reference_ms});
+            size_t out_rows, double kernel_ms, double parallel_ms,
+            double reference_ms) {
+  std::printf("%-14s %9zu %9zu %10.3f %10.3f %12.3f %7.2fx %7.2fx\n",
+              bench.c_str(), n, out_rows, kernel_ms, parallel_ms,
+              reference_ms, reference_ms / kernel_ms,
+              kernel_ms / parallel_ms);
+  rows->push_back(Row{std::move(bench), n, out_rows, kernel_ms, parallel_ms,
+                      reference_ms});
+}
+
+/// Byte-identical check between the serial and parallel kernel outputs —
+/// the morsel-parallel determinism contract, enforced on every bench run.
+void CheckIdentical(const NRel& serial, const NRel& parallel,
+                    const char* what) {
+  if (serial.data() != parallel.data() ||
+      serial.annots() != parallel.annots() ||
+      serial.canonical() != parallel.canonical()) {
+    std::fprintf(stderr,
+                 "FATAL: parallel kernel output differs from serial in %s\n",
+                 what);
+    std::abort();
+  }
+}
+
+/// Times `fn(&ctx)` at parallelism 1 and at g_parallelism; checks outputs
+/// byte-identical; returns {serial_ms, parallel_ms, serial_out}.
+template <typename Fn>
+std::tuple<double, double, NRel> TimeKernel(int reps, const char* what,
+                                            Fn&& fn) {
+  ExecContext serial;
+  serial.parallelism = 1;
+  NRel out1;
+  const double k1 = TimeMs(reps, [&] { out1 = fn(&serial); });
+  double kp = k1;
+  if (g_parallelism > 1) {
+    ExecContext par;
+    par.parallelism = g_parallelism;
+    NRel outp;
+    kp = TimeMs(reps, [&] { outp = fn(&par); });
+    CheckIdentical(out1, outp, what);
+  }
+  return {k1, kp, std::move(out1)};
 }
 
 void BenchJoin(std::vector<Row>* rows, size_t n, int reps) {
@@ -73,13 +123,12 @@ void BenchJoin(std::vector<Row>* rows, size_t n, int reps) {
   const uint64_t dom = std::max<uint64_t>(4, n);
   NRel r = RandomRel({0, 1}, n, dom, 17 + n);
   NRel s = RandomRel({1, 2}, n, dom, 71 + n);
-  ExecContext ctx;
-  NRel out;
-  const double k = TimeMs(reps, [&] { out = Join(r, s, &ctx); });
+  auto [k1, kp, out] =
+      TimeKernel(reps, "join", [&](ExecContext* cx) { return Join(r, s, cx); });
   NRel ref;
   const double h = TimeMs(reps, [&] { ref = reference::Join(r, s); });
   TOPOFAQ_CHECK_MSG(out.EqualsAsFunction(ref), "kernel join != reference join");
-  Report(rows, "join", n, out.size(), k, h);
+  Report(rows, "join", n, out.size(), k1, kp, h);
 }
 
 void BenchJoinOverlap(std::vector<Row>* rows, size_t n, int reps) {
@@ -91,13 +140,12 @@ void BenchJoinOverlap(std::vector<Row>* rows, size_t n, int reps) {
     bs.Append({static_cast<Value>(i), 3}, 5);
   }
   NRel r = br.Build(), s = bs.Build();
-  ExecContext ctx;
-  NRel out;
-  const double k = TimeMs(reps, [&] { out = Join(r, s, &ctx); });
+  auto [k1, kp, out] = TimeKernel(
+      reps, "join_overlap", [&](ExecContext* cx) { return Join(r, s, cx); });
   NRel ref;
   const double h = TimeMs(reps, [&] { ref = reference::Join(r, s); });
   TOPOFAQ_CHECK_MSG(out.EqualsAsFunction(ref), "kernel join != reference join");
-  Report(rows, "join_overlap", n, out.size(), k, h);
+  Report(rows, "join_overlap", n, out.size(), k1, kp, h);
 }
 
 void BenchEliminate(std::vector<Row>* rows, size_t n, int reps) {
@@ -105,9 +153,9 @@ void BenchEliminate(std::vector<Row>* rows, size_t n, int reps) {
   NRel r = RandomRel({0, 1, 2}, n, dom, 29 + n);
   const std::vector<VarId> vars{1, 2};
   const std::vector<VarOp> ops{VarOp::kSemiringSum, VarOp::kSemiringSum};
-  ExecContext ctx;
-  NRel out;
-  const double k = TimeMs(reps, [&] { out = Eliminate(r, vars, ops, &ctx); });
+  auto [k1, kp, out] =
+      TimeKernel(reps, "eliminate",
+                 [&](ExecContext* cx) { return Eliminate(r, vars, ops, cx); });
   NRel ref;
   const double h = TimeMs(reps, [&] {
     ref = reference::EliminateVar(
@@ -116,7 +164,7 @@ void BenchEliminate(std::vector<Row>* rows, size_t n, int reps) {
   });
   TOPOFAQ_CHECK_MSG(out.EqualsAsFunction(ref),
                     "kernel eliminate != reference eliminate");
-  Report(rows, "eliminate", n, out.size(), k, h);
+  Report(rows, "eliminate", n, out.size(), k1, kp, h);
 }
 
 void WriteJson(const std::vector<Row>& rows, const char* path) {
@@ -130,10 +178,12 @@ void WriteJson(const std::vector<Row>& rows, const char* path) {
     const Row& r = rows[i];
     std::fprintf(f,
                  "  {\"bench\": \"%s\", \"n\": %zu, \"out_rows\": %zu, "
-                 "\"kernel_ms\": %.4f, \"reference_ms\": %.4f, "
-                 "\"speedup\": %.3f}%s\n",
-                 r.bench.c_str(), r.n, r.out_rows, r.kernel_ms,
-                 r.reference_ms, r.reference_ms / r.kernel_ms,
+                 "\"kernel_ms\": %.4f, \"parallel_ms\": %.4f, "
+                 "\"parallelism\": %d, \"reference_ms\": %.4f, "
+                 "\"speedup\": %.3f, \"par_speedup\": %.3f}%s\n",
+                 r.bench.c_str(), r.n, r.out_rows, r.kernel_ms, r.parallel_ms,
+                 g_parallelism, r.reference_ms, r.reference_ms / r.kernel_ms,
+                 r.kernel_ms / r.parallel_ms,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
@@ -146,14 +196,25 @@ void WriteJson(const std::vector<Row>& rows, const char* path) {
 
 int main(int argc, char** argv) {
   bool quick = false;
-  for (int i = 1; i < argc; ++i)
+  const char* out_path = "BENCH_relation_ops.json";
+  topofaq::g_parallelism =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if ((std::strcmp(argv[i], "--parallelism") == 0 ||
+         std::strcmp(argv[i], "-j") == 0) &&
+        i + 1 < argc)
+      topofaq::g_parallelism = std::max(1, std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+  }
 
-  std::printf("%-14s %9s %9s %12s %12s %9s\n", "bench", "n", "out",
-              "kernel_ms", "reference_ms", "speedup");
+  std::printf("parallelism: %d\n", topofaq::g_parallelism);
+  std::printf("%-14s %9s %9s %10s %10s %12s %7s %7s\n", "bench", "n", "out",
+              "kernel_ms", "par_ms", "reference_ms", "speedup", "par_spd");
   std::vector<topofaq::Row> rows;
   const std::vector<size_t> sizes =
-      quick ? std::vector<size_t>{1000, 10000}
+      quick ? std::vector<size_t>{1000, 10000, 100000}
             : std::vector<size_t>{1000, 10000, 100000, 1000000};
   for (size_t n : sizes) {
     const int reps = n <= 10000 ? 5 : 3;
@@ -161,6 +222,6 @@ int main(int argc, char** argv) {
     topofaq::BenchJoinOverlap(&rows, n, reps);
     topofaq::BenchEliminate(&rows, n, reps);
   }
-  topofaq::WriteJson(rows, "BENCH_relation_ops.json");
+  topofaq::WriteJson(rows, out_path);
   return 0;
 }

@@ -1,10 +1,7 @@
 // Theorem 3.11: k-party set intersection in Θ(min_Δ(N/ST(G,K,Δ) + Δ))
 // rounds. Measures the pipelined Steiner-tree convergecast against the
 // formula across topologies and N.
-#include <benchmark/benchmark.h>
-
-#include <cstdio>
-
+#include "bench_common.h"
 #include "graphalg/steiner.h"
 #include "graphalg/topologies.h"
 #include "network/primitives.h"
@@ -41,10 +38,12 @@ void Row(const char* name, const Graph& g, const std::vector<NodeId>& k,
               static_cast<long long>(measured));
 }
 
-void PrintTable() {
+void PrintTable(bool quick) {
   std::printf("== Theorem 3.11: set intersection = Θ(min_Δ(N/ST + Δ)) ==\n\n");
   Rng rng(17);
-  for (int64_t n : {1024, 4096}) {
+  const std::vector<int64_t> ns =
+      quick ? std::vector<int64_t>{1024} : std::vector<int64_t>{1024, 4096};
+  for (int64_t n : ns) {
     Row("line(4)", LineTopology(4), {0, 1, 2, 3}, n, 1);
     Row("clique(4)", CliqueTopology(4), {0, 1, 2, 3}, n, 1);
     Row("clique(8)", CliqueTopology(8), {0, 1, 2, 3, 4, 5, 6, 7}, n, 1);
@@ -83,7 +82,10 @@ BENCHMARK(BM_PackSteinerTrees)->Arg(6)->Arg(10);
 }  // namespace topofaq
 
 int main(int argc, char** argv) {
-  topofaq::PrintTable();
+  const topofaq::bench::BenchArgs args =
+      topofaq::bench::ParseBenchArgs(&argc, argv);
+  topofaq::PrintTable(args.quick);
+  if (args.quick) return 0;  // smoke mode: reproduction table only
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -7,12 +7,14 @@
 namespace topofaq {
 namespace {
 
-void PrintTable() {
+void PrintTable(bool quick) {
   std::printf("== Table 1 / row 1: FAQ, G = line, d = O(1), r = O(1) ==\n");
   std::printf("(gap column = measured / LB-formula; expected O~(1))\n\n");
   bench::PrintRowHeader();
   Rng rng(11);
-  for (int n : {128, 256, 512}) {
+  const std::vector<int> star_ns =
+      quick ? std::vector<int>{128} : std::vector<int>{128, 256, 512};
+  for (int n : star_ns) {
     // Star FAQ (counting semiring, factor marginal) on a 5-node line.
     Hypergraph star = StarGraph(4);
     auto q = MakeFaqSS<CountingSemiring>(
@@ -21,7 +23,9 @@ void PrintTable() {
     std::snprintf(label, sizeof(label), "star4 marginal N=%d", n);
     bench::ReportRow(label, q, LineTopology(5), n);
   }
-  for (int n : {128, 256}) {
+  const std::vector<int> tree_ns =
+      quick ? std::vector<int>{128} : std::vector<int>{128, 256};
+  for (int n : tree_ns) {
     Hypergraph forest = RandomForest(1, 5, &rng);
     auto q = MakeBcq(forest,
                      bench::FullOverlapRelations<BooleanSemiring>(forest, n));
@@ -55,7 +59,10 @@ BENCHMARK(BM_StarFaqOnLine)->Arg(128)->Arg(512);
 }  // namespace topofaq
 
 int main(int argc, char** argv) {
-  topofaq::PrintTable();
+  const topofaq::bench::BenchArgs args =
+      topofaq::bench::ParseBenchArgs(&argc, argv);
+  topofaq::PrintTable(args.quick);
+  if (args.quick) return 0;  // smoke mode: reproduction table only
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -8,12 +8,14 @@
 namespace topofaq {
 namespace {
 
-void PrintTable() {
+void PrintTable(bool quick) {
   std::printf(
       "== Table 1 / row 3: BCQ, arbitrary G, (d, 2)-queries, gap O~(d) ==\n\n");
   bench::PrintRowHeader();
-  const int n = 128;
-  for (int d : {1, 2, 3, 4}) {
+  const int n = quick ? 64 : 128;
+  const std::vector<int> ds =
+      quick ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 3, 4};
+  for (int d : ds) {
     Rng rng(100 + d);
     Hypergraph h = RandomDDegenerate(8, d, &rng);
     const int actual_d = ComputeDegeneracy(h).degeneracy;
@@ -49,7 +51,10 @@ BENCHMARK(BM_DegenerateBcq)->Arg(1)->Arg(3);
 }  // namespace topofaq
 
 int main(int argc, char** argv) {
-  topofaq::PrintTable();
+  const topofaq::bench::BenchArgs args =
+      topofaq::bench::ParseBenchArgs(&argc, argv);
+  topofaq::PrintTable(args.quick);
+  if (args.quick) return 0;  // smoke mode: reproduction table only
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

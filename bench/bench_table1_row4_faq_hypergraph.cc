@@ -7,13 +7,15 @@
 namespace topofaq {
 namespace {
 
-void PrintTable() {
+void PrintTable(bool quick) {
   std::printf(
       "== Table 1 / row 4: FAQ, arbitrary G, (d, r)-hypergraphs, gap "
       "O~(d^2 r^2) ==\n\n");
   bench::PrintRowHeader();
-  const int n = 96;
-  for (int r : {2, 3, 4}) {
+  const int n = quick ? 64 : 96;
+  const std::vector<int> rs =
+      quick ? std::vector<int>{2, 3} : std::vector<int>{2, 3, 4};
+  for (int r : rs) {
     for (int d : {1, 2}) {
       Rng rng(500 + 10 * r + d);
       Hypergraph h = RandomHypergraph(8, d, r, &rng);
@@ -24,7 +26,9 @@ void PrintTable() {
     }
   }
   // Acyclic hypergraph FAQ with a counting aggregate.
-  for (int r : {3, 4}) {
+  const std::vector<int> acyclic_rs =
+      quick ? std::vector<int>{3} : std::vector<int>{3, 4};
+  for (int r : acyclic_rs) {
     Rng rng(700 + r);
     Hypergraph h = RandomAcyclicHypergraph(5, r, &rng);
     auto q = MakeFaqSS<NaturalSemiring>(
@@ -57,7 +61,10 @@ BENCHMARK(BM_HypergraphFaq)->Arg(3)->Arg(4);
 }  // namespace topofaq
 
 int main(int argc, char** argv) {
-  topofaq::PrintTable();
+  const topofaq::bench::BenchArgs args =
+      topofaq::bench::ParseBenchArgs(&argc, argv);
+  topofaq::PrintTable(args.quick);
+  if (args.quick) return 0;  // smoke mode: reproduction table only
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

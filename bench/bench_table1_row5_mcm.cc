@@ -1,10 +1,7 @@
 // Table 1, row 5 — MCM on the line, gap O(1): the sequential protocol's
 // measured rounds divided by the Theorem 6.4 lower bound k·N stay a small
 // constant across the whole k <= N sweep.
-#include <benchmark/benchmark.h>
-
-#include <cstdio>
-
+#include "bench_common.h"
 #include "lowerbounds/bounds.h"
 #include "mcm/protocols.h"
 
@@ -20,12 +17,16 @@ McmInstance MakeInstance(int k, int n, uint64_t seed) {
   return inst;
 }
 
-void PrintTable() {
+void PrintTable(bool quick) {
   std::printf("== Table 1 / row 5: MCM on the line, gap O(1) ==\n\n");
   std::printf("%5s %5s %10s %10s %8s %8s\n", "k", "N", "measured",
               "LB=k*N", "gap", "correct");
-  for (auto [k, n] : {std::pair{2, 64}, {4, 64}, {8, 64}, {16, 64},
-                      {16, 128}, {32, 128}, {64, 128}}) {
+  const std::vector<std::pair<int, int>> sweep =
+      quick ? std::vector<std::pair<int, int>>{{2, 64}, {8, 64}, {16, 64}}
+            : std::vector<std::pair<int, int>>{{2, 64},   {4, 64},  {8, 64},
+                                               {16, 64},  {16, 128},
+                                               {32, 128}, {64, 128}};
+  for (auto [k, n] : sweep) {
     McmInstance inst = MakeInstance(k, n, 55 + k);
     McmResult r = RunMcmSequential(inst);
     McmBounds b = ComputeMcmBounds(k, n);
@@ -65,7 +66,10 @@ BENCHMARK(BM_F2MatVec);
 }  // namespace topofaq
 
 int main(int argc, char** argv) {
-  topofaq::PrintTable();
+  const topofaq::bench::BenchArgs args =
+      topofaq::bench::ParseBenchArgs(&argc, argv);
+  topofaq::PrintTable(args.quick);
+  if (args.quick) return 0;  // smoke mode: reproduction table only
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

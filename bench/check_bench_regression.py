@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""CI perf-gate for the sorted-relation kernel (docs/kernel.md).
+
+Compares a fresh BENCH_relation_ops.json (produced by
+`bench_relation_ops --quick --out <current>`) against the committed baseline
+and fails on per-bench kernel slowdowns.
+
+Because CI machines differ wildly from the machines baselines were recorded
+on, raw milliseconds are not comparable across runs. Every bench row also
+times the retained hash-based reference kernel *on the same machine in the
+same run*, so the gate compares the machine-neutral ratio
+
+    normalized(row) = kernel_ms / reference_ms
+
+and fails when normalized(current) > threshold * normalized(baseline) for
+any (bench, n) present in both files. The same check is applied to the
+morsel-parallel timing (parallel_ms): with a serial baseline this doubles as
+"parallel execution must never be more than threshold-times slower than the
+recorded serial kernel, relative to the reference".
+
+Usage:
+  check_bench_regression.py BASELINE CURRENT [--threshold 1.5]
+Exit status: 0 = pass, 1 = regression, 2 = usage/IO/coverage error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    try:
+        with open(path) as f:
+            rows = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for row in rows:
+        out[(row["bench"], row["n"])] = row
+    return out
+
+
+def normalized(row, key):
+    # Guard against degenerate timings (a 0.0 from clock resolution would
+    # otherwise divide by zero); treat anything below 1µs as 1µs.
+    return max(row[key], 1e-3) / max(row["reference_ms"], 1e-3)
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("baseline", help="committed BENCH_relation_ops.json")
+    p.add_argument("current", help="freshly produced bench JSON")
+    p.add_argument("--threshold", type=float, default=1.5,
+                   help="fail on > THRESHOLD x normalized slowdown")
+    p.add_argument("--min-n", type=int, default=10000,
+                   help="ignore bench rows below this size: microsecond-"
+                        "scale timings are clock/microarch noise, not signal")
+    args = p.parse_args()
+
+    base = load_rows(args.baseline)
+    cur = load_rows(args.current)
+    common = sorted(k for k in set(base) & set(cur) if k[1] >= args.min_n)
+    if not common:
+        print("error: no common (bench, n) rows between baseline and current",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    print(f"{'bench':<14} {'n':>9} {'metric':<11} {'baseline':>9} "
+          f"{'current':>9} {'ratio':>7}")
+    for key in common:
+        b, c = base[key], cur[key]
+        for metric in ("kernel_ms", "parallel_ms"):
+            if metric not in b or metric not in c:
+                continue  # older baselines predate the parallel column
+            nb, nc = normalized(b, metric), normalized(c, metric)
+            ratio = nc / nb
+            flag = " <-- REGRESSION" if ratio > args.threshold else ""
+            print(f"{key[0]:<14} {key[1]:>9} {metric:<11} {nb:>9.4f} "
+                  f"{nc:>9.4f} {ratio:>6.2f}x{flag}")
+            if ratio > args.threshold:
+                failures.append((key, metric, ratio))
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} bench(es) regressed more than "
+              f"{args.threshold}x vs baseline:", file=sys.stderr)
+        for (bench, n), metric, ratio in failures:
+            print(f"  {bench} n={n} {metric}: {ratio:.2f}x", file=sys.stderr)
+        print("If the slowdown is intended, refresh the baseline with\n"
+              "  ./build/bench_relation_ops --out BENCH_relation_ops.json",
+              file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(common)} bench rows within {args.threshold}x of "
+          f"baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,10 @@
 // variables are eliminated in batches (one group-by per aggregate run
 // instead of one per variable), and callers can read operator statistics off
 // the context afterwards. Passing nullptr uses a thread-local context.
+// Setting ctx->parallelism > 1 (or TOPOFAQ_PARALLELISM, which both the
+// explicit and the thread-local context inherit) makes every pass's large
+// joins and eliminations morsel-parallel with bit-identical results
+// (docs/kernel.md, "Morsel-parallel execution").
 #ifndef TOPOFAQ_FAQ_SOLVERS_H_
 #define TOPOFAQ_FAQ_SOLVERS_H_
 

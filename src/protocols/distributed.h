@@ -74,6 +74,10 @@ struct CoreForestOptions {
   /// Width-minimization restarts (0: canonical decomposition only).
   int width_restarts = 8;
   uint64_t seed = 0xfa0;
+  /// Kernel parallelism for the simulated local computations (morsel-parallel
+  /// operators, docs/kernel.md). 0 inherits the process default
+  /// (TOPOFAQ_PARALLELISM, else 1); answers are bit-identical either way.
+  int parallelism = 0;
 };
 
 /// The Theorem 4.1 / 5.2 protocol. Works for any assignment of relations to
@@ -107,8 +111,11 @@ Result<ProtocolResult<S>> RunCoreForestProtocol(
   int64_t round = 0;
   // One execution context for every local relational computation the
   // protocol simulates: scratch buffers are reused across all star steps and
-  // the kernel counters are exported in the result's ProtocolStats.
+  // the kernel counters are exported in the result's ProtocolStats. With
+  // opts.parallelism (or TOPOFAQ_PARALLELISM) > 1, every star's joins and
+  // eliminations fan out into morsels on the worker pool.
   ExecContext ctx;
+  if (opts.parallelism > 0) ctx.parallelism = opts.parallelism;
 
   // Node state: current relation + owning player.
   const int n_nodes = ghd.num_nodes();

@@ -1,8 +1,27 @@
 #include "relation/exec.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
 
 namespace topofaq {
+
+int DefaultParallelism() {
+  static const int v = [] {
+    const char* env = std::getenv("TOPOFAQ_PARALLELISM");
+    if (env == nullptr || *env == '\0') return 1;
+    const int hw =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+    if (std::strcmp(env, "max") == 0) return hw;
+    char* end = nullptr;
+    const long n = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || n < 0) return 1;  // invalid → serial
+    if (n == 0) return hw;  // "0" = use every core, like "max"
+    return static_cast<int>(std::min<long>(n, 1024));
+  }();
+  return v;
+}
 
 OpStats ExecContext::Totals() const {
   OpStats t;
@@ -20,19 +39,29 @@ void ExecContext::ResetStats() {
   eliminate = OpStats{};
 }
 
+ExecContext& ExecContext::WorkerContext(int i) {
+  while (workers_.size() <= static_cast<size_t>(i)) {
+    auto ctx = std::make_unique<ExecContext>();
+    ctx->parallelism = 1;  // workers never fan out again
+    workers_.push_back(std::move(ctx));
+  }
+  return *workers_[static_cast<size_t>(i)];
+}
+
 namespace {
 
 void AppendOp(std::string* out, const char* name, const OpStats& s) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "%s: calls=%lld in=%lld out=%lld cmp=%lld sorts=%lld "
-                "skips=%lld\n",
+                "skips=%lld morsels=%lld\n",
                 name, static_cast<long long>(s.calls),
                 static_cast<long long>(s.rows_in),
                 static_cast<long long>(s.rows_out),
                 static_cast<long long>(s.comparisons),
                 static_cast<long long>(s.sorts),
-                static_cast<long long>(s.sort_skips));
+                static_cast<long long>(s.sort_skips),
+                static_cast<long long>(s.morsels));
   *out += buf;
 }
 

@@ -1,28 +1,51 @@
 // Execution context for the sorted-relation kernel (see docs/kernel.md).
 //
 // Every relational operator (Join / Semijoin / Project / Eliminate) threads
-// an ExecContext through its hot loop. The context serves two purposes:
+// an ExecContext through its hot loop. The context serves three purposes:
 //
 //  1. Scratch reuse: operators borrow the context's row/permutation buffers
 //     instead of allocating per call, so a message-passing pass over a GHD
 //     performs O(1) allocations per operator instead of O(rows).
 //  2. Observability: per-operator counters (calls, rows in/out, key
-//     comparisons, sorts performed vs. skipped) that the protocol layer
-//     exports in ProtocolStats and the benches print. `sort_skips` is the
-//     direct measure of how often the canonical-order invariant saved a sort.
+//     comparisons, sorts performed vs. skipped, morsels executed) that the
+//     protocol layer exports in ProtocolStats and the benches print.
+//     `sort_skips` is the direct measure of how often the canonical-order
+//     invariant saved a sort; `morsels` of how often the parallel path ran.
+//  3. Parallelism: the `parallelism` knob selects how many workers a single
+//     operator call may fan morsels out to (docs/kernel.md, "Morsel-parallel
+//     execution"). The default is DefaultParallelism() — 1 unless the
+//     TOPOFAQ_PARALLELISM environment variable says otherwise — and 1 always
+//     means exactly the serial code path. Parallel operators borrow
+//     per-worker child contexts from the arena below and roll their OpStats
+//     back into this context's totals.
 //
 // Callers that don't care pass nullptr; operators then fall back to a
 // thread-local default context (still reusing scratch across calls).
+//
+// Thread-safety: a context (with its worker arena) is owned by one logical
+// caller at a time — do not share one ExecContext between concurrently
+// executing operator calls; use one per calling thread. Operators themselves
+// may fan out internally: worker threads only ever touch their own
+// WorkerContext(i) plus read-only shared state, and the rollup happens after
+// the fork/join barrier, so a parallel operator call is externally
+// indistinguishable from a serial one.
 #ifndef TOPOFAQ_RELATION_EXEC_H_
 #define TOPOFAQ_RELATION_EXEC_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "util/types.h"
 
 namespace topofaq {
+
+/// Process-wide default operator parallelism, resolved once: the value of the
+/// TOPOFAQ_PARALLELISM environment variable ("max" or "0" meaning
+/// hardware_concurrency), or 1 when unset/invalid. Freshly constructed
+/// ExecContexts start at this value.
+int DefaultParallelism();
 
 /// Counters for one operator family. All counts are cumulative since the
 /// last ResetStats().
@@ -36,6 +59,8 @@ struct OpStats {
   int64_t sorts = 0;
   /// Sorts avoided because the input was canonical with a key-prefix order.
   int64_t sort_skips = 0;
+  /// Morsel tasks executed by the parallel path (0 for purely serial calls).
+  int64_t morsels = 0;
 
   OpStats& operator+=(const OpStats& o) {
     calls += o.calls;
@@ -44,6 +69,7 @@ struct OpStats {
     comparisons += o.comparisons;
     sorts += o.sorts;
     sort_skips += o.sort_skips;
+    morsels += o.morsels;
     return *this;
   }
 };
@@ -53,6 +79,12 @@ class ExecContext {
   ExecContext() = default;
   ExecContext(const ExecContext&) = delete;
   ExecContext& operator=(const ExecContext&) = delete;
+
+  /// Maximum workers one operator call may use. 1 (the default unless
+  /// TOPOFAQ_PARALLELISM is set) selects the serial code path byte for byte;
+  /// values > 1 let large inputs fan out into key-aligned morsels. Operator
+  /// results are bit-identical for every setting.
+  int parallelism = DefaultParallelism();
 
   // Per-operator statistics.
   OpStats join;
@@ -69,8 +101,18 @@ class ExecContext {
   std::vector<int> pos_b;
   std::vector<int> pos_c;
   std::vector<Value> row;
-  /// Open-addressing run directory (key hash → key-run start + 1).
+  /// Open-addressing run directory (key hash → key-run start + 1), serial
+  /// path. The parallel path shards the directory instead (table_shards).
   std::vector<uint64_t> table;
+  /// Per-shard run directories for the parallel path: shard s covers one
+  /// key-aligned range of the probed side and is built by one worker.
+  std::vector<std::vector<uint64_t>> table_shards;
+
+  /// The i-th worker's child context, created on first use and reused across
+  /// operator calls. Worker contexts always have parallelism == 1 (no nested
+  /// fan-out); parallel operators hand context i exclusively to worker i for
+  /// the duration of one fork/join region and roll its stats up afterwards.
+  ExecContext& WorkerContext(int i);
 
   /// Sum of all operator counters (the protocol-level rollup).
   OpStats Totals() const;
@@ -81,6 +123,9 @@ class ExecContext {
 
   /// `ctx` if non-null, otherwise a thread-local shared context.
   static ExecContext& Resolve(ExecContext* ctx);
+
+ private:
+  std::vector<std::unique_ptr<ExecContext>> workers_;
 };
 
 }  // namespace topofaq

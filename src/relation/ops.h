@@ -12,6 +12,12 @@
 // sort per input is paid when key orderings mismatch. The seed hash-based
 // operators survive in reference_ops.h for differential tests and speedup
 // benchmarks.
+//
+// Each operator's emission loop is factored over a traversal *range* so the
+// morsel-parallel path (relation/parallel.h) can replay disjoint key-aligned
+// slices of the same traversal on worker threads; ExecContext::parallelism
+// == 1 (the default) runs exactly the serial loop, and results are
+// bit-identical at every parallelism level.
 #ifndef TOPOFAQ_RELATION_OPS_H_
 #define TOPOFAQ_RELATION_OPS_H_
 
@@ -21,6 +27,7 @@
 #include <vector>
 
 #include "relation/exec.h"
+#include "relation/parallel.h"
 #include "relation/relation.h"
 #include "semiring/variable_ops.h"
 
@@ -95,20 +102,24 @@ inline uint64_t HashKeyAt(const Value* row, const std::vector<int>& pos) {
 }
 
 /// Builds an open-addressing directory from key hashes to the key-run starts
-/// of a key-ordered traversal of `rn` rows (runs have distinct keys, so no
-/// duplicate handling is needed). `rp` maps traversal position to row id;
-/// nullptr means the identity (rows already key-ordered in place — the
-/// canonical-prefix case, spared the indirection). Entry 0 means empty;
-/// otherwise start + 1.
-inline void BuildRunDirectory(const Value* rd, size_t ra, size_t rn,
-                              const size_t* rp, const std::vector<int>& rpos,
-                              std::vector<uint64_t>* table) {
+/// of the traversal-position range [sb, se) of a key-ordered traversal (runs
+/// have distinct keys, so no duplicate handling is needed). `rp` maps
+/// traversal position to row id; nullptr means the identity (rows already
+/// key-ordered in place — the canonical-prefix case, spared the
+/// indirection). Stored positions are *global* traversal positions (+ 1;
+/// entry 0 means empty), so per-shard directories built over key-aligned
+/// ranges probe with the unchanged ProbeRunDirectory below.
+inline void BuildRunDirectoryRange(const Value* rd, size_t ra, size_t sb,
+                                   size_t se, const size_t* rp,
+                                   const std::vector<int>& rpos,
+                                   std::vector<uint64_t>* table) {
+  const size_t rows = se - sb;
   size_t cap = 16;
-  while (cap < rn * 2) cap <<= 1;
+  while (cap < rows * 2) cap <<= 1;
   table->assign(cap, 0);
   const uint64_t mask = cap - 1;
   const Value* prev = nullptr;
-  for (size_t s = 0; s < rn; ++s) {
+  for (size_t s = sb; s < se; ++s) {
     const Value* row = rd + (rp ? rp[s] : s) * ra;
     if (prev != nullptr && CompareKeys(row, rpos, prev, rpos) == 0) {
       prev = row;
@@ -119,6 +130,13 @@ inline void BuildRunDirectory(const Value* rd, size_t ra, size_t rn,
     while ((*table)[idx] != 0) idx = (idx + 1) & mask;
     (*table)[idx] = s + 1;
   }
+}
+
+/// Whole-traversal directory (the serial path).
+inline void BuildRunDirectory(const Value* rd, size_t ra, size_t rn,
+                              const size_t* rp, const std::vector<int>& rpos,
+                              std::vector<uint64_t>* table) {
+  BuildRunDirectoryRange(rd, ra, 0, rn, rp, rpos, table);
 }
 
 /// Returns the traversal-position run [lo, hi) whose key equals the `lpos`
@@ -145,6 +163,44 @@ inline std::pair<size_t, size_t> ProbeRunDirectory(
   return {0, 0};
 }
 
+/// Probe-side handle over either the single whole-traversal run directory
+/// (serial path) or the per-shard directories of the parallel path, where
+/// shard s covers the key-aligned traversal range [cuts[s], cuts[s+1]) of
+/// the probed side and was built by one worker. Probing a sharded directory
+/// first binary-searches the shard whose first key is the largest one ≤ the
+/// probe key (shards are key-ordered), then probes only that shard's table;
+/// a key run never crosses a shard because shard cuts are key-aligned.
+struct RunDirectory {
+  const std::vector<uint64_t>* single = nullptr;
+  const std::vector<std::vector<uint64_t>>* shards = nullptr;
+  const std::vector<size_t>* shard_cuts = nullptr;
+
+  std::pair<size_t, size_t> Probe(const Value* rd, size_t ra, size_t rn,
+                                  const size_t* rp,
+                                  const std::vector<int>& rpos,
+                                  const Value* lrow,
+                                  const std::vector<int>& lpos,
+                                  int64_t* cmps) const {
+    if (single != nullptr)
+      return ProbeRunDirectory(*single, rd, ra, rn, rp, rpos, lrow, lpos,
+                               cmps);
+    const std::vector<size_t>& cuts = *shard_cuts;
+    size_t lo = 0;
+    size_t hi = cuts.size() - 1;  // number of shards
+    while (hi - lo > 1) {
+      const size_t mid = lo + (hi - lo) / 2;
+      ++*cmps;
+      const size_t s = rp ? rp[cuts[mid]] : cuts[mid];
+      if (CompareKeys(rd + s * ra, rpos, lrow, lpos) <= 0)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    return ProbeRunDirectory((*shards)[lo], rd, ra, rn, rp, rpos, lrow, lpos,
+                             cmps);
+  }
+};
+
 /// Fills `perm` with a row ordering of `r` sorted by key columns `pos`.
 /// When `pos` is the schema prefix [0, k) of a canonical relation the rows
 /// are already key-ordered and the sort is skipped (the kernel fast path).
@@ -169,6 +225,221 @@ void KeyOrderPerm(const Relation<S>& r, const std::vector<int>& pos,
   st->comparisons += cmps;
 }
 
+/// Lower bound of the `lpos` key of `lrow` in the key-ordered right
+/// traversal: first traversal position whose key is not < the probe key.
+/// Used by morsels entering the middle of a monotone merge.
+inline size_t RightLowerBound(const Value* rd, size_t ra, size_t rn,
+                              const size_t* rpm, const std::vector<int>& rpos,
+                              const Value* lrow, const std::vector<int>& lpos,
+                              int64_t* cmps) {
+  size_t lo = 0, hi = rn;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    ++*cmps;
+    if (CompareKeys(rd + (rpm ? rpm[mid] : mid) * ra, rpos, lrow, lpos) < 0)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+/// Emits the join outputs of left traversal positions [xb, xe) into `b`:
+/// the serial Join emission loop, parameterized over the traversal range so
+/// key-aligned morsels can replay disjoint slices of it on workers. `dir`
+/// must be populated when !lmono and rn > 0.
+template <CommutativeSemiring S>
+void JoinEmitRange(const Relation<S>& left, const Relation<S>& right,
+                   const std::vector<int>& lpos, const std::vector<int>& rpos,
+                   const std::vector<int>& rextra, const size_t* lpm,
+                   const size_t* rpm, bool lmono, const RunDirectory& dir,
+                   size_t xb, size_t xe, RelationBuilder<S>* b,
+                   std::vector<Value>* rowbuf, int64_t* cmps) {
+  const Value* ld = left.data().data();
+  const Value* rd = right.data().data();
+  const size_t la = left.arity();
+  const size_t ra = right.arity();
+  const size_t rn = right.size();
+  if (xb >= xe || rn == 0) return;
+  std::vector<Value>& row = *rowbuf;
+  row.resize(la + rextra.size());
+
+  // Monotone morsels entering mid-merge find their right-side start by one
+  // binary search instead of replaying the merge from traversal position 0.
+  size_t j = 0;
+  if (lmono && xb > 0)
+    j = RightLowerBound(rd, ra, rn, rpm, rpos,
+                        ld + (lpm ? lpm[xb] : xb) * la, lpos, cmps);
+
+  const Value* prev_lrow = nullptr;
+  size_t lo = 0, hi = 0;
+  for (size_t xi = xb; xi < xe; ++xi) {
+    const size_t x = lpm ? lpm[xi] : xi;
+    const Value* lrow = ld + x * la;
+#if defined(__GNUC__)
+    // Hide the directory-probe cache miss of the next left row behind this
+    // row's emission work (single-table probes only; sharded probes start
+    // with a shard binary search instead).
+    if (!lmono && dir.single != nullptr && xi + 1 < xe) {
+      const size_t nx = lpm ? lpm[xi + 1] : xi + 1;
+      __builtin_prefetch(dir.single->data() +
+                         (HashKeyAt(ld + nx * la, lpos) &
+                          (dir.single->size() - 1)));
+    }
+#endif
+    if (prev_lrow == nullptr ||
+        CompareKeys(lrow, lpos, prev_lrow, lpos) != 0) {
+      if (lmono) {
+        while (j < rn &&
+               CompareKeys(rd + (rpm ? rpm[j] : j) * ra, rpos, lrow, lpos) <
+                   0) {
+          ++*cmps;
+          ++j;
+        }
+        lo = hi = j;
+        while (hi < rn &&
+               CompareKeys(rd + (rpm ? rpm[hi] : hi) * ra, rpos, lrow,
+                           lpos) == 0)
+          ++hi;
+        *cmps += static_cast<int64_t>(hi - lo) + 1;
+        j = hi;
+      } else {
+        std::tie(lo, hi) = dir.Probe(rd, ra, rn, rpm, rpos, lrow, lpos, cmps);
+      }
+    }
+    prev_lrow = lrow;
+    if (lo == hi) continue;
+    std::copy(lrow, lrow + la, row.begin());
+    for (size_t y = lo; y < hi; ++y) {
+      const size_t ry = rpm ? rpm[y] : y;
+      const Value* rrow = rd + ry * ra;
+      for (size_t t = 0; t < rextra.size(); ++t)
+        row[la + t] = rrow[static_cast<size_t>(rextra[t])];
+      b->Append(row, S::Multiply(left.annot(x), right.annot(ry)));
+    }
+  }
+}
+
+/// Emits the semijoin survivors among left rows [xb, xe) (original row
+/// order) into `b`; the serial Semijoin loop parameterized over the range.
+template <CommutativeSemiring S>
+void SemijoinEmitRange(const Relation<S>& left, const Relation<S>& right,
+                       const std::vector<int>& lpos,
+                       const std::vector<int>& rpos, const size_t* rpm,
+                       bool lmono, const RunDirectory& dir, size_t xb,
+                       size_t xe, RelationBuilder<S>* b, int64_t* cmps) {
+  const Value* ld = left.data().data();
+  const Value* rd = right.data().data();
+  const size_t la = left.arity();
+  const size_t ra = right.arity();
+  const size_t rn = right.size();
+  if (xb >= xe || rn == 0) return;
+
+  size_t j = 0;
+  if (lmono && xb > 0)
+    j = RightLowerBound(rd, ra, rn, rpm, rpos, ld + xb * la, lpos, cmps);
+
+  const Value* prev_lrow = nullptr;
+  bool matched = false;
+  for (size_t x = xb; x < xe; ++x) {
+    const Value* lrow = ld + x * la;
+    if (prev_lrow == nullptr ||
+        CompareKeys(lrow, lpos, prev_lrow, lpos) != 0) {
+      if (lmono) {
+        while (j < rn &&
+               CompareKeys(rd + (rpm ? rpm[j] : j) * ra, rpos, lrow, lpos) <
+                   0) {
+          ++*cmps;
+          ++j;
+        }
+        ++*cmps;
+        matched = j < rn &&
+                  CompareKeys(rd + (rpm ? rpm[j] : j) * ra, rpos, lrow,
+                              lpos) == 0;
+      } else {
+        auto [lo, hi] = dir.Probe(rd, ra, rn, rpm, rpos, lrow, lpos, cmps);
+        matched = lo != hi;
+      }
+    }
+    prev_lrow = lrow;
+    if (matched) b->Append(left.tuple(x), left.annot(x));
+  }
+}
+
+/// Emits the projections of traversal positions [tb, te) (kept-column
+/// order via `perm`) into `b`; collapsing rows merge adjacently in the
+/// builder, and key-aligned morsels guarantee a collapse never straddles a
+/// morsel boundary.
+template <CommutativeSemiring S>
+void ProjectEmitRange(const Relation<S>& r, const std::vector<int>& pos,
+                      const size_t* perm, size_t tb, size_t te,
+                      RelationBuilder<S>* b, std::vector<Value>* rowbuf) {
+  const Value* d = r.data().data();
+  const size_t a = r.arity();
+  std::vector<Value>& row = *rowbuf;
+  row.resize(pos.size());
+  for (size_t t = tb; t < te; ++t) {
+    const Value* src = d + perm[t] * a;
+    for (size_t k = 0; k < pos.size(); ++k)
+      row[k] = src[static_cast<size_t>(pos[k])];
+    b->Append(row, r.annot(perm[t]));
+  }
+}
+
+/// Folds the elimination groups covering traversal positions [gb, ge)
+/// (kept-key order via `perm`) into `b`. gb and ge must be group boundaries
+/// — key-aligned morsel cuts guarantee exactly that — so every group folds
+/// whole, in traversal order, identical to the serial pass.
+template <CommutativeSemiring S>
+void EliminateEmitRange(const Relation<S>& r,
+                        const std::vector<int>& kept_pos, const size_t* perm,
+                        VarOp op, size_t gb, size_t ge, RelationBuilder<S>* b,
+                        std::vector<Value>* rowbuf, int64_t* cmps) {
+  const Value* d = r.data().data();
+  const size_t a = r.arity();
+  std::vector<Value>& row = *rowbuf;
+  row.resize(kept_pos.size());
+  for (size_t g = gb; g < ge;) {
+    const size_t head = perm[g];
+    typename S::Value acc = r.annot(head);
+    size_t e = g + 1;
+    while (e < ge && CompareKeys(d + perm[e] * a, kept_pos, d + head * a,
+                                 kept_pos) == 0) {
+      acc = ApplyVarOp<S>(op, acc, r.annot(perm[e]));
+      ++e;
+    }
+    *cmps += static_cast<int64_t>(e - g);
+    for (size_t k = 0; k < kept_pos.size(); ++k)
+      row[k] = d[head * a + static_cast<size_t>(kept_pos[k])];
+    b->Append(row, acc);
+    g = e;
+  }
+}
+
+/// Builds per-shard run directories over the key-ordered right traversal on
+/// the worker pool: the traversal is cut into key-aligned shards, worker w
+/// claims shards through the pool and builds each into
+/// `cx.table_shards[s]`. Returns the shard cuts for RunDirectory probing.
+inline std::vector<size_t> BuildShardedRunDirectory(
+    ExecContext& cx, int workers, const Value* rd, size_t ra, size_t rn,
+    const size_t* rpm, const std::vector<int>& rpos) {
+  std::vector<size_t> cuts = KeyAlignedCuts(
+      rn, static_cast<size_t>(workers), [&](size_t t) {
+        const size_t a = rpm ? rpm[t] : t;
+        const size_t p = rpm ? rpm[t - 1] : t - 1;
+        return CompareKeys(rd + a * ra, rpos, rd + p * ra, rpos) != 0;
+      });
+  const size_t n_shards = cuts.size() - 1;
+  if (cx.table_shards.size() < n_shards) cx.table_shards.resize(n_shards);
+  WorkerPool::Shared().ParallelFor(
+      std::min<int>(workers, static_cast<int>(n_shards)), n_shards,
+      [&](int, size_t s) {
+        BuildRunDirectoryRange(rd, ra, cuts[s], cuts[s + 1], rpm, rpos,
+                               &cx.table_shards[s]);
+      });
+  return cuts;
+}
+
 }  // namespace internal
 
 /// Natural join: output schema is left's variables followed by right's
@@ -184,6 +455,11 @@ void KeyOrderPerm(const Relation<S>& r, const std::vector<int>& pos,
 /// one permutation sort is paid (on the right, only when its key columns are
 /// not already a canonical schema prefix); with no shared variables the
 /// single all-rows run makes this the streaming cross product.
+///
+/// With ctx->parallelism > 1 and a large enough left side, the left
+/// traversal is cut into key-aligned morsels executed on the worker pool
+/// (run directory sharded across workers too); output bytes are identical
+/// to the serial path — see docs/kernel.md, "Morsel-parallel execution".
 template <CommutativeSemiring S>
 Relation<S> Join(const Relation<S>& left, const Relation<S>& right,
                  ExecContext* ctx = nullptr) {
@@ -258,61 +534,59 @@ Relation<S> Join(const Relation<S>& left, const Relation<S>& right,
   // when the key columns are the left schema prefix — then a linear merge
   // suffices; otherwise probe through the hashed run directory.
   const bool lmono = internal::IsPrefixPositions(lpos);
-  if (!lmono && ln > 0 && rn > 0)
-    internal::BuildRunDirectory(rd, ra, rn, rpm, rpos, &cx.table);
+  Schema out_schema{std::move(out_vars)};
 
-  RelationBuilder<S> b{Schema(std::move(out_vars))};
-  b.Reserve(std::max(ln, rn));
-  std::vector<Value>& row = cx.row;
-  row.resize(la + rextra.size());
-
-  const Value* prev_lrow = nullptr;
-  size_t lo = 0, hi = 0, j = 0;
-  for (size_t xi = 0; xi < ln && rn > 0; ++xi) {
-    const size_t x = lpm ? lpm[xi] : xi;
-    const Value* lrow = ld + x * la;
-#if defined(__GNUC__)
-    // Hide the directory-probe cache miss of the next left row behind this
-    // row's emission work.
-    if (!lmono && xi + 1 < ln) {
-      const size_t nx = lpm ? lpm[xi + 1] : xi + 1;
-      __builtin_prefetch(cx.table.data() +
-                         (internal::HashKeyAt(ld + nx * la, lpos) &
-                          (cx.table.size() - 1)));
+  // Parallel only for a canonical left: duplicate left tuples would emit
+  // non-adjacent duplicate outputs, and piece-local canonicalization folds
+  // their ⊕ in a different association than the serial whole-output
+  // Canonicalize — observable as different float bits. A non-canonical
+  // right is fine: the right sort above tie-breaks by full row, so
+  // duplicate right rows are adjacent in traversal order (sort stability
+  // irrelevant) and duplicate outputs merge adjacently in the builder, in
+  // emission order, identically on both paths.
+  const int workers = left.canonical() ? PlannedWorkers(cx, ln) : 1;
+  if (workers > 1 && rn > 0) {
+    internal::RunDirectory dir;
+    std::vector<size_t> shard_cuts;
+    if (!lmono) {
+      shard_cuts = internal::BuildShardedRunDirectory(cx, workers, rd, ra, rn,
+                                                      rpm, rpos);
+      dir.shards = &cx.table_shards;
+      dir.shard_cuts = &shard_cuts;
     }
-#endif
-    if (prev_lrow == nullptr ||
-        internal::CompareKeys(lrow, lpos, prev_lrow, lpos) != 0) {
-      if (lmono) {
-        while (j < rn &&
-               internal::CompareKeys(rd + (rpm ? rpm[j] : j) * ra, rpos, lrow,
-                                     lpos) < 0) {
-          ++st.comparisons;
-          ++j;
-        }
-        lo = hi = j;
-        while (hi < rn &&
-               internal::CompareKeys(rd + (rpm ? rpm[hi] : hi) * ra, rpos,
-                                     lrow, lpos) == 0)
-          ++hi;
-        st.comparisons += static_cast<int64_t>(hi - lo) + 1;
-        j = hi;
-      } else {
-        std::tie(lo, hi) = internal::ProbeRunDirectory(
-            cx.table, rd, ra, rn, rpm, rpos, lrow, lpos, &st.comparisons);
-      }
+    Relation<S> out = MorselRun<S>(
+        cx, workers, std::move(out_schema), ln,
+        [&](size_t t) {
+          const size_t a = lpm ? lpm[t] : t;
+          const size_t p = lpm ? lpm[t - 1] : t - 1;
+          return internal::CompareKeys(ld + a * la, lpos, ld + p * la,
+                                       lpos) != 0;
+        },
+        &st,
+        [&](ExecContext& wc, size_t xb, size_t xe, RelationBuilder<S>* b) {
+          b->Reserve(xe - xb);
+          internal::JoinEmitRange(left, right, lpos, rpos, rextra, lpm, rpm,
+                                  lmono, dir, xb, xe, b, &wc.row,
+                                  &wc.join.comparisons);
+        });
+    for (int w = 0; w < workers; ++w) {
+      ExecContext& wc = cx.WorkerContext(w);
+      st += wc.join;
+      wc.join = OpStats{};
     }
-    prev_lrow = lrow;
-    if (lo == hi) continue;
-    std::copy(lrow, lrow + la, row.begin());
-    for (size_t y = lo; y < hi; ++y) {
-      const size_t ry = rpm ? rpm[y] : y;
-      const Value* rrow = rd + ry * ra;
-      for (size_t t = 0; t < rextra.size(); ++t)
-        row[la + t] = rrow[static_cast<size_t>(rextra[t])];
-      b.Append(row, S::Multiply(left.annot(x), right.annot(ry)));
-    }
+    st.rows_out += static_cast<int64_t>(out.size());
+    return out;
   }
+
+  internal::RunDirectory dir;
+  if (!lmono && ln > 0 && rn > 0) {
+    internal::BuildRunDirectory(rd, ra, rn, rpm, rpos, &cx.table);
+    dir.single = &cx.table;
+  }
+  RelationBuilder<S> b{std::move(out_schema)};
+  b.Reserve(std::max(ln, rn));
+  internal::JoinEmitRange(left, right, lpos, rpos, rextra, lpm, rpm, lmono,
+                          dir, 0, ln, &b, &cx.row, &st.comparisons);
   Relation<S> out = b.Build();
   st.rows_out += static_cast<int64_t>(out.size());
   return out;
@@ -326,7 +600,9 @@ Relation<S> Join(const Relation<S>& left, const Relation<S>& right,
 /// side (linear merge when the left key is a canonical schema prefix, hashed
 /// run-directory probes otherwise; the right-side sort is skipped when its
 /// key is a canonical schema prefix) — for a canonical left input the output
-/// is a canonical subsequence and never needs sorting.
+/// is a canonical subsequence and never needs sorting. A canonical left also
+/// unlocks the morsel-parallel path (ctx->parallelism > 1): disjoint
+/// key-aligned slices of the left filter independently and concatenate.
 template <CommutativeSemiring S>
 Relation<S> Semijoin(const Relation<S>& left, const Relation<S>& right,
                      ExecContext* ctx = nullptr) {
@@ -367,37 +643,49 @@ Relation<S> Semijoin(const Relation<S>& left, const Relation<S>& right,
   // Left keys arrive monotonically only when left is canonical and the key
   // is its schema prefix (the traversal below is in original row order).
   const bool lmono = internal::IsCanonicalKeyPrefix(left, lpos);
-  if (!lmono && ln > 0 && rn > 0)
-    internal::BuildRunDirectory(rd, ra, rn, rpm, rpos, &cx.table);
 
-  RelationBuilder<S> b{left.schema()};
-  const Value* prev_lrow = nullptr;
-  bool matched = false;
-  size_t j = 0;
-  for (size_t x = 0; x < ln && rn > 0; ++x) {
-    const Value* lrow = ld + x * la;
-    if (prev_lrow == nullptr ||
-        internal::CompareKeys(lrow, lpos, prev_lrow, lpos) != 0) {
-      if (lmono) {
-        while (j < rn &&
-               internal::CompareKeys(rd + (rpm ? rpm[j] : j) * ra, rpos, lrow,
-                                     lpos) < 0) {
-          ++st.comparisons;
-          ++j;
-        }
-        ++st.comparisons;
-        matched = j < rn &&
-                  internal::CompareKeys(rd + (rpm ? rpm[j] : j) * ra, rpos,
-                                        lrow, lpos) == 0;
-      } else {
-        auto [lo, hi] = internal::ProbeRunDirectory(
-            cx.table, rd, ra, rn, rpm, rpos, lrow, lpos, &st.comparisons);
-        matched = lo != hi;
-      }
+  // Parallel only for canonical left: the output is then a concatenation of
+  // canonical subsequences; a non-canonical left would make piece-local
+  // canonicalization orders observable.
+  const int workers = left.canonical() ? PlannedWorkers(cx, ln) : 1;
+  if (workers > 1 && rn > 0) {
+    internal::RunDirectory dir;
+    std::vector<size_t> shard_cuts;
+    if (!lmono) {
+      shard_cuts = internal::BuildShardedRunDirectory(cx, workers, rd, ra, rn,
+                                                      rpm, rpos);
+      dir.shards = &cx.table_shards;
+      dir.shard_cuts = &shard_cuts;
     }
-    prev_lrow = lrow;
-    if (matched) b.Append(left.tuple(x), left.annot(x));
+    Relation<S> out = MorselRun<S>(
+        cx, workers, left.schema(), ln,
+        [&](size_t t) {
+          return internal::CompareKeys(ld + t * la, lpos, ld + (t - 1) * la,
+                                       lpos) != 0;
+        },
+        &st,
+        [&](ExecContext& wc, size_t xb, size_t xe, RelationBuilder<S>* b) {
+          internal::SemijoinEmitRange(left, right, lpos, rpos, rpm, lmono,
+                                      dir, xb, xe, b,
+                                      &wc.semijoin.comparisons);
+        });
+    for (int w = 0; w < workers; ++w) {
+      ExecContext& wc = cx.WorkerContext(w);
+      st += wc.semijoin;
+      wc.semijoin = OpStats{};
+    }
+    st.rows_out += static_cast<int64_t>(out.size());
+    return out;
   }
+
+  internal::RunDirectory dir;
+  if (!lmono && ln > 0 && rn > 0) {
+    internal::BuildRunDirectory(rd, ra, rn, rpm, rpos, &cx.table);
+    dir.single = &cx.table;
+  }
+  RelationBuilder<S> b{left.schema()};
+  internal::SemijoinEmitRange(left, right, lpos, rpos, rpm, lmono, dir, 0,
+                              ln, &b, &st.comparisons);
   Relation<S> out = b.Build();
   st.rows_out += static_cast<int64_t>(out.size());
   return out;
@@ -409,6 +697,8 @@ Relation<S> Semijoin(const Relation<S>& left, const Relation<S>& right,
 /// Streaming: rows are walked in kept-column order (no sort when `keep` is a
 /// canonical schema prefix) and collapsing rows merge adjacently in the
 /// builder — no hash table, and the output is canonical by construction.
+/// Key-aligned morsels keep every collapse inside one morsel, so the
+/// parallel path (ctx->parallelism > 1) is bit-identical to serial.
 template <CommutativeSemiring S>
 Relation<S> Project(const Relation<S>& r, const std::vector<VarId>& keep,
                     ExecContext* ctx = nullptr) {
@@ -427,18 +717,29 @@ Relation<S> Project(const Relation<S>& r, const std::vector<VarId>& keep,
   }
 
   internal::KeyOrderPerm(r, pos, &cx.perm_a, &st);
+  const size_t n = r.size();
+  const size_t* perm = cx.perm_a.data();
   const Value* d = r.data().data();
   const size_t a = r.arity();
-  RelationBuilder<S> b{Schema(keep)};
-  std::vector<Value>& row = cx.row;
-  row.resize(pos.size());
-  for (size_t t = 0; t < r.size(); ++t) {
-    const Value* src = d + cx.perm_a[t] * a;
-    for (size_t k = 0; k < pos.size(); ++k)
-      row[k] = src[static_cast<size_t>(pos[k])];
-    b.Append(row, r.annot(cx.perm_a[t]));
+
+  Relation<S> out;
+  const int workers = PlannedWorkers(cx, n);
+  if (workers > 1) {
+    out = MorselRun<S>(
+        cx, workers, Schema(keep), n,
+        [&](size_t t) {
+          return internal::CompareKeys(d + perm[t] * a, pos,
+                                       d + perm[t - 1] * a, pos) != 0;
+        },
+        &st,
+        [&](ExecContext& wc, size_t tb, size_t te, RelationBuilder<S>* b) {
+          internal::ProjectEmitRange(r, pos, perm, tb, te, b, &wc.row);
+        });
+  } else {
+    RelationBuilder<S> b{Schema(keep)};
+    internal::ProjectEmitRange(r, pos, perm, 0, n, &b, &cx.row);
+    out = b.Build();
   }
-  Relation<S> out = b.Build();
   st.rows_out += static_cast<int64_t>(out.size());
   return out;
 }
@@ -453,7 +754,10 @@ Relation<S> Project(const Relation<S>& r, const std::vector<VarId>& keep,
 /// (sound because each aggregate is associative and commutative, so folding
 /// the combined group equals folding variable-at-a-time). FAQ-SS queries —
 /// every aggregate the semiring ⊕ — therefore group exactly once, where the
-/// seed kernel re-grouped once per variable.
+/// seed kernel re-grouped once per variable. Each batch's group-by fans out
+/// into key-aligned morsels when ctx->parallelism > 1; a group always folds
+/// whole inside one morsel, in traversal order, so parallel results are
+/// bit-identical to serial — floating-point semirings included.
 template <CommutativeSemiring S>
 Relation<S> Eliminate(Relation<S> r, std::vector<VarId> vars,
                       std::vector<VarOp> ops, ExecContext* ctx = nullptr) {
@@ -512,28 +816,38 @@ Relation<S> Eliminate(Relation<S> r, std::vector<VarId> vars,
     }
 
     internal::KeyOrderPerm(r, kept_pos, &cx.perm_a, &st);
+    const size_t n = r.size();
+    const size_t* perm = cx.perm_a.data();
     const Value* d = r.data().data();
     const size_t a = r.arity();
-    const size_t n = r.size();
-    RelationBuilder<S> b{Schema(std::move(kept_vars))};
-    std::vector<Value>& row = cx.row;
-    row.resize(kept_pos.size());
-    for (size_t g = 0; g < n;) {
-      const size_t head = cx.perm_a[g];
-      typename S::Value acc = r.annot(head);
-      size_t ge = g + 1;
-      while (ge < n && internal::CompareKeys(d + cx.perm_a[ge] * a, kept_pos,
-                                             d + head * a, kept_pos) == 0) {
-        acc = ApplyVarOp<S>(op, acc, r.annot(cx.perm_a[ge]));
-        ++ge;
+    Schema out_schema{std::move(kept_vars)};
+
+    const int workers = PlannedWorkers(cx, n);
+    if (workers > 1) {
+      r = MorselRun<S>(
+          cx, workers, std::move(out_schema), n,
+          [&](size_t t) {
+            return internal::CompareKeys(d + perm[t] * a, kept_pos,
+                                         d + perm[t - 1] * a,
+                                         kept_pos) != 0;
+          },
+          &st,
+          [&](ExecContext& wc, size_t gb, size_t ge, RelationBuilder<S>* b) {
+            internal::EliminateEmitRange(r, kept_pos, perm, op, gb, ge, b,
+                                         &wc.row,
+                                         &wc.eliminate.comparisons);
+          });
+      for (int w = 0; w < workers; ++w) {
+        ExecContext& wc = cx.WorkerContext(w);
+        st += wc.eliminate;
+        wc.eliminate = OpStats{};
       }
-      st.comparisons += static_cast<int64_t>(ge - g);
-      for (size_t k = 0; k < kept_pos.size(); ++k)
-        row[k] = d[head * a + static_cast<size_t>(kept_pos[k])];
-      b.Append(row, acc);
-      g = ge;
+    } else {
+      RelationBuilder<S> b{std::move(out_schema)};
+      internal::EliminateEmitRange(r, kept_pos, perm, op, 0, n, &b, &cx.row,
+                                   &st.comparisons);
+      r = b.Build();
     }
-    r = b.Build();
     bi = be;
   }
   st.rows_out += static_cast<int64_t>(r.size());

@@ -1,0 +1,90 @@
+#include "relation/parallel.h"
+
+namespace topofaq {
+
+WorkerPool& WorkerPool::Shared() {
+  // Floor of 3 extra threads so multi-worker execution (and its sanitizer
+  // coverage) stays real on 1–2 core machines; morsel work-stealing keeps
+  // mild oversubscription harmless.
+  static WorkerPool pool(std::max(
+      3, static_cast<int>(std::thread::hardware_concurrency()) - 1));
+  return pool;
+}
+
+WorkerPool::WorkerPool(int threads) {
+  threads_.reserve(static_cast<size_t>(std::max(0, threads)));
+  for (int i = 0; i < threads; ++i)
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::WorkerLoop(int id) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int, size_t)>* fn = nullptr;
+    size_t n_tasks = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      if (id >= job_workers_) continue;  // not enlisted for this job
+      fn = fn_;
+      n_tasks = n_tasks_;
+    }
+    for (;;) {
+      const size_t t = next_task_.fetch_add(1, std::memory_order_relaxed);
+      if (t >= n_tasks) break;
+      (*fn)(id + 1, t);  // pool thread i is worker i+1 (caller is worker 0)
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::ParallelFor(int workers, size_t n_tasks,
+                             const std::function<void(int, size_t)>& fn) {
+  if (n_tasks == 0) return;
+  int extra = std::min<int>(static_cast<int>(threads_.size()), workers - 1);
+  extra = std::min<int>(extra, static_cast<int>(n_tasks) - 1);
+  if (extra > 0) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (busy_) {
+      extra = 0;  // a concurrent caller owns the pool: degrade to serial
+    } else {
+      busy_ = true;
+      fn_ = &fn;
+      n_tasks_ = n_tasks;
+      job_workers_ = extra;
+      active_ = extra;
+      next_task_.store(0, std::memory_order_relaxed);
+      ++epoch_;
+    }
+  }
+  if (extra == 0) {
+    for (size_t t = 0; t < n_tasks; ++t) fn(0, t);
+    return;
+  }
+  work_cv_.notify_all();
+  for (;;) {
+    const size_t t = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (t >= n_tasks) break;
+    fn(0, t);
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return active_ == 0; });
+  fn_ = nullptr;
+  busy_ = false;
+}
+
+}  // namespace topofaq

@@ -1,0 +1,160 @@
+// Morsel-parallel execution for the sorted-relation kernel (docs/kernel.md,
+// "Morsel-parallel execution").
+//
+// The operators in ops.h stay sort-merge kernels over canonical traversals;
+// this header supplies the fork/join machinery that lets one operator call
+// fan its traversal out across cores:
+//
+//  * WorkerPool — a lazily-created process-wide pool of workers with a
+//    work-stealing ParallelFor (atomic task counter). The calling thread is
+//    always worker 0, so a pool of zero threads degrades to plain serial
+//    execution and parallelism never deadlocks.
+//  * KeyAlignedCuts — splits a traversal range [0, n) into morsels whose
+//    boundaries never land inside a key run. This is the invariant that
+//    makes per-morsel outputs concatenate into the serial result byte for
+//    byte: group folds and builder-level adjacent merges can never straddle
+//    a cut.
+//  * MorselRun — the shared fork/join scaffold: one RelationBuilder per
+//    morsel, one worker-owned ExecContext per worker (ExecContext's arena),
+//    concatenation through Relation::ConcatPieces, which certifies the
+//    result canonical with no closing sort because morsels are disjoint key
+//    ranges in traversal order.
+//
+// Determinism contract: for fixed inputs, operator output bytes (rows and
+// annotations) are identical for every parallelism level, including 1 (the
+// serial path). Only OpStats::comparisons/morsels may differ.
+#ifndef TOPOFAQ_RELATION_PARALLEL_H_
+#define TOPOFAQ_RELATION_PARALLEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "relation/exec.h"
+#include "relation/relation.h"
+
+namespace topofaq {
+
+/// Persistent fork/join worker pool. One job runs at a time; a ParallelFor
+/// issued while the pool is busy (e.g. from a second user thread) runs
+/// entirely on the calling thread instead of queueing, so the pool can never
+/// deadlock and callers never wait on unrelated work.
+class WorkerPool {
+ public:
+  /// The process-wide pool, created on first use with
+  /// max(3, hardware_concurrency - 1) threads (the floor keeps multi-worker
+  /// execution — and its TSan coverage — real even on tiny machines).
+  static WorkerPool& Shared();
+
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs fn(worker, task) for every task in [0, n_tasks), on up to
+  /// `workers` workers: the calling thread is worker 0 and up to workers-1
+  /// pool threads join in. Tasks are claimed through an atomic counter
+  /// (work-stealing), so skewed morsels balance automatically. Blocks until
+  /// every task has finished; the return establishes a happens-before edge
+  /// with all task executions.
+  void ParallelFor(int workers, size_t n_tasks,
+                   const std::function<void(int, size_t)>& fn);
+
+  /// Largest worker count ParallelFor can put to use (pool threads + 1).
+  int max_workers() const { return static_cast<int>(threads_.size()) + 1; }
+
+ private:
+  void WorkerLoop(int id);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int, size_t)>* fn_ = nullptr;  // guarded by mu_
+  size_t n_tasks_ = 0;                                    // guarded by mu_
+  int job_workers_ = 0;   // pool threads participating in the current job
+  int active_ = 0;        // pool threads still inside the current job
+  uint64_t epoch_ = 0;    // bumped per job so workers wake exactly once
+  bool busy_ = false;
+  bool stop_ = false;
+  std::atomic<size_t> next_task_{0};
+};
+
+/// Inputs smaller than this stay on the serial path regardless of the
+/// parallelism knob: below it, fork/join overhead dwarfs the morsel work.
+inline constexpr size_t kParallelMinRows = 1024;
+
+/// Morsels per worker. More than 1 lets the atomic task counter rebalance
+/// skewed key distributions (a worker stuck on a heavy run stops claiming).
+inline constexpr size_t kMorselsPerWorker = 4;
+
+/// Workers a single operator call should fan out to: the context's knob,
+/// capped by the pool, and 1 (serial) for inputs under kParallelMinRows.
+inline int PlannedWorkers(const ExecContext& cx, size_t traversal_rows) {
+  if (cx.parallelism <= 1 || traversal_rows < kParallelMinRows) return 1;
+  return std::min(cx.parallelism, WorkerPool::Shared().max_workers());
+}
+
+/// Splits [0, n) into at most `want` contiguous morsels of roughly equal
+/// size, each cut advanced to the next traversal position that starts a new
+/// key run (`starts_run(t)` — t in [1, n) — must be true iff position t's key
+/// differs from position t-1's). Returns cut points c0=0 < c1 < ... < ck=n.
+/// Cuts depend only on the data and `want`, never on thread timing.
+template <typename StartsRun>
+std::vector<size_t> KeyAlignedCuts(size_t n, size_t want,
+                                   StartsRun&& starts_run) {
+  std::vector<size_t> cuts{0};
+  if (n > 0 && want > 1) {
+    const size_t step = std::max<size_t>(1, n / want);
+    size_t c = step;
+    while (c < n) {
+      while (c < n && !starts_run(c)) ++c;
+      if (c >= n) break;
+      cuts.push_back(c);
+      c += step;
+    }
+  }
+  cuts.push_back(n);
+  return cuts;
+}
+
+/// The shared fork/join scaffold for morsel-parallel operators: splits the
+/// traversal [0, n) at key-run boundaries, runs
+/// `emit(worker_ctx, begin, end, builder)` per morsel on the pool (each
+/// morsel gets its own RelationBuilder; each worker its own child context
+/// for scratch and stats), and concatenates the per-morsel outputs — already
+/// globally sorted because morsels are disjoint key ranges in traversal
+/// order. Returns the canonical result and reports the morsel count in
+/// `st->morsels`; callers roll worker stats up separately.
+template <CommutativeSemiring S, typename StartsRun, typename Emit>
+Relation<S> MorselRun(ExecContext& cx, int workers, Schema schema, size_t n,
+                      StartsRun&& starts_run, OpStats* st, Emit&& emit) {
+  std::vector<size_t> cuts =
+      KeyAlignedCuts(n, static_cast<size_t>(workers) * kMorselsPerWorker,
+                     starts_run);
+  const size_t m = cuts.size() - 1;
+  std::vector<RelationBuilder<S>> builders;
+  builders.reserve(m);
+  for (size_t i = 0; i < m; ++i) builders.emplace_back(schema);
+  // Materialize the worker arena before forking: lazy creation inside the
+  // region would race on the arena vector.
+  for (int w = 0; w < workers; ++w) cx.WorkerContext(w);
+  WorkerPool::Shared().ParallelFor(
+      std::min<int>(workers, static_cast<int>(m)), m, [&](int w, size_t t) {
+        emit(cx.WorkerContext(w), cuts[t], cuts[t + 1], &builders[t]);
+      });
+  st->morsels += static_cast<int64_t>(m);
+  std::vector<Relation<S>> pieces;
+  pieces.reserve(m);
+  for (auto& b : builders) pieces.push_back(b.Build());
+  return Relation<S>::ConcatPieces(std::move(schema), std::move(pieces));
+}
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_RELATION_PARALLEL_H_

@@ -98,6 +98,31 @@ class SchemaIndex {
 template <CommutativeSemiring S>
 class RelationBuilder;
 
+namespace detail {
+
+/// Compacts parallel row/annotation arrays that are already sorted and
+/// distinct by dropping zero-annotated rows in place (merge cancellation,
+/// e.g. GF2). The single certification pass shared by
+/// RelationBuilder::Build's sorted path and Relation::ConcatPieces.
+template <CommutativeSemiring S>
+void CompactSortedRows(std::vector<Value>* data,
+                       std::vector<typename S::Value>* annots, size_t arity) {
+  size_t w = 0;
+  for (size_t i = 0; i < annots->size(); ++i) {
+    if (S::IsZero((*annots)[i])) continue;
+    if (w != i) {
+      std::copy(data->begin() + i * arity, data->begin() + (i + 1) * arity,
+                data->begin() + w * arity);
+      (*annots)[w] = (*annots)[i];
+    }
+    ++w;
+  }
+  data->resize(w * arity);
+  annots->resize(w);
+}
+
+}  // namespace detail
+
 /// A relation annotated with values from semiring S.
 template <CommutativeSemiring S>
 class Relation {
@@ -120,6 +145,9 @@ class Relation {
     return {data_.data() + i * arity(), arity()};
   }
   SemiringValue annot(size_t i) const { return annots_[i]; }
+  /// The full annotation array, parallel to the rows. Byte-level equality of
+  /// data() + annots() is the determinism contract of the parallel kernel.
+  const std::vector<SemiringValue>& annots() const { return annots_; }
   void set_annot(size_t i, SemiringValue v) {
     annots_[i] = v;
     // A zero annotation violates the canonical invariant (non-zero rows
@@ -216,6 +244,57 @@ class Relation {
     return m;
   }
 
+  /// Concatenates per-morsel pieces produced by the parallel kernel
+  /// (docs/kernel.md): each piece is the canonical output of one morsel, and
+  /// morsels are disjoint key-aligned traversal ranges in nondecreasing
+  /// order, so splicing the pieces back-to-back already yields sorted rows.
+  /// Equal boundary rows (possible only if a cut were ever to land inside a
+  /// run) are merged with ⊕ and zero annotations dropped, mirroring
+  /// RelationBuilder::Append/Build, so the result is bit-identical to a
+  /// single-builder serial run; out-of-order pieces fall back to one
+  /// Canonicalize().
+  static Relation ConcatPieces(Schema schema, std::vector<Relation> pieces) {
+    const size_t a = schema.arity();
+    size_t rows = 0;
+    for (const Relation& p : pieces) rows += p.size();
+    std::vector<Value> data;
+    std::vector<SemiringValue> annots;
+    data.reserve(rows * a);
+    annots.reserve(rows);
+    bool sorted = true;
+    for (Relation& p : pieces) {
+      if (p.empty()) continue;
+      if (!p.canonical()) sorted = false;
+      size_t start = 0;
+      if (sorted && !annots.empty()) {
+        const Value* last = data.data() + data.size() - a;
+        const Value* first = p.data_.data();
+        int cmp = 0;
+        for (size_t k = 0; k < a && cmp == 0; ++k)
+          cmp = last[k] < first[k] ? -1 : (last[k] > first[k] ? 1 : 0);
+        if (cmp == 0) {
+          annots.back() = S::Add(annots.back(), p.annots_[0]);
+          start = 1;
+        } else if (cmp > 0) {
+          sorted = false;
+        }
+      }
+      data.insert(data.end(), p.data_.begin() + start * a, p.data_.end());
+      annots.insert(annots.end(), p.annots_.begin() + start, p.annots_.end());
+      p = Relation();  // release the piece's storage eagerly
+    }
+    if (sorted) {
+      // Rows are sorted and distinct; one compacting pass drops annotations
+      // that merged to zero (exactly RelationBuilder::Build's sorted path).
+      detail::CompactSortedRows<S>(&data, &annots, a);
+      return Relation(std::move(schema), std::move(data), std::move(annots),
+                      true);
+    }
+    Relation out(std::move(schema), std::move(data), std::move(annots), false);
+    out.Canonicalize();
+    return out;
+  }
+
   std::string DebugString() const {
     std::string out = "[";
     for (size_t i = 0; i < size(); ++i) {
@@ -297,19 +376,7 @@ class RelationBuilder {
     if (sorted_) {
       // Rows are already sorted and distinct; drop zero annotations
       // (merge cancellation, e.g. GF2) with one compacting pass.
-      size_t w = 0;
-      for (size_t i = 0; i < annots_.size(); ++i) {
-        if (S::IsZero(annots_[i])) continue;
-        if (w != i) {
-          std::copy(data_.begin() + i * arity_,
-                    data_.begin() + (i + 1) * arity_,
-                    data_.begin() + w * arity_);
-          annots_[w] = annots_[i];
-        }
-        ++w;
-      }
-      data_.resize(w * arity_);
-      annots_.resize(w);
+      detail::CompactSortedRows<S>(&data_, &annots_, arity_);
       Relation<S> out{schema_, std::move(data_), std::move(annots_), true};
       Clear();
       return out;
