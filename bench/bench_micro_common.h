@@ -1,0 +1,102 @@
+// Shared scaffolding for the standalone kernel microbenches
+// (bench_relation_ops, bench_multiway_join): wall-clock timing, the
+// serial-vs-parallel byte-identity check, the shared flag set (--quick,
+// --parallelism N / -j N, --out PATH), and the JSON array emission the CI
+// perf-gate (check_bench_regression.py) parses. Deliberately separate from
+// bench_common.h, which pulls in the full protocol stack and
+// google-benchmark that the microbenches don't need.
+#ifndef TOPOFAQ_BENCH_BENCH_MICRO_COMMON_H_
+#define TOPOFAQ_BENCH_BENCH_MICRO_COMMON_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace topofaq {
+namespace bench {
+
+/// Best-of-`reps` wall time of `fn` in milliseconds.
+template <typename Fn>
+double TimeMs(int reps, Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    auto t0 = Clock::now();
+    fn();
+    auto t1 = Clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+/// Flags shared by the kernel microbenches. ParseMicroBenchArgs fills
+/// `parallelism` with every core unless --parallelism/-j overrides it.
+struct MicroBenchArgs {
+  bool quick = false;
+  int parallelism = 1;
+  const char* out_path = nullptr;
+};
+
+inline MicroBenchArgs ParseMicroBenchArgs(int argc, char** argv,
+                                          const char* default_out) {
+  MicroBenchArgs args;
+  args.out_path = default_out;
+  args.parallelism =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) args.quick = true;
+    if ((std::strcmp(argv[i], "--parallelism") == 0 ||
+         std::strcmp(argv[i], "-j") == 0) &&
+        i + 1 < argc)
+      args.parallelism = std::max(1, std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      args.out_path = argv[++i];
+  }
+  return args;
+}
+
+/// Byte-identity between the serial and parallel kernel outputs — the
+/// morsel-parallel determinism contract, enforced on every bench run.
+template <CommutativeSemiring S>
+void CheckIdentical(const Relation<S>& serial, const Relation<S>& parallel,
+                    const char* what) {
+  if (serial.data() != parallel.data() ||
+      serial.annots() != parallel.annots() ||
+      serial.canonical() != parallel.canonical()) {
+    std::fprintf(stderr,
+                 "FATAL: parallel kernel output differs from serial in %s\n",
+                 what);
+    std::abort();
+  }
+}
+
+/// Writes pre-formatted JSON objects as one array to `path` — the shape
+/// check_bench_regression.py loads.
+inline void WriteJsonRows(const std::vector<std::string>& rows,
+                          const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows.size(); ++i)
+    std::fprintf(f, "  %s%s\n", rows[i].c_str(),
+                 i + 1 < rows.size() ? "," : "");
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace bench
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_BENCH_BENCH_MICRO_COMMON_H_

@@ -15,15 +15,12 @@
 // --out PATH (JSON destination). Each bench runs the kernel at parallelism 1
 // and at the requested parallelism and CHECKs the outputs byte-identical.
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
-#include <thread>
 #include <tuple>
 #include <vector>
 
+#include "bench/bench_micro_common.h"
 #include "relation/exec.h"
 #include "relation/ops.h"
 #include "relation/reference_ops.h"
@@ -33,7 +30,7 @@ namespace topofaq {
 namespace {
 
 using NRel = Relation<NaturalSemiring>;
-using Clock = std::chrono::steady_clock;
+using bench::TimeMs;
 
 int g_parallelism = 1;
 
@@ -48,20 +45,6 @@ NRel RandomRel(const std::vector<VarId>& vars, size_t n, uint64_t dom,
   }
   r.Canonicalize();
   return r;
-}
-
-/// Best-of-`reps` wall time of `fn` in milliseconds.
-template <typename Fn>
-double TimeMs(int reps, Fn&& fn) {
-  double best = 1e300;
-  for (int i = 0; i < reps; ++i) {
-    auto t0 = Clock::now();
-    fn();
-    auto t1 = Clock::now();
-    best = std::min(
-        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
-  }
-  return best;
 }
 
 struct Row {
@@ -84,20 +67,6 @@ void Report(std::vector<Row>* rows, std::string bench, size_t n,
                       reference_ms});
 }
 
-/// Byte-identical check between the serial and parallel kernel outputs —
-/// the morsel-parallel determinism contract, enforced on every bench run.
-void CheckIdentical(const NRel& serial, const NRel& parallel,
-                    const char* what) {
-  if (serial.data() != parallel.data() ||
-      serial.annots() != parallel.annots() ||
-      serial.canonical() != parallel.canonical()) {
-    std::fprintf(stderr,
-                 "FATAL: parallel kernel output differs from serial in %s\n",
-                 what);
-    std::abort();
-  }
-}
-
 /// Times `fn(&ctx)` at parallelism 1 and at g_parallelism; checks outputs
 /// byte-identical; returns {serial_ms, parallel_ms, serial_out}.
 template <typename Fn>
@@ -113,7 +82,7 @@ std::tuple<double, double, NRel> TimeKernel(int reps, const char* what,
     par.parallelism = g_parallelism;
     NRel outp;
     kp = TimeMs(reps, [&] { outp = fn(&par); });
-    CheckIdentical(out1, outp, what);
+    bench::CheckIdentical(out1, outp, what);
   }
   return {k1, kp, std::move(out1)};
 }
@@ -168,46 +137,31 @@ void BenchEliminate(std::vector<Row>* rows, size_t n, int reps) {
 }
 
 void WriteJson(const std::vector<Row>& rows, const char* path) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", path);
-    return;
+  std::vector<std::string> lines;
+  char buf[320];
+  for (const Row& r : rows) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"bench\": \"%s\", \"n\": %zu, \"out_rows\": %zu, "
+                  "\"kernel_ms\": %.4f, \"parallel_ms\": %.4f, "
+                  "\"parallelism\": %d, \"reference_ms\": %.4f, "
+                  "\"speedup\": %.3f, \"par_speedup\": %.3f}",
+                  r.bench.c_str(), r.n, r.out_rows, r.kernel_ms, r.parallel_ms,
+                  g_parallelism, r.reference_ms, r.reference_ms / r.kernel_ms,
+                  r.kernel_ms / r.parallel_ms);
+    lines.emplace_back(buf);
   }
-  std::fprintf(f, "[\n");
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    std::fprintf(f,
-                 "  {\"bench\": \"%s\", \"n\": %zu, \"out_rows\": %zu, "
-                 "\"kernel_ms\": %.4f, \"parallel_ms\": %.4f, "
-                 "\"parallelism\": %d, \"reference_ms\": %.4f, "
-                 "\"speedup\": %.3f, \"par_speedup\": %.3f}%s\n",
-                 r.bench.c_str(), r.n, r.out_rows, r.kernel_ms, r.parallel_ms,
-                 g_parallelism, r.reference_ms, r.reference_ms / r.kernel_ms,
-                 r.kernel_ms / r.parallel_ms,
-                 i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "]\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", path);
+  bench::WriteJsonRows(lines, path);
 }
 
 }  // namespace
 }  // namespace topofaq
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  const char* out_path = "BENCH_relation_ops.json";
-  topofaq::g_parallelism =
-      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-    if ((std::strcmp(argv[i], "--parallelism") == 0 ||
-         std::strcmp(argv[i], "-j") == 0) &&
-        i + 1 < argc)
-      topofaq::g_parallelism = std::max(1, std::atoi(argv[++i]));
-    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
-      out_path = argv[++i];
-  }
+  const auto args =
+      topofaq::bench::ParseMicroBenchArgs(argc, argv, "BENCH_relation_ops.json");
+  const bool quick = args.quick;
+  const char* out_path = args.out_path;
+  topofaq::g_parallelism = args.parallelism;
 
   std::printf("parallelism: %d\n", topofaq::g_parallelism);
   std::printf("%-14s %9s %9s %10s %10s %12s %7s %7s\n", "bench", "n", "out",

@@ -56,7 +56,25 @@ def main():
     p.add_argument("--min-n", type=int, default=10000,
                    help="ignore bench rows below this size: microsecond-"
                         "scale timings are clock/microarch noise, not signal")
+    p.add_argument("--speedup-floor", action="append", default=[],
+                   metavar="BENCH[@N]=RATIO",
+                   help="absolute floor on the current run's 'speedup' field "
+                        "for the named bench, applied to rows with n >= N "
+                        "(default: min-n); repeatable. Unlike the relative "
+                        "gate, this cannot ratchet down across baseline "
+                        "refreshes.")
     args = p.parse_args()
+    floor_specs = []
+    for spec in args.speedup_floor:
+        name, _, ratio = spec.partition("=")
+        name, _, size = name.partition("@")
+        try:
+            floor_specs.append((name, int(size) if size else args.min_n,
+                                float(ratio)))
+        except ValueError:
+            print(f"error: bad --speedup-floor {spec!r} "
+                  f"(want BENCH[@N]=RATIO)", file=sys.stderr)
+            return 2
 
     base = load_rows(args.baseline)
     cur = load_rows(args.current)
@@ -82,17 +100,51 @@ def main():
             if ratio > args.threshold:
                 failures.append((key, metric, ratio))
 
+    # Absolute speedup floors: each spec is checked independently, and a spec
+    # that matches no current row is an error, not a vacuous pass — renaming
+    # a bench or shrinking the size list must not silently disable the gate.
+    floor_failures = []
+    for name, min_size, floor in floor_specs:
+        matched = sorted((k, r) for k, r in cur.items()
+                         if k[0] == name and k[1] >= min_size
+                         and "speedup" in r)
+        if not matched:
+            print(f"error: --speedup-floor {name}@{min_size} matched no "
+                  f"current rows; the absolute gate would be vacuous",
+                  file=sys.stderr)
+            return 2
+        for (bench, n), row in matched:
+            flag = " <-- BELOW FLOOR" if row["speedup"] < floor else ""
+            print(f"{bench:<14} {n:>9} {'speedup':<11} {floor:>8.2f}x "
+                  f"{row['speedup']:>8.2f}x{flag}")
+            if row["speedup"] < floor:
+                floor_failures.append((bench, n, row["speedup"], floor))
+
     if failures:
         print(f"\nFAIL: {len(failures)} bench(es) regressed more than "
               f"{args.threshold}x vs baseline:", file=sys.stderr)
         for (bench, n), metric, ratio in failures:
             print(f"  {bench} n={n} {metric}: {ratio:.2f}x", file=sys.stderr)
-        print("If the slowdown is intended, refresh the baseline with\n"
-              "  ./build/bench_relation_ops --out BENCH_relation_ops.json",
+        print("If the slowdown is intended, refresh the baseline: run\n"
+              "  ./build/bench_relation_ops --out BENCH_relation_ops.json\n"
+              "  ./build/bench_multiway_join --out BENCH_multiway_join.json\n"
+              "then merge both into the committed file with\n"
+              "  tools/merge_bench_json.py BENCH_relation_ops.json \\\n"
+              "      BENCH_multiway_join.json --out BENCH_relation_ops.json",
               file=sys.stderr)
+    if floor_failures:
+        print(f"\nFAIL: {len(floor_failures)} bench(es) below the absolute "
+              f"speedup floor — refreshing the baseline cannot fix this, "
+              f"the kernel itself regressed:", file=sys.stderr)
+        for bench, n, speedup, floor in floor_failures:
+            print(f"  {bench} n={n}: {speedup:.2f}x < required {floor:.2f}x",
+                  file=sys.stderr)
+    if failures or floor_failures:
         return 1
     print(f"\nOK: {len(common)} bench rows within {args.threshold}x of "
-          f"baseline")
+          f"baseline"
+          + (f"; {len(floor_specs)} absolute floor(s) held"
+             if floor_specs else ""))
     return 0
 
 

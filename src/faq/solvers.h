@@ -5,8 +5,11 @@
 //    ground-truth oracle for tests.
 //  * YannakakisSolve — the GHD message-passing upward pass of Theorem G.3:
 //    O~(N) for acyclic H, with aggregate push-down (Corollary G.2) at every
-//    node; cyclic cores are finished brute-force at the root. This mirrors,
-//    step for step, what the distributed protocol computes.
+//    node; cyclic cores are finished at the root by the worst-case-optimal
+//    MultiwayJoin (relation/multiway.h) via JoinAndEliminate, so the peak
+//    materialization there is the core's output, not a pairwise
+//    intermediate. This mirrors, step for step, what the distributed
+//    protocol computes.
 //
 // Every solver threads one ExecContext through the sorted-relation kernel
 // (relation/ops.h): operators reuse the context's scratch buffers, bound
@@ -22,10 +25,12 @@
 
 #include <algorithm>
 #include <functional>
+#include <unordered_map>
 
 #include "faq/query.h"
 #include "ghd/width.h"
 #include "relation/exec.h"
+#include "relation/multiway.h"
 
 namespace topofaq {
 
@@ -52,31 +57,58 @@ Relation<S> EliminateAll(Relation<S> r, std::vector<VarId> vars,
 }
 
 /// Joins a bag of relations and eliminates their bound variables, working
-/// one variable-connected component at a time: components share no
-/// variables (hence no relations), so evaluating them independently and
-/// cross-multiplying the reduced results is a Theorem G.1-sanctioned
-/// reordering that avoids materializing cross products of unreduced inputs.
+/// one variable-connected component at a time.
+///
+/// Correctness of the component reordering (Theorem G.1): components share
+/// no variables (hence no relations), so the ⊗-product of the inputs
+/// factorizes over components, every bound-variable aggregate ⊕(i) commutes
+/// past the factors that do not mention variable i (the Theorem G.1
+/// push-down condition, trivially met across components), and the final
+/// cross-combination of the reduced components is the same function as
+/// joining everything first and eliminating afterwards — without ever
+/// materializing cross products of unreduced inputs.
+///
+/// Within a component the join plan is routed by shape: a component of >= 3
+/// relations goes through the worst-case-optimal MultiwayJoin, whose peak
+/// materialization is its output (every *cyclic* component has >= 3 edges —
+/// any two-edge hypergraph is GYO-reducible — so cyclic cores never pay the
+/// pairwise chain's super-AGM intermediates). One- and two-relation
+/// components keep the pairwise sort-merge Join, which also survives as the
+/// differential-test oracle for the multiway path (tests/multiway_test.cc).
 template <CommutativeSemiring S>
 Relation<S> JoinAndEliminate(std::vector<Relation<S>> parts,
                              const FaqQuery<S>& q, ExecContext* ctx = nullptr) {
-  // Union-find over parts by shared variables.
+  // Union-find over parts keyed by variable: each variable remembers the
+  // first part it appeared in and every later occurrence unions with it —
+  // O(total arity) pairings instead of the old O(parts²) pairwise
+  // schema-intersection scan.
   std::vector<int> comp(parts.size());
   for (size_t i = 0; i < parts.size(); ++i) comp[i] = static_cast<int>(i);
   std::function<int(int)> find = [&](int x) {
     return comp[x] == x ? x : comp[x] = find(comp[x]);
   };
+  std::unordered_map<VarId, int> var_part;
+  var_part.reserve(parts.size() * 2);
   for (size_t i = 0; i < parts.size(); ++i)
-    for (size_t j = i + 1; j < parts.size(); ++j)
-      if (!parts[i].schema().SharedWith(parts[j].schema()).empty())
-        comp[find(static_cast<int>(i))] = find(static_cast<int>(j));
+    for (VarId v : parts[i].schema().vars()) {
+      auto [it, inserted] = var_part.emplace(v, static_cast<int>(i));
+      if (!inserted) comp[find(static_cast<int>(i))] = find(it->second);
+    }
 
   Relation<S> acc = UnitRelation<S>();
   for (size_t root = 0; root < parts.size(); ++root) {
     if (find(static_cast<int>(root)) != static_cast<int>(root)) continue;
-    Relation<S> part = UnitRelation<S>();
+    std::vector<Relation<S>> members;
     for (size_t i = 0; i < parts.size(); ++i)
       if (find(static_cast<int>(i)) == static_cast<int>(root))
-        part = Join(part, parts[i], ctx);
+        members.push_back(std::move(parts[i]));
+    Relation<S> part;
+    if (members.size() >= 3) {
+      part = MultiwayJoin(std::move(members), ctx);
+    } else {
+      part = UnitRelation<S>();
+      for (Relation<S>& m : members) part = Join(part, m, ctx);
+    }
     std::vector<VarId> bound;
     for (VarId v : part.schema().vars())
       if (std::find(q.free_vars.begin(), q.free_vars.end(), v) ==

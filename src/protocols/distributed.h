@@ -213,7 +213,9 @@ Result<ProtocolResult<S>> RunCoreForestProtocol(
   // relation: eliminate remaining bound variables locally and route the
   // answer to the sink. Otherwise (synthetic core bag) gather the surviving
   // relations at the sink with the trivial protocol and solve the residual
-  // core there (Lemma 4.2 / F.2).
+  // core there (Lemma 4.2 / F.2) — JoinAndEliminate routes a cyclic core
+  // through the worst-case-optimal MultiwayJoin, so the sink's local
+  // computation stays within the core's output size.
   Relation<S> acc = internal::UnitRelation<S>();
   if (root_is_relation) {
     acc = std::move(state[ghd.root()]);

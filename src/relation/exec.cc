@@ -29,6 +29,7 @@ OpStats ExecContext::Totals() const {
   t += semijoin;
   t += project;
   t += eliminate;
+  t += multiway;
   return t;
 }
 
@@ -37,6 +38,7 @@ void ExecContext::ResetStats() {
   semijoin = OpStats{};
   project = OpStats{};
   eliminate = OpStats{};
+  multiway = OpStats{};
 }
 
 ExecContext& ExecContext::WorkerContext(int i) {
@@ -54,14 +56,16 @@ void AppendOp(std::string* out, const char* name, const OpStats& s) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "%s: calls=%lld in=%lld out=%lld cmp=%lld sorts=%lld "
-                "skips=%lld morsels=%lld\n",
+                "skips=%lld morsels=%lld seeks=%lld peak=%lld\n",
                 name, static_cast<long long>(s.calls),
                 static_cast<long long>(s.rows_in),
                 static_cast<long long>(s.rows_out),
                 static_cast<long long>(s.comparisons),
                 static_cast<long long>(s.sorts),
                 static_cast<long long>(s.sort_skips),
-                static_cast<long long>(s.morsels));
+                static_cast<long long>(s.morsels),
+                static_cast<long long>(s.seeks),
+                static_cast<long long>(s.peak_rows));
   *out += buf;
 }
 
@@ -73,6 +77,7 @@ std::string ExecContext::DebugString() const {
   AppendOp(&out, "semijoin", semijoin);
   AppendOp(&out, "project", project);
   AppendOp(&out, "eliminate", eliminate);
+  AppendOp(&out, "multiway", multiway);
   return out;
 }
 

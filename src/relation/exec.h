@@ -61,6 +61,17 @@ struct OpStats {
   int64_t sort_skips = 0;
   /// Morsel tasks executed by the parallel path (0 for purely serial calls).
   int64_t morsels = 0;
+  /// Trie gallop searches issued by the worst-case-optimal multiway join
+  /// (seek-to-key and run-end probes; 0 for the pairwise operators). For the
+  /// multiway operator, `comparisons` counts leapfrog intersection steps:
+  /// every key probe made while leapfrogging the active iterators to a
+  /// common key.
+  int64_t seeks = 0;
+  /// High-water rows materialized by one call beyond its inputs (for the
+  /// multiway join: rebuilt trie views + the output itself — the measured
+  /// form of its peak-materialization-is-the-output guarantee). Combined
+  /// with max, not sum, so rollups stay a high-water mark.
+  int64_t peak_rows = 0;
 
   OpStats& operator+=(const OpStats& o) {
     calls += o.calls;
@@ -70,6 +81,8 @@ struct OpStats {
     sorts += o.sorts;
     sort_skips += o.sort_skips;
     morsels += o.morsels;
+    seeks += o.seeks;
+    peak_rows = peak_rows > o.peak_rows ? peak_rows : o.peak_rows;
     return *this;
   }
 };
@@ -91,6 +104,7 @@ class ExecContext {
   OpStats semijoin;
   OpStats project;
   OpStats eliminate;
+  OpStats multiway;
 
   // Scratch buffers borrowed by operators; contents are undefined between
   // calls. perm_a/perm_b hold row-order permutations, pos_* hold column

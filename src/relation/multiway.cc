@@ -1,0 +1,61 @@
+#include "relation/multiway.h"
+
+namespace topofaq {
+namespace internal {
+
+namespace {
+
+/// Shared gallop: first traversal position t in [lo, hi) whose `col` value
+/// satisfies value >= key (strict == false) or value > key (strict == true).
+/// Exponential probing from `lo` followed by a binary search of the located
+/// window, so a seek that lands d positions ahead costs O(log d) probes —
+/// the access pattern Leapfrog Triejoin's complexity bound relies on.
+size_t Gallop(const Value* d, size_t stride, size_t col, size_t lo, size_t hi,
+              Value key, bool strict, int64_t* cmps) {
+  auto past = [&](size_t t) {
+    const Value v = d[t * stride + col];
+    return strict ? v > key : v >= key;
+  };
+  if (lo >= hi) return hi;
+  ++*cmps;
+  if (past(lo)) return lo;
+  // Exponential probe: prev is the last position known not-past.
+  size_t prev = lo;
+  size_t step = 1;
+  size_t cur = lo + 1;
+  while (cur < hi) {
+    ++*cmps;
+    if (past(cur)) break;
+    prev = cur;
+    step <<= 1;
+    cur = (step < hi - lo) ? lo + step : hi;
+  }
+  // Binary search in (prev, cur]; cur == hi means everything is not-past.
+  size_t a = prev + 1;
+  size_t b = cur;
+  while (a < b) {
+    const size_t mid = a + (b - a) / 2;
+    ++*cmps;
+    if (past(mid)) {
+      b = mid;
+    } else {
+      a = mid + 1;
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+size_t TrieSeek(const Value* d, size_t stride, size_t col, size_t lo,
+                size_t hi, Value key, int64_t* cmps) {
+  return Gallop(d, stride, col, lo, hi, key, /*strict=*/false, cmps);
+}
+
+size_t TrieRunEnd(const Value* d, size_t stride, size_t col, size_t lo,
+                  size_t hi, Value key, int64_t* cmps) {
+  return Gallop(d, stride, col, lo, hi, key, /*strict=*/true, cmps);
+}
+
+}  // namespace internal
+}  // namespace topofaq

@@ -1,0 +1,392 @@
+// Worst-case-optimal multiway join (docs/kernel.md, "Worst-case-optimal
+// join"): a Leapfrog-Triejoin-style intersection join over any number of
+// relations, evaluated variable by variable instead of relation by relation,
+// so the peak materialized size is the output itself — never the
+// polynomially larger pairwise intermediates the AGM / fractional-edge-cover
+// bound rules out for cyclic queries (Gottlob–Lee–Valiant size bounds;
+// PAPERS.md).
+//
+// The kernel's canonical-order invariant does the heavy lifting: a canonical
+// relation whose columns follow the shared global variable order (ascending
+// VarId) *is* a sorted trie — level d of the trie is column d, and every
+// trie operation (open a child, seek a key, step to the next key) is a
+// galloping search over a contiguous row range. So the only preprocessing is
+// a schema-order permutation pass per input whose columns are out of order
+// (one sort, counted in OpStats::sorts; already-ascending canonical inputs
+// are free and counted in sort_skips), after which the join needs nothing
+// but per-relation cursor stacks. Annotations combine with ⊗ exactly once
+// per relation, at the level where its last variable is bound.
+//
+// Output rows are emitted in ascending global variable order — which is the
+// output's own schema order — so the result is certified canonical with no
+// closing sort, like every other operator in ops.h.
+//
+// With ctx->parallelism > 1 the outermost variable's intersection is cut
+// into key-aligned morsels over the smallest top-level relation
+// (MorselRun/KeyAlignedCuts, docs/kernel.md "Morsel-parallel execution");
+// each worker runs the full leapfrog restricted to its key window, and the
+// per-morsel outputs splice bit-identically to the serial bytes.
+#ifndef TOPOFAQ_RELATION_MULTIWAY_H_
+#define TOPOFAQ_RELATION_MULTIWAY_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "relation/exec.h"
+#include "relation/parallel.h"
+#include "relation/relation.h"
+
+namespace topofaq {
+namespace internal {
+
+/// First traversal position in [lo, hi) whose `col` value is >= key
+/// (galloping search; probes are counted into *cmps).
+size_t TrieSeek(const Value* d, size_t stride, size_t col, size_t lo,
+                size_t hi, Value key, int64_t* cmps);
+
+/// First traversal position in [lo, hi) whose `col` value is > key: the end
+/// of the key's run when [lo, hi) is positioned at it.
+size_t TrieRunEnd(const Value* d, size_t stride, size_t col, size_t lo,
+                  size_t hi, Value key, int64_t* cmps);
+
+/// Returns `r` as a canonical relation whose columns follow ascending VarId
+/// order — the trie view MultiwayJoin consumes. Takes its argument by value
+/// so the common case — a canonical input whose schema is already ascending
+/// (every hyperedge relation) — moves through with no copy at all
+/// (sort_skips); otherwise one permutation pass + builder sort is paid
+/// (sorts).
+template <CommutativeSemiring S>
+Relation<S> PermuteToVarOrder(Relation<S> r, ExecContext& cx, OpStats* st) {
+  bool ascending = true;
+  for (size_t i = 1; i < r.arity(); ++i)
+    if (r.schema().var(i - 1) > r.schema().var(i)) {
+      ascending = false;
+      break;
+    }
+  if (ascending) {
+    if (r.canonical()) {
+      ++st->sort_skips;
+      return r;
+    }
+    r.Canonicalize();
+    ++st->sorts;
+    st->peak_rows = std::max<int64_t>(st->peak_rows,
+                                      static_cast<int64_t>(r.size()));
+    return r;
+  }
+  std::vector<VarId> tvars = r.schema().vars();
+  std::sort(tvars.begin(), tvars.end());
+  const SchemaIndex idx(r.schema());
+  std::vector<int>& pos = cx.pos_a;
+  pos.clear();
+  for (VarId v : tvars) pos.push_back(idx.PositionOf(v));
+  RelationBuilder<S> b{Schema(std::move(tvars))};
+  b.Reserve(r.size());
+  std::vector<Value>& row = cx.row;
+  row.resize(r.arity());
+  const Value* d = r.data().data();
+  for (size_t i = 0; i < r.size(); ++i) {
+    const Value* src = d + i * r.arity();
+    for (size_t k = 0; k < pos.size(); ++k)
+      row[k] = src[static_cast<size_t>(pos[k])];
+    b.Append(row, r.annot(i));
+  }
+  ++st->sorts;
+  Relation<S> out = b.Build();
+  st->peak_rows = std::max<int64_t>(st->peak_rows,
+                                    static_cast<int64_t>(out.size()));
+  return out;
+}
+
+/// Read-only plan shared by every worker of one MultiwayJoin call.
+template <CommutativeSemiring S>
+struct MultiwayPlan {
+  /// One relation's participation at one global level.
+  struct Active {
+    int rel;     ///< index into rels
+    size_t col;  ///< the level variable's column (== trie depth) in rel
+    bool last;   ///< this is rel's deepest column: its row is now determined
+  };
+  std::vector<Relation<S>> rels;  ///< trie views (canonical, ascending vars)
+  std::vector<VarId> vars;        ///< global variable order (ascending)
+  std::vector<std::vector<Active>> levels;  ///< actives per global level
+};
+
+/// One leapfrog walk over the plan: per-relation cursor stacks (rng_), one
+/// iterator per active relation per level. A walker is built per morsel (or
+/// once, serially); all mutable state is its own, so workers share only the
+/// immutable plan.
+template <CommutativeSemiring S>
+class MultiwayWalker {
+ public:
+  using SemiringValue = typename S::Value;
+
+  MultiwayWalker(const MultiwayPlan<S>& plan, RelationBuilder<S>* out,
+                 OpStats* st)
+      : plan_(plan), out_(out), st_(st) {
+    const size_t levels = plan.vars.size();
+    its_.resize(levels);
+    for (size_t l = 0; l < levels; ++l) {
+      its_[l].reserve(plan.levels[l].size());
+      for (const auto& a : plan.levels[l]) {
+        Iter it;
+        it.d = plan.rels[static_cast<size_t>(a.rel)].data().data();
+        it.stride = plan.rels[static_cast<size_t>(a.rel)].arity();
+        it.col = a.col;
+        it.rel = a.rel;
+        it.last = a.last;
+        its_[l].push_back(it);
+      }
+    }
+    row_.resize(levels);
+    rng_.resize(plan.rels.size());
+    for (size_t i = 0; i < plan.rels.size(); ++i)
+      rng_[i].assign(plan.rels[i].arity(), {0, 0});
+  }
+
+  /// Runs the walk over the outermost-key window [win_lo, win_hi) — the
+  /// morsel contract. win_lo == 0 skips the entry seek (every iterator
+  /// already starts at >= 0); bounded == false drops the upper limit (the
+  /// last morsel, and the whole walk for serial callers, who pass
+  /// (0, 0, false)).
+  void Run(SemiringValue scalar, Value win_lo, Value win_hi, bool bounded) {
+    for (size_t i = 0; i < plan_.rels.size(); ++i) {
+      if (plan_.rels[i].empty()) return;  // any empty input: empty join
+      rng_[i][0] = {0, plan_.rels[i].size()};
+    }
+    win_lo_ = win_lo;
+    win_hi_ = win_hi;
+    bounded_ = bounded;
+    Level(0, scalar);
+  }
+
+ private:
+  struct Iter {
+    const Value* d;
+    size_t stride;
+    size_t col;
+    size_t lo, hi;   // current candidate range (rows matching bound prefix)
+    size_t run;      // end of the matched key's run
+    int rel;
+    bool last;
+  };
+
+  Value Key(const Iter& it) const { return it.d[it.lo * it.stride + it.col]; }
+
+  void Level(size_t l, SemiringValue acc) {
+    std::vector<Iter>& its = its_[l];
+    const size_t k = its.size();
+    for (Iter& it : its) {
+      const auto [a, b] = rng_[static_cast<size_t>(it.rel)][it.col];
+      if (a == b) return;
+      it.lo = a;
+      it.hi = b;
+    }
+    if (l == 0 && win_lo_ > 0) {
+      // Morsel window entry: land every outermost iterator at the first key
+      // >= the window start instead of replaying the prefix.
+      for (Iter& it : its) {
+        ++st_->seeks;
+        it.lo = TrieSeek(it.d, it.stride, it.col, it.lo, it.hi, win_lo_,
+                         &st_->comparisons);
+        if (it.lo == it.hi) return;
+      }
+    }
+    Value maxkey = Key(its[0]);
+    for (size_t t = 1; t < k; ++t) maxkey = std::max(maxkey, Key(its[t]));
+
+    while (true) {
+      // Leapfrog: seek every iterator below the current frontier key up to
+      // it; any overshoot raises the frontier and rescans until stable.
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (Iter& it : its) {
+          ++st_->comparisons;
+          if (Key(it) < maxkey) {
+            ++st_->seeks;
+            it.lo = TrieSeek(it.d, it.stride, it.col, it.lo, it.hi, maxkey,
+                             &st_->comparisons);
+            if (it.lo == it.hi) return;
+            if (Key(it) > maxkey) {
+              maxkey = Key(it);
+              changed = true;
+            }
+          }
+        }
+      }
+      // All active iterators agree on maxkey: one assignment of this level's
+      // variable. The morsel window is half-open, so a frontier at or past
+      // win_hi_ belongs to the next morsel.
+      if (l == 0 && bounded_ && maxkey >= win_hi_) return;
+      SemiringValue child = acc;
+      for (Iter& it : its) {
+        ++st_->seeks;
+        it.run = TrieRunEnd(it.d, it.stride, it.col, it.lo, it.hi, maxkey,
+                            &st_->comparisons);
+        if (it.last) {
+          // All of this relation's columns are bound and canonical rows are
+          // distinct, so the run is exactly one row: fold its annotation.
+          child = S::Multiply(
+              child, plan_.rels[static_cast<size_t>(it.rel)].annot(it.lo));
+        } else {
+          rng_[static_cast<size_t>(it.rel)][it.col + 1] = {it.lo, it.run};
+        }
+      }
+      row_[l] = maxkey;
+      if (l + 1 == row_.size()) {
+        out_->Append(row_, child);
+      } else {
+        Level(l + 1, child);
+      }
+      // Step past the matched runs and re-establish the frontier.
+      maxkey = 0;
+      for (Iter& it : its) {
+        it.lo = it.run;
+        if (it.lo == it.hi) return;
+        maxkey = std::max(maxkey, Key(it));
+      }
+    }
+  }
+
+  const MultiwayPlan<S>& plan_;
+  RelationBuilder<S>* out_;
+  OpStats* st_;
+  std::vector<std::vector<Iter>> its_;             // per level
+  std::vector<std::vector<std::pair<size_t, size_t>>> rng_;  // per rel/depth
+  std::vector<Value> row_;
+  Value win_lo_ = 0;
+  Value win_hi_ = 0;
+  bool bounded_ = false;
+};
+
+}  // namespace internal
+
+/// Worst-case-optimal natural join of any number of relations; annotations
+/// multiply (⊗). Output schema is the union of the input variables in
+/// ascending VarId order, and the output is canonical.
+///
+/// Leapfrog intersection per variable over the trie views of the inputs
+/// (see the header comment): runtime is O~(Σ inputs + output·Σ seeks) and
+/// the peak materialization is the output itself, so cyclic queries (the
+/// triangle, k-cycles, Loomis–Whitney) never pay the super-AGM pairwise
+/// intermediates. Zero-arity inputs fold into a scalar factor; any empty
+/// input short-circuits to the empty result.
+///
+/// With ctx->parallelism > 1 and a large enough top-level relation, the
+/// outermost variable's key space is cut into key-aligned morsels
+/// (bit-identical splice semantics, like every kernel operator).
+template <CommutativeSemiring S>
+Relation<S> MultiwayJoin(std::vector<Relation<S>> inputs,
+                         ExecContext* ctx = nullptr) {
+  ExecContext& cx = ExecContext::Resolve(ctx);
+  OpStats& st = cx.multiway;
+  ++st.calls;
+  for (const auto& r : inputs) st.rows_in += static_cast<int64_t>(r.size());
+
+  internal::MultiwayPlan<S> plan;
+  typename S::Value scalar = S::One();
+  bool scalar_zero = false;
+  for (Relation<S>& r : inputs) {
+    if (r.arity() == 0) {
+      // Zero-ary input: a scalar factor (at most one nonzero empty tuple).
+      r.Canonicalize();
+      if (r.empty())
+        scalar_zero = true;
+      else
+        scalar = S::Multiply(scalar, r.annot(0));
+      continue;
+    }
+    plan.rels.push_back(internal::PermuteToVarOrder(std::move(r), cx, &st));
+  }
+
+  for (const auto& r : plan.rels)
+    plan.vars.insert(plan.vars.end(), r.schema().vars().begin(),
+                     r.schema().vars().end());
+  std::sort(plan.vars.begin(), plan.vars.end());
+  plan.vars.erase(std::unique(plan.vars.begin(), plan.vars.end()),
+                  plan.vars.end());
+  Schema out_schema{plan.vars};
+
+  if (plan.vars.empty()) {
+    // Every input was zero-ary: the answer is the combined scalar.
+    Relation<S> out{out_schema};
+    if (!scalar_zero) out.Add(std::initializer_list<Value>{}, scalar);
+    out.Canonicalize();
+    st.rows_out += static_cast<int64_t>(out.size());
+    return out;
+  }
+
+  // Any empty input (or a zero scalar) annihilates the join; short-circuit
+  // before the morsel dispatch so the cut source is never an empty relation.
+  bool annihilated = scalar_zero;
+  for (const auto& r : plan.rels)
+    if (r.empty()) annihilated = true;
+  if (annihilated) return Relation<S>{std::move(out_schema)};
+
+  plan.levels.resize(plan.vars.size());
+  for (size_t i = 0; i < plan.rels.size(); ++i) {
+    const Schema& s = plan.rels[i].schema();
+    for (size_t c = 0; c < s.arity(); ++c) {
+      const size_t level = static_cast<size_t>(
+          std::lower_bound(plan.vars.begin(), plan.vars.end(), s.var(c)) -
+          plan.vars.begin());
+      plan.levels[level].push_back({static_cast<int>(i), c,
+                                    c + 1 == s.arity()});
+    }
+  }
+
+  // Morsel cut source: the smallest relation intersecting at the outermost
+  // level. Its distinct leading keys partition the output's key space, so
+  // key-aligned cuts over it are key-aligned cuts of the whole join.
+  int cut_rel = plan.levels[0][0].rel;
+  for (const auto& a : plan.levels[0])
+    if (plan.rels[static_cast<size_t>(a.rel)].size() <
+        plan.rels[static_cast<size_t>(cut_rel)].size())
+      cut_rel = a.rel;
+  const Relation<S>& cut = plan.rels[static_cast<size_t>(cut_rel)];
+  const Value* cd = cut.data().data();
+  const size_t ca = cut.arity();
+  const size_t cn = cut.size();
+
+  // Gate the fan-out on the *largest* input, not the cut relation: a small
+  // top-level relation can still drive per-outer-key subtrees over huge
+  // deeper relations, and each of its keys is a valid morsel boundary.
+  size_t max_rows = 0;
+  for (const auto& r : plan.rels) max_rows = std::max(max_rows, r.size());
+  const int workers = PlannedWorkers(cx, max_rows);
+  if (workers > 1) {
+    Relation<S> out = MorselRun<S>(
+        cx, workers, out_schema, cn,
+        [&](size_t t) { return cd[t * ca] != cd[(t - 1) * ca]; }, &st,
+        [&](ExecContext& wc, size_t xb, size_t xe, RelationBuilder<S>* b) {
+          internal::MultiwayWalker<S> walk(plan, b, &wc.multiway);
+          const bool bounded_hi = xe < cn;
+          walk.Run(scalar, cd[xb * ca], bounded_hi ? cd[xe * ca] : 0,
+                   bounded_hi);
+        });
+    for (int w = 0; w < workers; ++w) {
+      ExecContext& wc = cx.WorkerContext(w);
+      st += wc.multiway;
+      wc.multiway = OpStats{};
+    }
+    st.rows_out += static_cast<int64_t>(out.size());
+    st.peak_rows = std::max(st.peak_rows, static_cast<int64_t>(out.size()));
+    return out;
+  }
+
+  RelationBuilder<S> b{out_schema};
+  {
+    internal::MultiwayWalker<S> walk(plan, &b, &st);
+    walk.Run(scalar, 0, 0, /*bounded=*/false);
+  }
+  Relation<S> out = b.Build();
+  st.rows_out += static_cast<int64_t>(out.size());
+  st.peak_rows = std::max(st.peak_rows, static_cast<int64_t>(out.size()));
+  return out;
+}
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_RELATION_MULTIWAY_H_

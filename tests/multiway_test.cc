@@ -1,0 +1,280 @@
+// Worst-case-optimal multiway join tests (docs/kernel.md, "Worst-case-
+// optimal join"): differential checks of MultiwayJoin against the retained
+// pairwise-Join oracle across four semirings on triangle / 4-cycle / skewed
+// / empty / single-key-run / permuted-schema inputs, byte-identical output
+// across parallelism ∈ {1, 2, 7, hardware_concurrency}, the AGM peak-
+// intermediate property on the triangle query, and the JoinAndEliminate
+// routing policy (cyclic / >= 3-relation components go multiway, smaller
+// components stay pairwise).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "faq/query.h"
+#include "faq/solvers.h"
+#include "hypergraph/generators.h"
+#include "relation/multiway.h"
+#include "relation/ops.h"
+#include "util/rng.h"
+
+namespace topofaq {
+namespace {
+
+/// Nonzero annotation generator per semiring. Values are exactly
+/// representable (small integers / halves), so ⊗ and ⊕ are exact in double
+/// arithmetic and function equality is insensitive to association order.
+template <CommutativeSemiring S>
+typename S::Value MakeAnnot(uint64_t k);
+template <>
+NaturalSemiring::Value MakeAnnot<NaturalSemiring>(uint64_t k) {
+  return k % 97 + 1;
+}
+template <>
+CountingSemiring::Value MakeAnnot<CountingSemiring>(uint64_t k) {
+  return 0.5 * static_cast<double>(k % 13 + 1);
+}
+template <>
+MinPlusSemiring::Value MakeAnnot<MinPlusSemiring>(uint64_t k) {
+  return static_cast<double>(k % 29);
+}
+template <>
+Gf2Semiring::Value MakeAnnot<Gf2Semiring>(uint64_t) {
+  return 1;
+}
+
+/// Byte-level equality: schema, rows, and annotation bit patterns.
+template <CommutativeSemiring S>
+::testing::AssertionResult BytesEqual(const Relation<S>& a,
+                                      const Relation<S>& b) {
+  if (!(a.schema() == b.schema()))
+    return ::testing::AssertionFailure() << "schemas differ";
+  if (a.canonical() != b.canonical())
+    return ::testing::AssertionFailure() << "canonical flags differ";
+  if (a.data() != b.data())
+    return ::testing::AssertionFailure()
+           << "row bytes differ (" << a.size() << " vs " << b.size()
+           << " rows)";
+  if (a.annots().size() != b.annots().size())
+    return ::testing::AssertionFailure() << "annot counts differ";
+  for (size_t i = 0; i < a.annots().size(); ++i)
+    if (std::memcmp(&a.annots()[i], &b.annots()[i],
+                    sizeof(typename S::Value)) != 0)
+      return ::testing::AssertionFailure() << "annot " << i << " differs";
+  return ::testing::AssertionSuccess();
+}
+
+/// Random canonical relation; skew > 0 front-loads the first column so key
+/// runs become long and unequal (morsel-cut stress).
+template <CommutativeSemiring S>
+Relation<S> RandomRel(std::vector<VarId> vars, size_t n, uint64_t dom,
+                      int skew, uint64_t seed) {
+  Rng rng(seed);
+  Relation<S> r{Schema(std::move(vars))};
+  std::vector<Value> row(r.arity());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      uint64_t v = rng.NextU64(dom);
+      if (j == 0 && skew > 0) v = (v * v) / (dom << skew);
+      row[j] = v;
+    }
+    r.Add(row, MakeAnnot<S>(rng.NextU64(1 << 20)));
+  }
+  r.Canonicalize();
+  return r;
+}
+
+/// The pairwise oracle: left-fold of the sort-merge Join, permuted to the
+/// ascending-variable schema MultiwayJoin emits.
+template <CommutativeSemiring S>
+Relation<S> PairwiseOracle(const std::vector<Relation<S>>& rels) {
+  ExecContext ctx;
+  ctx.parallelism = 1;
+  Relation<S> acc = rels[0];
+  for (size_t i = 1; i < rels.size(); ++i) acc = Join(acc, rels[i], &ctx);
+  return internal::PermuteToVarOrder(std::move(acc), ctx, &ctx.multiway);
+}
+
+/// Differential + determinism check for one input family: MultiwayJoin must
+/// compute the same function as the pairwise chain, and every parallelism
+/// level must reproduce the serial bytes.
+template <CommutativeSemiring S>
+void CheckMultiway(const std::vector<Relation<S>>& rels, const char* what) {
+  SCOPED_TRACE(what);
+  ExecContext serial;
+  serial.parallelism = 1;
+  const Relation<S> mw = MultiwayJoin(rels, &serial);
+  EXPECT_TRUE(mw.canonical());
+  EXPECT_TRUE(mw.EqualsAsFunction(PairwiseOracle(rels)));
+  const int hw =
+      std::max(2, static_cast<int>(std::thread::hardware_concurrency()));
+  for (int p : {2, 7, hw}) {
+    ExecContext ctx;
+    ctx.parallelism = p;
+    SCOPED_TRACE("parallelism " + std::to_string(p));
+    EXPECT_TRUE(BytesEqual(MultiwayJoin(rels, &ctx), mw));
+    EXPECT_EQ(ctx.multiway.rows_out, serial.multiway.rows_out);
+  }
+}
+
+template <CommutativeSemiring S>
+void RunSemiringSuite(uint64_t seed) {
+  const size_t n = 2000;  // above kParallelMinRows: the morsel path engages
+  // Triangle R(0,1) ⋈ S(1,2) ⋈ T(0,2): the canonical cyclic core.
+  CheckMultiway<S>({RandomRel<S>({0, 1}, n, 250, 0, seed),
+                    RandomRel<S>({1, 2}, n, 250, 0, seed + 1),
+                    RandomRel<S>({0, 2}, n, 250, 0, seed + 2)},
+                   "triangle");
+  // 4-cycle R(0,1) ⋈ S(1,2) ⋈ T(2,3) ⋈ U(0,3).
+  CheckMultiway<S>({RandomRel<S>({0, 1}, n, 400, 0, seed + 3),
+                    RandomRel<S>({1, 2}, n, 400, 0, seed + 4),
+                    RandomRel<S>({2, 3}, n, 400, 0, seed + 5),
+                    RandomRel<S>({0, 3}, n, 400, 0, seed + 6)},
+                   "4-cycle");
+  // Heavy skew on the outermost variable: long unequal top-level key runs
+  // stress the morsel-cut alignment.
+  CheckMultiway<S>({RandomRel<S>({0, 1}, n, 64, 2, seed + 7),
+                    RandomRel<S>({1, 2}, n, 64, 0, seed + 8),
+                    RandomRel<S>({0, 2}, n, 64, 2, seed + 9)},
+                   "skewed triangle");
+  // One empty input: the join is empty at every parallelism level.
+  CheckMultiway<S>({RandomRel<S>({0, 1}, n, 250, 0, seed + 10),
+                    Relation<S>{Schema({1, 2})},
+                    RandomRel<S>({0, 2}, n, 250, 0, seed + 11)},
+                   "empty side");
+  // Single key run at the outermost variable: one morsel, serial semantics.
+  {
+    RelationBuilder<S> br{Schema({0, 1})}, bt{Schema({0, 2})};
+    for (size_t i = 0; i < 2048; ++i) {
+      br.Append({7, static_cast<Value>(i)}, MakeAnnot<S>(i));
+      bt.Append({7, static_cast<Value>(i * 3 % 512)}, MakeAnnot<S>(i + 5));
+    }
+    CheckMultiway<S>({br.Build(), RandomRel<S>({1, 2}, n, 512, 0, seed + 12),
+                      bt.Build()},
+                     "single top key run");
+  }
+  // Out-of-order schema: the permutation pass must rebuild the trie view.
+  CheckMultiway<S>({RandomRel<S>({0, 1}, n, 250, 0, seed + 13),
+                    RandomRel<S>({1, 2}, n, 250, 0, seed + 14),
+                    RandomRel<S>({2, 0}, n, 250, 0, seed + 15)},
+                   "permuted schema");
+}
+
+TEST(MultiwayJoin, NaturalSemiring) { RunSemiringSuite<NaturalSemiring>(11); }
+TEST(MultiwayJoin, CountingSemiring) {
+  RunSemiringSuite<CountingSemiring>(22);
+}
+TEST(MultiwayJoin, MinPlusSemiring) { RunSemiringSuite<MinPlusSemiring>(33); }
+TEST(MultiwayJoin, Gf2Semiring) { RunSemiringSuite<Gf2Semiring>(44); }
+
+TEST(MultiwayJoin, SingleRelationIsItsTrieView) {
+  auto r = RandomRel<NaturalSemiring>({3, 1}, 500, 40, 0, 9);
+  ExecContext ctx;
+  const auto out = MultiwayJoin<NaturalSemiring>({r}, &ctx);
+  EXPECT_EQ(out.schema().vars(), (std::vector<VarId>{1, 3}));
+  EXPECT_TRUE(out.EqualsAsFunction(
+      internal::PermuteToVarOrder(r, ctx, &ctx.multiway)));
+}
+
+TEST(MultiwayJoin, ZeroAryInputsFoldIntoAScalarFactor) {
+  Relation<NaturalSemiring> scalar{Schema(std::vector<VarId>{})};
+  scalar.Add(std::initializer_list<Value>{}, 5);
+  auto r = RandomRel<NaturalSemiring>({0, 1}, 300, 20, 0, 3);
+  auto s = RandomRel<NaturalSemiring>({1, 2}, 300, 20, 0, 4);
+  auto t = RandomRel<NaturalSemiring>({0, 2}, 300, 20, 0, 5);
+  ExecContext ctx;
+  const auto with = MultiwayJoin<NaturalSemiring>({scalar, r, s, t}, &ctx);
+  const auto without = MultiwayJoin<NaturalSemiring>({r, s, t}, &ctx);
+  ASSERT_EQ(with.size(), without.size());
+  for (size_t i = 0; i < with.size(); ++i)
+    EXPECT_EQ(with.annot(i), 5 * without.annot(i));
+}
+
+TEST(MultiwayJoin, ParallelPathActuallyEngages) {
+  const size_t n = 8000;
+  std::vector<Relation<NaturalSemiring>> rels{
+      RandomRel<NaturalSemiring>({0, 1}, n, 1000, 0, 1),
+      RandomRel<NaturalSemiring>({1, 2}, n, 1000, 0, 2),
+      RandomRel<NaturalSemiring>({0, 2}, n, 1000, 0, 3)};
+  ExecContext ctx;
+  ctx.parallelism = 4;
+  MultiwayJoin(rels, &ctx);
+  EXPECT_GT(ctx.multiway.morsels, 1);
+  EXPECT_GT(ctx.multiway.seeks, 0);
+}
+
+// The worst-case-optimality property the AGM / fractional-edge-cover bound
+// promises: on the triangle query the multiway join never materializes more
+// than the output, which is within the N^{3/2} AGM bound, while the
+// pairwise plan's first intermediate blows up to N² rows.
+TEST(MultiwayJoin, TrianglePeakIntermediateStaysWithinAgmBound) {
+  const size_t n = 512;
+  Relation<NaturalSemiring> r{Schema({0, 1})}, s{Schema({1, 2})},
+      t{Schema({0, 2})};
+  for (size_t i = 0; i < n; ++i) {
+    r.Add({static_cast<Value>(i), 0}, 1);  // R = [N] × {0}
+    s.Add({0, static_cast<Value>(i)}, 1);  // S = {0} × [N]
+    t.Add({static_cast<Value>(i), static_cast<Value>(i)}, 1);  // T = diagonal
+  }
+  r.Canonicalize();
+  s.Canonicalize();
+  t.Canonicalize();
+
+  ExecContext ctx;
+  ctx.parallelism = 1;
+  const auto out = MultiwayJoin<NaturalSemiring>({r, s, t}, &ctx);
+  const double agm = std::pow(static_cast<double>(n), 1.5);
+  // Output = {(i, 0, i)}: N rows, within the AGM bound — and peak_rows is
+  // the measured high-water materialization of the multiway operator
+  // (rebuilt trie views + output), which must also stay within the bound.
+  EXPECT_EQ(out.size(), n);
+  EXPECT_LE(static_cast<double>(ctx.multiway.rows_out), agm);
+  EXPECT_GT(ctx.multiway.peak_rows, 0);
+  EXPECT_LE(static_cast<double>(ctx.multiway.peak_rows), agm);
+  // The pairwise plan's first step R ⋈ S materializes all of [N] × {0} × [N].
+  const auto rs = Join(r, s, &ctx);
+  EXPECT_EQ(rs.size(), n * n);
+  EXPECT_GT(static_cast<double>(rs.size()), agm);
+}
+
+// Routing policy in internal::JoinAndEliminate: a cyclic (>= 3 relation)
+// component runs MultiwayJoin; 1-2 relation components stay pairwise.
+TEST(Routing, BruteForceRoutesCyclicCoreThroughMultiway) {
+  Hypergraph h = CycleGraph(3);
+  std::vector<Relation<NaturalSemiring>> rels;
+  for (int e = 0; e < 3; ++e)
+    rels.push_back(RandomRel<NaturalSemiring>(h.edge(e), 200, 16, 0, 50 + e));
+  auto q = MakeFaqSS<NaturalSemiring>(h, rels, {});
+  ExecContext ctx;
+  auto res = BruteForceSolve(q, &ctx);
+  ASSERT_TRUE(res.ok());
+  EXPECT_GT(ctx.multiway.calls, 0);
+  // Cross-check the scalar against the explicit pairwise plan.
+  ExecContext pairwise_ctx;
+  auto joined = Join(Join(rels[0], rels[1], &pairwise_ctx), rels[2],
+                     &pairwise_ctx);
+  auto folded = Eliminate(std::move(joined), {0, 1, 2},
+                          {VarOp::kSemiringSum, VarOp::kSemiringSum,
+                           VarOp::kSemiringSum},
+                          &pairwise_ctx);
+  EXPECT_TRUE(res->EqualsAsFunction(folded));
+  EXPECT_EQ(pairwise_ctx.multiway.calls, 0);
+}
+
+TEST(Routing, TwoRelationComponentsStayPairwise) {
+  Hypergraph h = PathGraph(2);  // R(0,1), S(1,2): acyclic, 2 relations
+  std::vector<Relation<NaturalSemiring>> rels{
+      RandomRel<NaturalSemiring>({0, 1}, 200, 16, 0, 60),
+      RandomRel<NaturalSemiring>({1, 2}, 200, 16, 0, 61)};
+  auto q = MakeFaqSS<NaturalSemiring>(h, rels, {});
+  ExecContext ctx;
+  auto res = BruteForceSolve(q, &ctx);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(ctx.multiway.calls, 0);
+  EXPECT_GT(ctx.join.calls, 0);
+}
+
+}  // namespace
+}  // namespace topofaq

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Docs-lint: fail when documentation references code that no longer exists.
+
+Scans every Markdown file under docs/ plus the repo-root README.md for
+inline-code spans (`...`) and checks that each *checkable* token still
+resolves against the repository:
+
+  * path-like tokens (contain '/' or end in a known source extension) must
+    name an existing file or directory;
+  * identifier-like tokens (CamelCase, snake_case, ALL_CAPS, `qualified::names`,
+    `calls()`) must appear somewhere in the non-docs tree (src/, bench/,
+    tests/, tools/, examples/, CMakeLists.txt, CI config) or match a file
+    basename.
+
+Everything else — prose words, flags (`--quick`), math (`⊕`), quoted values —
+is skipped, so the check stays low-noise: it exists to catch docs drifting
+from renamed symbols and deleted files, not to spell-check.
+
+Usage: tools/check_docs_symbols.py [--repo-root PATH]
+Exit status: 0 = all references resolve, 1 = dangling references, 2 = usage.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+CODE_SPAN = re.compile(r"`([^`\n]+)`")
+FENCE = re.compile(r"^(```|~~~)")
+
+# Identifier-ish shapes worth checking (anything else in backticks is prose).
+QUALIFIED = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*(::[A-Za-z_~][A-Za-z0-9_]*)+$")
+CAMEL = re.compile(r"^[A-Z][a-z0-9]+(?:[A-Z][A-Za-z0-9]*)+$")
+SNAKE = re.compile(r"^[a-z][a-z0-9]*(?:_[a-z0-9]+)+$")
+ALL_CAPS = re.compile(r"^[A-Z][A-Z0-9]*(?:_[A-Z0-9]+)+$")
+SOURCE_EXT = (".h", ".cc", ".cpp", ".py", ".md", ".json", ".yml", ".txt")
+
+# Trees whose text defines "exists in the code". docs/ and *.md are excluded
+# on purpose: a symbol surviving only inside documentation is exactly the
+# drift this check exists to catch.
+CODE_TREES = ("src", "bench", "tests", "tools", "examples", ".github")
+CODE_FILES = ("CMakeLists.txt",)
+
+
+def doc_files(root):
+    docs = sorted((root / "docs").glob("*.md")) if (root / "docs").is_dir() else []
+    readme = root / "README.md"
+    if readme.is_file():
+        docs.append(readme)
+    return docs
+
+
+def load_code_corpus(root):
+    chunks = []
+    names = set()
+    for tree in CODE_TREES:
+        base = root / tree
+        if not base.is_dir():
+            continue
+        for p in sorted(base.rglob("*")):
+            if not p.is_file() or p.suffix == ".md":
+                continue
+            names.add(p.name)
+            names.add(p.stem)
+            try:
+                chunks.append(p.read_text(errors="replace"))
+            except OSError:
+                pass
+    for name in CODE_FILES:
+        p = root / name
+        if p.is_file():
+            names.add(p.name)
+            chunks.append(p.read_text(errors="replace"))
+    return "\n".join(chunks), names
+
+
+def code_spans(text):
+    """Inline-code spans outside fenced blocks (fences quote whole programs,
+    prompts and shell transcripts — not single symbol references)."""
+    spans = []
+    fenced = False
+    for line in text.splitlines():
+        if FENCE.match(line.strip()):
+            fenced = not fenced
+            continue
+        if fenced:
+            continue
+        spans.extend(CODE_SPAN.findall(line))
+    return spans
+
+
+def normalize(token):
+    token = token.strip().rstrip(",.;:")
+    if token.startswith("./"):
+        token = token[2:]
+    if token.endswith("()"):
+        token = token[:-2]
+    return token
+
+
+def is_path_like(token):
+    return "/" in token or token.endswith(SOURCE_EXT)
+
+
+def is_identifier_like(token):
+    return bool(
+        QUALIFIED.match(token)
+        or CAMEL.match(token)
+        or SNAKE.match(token)
+        or ALL_CAPS.match(token)
+    )
+
+
+def check_token(token, root, corpus, names):
+    """Returns None when the token resolves, else a reason string."""
+    token = normalize(token)
+    if not token or any(c.isspace() for c in token) or token.startswith("-"):
+        return None
+    if "*" in token or "?" in token:  # glob patterns, not concrete paths
+        return None
+    if is_path_like(token):
+        if "build/" in token:  # build artifacts exist only after cmake
+            return None
+        if (root / token).exists():
+            return None
+        base = token.rsplit("/", 1)[-1]
+        if base in names:
+            return None
+        return f"path not found: {token}"
+    if not is_identifier_like(token):
+        return None
+    for part in token.split("::"):
+        part = part.rstrip("()")
+        if part in names or part in corpus:
+            continue
+        return f"symbol not found in code: {part} (from `{token}`)"
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--repo-root", default=None,
+                    help="repository root (default: this script's parent's parent)")
+    args = ap.parse_args()
+    root = (pathlib.Path(args.repo_root) if args.repo_root
+            else pathlib.Path(__file__).resolve().parent.parent)
+    docs = doc_files(root)
+    if not docs:
+        print("error: no docs/*.md or README.md found", file=sys.stderr)
+        return 2
+    corpus, names = load_code_corpus(root)
+
+    failures = []
+    checked = 0
+    for doc in docs:
+        for token in code_spans(doc.read_text(errors="replace")):
+            checked += 1
+            reason = check_token(token, root, corpus, names)
+            if reason:
+                failures.append((doc.relative_to(root), reason))
+
+    if failures:
+        print(f"FAIL: {len(failures)} dangling doc reference(s):",
+              file=sys.stderr)
+        for doc, reason in failures:
+            print(f"  {doc}: {reason}", file=sys.stderr)
+        return 1
+    print(f"OK: {checked} inline-code references across {len(docs)} docs "
+          f"all resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

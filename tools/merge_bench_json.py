@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Merge bench JSON arrays into one baseline file.
+
+The committed BENCH_relation_ops.json baseline holds the rows of *both*
+kernel microbenches (bench_relation_ops and bench_multiway_join); CI gates
+each bench's fresh output against its own subset. After refreshing, merge
+with:
+
+  ./build/bench_relation_ops --out BENCH_relation_ops.json
+  ./build/bench_multiway_join --out BENCH_multiway_join.json
+  tools/merge_bench_json.py BENCH_relation_ops.json BENCH_multiway_join.json \
+      --out BENCH_relation_ops.json
+
+Rows are concatenated in argument order; a later (bench, n) duplicate
+replaces an earlier one — the same key check_bench_regression.py gates on,
+so a merged baseline can never carry two rows for one gate key — and
+re-merging is idempotent.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("inputs", nargs="+", help="bench JSON files to merge")
+    ap.add_argument("--out", required=True, help="merged output path")
+    args = ap.parse_args()
+
+    merged = {}
+    for path in args.inputs:
+        try:
+            with open(path) as f:
+                rows = json.load(f)
+        except (OSError, ValueError) as e:
+            print(f"error: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+        for row in rows:
+            merged[(row["bench"], row["n"])] = row
+
+    with open(args.out, "w") as f:
+        f.write("[\n")
+        rows = list(merged.values())
+        for i, row in enumerate(rows):
+            f.write("  " + json.dumps(row) +
+                    ("," if i + 1 < len(rows) else "") + "\n")
+        f.write("]\n")
+    print(f"wrote {args.out} ({len(merged)} rows from {len(args.inputs)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
