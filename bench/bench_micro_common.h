@@ -68,7 +68,7 @@ inline MicroBenchArgs ParseMicroBenchArgs(int argc, char** argv,
 template <CommutativeSemiring S>
 void CheckIdentical(const Relation<S>& serial, const Relation<S>& parallel,
                     const char* what) {
-  if (serial.data() != parallel.data() ||
+  if (serial.columns() != parallel.columns() ||
       serial.annots() != parallel.annots() ||
       serial.canonical() != parallel.canonical()) {
     std::fprintf(stderr,

@@ -62,7 +62,10 @@ def main():
                         "for the named bench, applied to rows with n >= N "
                         "(default: min-n); repeatable. Unlike the relative "
                         "gate, this cannot ratchet down across baseline "
-                        "refreshes.")
+                        "refreshes. CI uses it for the multiway triangle "
+                        "(vs the pairwise plan) and for the columnar "
+                        "scan/eliminate rows (vs the row-major layout / "
+                        "hash reference) — see ci.yml.")
     args = p.parse_args()
     floor_specs = []
     for spec in args.speedup_floor:

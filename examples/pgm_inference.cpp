@@ -61,9 +61,9 @@ int main() {
   for (size_t i = 0; i < std::min<size_t>(exact->size(), 9); ++i) {
     std::printf("  (x%u=%llu, x%u=%llu)  p = %.4f\n",
                 exact->schema().var(0),
-                static_cast<unsigned long long>(exact->tuple(i)[0]),
+                static_cast<unsigned long long>(exact->at(i, 0)),
                 exact->schema().var(1),
-                static_cast<unsigned long long>(exact->tuple(i)[1]),
+                static_cast<unsigned long long>(exact->at(i, 1)),
                 exact->annot(i) / z);
   }
   std::printf("\ndistributed == centralized: %s\n",

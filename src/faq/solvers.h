@@ -12,10 +12,12 @@
 //    protocol computes.
 //
 // Every solver threads one ExecContext through the sorted-relation kernel
-// (relation/ops.h): operators reuse the context's scratch buffers, bound
-// variables are eliminated in batches (one group-by per aggregate run
-// instead of one per variable), and callers can read operator statistics off
-// the context afterwards. Passing nullptr uses a thread-local context.
+// (relation/ops.h): operators reuse the context's scratch buffers and
+// consume their inputs through typed column views (columnar storage,
+// docs/kernel.md — Eliminate in particular never copies or even reads the
+// eliminated columns), bound variables are eliminated in batches (one
+// group-by per aggregate run instead of one per variable), and callers can
+// read operator statistics off the context afterwards. Passing nullptr uses a thread-local context.
 // Setting ctx->parallelism > 1 (or TOPOFAQ_PARALLELISM, which both the
 // explicit and the thread-local context inherit) makes every pass's large
 // joins and eliminations morsel-parallel with bit-identical results

@@ -132,7 +132,7 @@ FaqQuery<Gf2Semiring> McmAsFaq(const McmInstance& inst) {
 BitVector DecodeFaqVector(const Relation<Gf2Semiring>& rel, int n) {
   BitVector y(n);
   for (size_t i = 0; i < rel.size(); ++i)
-    if (rel.annot(i)) y.Set(static_cast<int>(rel.tuple(i)[0]), true);
+    if (rel.annot(i)) y.Set(static_cast<int>(rel.at(i, 0)), true);
   return y;
 }
 

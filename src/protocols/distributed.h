@@ -13,8 +13,10 @@
 //
 // Transport is simulated round-by-round with exact capacity accounting;
 // relation payloads are computed at the owning node exactly when the
-// simulated transfer completes, so answers are bit-identical to the
-// centralized solvers while round counts reflect Model 2.1.
+// simulated transfer completes, so answers are bit-identical — per column
+// and per annotation bit pattern, the columnar kernel's determinism
+// contract (docs/kernel.md) — to the centralized solvers while round
+// counts reflect Model 2.1.
 #ifndef TOPOFAQ_PROTOCOLS_DISTRIBUTED_H_
 #define TOPOFAQ_PROTOCOLS_DISTRIBUTED_H_
 

@@ -53,7 +53,9 @@ struct OpStats {
   int64_t calls = 0;
   int64_t rows_in = 0;
   int64_t rows_out = 0;
-  /// Key comparisons performed (merge steps + sort comparator invocations).
+  /// Key comparisons performed: merge/probe steps counted exactly, plus the
+  /// deterministic n·ceil(log2 n) bound per permutation sort (sorts run on
+  /// the worker pool, where per-invocation comparator counting would race).
   int64_t comparisons = 0;
   /// Permutation sorts that actually ran.
   int64_t sorts = 0;
@@ -108,12 +110,19 @@ class ExecContext {
 
   // Scratch buffers borrowed by operators; contents are undefined between
   // calls. perm_a/perm_b hold row-order permutations, pos_* hold column
-  // positions, row is the output-row assembly buffer.
+  // positions, cols_* hold the per-column base-pointer views the columnar
+  // kernel traverses (borrowed from the input relations for the duration of
+  // one call), row is the output-row assembly buffer.
   std::vector<size_t> perm_a;
   std::vector<size_t> perm_b;
   std::vector<int> pos_a;
   std::vector<int> pos_b;
   std::vector<int> pos_c;
+  std::vector<const Value*> cols_a;
+  std::vector<const Value*> cols_b;
+  std::vector<const Value*> cols_c;
+  std::vector<const Value*> cols_d;
+  std::vector<const Value*> cols_e;
   std::vector<Value> row;
   /// Open-addressing run directory (key hash → key-run start + 1), serial
   /// path. The parallel path shards the directory instead (table_shards).

@@ -5,38 +5,86 @@ namespace internal {
 
 namespace {
 
-/// Shared gallop: first traversal position t in [lo, hi) whose `col` value
-/// satisfies value >= key (strict == false) or value > key (strict == true).
-/// Exponential probing from `lo` followed by a binary search of the located
-/// window, so a seek that lands d positions ahead costs O(log d) probes —
-/// the access pattern Leapfrog Triejoin's complexity bound relies on.
-size_t Gallop(const Value* d, size_t stride, size_t col, size_t lo, size_t hi,
+/// Shared gallop: first position t in [lo, hi) of the contiguous column
+/// array `col` satisfying col[t] >= key (strict == false) or col[t] > key
+/// (strict == true). Probes are counted into *cmps.
+///
+/// Three phases, all maintaining the invariant "everything ≤ prev is
+/// not-past, cur is past or cur == hi", finished by one shared binary
+/// search of (prev, cur]:
+///
+///  1. Short exponential probe from `lo` — a seek that lands d ≤
+///     kShortSeekLimit positions ahead costs O(log d) probes on lines the
+///     intersection loop usually just touched (the access pattern Leapfrog
+///     Triejoin's complexity bound relies on).
+///  2. Far seeks with a sample (`samp` non-null) descend the cache-resident
+///     sample instead: a binary search over every-kSeekSampleStride-th key
+///     whose probes hit cache, landing in a single stride-wide window of
+///     the column — a couple of lines — rather than chasing ~log2(hi - lo)
+///     dependent misses across it.
+///  3. The closing binary search prefetches both candidate next midpoints,
+///     overlapping each dependent probe's miss with the next.
+size_t Gallop(const Value* col, const Value* samp, size_t lo, size_t hi,
               Value key, bool strict, int64_t* cmps) {
-  auto past = [&](size_t t) {
-    const Value v = d[t * stride + col];
-    return strict ? v > key : v >= key;
-  };
+  auto past = [&](Value v) { return strict ? v > key : v >= key; };
   if (lo >= hi) return hi;
-  ++*cmps;
-  if (past(lo)) return lo;
-  // Exponential probe: prev is the last position known not-past.
-  size_t prev = lo;
+  // Probes accumulate in a register and publish once on exit; a per-probe
+  // write through the pointer would serialize the dependent-load chain.
+  int64_t probes = 1;
+  struct Publish {
+    int64_t* out;
+    int64_t* n;
+    ~Publish() { *out += *n; }
+  } publish{cmps, &probes};
+  if (past(col[lo])) return lo;
+  size_t prev = lo;  // last position known not-past
+  size_t cur = hi;   // first position known past (hi: none yet)
   size_t step = 1;
-  size_t cur = lo + 1;
-  while (cur < hi) {
-    ++*cmps;
-    if (past(cur)) break;
-    prev = cur;
+  size_t probe = lo + 1;
+  while (probe < hi) {
+    if (samp != nullptr && probe - lo > kShortSeekLimit) {
+      // Far seek: switch to the sampled descent. Grid points strictly
+      // between prev and hi live at sample indices [slo, shi].
+      const size_t slo = prev / kSeekSampleStride + 1;
+      const size_t shi = (hi - 1) / kSeekSampleStride;
+      if (slo <= shi) {
+        size_t a = slo;
+        size_t b = shi + 1;
+        while (a < b) {
+          const size_t mid = a + (b - a) / 2;
+          ++probes;
+          if (past(samp[mid]))
+            b = mid;
+          else
+            a = mid + 1;
+        }
+        if (a > slo) prev = (a - 1) * kSeekSampleStride;
+        cur = (a <= shi) ? a * kSeekSampleStride : hi;
+      }
+      break;
+    }
+    ++probes;
+    if (past(col[probe])) {
+      cur = probe;
+      break;
+    }
+    prev = probe;
     step <<= 1;
-    cur = (step < hi - lo) ? lo + step : hi;
+    probe = (step < hi - lo) ? lo + step : hi;
   }
-  // Binary search in (prev, cur]; cur == hi means everything is not-past.
+  // Binary search in (prev, cur]; cur == hi means nothing is known past.
   size_t a = prev + 1;
   size_t b = cur;
   while (a < b) {
     const size_t mid = a + (b - a) / 2;
-    ++*cmps;
-    if (past(mid)) {
+#if defined(__GNUC__)
+    // Both candidate next midpoints, prefetched so the next probe's cache
+    // miss overlaps this one's — the search is a chain of dependent loads.
+    __builtin_prefetch(col + (a + (mid - a) / 2));
+    __builtin_prefetch(col + (mid + 1 + (b - mid) / 2));
+#endif
+    ++probes;
+    if (past(col[mid])) {
       b = mid;
     } else {
       a = mid + 1;
@@ -47,14 +95,14 @@ size_t Gallop(const Value* d, size_t stride, size_t col, size_t lo, size_t hi,
 
 }  // namespace
 
-size_t TrieSeek(const Value* d, size_t stride, size_t col, size_t lo,
-                size_t hi, Value key, int64_t* cmps) {
-  return Gallop(d, stride, col, lo, hi, key, /*strict=*/false, cmps);
+size_t TrieSeek(const Value* col, const Value* samp, size_t lo, size_t hi,
+                Value key, int64_t* cmps) {
+  return Gallop(col, samp, lo, hi, key, /*strict=*/false, cmps);
 }
 
-size_t TrieRunEnd(const Value* d, size_t stride, size_t col, size_t lo,
-                  size_t hi, Value key, int64_t* cmps) {
-  return Gallop(d, stride, col, lo, hi, key, /*strict=*/true, cmps);
+size_t TrieRunEnd(const Value* col, const Value* samp, size_t lo, size_t hi,
+                  Value key, int64_t* cmps) {
+  return Gallop(col, samp, lo, hi, key, /*strict=*/true, cmps);
 }
 
 }  // namespace internal

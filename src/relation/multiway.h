@@ -10,11 +10,14 @@
 // relation whose columns follow the shared global variable order (ascending
 // VarId) *is* a sorted trie — level d of the trie is column d, and every
 // trie operation (open a child, seek a key, step to the next key) is a
-// galloping search over a contiguous row range. So the only preprocessing is
-// a schema-order permutation pass per input whose columns are out of order
-// (one sort, counted in OpStats::sorts; already-ascending canonical inputs
-// are free and counted in sort_skips), after which the join needs nothing
-// but per-relation cursor stacks. Annotations combine with ⊗ exactly once
+// galloping search over a contiguous range *of that single column array*:
+// columnar storage (docs/kernel.md, "Columnar storage") makes each seek a
+// dense binary search with no row stride between probed keys, the layout's
+// payoff case. The only preprocessing is a column-handle permutation +
+// re-canonicalization per input whose columns are out of order (one sort,
+// counted in OpStats::sorts; already-ascending canonical inputs are free
+// and counted in sort_skips), after which the join needs nothing but
+// per-relation cursor stacks. Annotations combine with ⊗ exactly once
 // per relation, at the level where its last variable is bound.
 //
 // Output rows are emitted in ascending global variable order — which is the
@@ -40,22 +43,36 @@
 namespace topofaq {
 namespace internal {
 
-/// First traversal position in [lo, hi) whose `col` value is >= key
-/// (galloping search; probes are counted into *cmps).
-size_t TrieSeek(const Value* d, size_t stride, size_t col, size_t lo,
-                size_t hi, Value key, int64_t* cmps);
+/// Far seeks descend through a per-column *sample*: every
+/// kSeekSampleStride-th key copied into a dense side array small enough to
+/// stay cache-resident (built once per MultiwayJoin call for columns of at
+/// least kSeekSampleMinRows rows). A sampled seek binary-searches the
+/// sample first — cached probes — and finishes inside one stride-wide
+/// window of the column (a couple of cache lines), instead of chasing
+/// ~log2(n) dependent misses across the full column. Short seeks (within
+/// kShortSeekLimit positions) keep the plain exponential gallop, which is
+/// cheaper on already-hot lines.
+inline constexpr size_t kSeekSampleStride = 64;
+inline constexpr size_t kSeekSampleMinRows = 4096;
+inline constexpr size_t kShortSeekLimit = 128;
 
-/// First traversal position in [lo, hi) whose `col` value is > key: the end
-/// of the key's run when [lo, hi) is positioned at it.
-size_t TrieRunEnd(const Value* d, size_t stride, size_t col, size_t lo,
-                  size_t hi, Value key, int64_t* cmps);
+/// First position in [lo, hi) of the contiguous column array `col` whose
+/// value is >= key (galloping search; probes are counted into *cmps).
+/// `samp` is the column's seek sample, or nullptr for unsampled columns.
+size_t TrieSeek(const Value* col, const Value* samp, size_t lo, size_t hi,
+                Value key, int64_t* cmps);
+
+/// First position in [lo, hi) of `col` whose value is > key: the end of the
+/// key's run when [lo, hi) is positioned at it.
+size_t TrieRunEnd(const Value* col, const Value* samp, size_t lo, size_t hi,
+                  Value key, int64_t* cmps);
 
 /// Returns `r` as a canonical relation whose columns follow ascending VarId
 /// order — the trie view MultiwayJoin consumes. Takes its argument by value
 /// so the common case — a canonical input whose schema is already ascending
 /// (every hyperedge relation) — moves through with no copy at all
-/// (sort_skips); otherwise one permutation pass + builder sort is paid
-/// (sorts).
+/// (sort_skips); otherwise the column handles are reordered in place and
+/// one re-canonicalization sort is paid (sorts).
 template <CommutativeSemiring S>
 Relation<S> PermuteToVarOrder(Relation<S> r, ExecContext& cx, OpStats* st) {
   bool ascending = true;
@@ -69,34 +86,28 @@ Relation<S> PermuteToVarOrder(Relation<S> r, ExecContext& cx, OpStats* st) {
       ++st->sort_skips;
       return r;
     }
-    r.Canonicalize();
+    r.Canonicalize(&cx);
     ++st->sorts;
     st->peak_rows = std::max<int64_t>(st->peak_rows,
                                       static_cast<int64_t>(r.size()));
     return r;
   }
+  // Columnar permutation: reorder the column *handles* into ascending
+  // variable order (no row data moves), then one re-canonicalization sorts
+  // the rows under the new column order — a permutation sort plus one
+  // gather pass per column, instead of the old per-row rebuild.
   std::vector<VarId> tvars = r.schema().vars();
   std::sort(tvars.begin(), tvars.end());
   const SchemaIndex idx(r.schema());
   std::vector<int>& pos = cx.pos_a;
   pos.clear();
   for (VarId v : tvars) pos.push_back(idx.PositionOf(v));
-  RelationBuilder<S> b{Schema(std::move(tvars))};
-  b.Reserve(r.size());
-  std::vector<Value>& row = cx.row;
-  row.resize(r.arity());
-  const Value* d = r.data().data();
-  for (size_t i = 0; i < r.size(); ++i) {
-    const Value* src = d + i * r.arity();
-    for (size_t k = 0; k < pos.size(); ++k)
-      row[k] = src[static_cast<size_t>(pos[k])];
-    b.Append(row, r.annot(i));
-  }
+  r.ReorderColumns(Schema(std::move(tvars)), pos);
+  r.Canonicalize(&cx);
   ++st->sorts;
-  Relation<S> out = b.Build();
   st->peak_rows = std::max<int64_t>(st->peak_rows,
-                                    static_cast<int64_t>(out.size()));
-  return out;
+                                    static_cast<int64_t>(r.size()));
+  return r;
 }
 
 /// Read-only plan shared by every worker of one MultiwayJoin call.
@@ -111,6 +122,48 @@ struct MultiwayPlan {
   std::vector<Relation<S>> rels;  ///< trie views (canonical, ascending vars)
   std::vector<VarId> vars;        ///< global variable order (ascending)
   std::vector<std::vector<Active>> levels;  ///< actives per global level
+  /// samples[rel][col]: the column's seek sample (every
+  /// kSeekSampleStride-th value), empty below kSeekSampleMinRows rows.
+  std::vector<std::vector<std::vector<Value>>> samples;
+  /// root_dirs[rel]: dense O(1) seek directory for the relation's *root*
+  /// column — the one column that is globally sorted over the whole
+  /// relation, so a single array d with d[v] = first position whose leading
+  /// key is >= v answers every seek with one cached load. Built only when
+  /// the leading-key domain is dense (max key + 1 <= 4x rows) and the
+  /// relation is large; empty otherwise (seeks fall back to the gallop).
+  std::vector<std::vector<uint32_t>> root_dirs;
+
+  /// Builds the per-column seek samples and per-relation root directories;
+  /// one sequential pass each, shared read-only by all workers.
+  void BuildSeekIndexes() {
+    samples.resize(rels.size());
+    root_dirs.resize(rels.size());
+    for (size_t i = 0; i < rels.size(); ++i) {
+      samples[i].resize(rels[i].arity());
+      const size_t n = rels[i].size();
+      if (n < kSeekSampleMinRows) continue;
+      for (size_t c = 0; c < rels[i].arity(); ++c) {
+        const ColumnView col = rels[i].col(c);
+        std::vector<Value>& samp = samples[i][c];
+        samp.reserve(col.size() / kSeekSampleStride + 1);
+        for (size_t t = 0; t < col.size(); t += kSeekSampleStride)
+          samp.push_back(col[t]);
+      }
+      const ColumnView c0 = rels[i].col(0);
+      const Value max_key = c0[n - 1];  // root column is globally sorted
+      // max_key < 4n (rather than max_key + 1 <= 4n) so a UINT64_MAX key
+      // cannot wrap the density check and the resize below.
+      if (max_key < 4 * n && n < UINT32_MAX) {
+        std::vector<uint32_t>& d = root_dirs[i];
+        d.resize(static_cast<size_t>(max_key) + 2);
+        size_t pos = 0;
+        for (Value v = 0; v <= max_key + 1; ++v) {
+          while (pos < n && c0[pos] < v) ++pos;
+          d[static_cast<size_t>(v)] = static_cast<uint32_t>(pos);
+        }
+      }
+    }
+  }
 };
 
 /// One leapfrog walk over the plan: per-relation cursor stacks (rng_), one
@@ -131,8 +184,14 @@ class MultiwayWalker {
       its_[l].reserve(plan.levels[l].size());
       for (const auto& a : plan.levels[l]) {
         Iter it;
-        it.d = plan.rels[static_cast<size_t>(a.rel)].data().data();
-        it.stride = plan.rels[static_cast<size_t>(a.rel)].arity();
+        // The level variable's column of this relation, as one contiguous
+        // array: every seek below gallops over dense keys.
+        it.c = plan.rels[static_cast<size_t>(a.rel)].col(a.col).data();
+        const auto& samp = plan.samples[static_cast<size_t>(a.rel)][a.col];
+        it.samp = samp.empty() ? nullptr : samp.data();
+        const auto& dir = plan.root_dirs[static_cast<size_t>(a.rel)];
+        it.dir = (a.col == 0 && !dir.empty()) ? dir.data() : nullptr;
+        it.dir_max = it.dir ? static_cast<Value>(dir.size() - 2) : 0;
         it.col = a.col;
         it.rel = a.rel;
         it.last = a.last;
@@ -163,16 +222,45 @@ class MultiwayWalker {
 
  private:
   struct Iter {
-    const Value* d;
-    size_t stride;
-    size_t col;
+    const Value* c;       // this level's column array of the relation
+    const Value* samp;    // its seek sample (nullptr below the size floor)
+    const uint32_t* dir;  // root-column dense directory (col == 0 only)
+    Value dir_max;        // largest key the directory covers
+    size_t col;           // trie depth (column index) of c in rel
     size_t lo, hi;   // current candidate range (rows matching bound prefix)
     size_t run;      // end of the matched key's run
     int rel;
     bool last;
   };
 
-  Value Key(const Iter& it) const { return it.d[it.lo * it.stride + it.col]; }
+  Value Key(const Iter& it) const { return it.c[it.lo]; }
+
+  /// First position in [it.lo, it.hi) with value >= key. Root columns with
+  /// a dense directory answer in O(1): the directory's global lower bound,
+  /// clamped into the current window (valid because the root column is
+  /// globally sorted). Everything else gallops.
+  size_t Seek(const Iter& it, Value key) {
+    ++st_->seeks;
+    if (it.dir != nullptr) {
+      ++st_->comparisons;
+      if (key > it.dir_max) return it.hi;
+      const size_t g = it.dir[static_cast<size_t>(key)];
+      return g <= it.lo ? it.lo : (g >= it.hi ? it.hi : g);
+    }
+    return TrieSeek(it.c, it.samp, it.lo, it.hi, key, &st_->comparisons);
+  }
+
+  /// End of `key`'s run at [it.lo, it.hi): first position with value > key.
+  size_t RunEnd(const Iter& it, Value key) {
+    ++st_->seeks;
+    if (it.dir != nullptr) {
+      ++st_->comparisons;
+      if (key >= it.dir_max) return it.hi;
+      const size_t g = it.dir[static_cast<size_t>(key) + 1];
+      return g <= it.lo ? it.lo : (g >= it.hi ? it.hi : g);
+    }
+    return TrieRunEnd(it.c, it.samp, it.lo, it.hi, key, &st_->comparisons);
+  }
 
   void Level(size_t l, SemiringValue acc) {
     std::vector<Iter>& its = its_[l];
@@ -187,9 +275,7 @@ class MultiwayWalker {
       // Morsel window entry: land every outermost iterator at the first key
       // >= the window start instead of replaying the prefix.
       for (Iter& it : its) {
-        ++st_->seeks;
-        it.lo = TrieSeek(it.d, it.stride, it.col, it.lo, it.hi, win_lo_,
-                         &st_->comparisons);
+        it.lo = Seek(it, win_lo_);
         if (it.lo == it.hi) return;
       }
     }
@@ -199,19 +285,40 @@ class MultiwayWalker {
     while (true) {
       // Leapfrog: seek every iterator below the current frontier key up to
       // it; any overshoot raises the frontier and rescans until stable.
-      bool changed = true;
-      while (changed) {
-        changed = false;
-        for (Iter& it : its) {
+      if (k == 2) {
+        // Two-iterator levels (every level of a k-cycle query) collapse to
+        // the classic two-pointer intersection: fewer frontier rescans,
+        // fewer unpredictable branches.
+        Iter& i0 = its[0];
+        Iter& i1 = its[1];
+        Value k0 = Key(i0);
+        Value k1 = Key(i1);
+        while (k0 != k1) {
           ++st_->comparisons;
-          if (Key(it) < maxkey) {
-            ++st_->seeks;
-            it.lo = TrieSeek(it.d, it.stride, it.col, it.lo, it.hi, maxkey,
-                             &st_->comparisons);
-            if (it.lo == it.hi) return;
-            if (Key(it) > maxkey) {
-              maxkey = Key(it);
-              changed = true;
+          if (k0 < k1) {
+            i0.lo = Seek(i0, k1);
+            if (i0.lo == i0.hi) return;
+            k0 = Key(i0);
+          } else {
+            i1.lo = Seek(i1, k0);
+            if (i1.lo == i1.hi) return;
+            k1 = Key(i1);
+          }
+        }
+        maxkey = k0;
+      } else {
+        bool changed = true;
+        while (changed) {
+          changed = false;
+          for (Iter& it : its) {
+            ++st_->comparisons;
+            if (Key(it) < maxkey) {
+              it.lo = Seek(it, maxkey);
+              if (it.lo == it.hi) return;
+              if (Key(it) > maxkey) {
+                maxkey = Key(it);
+                changed = true;
+              }
             }
           }
         }
@@ -222,15 +329,15 @@ class MultiwayWalker {
       if (l == 0 && bounded_ && maxkey >= win_hi_) return;
       SemiringValue child = acc;
       for (Iter& it : its) {
-        ++st_->seeks;
-        it.run = TrieRunEnd(it.d, it.stride, it.col, it.lo, it.hi, maxkey,
-                            &st_->comparisons);
         if (it.last) {
           // All of this relation's columns are bound and canonical rows are
-          // distinct, so the run is exactly one row: fold its annotation.
+          // distinct, so the run is exactly one row: fold its annotation
+          // and skip the run-end gallop entirely.
+          it.run = it.lo + 1;
           child = S::Multiply(
               child, plan_.rels[static_cast<size_t>(it.rel)].annot(it.lo));
         } else {
+          it.run = RunEnd(it, maxkey);
           rng_[static_cast<size_t>(it.rel)][it.col + 1] = {it.lo, it.run};
         }
       }
@@ -336,6 +443,7 @@ Relation<S> MultiwayJoin(std::vector<Relation<S>> inputs,
                                     c + 1 == s.arity()});
     }
   }
+  plan.BuildSeekIndexes();
 
   // Morsel cut source: the smallest relation intersecting at the outermost
   // level. Its distinct leading keys partition the output's key space, so
@@ -346,8 +454,7 @@ Relation<S> MultiwayJoin(std::vector<Relation<S>> inputs,
         plan.rels[static_cast<size_t>(cut_rel)].size())
       cut_rel = a.rel;
   const Relation<S>& cut = plan.rels[static_cast<size_t>(cut_rel)];
-  const Value* cd = cut.data().data();
-  const size_t ca = cut.arity();
+  const Value* cd = cut.col(0).data();  // leading column, contiguous
   const size_t cn = cut.size();
 
   // Gate the fan-out on the *largest* input, not the cut relation: a small
@@ -359,12 +466,11 @@ Relation<S> MultiwayJoin(std::vector<Relation<S>> inputs,
   if (workers > 1) {
     Relation<S> out = MorselRun<S>(
         cx, workers, out_schema, cn,
-        [&](size_t t) { return cd[t * ca] != cd[(t - 1) * ca]; }, &st,
+        [&](size_t t) { return cd[t] != cd[t - 1]; }, &st,
         [&](ExecContext& wc, size_t xb, size_t xe, RelationBuilder<S>* b) {
           internal::MultiwayWalker<S> walk(plan, b, &wc.multiway);
           const bool bounded_hi = xe < cn;
-          walk.Run(scalar, cd[xb * ca], bounded_hi ? cd[xe * ca] : 0,
-                   bounded_hi);
+          walk.Run(scalar, cd[xb], bounded_hi ? cd[xe] : 0, bounded_hi);
         });
     for (int w = 0; w < workers; ++w) {
       ExecContext& wc = cx.WorkerContext(w);

@@ -13,6 +13,12 @@
 // operators survive in reference_ops.h for differential tests and speedup
 // benchmarks.
 //
+// Storage is columnar (docs/kernel.md, "Columnar storage"): every traversal
+// below runs over per-column base-pointer arrays gathered once per call
+// (GatherColPtrs / RowCursor), so key comparisons, run-directory probes, and
+// group folds touch only the cache lines of the columns they name — never a
+// full row stride.
+//
 // Each operator's emission loop is factored over a traversal *range* so the
 // morsel-parallel path (relation/parallel.h) can replay disjoint key-aligned
 // slices of the same traversal on worker threads; ExecContext::parallelism
@@ -34,33 +40,56 @@
 namespace topofaq {
 namespace internal {
 
-/// Lexicographic compare of columns `apos` of `a_row` vs `bpos` of `b_row`.
-/// The position vectors must have equal length.
-inline int CompareKeys(const Value* a_row, const std::vector<int>& apos,
-                       const Value* b_row, const std::vector<int>& bpos) {
-  for (size_t t = 0; t < apos.size(); ++t) {
-    const Value x = a_row[static_cast<size_t>(apos[t])];
-    const Value y = b_row[static_cast<size_t>(bpos[t])];
-    if (x < y) return -1;
-    if (x > y) return 1;
+/// Fills `out` with the base pointers of the `pos` columns of `r` — the
+/// typed column view an operator traverses. Borrowed from `r`: invalidated
+/// by any mutation.
+template <CommutativeSemiring S>
+void GatherColPtrs(const Relation<S>& r, const std::vector<int>& pos,
+                   std::vector<const Value*>* out) {
+  out->clear();
+  out->reserve(pos.size());
+  for (int p : pos) out->push_back(r.col(static_cast<size_t>(p)).data());
+}
+
+/// All columns of `r` in schema order.
+template <CommutativeSemiring S>
+void GatherAllColPtrs(const Relation<S>& r, std::vector<const Value*>* out) {
+  out->clear();
+  out->reserve(r.arity());
+  for (size_t j = 0; j < r.arity(); ++j) out->push_back(r.col(j).data());
+}
+
+/// Lexicographic compare of row `x` under columns `a` vs row `y` under
+/// columns `b`; both views must have width `k`.
+inline int CompareKeysAt(const Value* const* a, size_t x,
+                         const Value* const* b, size_t y, size_t k) {
+  for (size_t t = 0; t < k; ++t) {
+    const Value u = a[t][x];
+    const Value v = b[t][y];
+    if (u < v) return -1;
+    if (u > v) return 1;
   }
   return 0;
 }
 
-/// Lexicographic compare of two full rows of width `n`.
-inline int CompareRows(const Value* a, const Value* b, size_t n) {
-  for (size_t t = 0; t < n; ++t) {
-    if (a[t] < b[t]) return -1;
-    if (a[t] > b[t]) return 1;
-  }
-  return 0;
+/// n·ceil(log2 n): the comparison count reported for permutation sorts.
+/// (Sorts run through ParallelSortPerm, so per-invocation comparator
+/// counting would race across sort workers; the bound is deterministic at
+/// every parallelism level.)
+inline int64_t SortComparisonBound(size_t n) {
+  if (n < 2) return 0;
+  int64_t lg = 0;
+  while ((size_t{1} << lg) < n) ++lg;
+  return static_cast<int64_t>(n) * lg;
 }
 
 /// Fills `perm` with the canonical (full-row lexicographic) order of `r`;
-/// the identity, sort skipped, when `r` is already canonical.
+/// the identity, sort skipped, when `r` is already canonical. The sort runs
+/// through ParallelSortPerm (index tiebreak → total order → bit-identical
+/// at every parallelism level).
 template <CommutativeSemiring S>
-void RowOrderPerm(const Relation<S>& r, std::vector<size_t>* perm,
-                  OpStats* st) {
+void RowOrderPerm(const Relation<S>& r, ExecContext& cx,
+                  std::vector<size_t>* perm, OpStats* st) {
   const size_t n = r.size();
   perm->resize(n);
   std::iota(perm->begin(), perm->end(), size_t{0});
@@ -68,12 +97,9 @@ void RowOrderPerm(const Relation<S>& r, std::vector<size_t>* perm,
     ++st->sort_skips;
     return;
   }
-  const Value* d = r.data().data();
-  const size_t a = r.arity();
-  std::sort(perm->begin(), perm->end(), [d, a](size_t x, size_t y) {
-    return CompareRows(d + x * a, d + y * a, a) < 0;
-  });
+  detail::SortRowPerm(r.columns(), n, perm, &cx);
   ++st->sorts;
+  st->comparisons += SortComparisonBound(n);
 }
 
 /// True when `pos` names the schema prefix [0, k) in order.
@@ -91,11 +117,11 @@ bool IsCanonicalKeyPrefix(const Relation<S>& r, const std::vector<int>& pos) {
   return r.canonical() && IsPrefixPositions(pos);
 }
 
-/// FNV-1a over the `pos` columns of `row`.
-inline uint64_t HashKeyAt(const Value* row, const std::vector<int>& pos) {
+/// FNV-1a over row `row` of the key columns `cols` (width `k`).
+inline uint64_t HashKeyAt(const Value* const* cols, size_t k, size_t row) {
   uint64_t h = 1469598103934665603ULL;
-  for (int p : pos) {
-    h ^= row[static_cast<size_t>(p)];
+  for (size_t t = 0; t < k; ++t) {
+    h ^= cols[t][row];
     h *= 1099511628211ULL;
   }
   return h;
@@ -103,57 +129,58 @@ inline uint64_t HashKeyAt(const Value* row, const std::vector<int>& pos) {
 
 /// Builds an open-addressing directory from key hashes to the key-run starts
 /// of the traversal-position range [sb, se) of a key-ordered traversal (runs
-/// have distinct keys, so no duplicate handling is needed). `rp` maps
-/// traversal position to row id; nullptr means the identity (rows already
-/// key-ordered in place — the canonical-prefix case, spared the
-/// indirection). Stored positions are *global* traversal positions (+ 1;
-/// entry 0 means empty), so per-shard directories built over key-aligned
-/// ranges probe with the unchanged ProbeRunDirectory below.
-inline void BuildRunDirectoryRange(const Value* rd, size_t ra, size_t sb,
-                                   size_t se, const size_t* rp,
-                                   const std::vector<int>& rpos,
+/// have distinct keys, so no duplicate handling is needed). `rk` is the
+/// key-column view of the probed side (width `nk`); `rp` maps traversal
+/// position to row id; nullptr means the identity (rows already key-ordered
+/// in place — the canonical-prefix case, spared the indirection). Stored
+/// positions are *global* traversal positions (+ 1; entry 0 means empty), so
+/// per-shard directories built over key-aligned ranges probe with the
+/// unchanged ProbeRunDirectory below.
+inline void BuildRunDirectoryRange(const Value* const* rk, size_t nk,
+                                   size_t sb, size_t se, const size_t* rp,
                                    std::vector<uint64_t>* table) {
   const size_t rows = se - sb;
   size_t cap = 16;
   while (cap < rows * 2) cap <<= 1;
   table->assign(cap, 0);
   const uint64_t mask = cap - 1;
-  const Value* prev = nullptr;
+  size_t prev = 0;
+  bool have_prev = false;
   for (size_t s = sb; s < se; ++s) {
-    const Value* row = rd + (rp ? rp[s] : s) * ra;
-    if (prev != nullptr && CompareKeys(row, rpos, prev, rpos) == 0) {
+    const size_t row = rp ? rp[s] : s;
+    if (have_prev && CompareKeysAt(rk, row, rk, prev, nk) == 0) {
       prev = row;
       continue;
     }
     prev = row;
-    uint64_t idx = HashKeyAt(row, rpos) & mask;
+    have_prev = true;
+    uint64_t idx = HashKeyAt(rk, nk, row) & mask;
     while ((*table)[idx] != 0) idx = (idx + 1) & mask;
     (*table)[idx] = s + 1;
   }
 }
 
 /// Whole-traversal directory (the serial path).
-inline void BuildRunDirectory(const Value* rd, size_t ra, size_t rn,
-                              const size_t* rp, const std::vector<int>& rpos,
-                              std::vector<uint64_t>* table) {
-  BuildRunDirectoryRange(rd, ra, 0, rn, rp, rpos, table);
+inline void BuildRunDirectory(const Value* const* rk, size_t nk, size_t rn,
+                              const size_t* rp, std::vector<uint64_t>* table) {
+  BuildRunDirectoryRange(rk, nk, 0, rn, rp, table);
 }
 
-/// Returns the traversal-position run [lo, hi) whose key equals the `lpos`
-/// columns of `lrow`, or an empty range when there is no match.
+/// Returns the traversal-position run [lo, hi) whose key equals row `lrow`
+/// of the left key view `lk`, or an empty range when there is no match.
 inline std::pair<size_t, size_t> ProbeRunDirectory(
-    const std::vector<uint64_t>& table, const Value* rd, size_t ra, size_t rn,
-    const size_t* rp, const std::vector<int>& rpos, const Value* lrow,
-    const std::vector<int>& lpos, int64_t* cmps) {
+    const std::vector<uint64_t>& table, const Value* const* rk, size_t nk,
+    size_t rn, const size_t* rp, const Value* const* lk, size_t lrow,
+    int64_t* cmps) {
   const uint64_t mask = table.size() - 1;
-  uint64_t idx = HashKeyAt(lrow, lpos) & mask;
+  uint64_t idx = HashKeyAt(lk, nk, lrow) & mask;
   while (table[idx] != 0) {
     const size_t s = table[idx] - 1;
     ++*cmps;
-    if (CompareKeys(rd + (rp ? rp[s] : s) * ra, rpos, lrow, lpos) == 0) {
+    if (CompareKeysAt(rk, rp ? rp[s] : s, lk, lrow, nk) == 0) {
       size_t hi = s + 1;
       while (hi < rn &&
-             CompareKeys(rd + (rp ? rp[hi] : hi) * ra, rpos, lrow, lpos) == 0)
+             CompareKeysAt(rk, rp ? rp[hi] : hi, lk, lrow, nk) == 0)
         ++hi;
       *cmps += static_cast<int64_t>(hi - s);
       return {s, hi};
@@ -175,15 +202,12 @@ struct RunDirectory {
   const std::vector<std::vector<uint64_t>>* shards = nullptr;
   const std::vector<size_t>* shard_cuts = nullptr;
 
-  std::pair<size_t, size_t> Probe(const Value* rd, size_t ra, size_t rn,
-                                  const size_t* rp,
-                                  const std::vector<int>& rpos,
-                                  const Value* lrow,
-                                  const std::vector<int>& lpos,
+  std::pair<size_t, size_t> Probe(const Value* const* rk, size_t nk,
+                                  size_t rn, const size_t* rp,
+                                  const Value* const* lk, size_t lrow,
                                   int64_t* cmps) const {
     if (single != nullptr)
-      return ProbeRunDirectory(*single, rd, ra, rn, rp, rpos, lrow, lpos,
-                               cmps);
+      return ProbeRunDirectory(*single, rk, nk, rn, rp, lk, lrow, cmps);
     const std::vector<size_t>& cuts = *shard_cuts;
     size_t lo = 0;
     size_t hi = cuts.size() - 1;  // number of shards
@@ -191,22 +215,22 @@ struct RunDirectory {
       const size_t mid = lo + (hi - lo) / 2;
       ++*cmps;
       const size_t s = rp ? rp[cuts[mid]] : cuts[mid];
-      if (CompareKeys(rd + s * ra, rpos, lrow, lpos) <= 0)
+      if (CompareKeysAt(rk, s, lk, lrow, nk) <= 0)
         lo = mid;
       else
         hi = mid;
     }
-    return ProbeRunDirectory((*shards)[lo], rd, ra, rn, rp, rpos, lrow, lpos,
-                             cmps);
+    return ProbeRunDirectory((*shards)[lo], rk, nk, rn, rp, lk, lrow, cmps);
   }
 };
 
 /// Fills `perm` with a row ordering of `r` sorted by key columns `pos`.
 /// When `pos` is the schema prefix [0, k) of a canonical relation the rows
 /// are already key-ordered and the sort is skipped (the kernel fast path).
+/// Like RowOrderPerm, the sort is a ParallelSortPerm with index tiebreak.
 template <CommutativeSemiring S>
 void KeyOrderPerm(const Relation<S>& r, const std::vector<int>& pos,
-                  std::vector<size_t>* perm, OpStats* st) {
+                  ExecContext& cx, std::vector<size_t>* perm, OpStats* st) {
   const size_t n = r.size();
   perm->resize(n);
   std::iota(perm->begin(), perm->end(), size_t{0});
@@ -214,29 +238,30 @@ void KeyOrderPerm(const Relation<S>& r, const std::vector<int>& pos,
     ++st->sort_skips;
     return;
   }
-  const Value* d = r.data().data();
-  const size_t a = r.arity();
-  int64_t cmps = 0;
-  std::sort(perm->begin(), perm->end(), [&](size_t x, size_t y) {
-    ++cmps;
-    return CompareKeys(d + x * a, pos, d + y * a, pos) < 0;
+  std::vector<const Value*> kc;
+  GatherColPtrs(r, pos, &kc);
+  const Value* const* k = kc.data();
+  const size_t nk = kc.size();
+  ParallelSortPerm(perm, PlannedWorkers(cx, n), [k, nk](size_t x, size_t y) {
+    const int c = CompareKeysAt(k, x, k, y, nk);
+    if (c != 0) return c < 0;
+    return x < y;
   });
   ++st->sorts;
-  st->comparisons += cmps;
+  st->comparisons += SortComparisonBound(n);
 }
 
-/// Lower bound of the `lpos` key of `lrow` in the key-ordered right
+/// Lower bound of the left key of row `lrow` in the key-ordered right
 /// traversal: first traversal position whose key is not < the probe key.
 /// Used by morsels entering the middle of a monotone merge.
-inline size_t RightLowerBound(const Value* rd, size_t ra, size_t rn,
-                              const size_t* rpm, const std::vector<int>& rpos,
-                              const Value* lrow, const std::vector<int>& lpos,
-                              int64_t* cmps) {
+inline size_t RightLowerBound(const Value* const* rk, size_t nk, size_t rn,
+                              const size_t* rpm, const Value* const* lk,
+                              size_t lrow, int64_t* cmps) {
   size_t lo = 0, hi = rn;
   while (lo < hi) {
     const size_t mid = lo + (hi - lo) / 2;
     ++*cmps;
-    if (CompareKeys(rd + (rpm ? rpm[mid] : mid) * ra, rpos, lrow, lpos) < 0)
+    if (CompareKeysAt(rk, rpm ? rpm[mid] : mid, lk, lrow, nk) < 0)
       lo = mid + 1;
     else
       hi = mid;
@@ -246,36 +271,34 @@ inline size_t RightLowerBound(const Value* rd, size_t ra, size_t rn,
 
 /// Emits the join outputs of left traversal positions [xb, xe) into `b`:
 /// the serial Join emission loop, parameterized over the traversal range so
-/// key-aligned morsels can replay disjoint slices of it on workers. `dir`
-/// must be populated when !lmono and rn > 0.
+/// key-aligned morsels can replay disjoint slices of it on workers. `lall`
+/// is every left column (output assembly), `lk`/`rk` the key views, `rex`
+/// the right extra columns. `dir` must be populated when !lmono and rn > 0.
 template <CommutativeSemiring S>
 void JoinEmitRange(const Relation<S>& left, const Relation<S>& right,
-                   const std::vector<int>& lpos, const std::vector<int>& rpos,
-                   const std::vector<int>& rextra, const size_t* lpm,
+                   const Value* const* lall, const Value* const* lk,
+                   const Value* const* rk, size_t nk,
+                   const Value* const* rex, size_t nex, const size_t* lpm,
                    const size_t* rpm, bool lmono, const RunDirectory& dir,
                    size_t xb, size_t xe, RelationBuilder<S>* b,
                    std::vector<Value>* rowbuf, int64_t* cmps) {
-  const Value* ld = left.data().data();
-  const Value* rd = right.data().data();
   const size_t la = left.arity();
-  const size_t ra = right.arity();
   const size_t rn = right.size();
   if (xb >= xe || rn == 0) return;
   std::vector<Value>& row = *rowbuf;
-  row.resize(la + rextra.size());
+  row.resize(la + nex);
 
   // Monotone morsels entering mid-merge find their right-side start by one
   // binary search instead of replaying the merge from traversal position 0.
   size_t j = 0;
   if (lmono && xb > 0)
-    j = RightLowerBound(rd, ra, rn, rpm, rpos,
-                        ld + (lpm ? lpm[xb] : xb) * la, lpos, cmps);
+    j = RightLowerBound(rk, nk, rn, rpm, lk, lpm ? lpm[xb] : xb, cmps);
 
-  const Value* prev_lrow = nullptr;
+  bool have_prev = false;
+  size_t prev_x = 0;
   size_t lo = 0, hi = 0;
   for (size_t xi = xb; xi < xe; ++xi) {
     const size_t x = lpm ? lpm[xi] : xi;
-    const Value* lrow = ld + x * la;
 #if defined(__GNUC__)
     // Hide the directory-probe cache miss of the next left row behind this
     // row's emission work (single-table probes only; sharded probes start
@@ -283,38 +306,33 @@ void JoinEmitRange(const Relation<S>& left, const Relation<S>& right,
     if (!lmono && dir.single != nullptr && xi + 1 < xe) {
       const size_t nx = lpm ? lpm[xi + 1] : xi + 1;
       __builtin_prefetch(dir.single->data() +
-                         (HashKeyAt(ld + nx * la, lpos) &
-                          (dir.single->size() - 1)));
+                         (HashKeyAt(lk, nk, nx) & (dir.single->size() - 1)));
     }
 #endif
-    if (prev_lrow == nullptr ||
-        CompareKeys(lrow, lpos, prev_lrow, lpos) != 0) {
+    if (!have_prev || CompareKeysAt(lk, x, lk, prev_x, nk) != 0) {
       if (lmono) {
         while (j < rn &&
-               CompareKeys(rd + (rpm ? rpm[j] : j) * ra, rpos, lrow, lpos) <
-                   0) {
+               CompareKeysAt(rk, rpm ? rpm[j] : j, lk, x, nk) < 0) {
           ++*cmps;
           ++j;
         }
         lo = hi = j;
         while (hi < rn &&
-               CompareKeys(rd + (rpm ? rpm[hi] : hi) * ra, rpos, lrow,
-                           lpos) == 0)
+               CompareKeysAt(rk, rpm ? rpm[hi] : hi, lk, x, nk) == 0)
           ++hi;
         *cmps += static_cast<int64_t>(hi - lo) + 1;
         j = hi;
       } else {
-        std::tie(lo, hi) = dir.Probe(rd, ra, rn, rpm, rpos, lrow, lpos, cmps);
+        std::tie(lo, hi) = dir.Probe(rk, nk, rn, rpm, lk, x, cmps);
       }
     }
-    prev_lrow = lrow;
+    have_prev = true;
+    prev_x = x;
     if (lo == hi) continue;
-    std::copy(lrow, lrow + la, row.begin());
+    for (size_t t = 0; t < la; ++t) row[t] = lall[t][x];
     for (size_t y = lo; y < hi; ++y) {
       const size_t ry = rpm ? rpm[y] : y;
-      const Value* rrow = rd + ry * ra;
-      for (size_t t = 0; t < rextra.size(); ++t)
-        row[la + t] = rrow[static_cast<size_t>(rextra[t])];
+      for (size_t t = 0; t < nex; ++t) row[la + t] = rex[t][ry];
       b->Append(row, S::Multiply(left.annot(x), right.annot(ry)));
     }
   }
@@ -322,95 +340,111 @@ void JoinEmitRange(const Relation<S>& left, const Relation<S>& right,
 
 /// Emits the semijoin survivors among left rows [xb, xe) (original row
 /// order) into `b`; the serial Semijoin loop parameterized over the range.
+/// Survivors are appended column-to-column (RelationBuilder::AppendFrom),
+/// with no row-gather buffer.
 template <CommutativeSemiring S>
 void SemijoinEmitRange(const Relation<S>& left, const Relation<S>& right,
-                       const std::vector<int>& lpos,
-                       const std::vector<int>& rpos, const size_t* rpm,
-                       bool lmono, const RunDirectory& dir, size_t xb,
-                       size_t xe, RelationBuilder<S>* b, int64_t* cmps) {
-  const Value* ld = left.data().data();
-  const Value* rd = right.data().data();
-  const size_t la = left.arity();
-  const size_t ra = right.arity();
+                       const Value* const* lk, const Value* const* rk,
+                       size_t nk, const size_t* rpm, bool lmono,
+                       const RunDirectory& dir, size_t xb, size_t xe,
+                       RelationBuilder<S>* b, int64_t* cmps) {
   const size_t rn = right.size();
   if (xb >= xe || rn == 0) return;
 
   size_t j = 0;
   if (lmono && xb > 0)
-    j = RightLowerBound(rd, ra, rn, rpm, rpos, ld + xb * la, lpos, cmps);
+    j = RightLowerBound(rk, nk, rn, rpm, lk, xb, cmps);
 
-  const Value* prev_lrow = nullptr;
+  bool have_prev = false;
+  size_t prev_x = 0;
   bool matched = false;
   for (size_t x = xb; x < xe; ++x) {
-    const Value* lrow = ld + x * la;
-    if (prev_lrow == nullptr ||
-        CompareKeys(lrow, lpos, prev_lrow, lpos) != 0) {
+    if (!have_prev || CompareKeysAt(lk, x, lk, prev_x, nk) != 0) {
       if (lmono) {
         while (j < rn &&
-               CompareKeys(rd + (rpm ? rpm[j] : j) * ra, rpos, lrow, lpos) <
-                   0) {
+               CompareKeysAt(rk, rpm ? rpm[j] : j, lk, x, nk) < 0) {
           ++*cmps;
           ++j;
         }
         ++*cmps;
-        matched = j < rn &&
-                  CompareKeys(rd + (rpm ? rpm[j] : j) * ra, rpos, lrow,
-                              lpos) == 0;
+        matched =
+            j < rn && CompareKeysAt(rk, rpm ? rpm[j] : j, lk, x, nk) == 0;
       } else {
-        auto [lo, hi] = dir.Probe(rd, ra, rn, rpm, rpos, lrow, lpos, cmps);
+        auto [lo, hi] = dir.Probe(rk, nk, rn, rpm, lk, x, cmps);
         matched = lo != hi;
       }
     }
-    prev_lrow = lrow;
-    if (matched) b->Append(left.tuple(x), left.annot(x));
+    have_prev = true;
+    prev_x = x;
+    if (matched) b->AppendFrom(left, x, left.annot(x));
   }
 }
 
 /// Emits the projections of traversal positions [tb, te) (kept-column
-/// order via `perm`) into `b`; collapsing rows merge adjacently in the
-/// builder, and key-aligned morsels guarantee a collapse never straddles a
-/// morsel boundary.
+/// order via `perm`; nullptr = identity — the canonical-prefix case, spared
+/// the permutation stream entirely) into `b`; collapsing rows merge
+/// adjacently in the builder, and key-aligned morsels guarantee a collapse
+/// never straddles a morsel boundary. `kc` is the kept-column view (width
+/// `nkc`).
 template <CommutativeSemiring S>
-void ProjectEmitRange(const Relation<S>& r, const std::vector<int>& pos,
-                      const size_t* perm, size_t tb, size_t te,
+void ProjectEmitRange(const Relation<S>& r, const Value* const* kc,
+                      size_t nkc, const size_t* perm, size_t tb, size_t te,
                       RelationBuilder<S>* b, std::vector<Value>* rowbuf) {
-  const Value* d = r.data().data();
-  const size_t a = r.arity();
   std::vector<Value>& row = *rowbuf;
-  row.resize(pos.size());
+  row.resize(nkc);
   for (size_t t = tb; t < te; ++t) {
-    const Value* src = d + perm[t] * a;
-    for (size_t k = 0; k < pos.size(); ++k)
-      row[k] = src[static_cast<size_t>(pos[k])];
-    b->Append(row, r.annot(perm[t]));
+    const size_t src = perm ? perm[t] : t;
+    for (size_t k = 0; k < nkc; ++k) row[k] = kc[k][src];
+    b->Append(row, r.annot(src));
   }
 }
 
 /// Folds the elimination groups covering traversal positions [gb, ge)
 /// (kept-key order via `perm`) into `b`. gb and ge must be group boundaries
 /// — key-aligned morsel cuts guarantee exactly that — so every group folds
-/// whole, in traversal order, identical to the serial pass.
+/// whole, in traversal order, identical to the serial pass. The group scan
+/// touches only the kept columns `kc` and the annotation column.
 template <CommutativeSemiring S>
-void EliminateEmitRange(const Relation<S>& r,
-                        const std::vector<int>& kept_pos, const size_t* perm,
-                        VarOp op, size_t gb, size_t ge, RelationBuilder<S>* b,
+void EliminateEmitRange(const Relation<S>& r, const Value* const* kc,
+                        size_t nkc, const size_t* perm, VarOp op, size_t gb,
+                        size_t ge, RelationBuilder<S>* b,
                         std::vector<Value>* rowbuf, int64_t* cmps) {
-  const Value* d = r.data().data();
-  const size_t a = r.arity();
   std::vector<Value>& row = *rowbuf;
-  row.resize(kept_pos.size());
+  row.resize(nkc);
+  const auto annots = r.annots().data();
+  if (perm == nullptr && nkc == 1) {
+    // The flagship columnar scan: group boundaries read one contiguous key
+    // column and the fold one contiguous annotation column — no permutation
+    // stream, no pointer-array indirection (hoisting kc[0] into a local
+    // also frees the compiler from assuming the builder aliases it).
+    const Value* c0 = kc[0];
+    for (size_t g = gb; g < ge;) {
+      const Value key = c0[g];
+      typename S::Value acc = annots[g];
+      size_t e = g + 1;
+      while (e < ge && c0[e] == key) {
+        acc = ApplyVarOp<S>(op, acc, annots[e]);
+        ++e;
+      }
+      *cmps += static_cast<int64_t>(e - g);
+      row[0] = key;
+      b->Append(row, acc);
+      g = e;
+    }
+    return;
+  }
   for (size_t g = gb; g < ge;) {
-    const size_t head = perm[g];
-    typename S::Value acc = r.annot(head);
+    const size_t head = perm ? perm[g] : g;
+    typename S::Value acc = annots[head];
     size_t e = g + 1;
-    while (e < ge && CompareKeys(d + perm[e] * a, kept_pos, d + head * a,
-                                 kept_pos) == 0) {
-      acc = ApplyVarOp<S>(op, acc, r.annot(perm[e]));
+    while (e < ge) {
+      const size_t src = perm ? perm[e] : e;
+      if (CompareKeysAt(kc, src, kc, head, nkc) != 0) break;
+      acc = ApplyVarOp<S>(op, acc, annots[src]);
       ++e;
     }
     *cmps += static_cast<int64_t>(e - g);
-    for (size_t k = 0; k < kept_pos.size(); ++k)
-      row[k] = d[head * a + static_cast<size_t>(kept_pos[k])];
+    for (size_t k = 0; k < nkc; ++k) row[k] = kc[k][head];
     b->Append(row, acc);
     g = e;
   }
@@ -421,20 +455,20 @@ void EliminateEmitRange(const Relation<S>& r,
 /// claims shards through the pool and builds each into
 /// `cx.table_shards[s]`. Returns the shard cuts for RunDirectory probing.
 inline std::vector<size_t> BuildShardedRunDirectory(
-    ExecContext& cx, int workers, const Value* rd, size_t ra, size_t rn,
-    const size_t* rpm, const std::vector<int>& rpos) {
+    ExecContext& cx, int workers, const Value* const* rk, size_t nk,
+    size_t rn, const size_t* rpm) {
   std::vector<size_t> cuts = KeyAlignedCuts(
       rn, static_cast<size_t>(workers), [&](size_t t) {
         const size_t a = rpm ? rpm[t] : t;
         const size_t p = rpm ? rpm[t - 1] : t - 1;
-        return CompareKeys(rd + a * ra, rpos, rd + p * ra, rpos) != 0;
+        return CompareKeysAt(rk, a, rk, p, nk) != 0;
       });
   const size_t n_shards = cuts.size() - 1;
   if (cx.table_shards.size() < n_shards) cx.table_shards.resize(n_shards);
   WorkerPool::Shared().ParallelFor(
       std::min<int>(workers, static_cast<int>(n_shards)), n_shards,
       [&](int, size_t s) {
-        BuildRunDirectoryRange(rd, ra, cuts[s], cuts[s + 1], rpm, rpos,
+        BuildRunDirectoryRange(rk, nk, cuts[s], cuts[s + 1], rpm,
                                &cx.table_shards[s]);
       });
   return cuts;
@@ -490,10 +524,18 @@ Relation<S> Join(const Relation<S>& left, const Relation<S>& right,
       rextra.push_back(static_cast<int>(i));
     }
 
-  const Value* ld = left.data().data();
-  const Value* rd = right.data().data();
-  const size_t la = left.arity();
-  const size_t ra = right.arity();
+  // Typed column views of everything this call traverses: left key + all
+  // left columns (output assembly), right key + right extras.
+  internal::GatherColPtrs(left, lpos, &cx.cols_a);
+  internal::GatherColPtrs(right, rpos, &cx.cols_b);
+  internal::GatherColPtrs(right, rextra, &cx.cols_c);
+  internal::GatherAllColPtrs(left, &cx.cols_d);
+  const Value* const* lk = cx.cols_a.data();
+  const Value* const* rk = cx.cols_b.data();
+  const Value* const* rex = cx.cols_c.data();
+  const Value* const* lall = cx.cols_d.data();
+  const size_t nk = lpos.size();
+  const size_t nex = rextra.size();
   const size_t ln = left.size();
   const size_t rn = right.size();
 
@@ -503,7 +545,7 @@ Relation<S> Join(const Relation<S>& left, const Relation<S>& right,
   if (left.canonical()) {
     ++st.sort_skips;
   } else {
-    internal::RowOrderPerm(left, &cx.perm_a, &st);
+    internal::RowOrderPerm(left, cx, &cx.perm_a, &st);
     lpm = cx.perm_a.data();
   }
 
@@ -517,16 +559,18 @@ Relation<S> Join(const Relation<S>& left, const Relation<S>& right,
     std::vector<size_t>& rp = cx.perm_b;
     rp.resize(rn);
     std::iota(rp.begin(), rp.end(), size_t{0});
-    int64_t cmps = 0;
-    std::sort(rp.begin(), rp.end(), [&](size_t x, size_t y) {
-      ++cmps;
-      const int c =
-          internal::CompareKeys(rd + x * ra, rpos, rd + y * ra, rpos);
+    internal::GatherAllColPtrs(right, &cx.cols_e);
+    const Value* const* rall = cx.cols_e.data();
+    const size_t ra = right.arity();
+    ParallelSortPerm(&rp, PlannedWorkers(cx, rn), [&](size_t x, size_t y) {
+      const int c = internal::CompareKeysAt(rk, x, rk, y, nk);
       if (c != 0) return c < 0;
-      return internal::CompareRows(rd + x * ra, rd + y * ra, ra) < 0;
+      const int f = internal::CompareKeysAt(rall, x, rall, y, ra);
+      if (f != 0) return f < 0;
+      return x < y;
     });
     ++st.sorts;
-    st.comparisons += cmps;
+    st.comparisons += internal::SortComparisonBound(rn);
     rpm = rp.data();
   }
 
@@ -549,8 +593,8 @@ Relation<S> Join(const Relation<S>& left, const Relation<S>& right,
     internal::RunDirectory dir;
     std::vector<size_t> shard_cuts;
     if (!lmono) {
-      shard_cuts = internal::BuildShardedRunDirectory(cx, workers, rd, ra, rn,
-                                                      rpm, rpos);
+      shard_cuts =
+          internal::BuildShardedRunDirectory(cx, workers, rk, nk, rn, rpm);
       dir.shards = &cx.table_shards;
       dir.shard_cuts = &shard_cuts;
     }
@@ -559,14 +603,13 @@ Relation<S> Join(const Relation<S>& left, const Relation<S>& right,
         [&](size_t t) {
           const size_t a = lpm ? lpm[t] : t;
           const size_t p = lpm ? lpm[t - 1] : t - 1;
-          return internal::CompareKeys(ld + a * la, lpos, ld + p * la,
-                                       lpos) != 0;
+          return internal::CompareKeysAt(lk, a, lk, p, nk) != 0;
         },
         &st,
         [&](ExecContext& wc, size_t xb, size_t xe, RelationBuilder<S>* b) {
           b->Reserve(xe - xb);
-          internal::JoinEmitRange(left, right, lpos, rpos, rextra, lpm, rpm,
-                                  lmono, dir, xb, xe, b, &wc.row,
+          internal::JoinEmitRange(left, right, lall, lk, rk, nk, rex, nex,
+                                  lpm, rpm, lmono, dir, xb, xe, b, &wc.row,
                                   &wc.join.comparisons);
         });
     for (int w = 0; w < workers; ++w) {
@@ -580,13 +623,13 @@ Relation<S> Join(const Relation<S>& left, const Relation<S>& right,
 
   internal::RunDirectory dir;
   if (!lmono && ln > 0 && rn > 0) {
-    internal::BuildRunDirectory(rd, ra, rn, rpm, rpos, &cx.table);
+    internal::BuildRunDirectory(rk, nk, rn, rpm, &cx.table);
     dir.single = &cx.table;
   }
   RelationBuilder<S> b{std::move(out_schema)};
   b.Reserve(std::max(ln, rn));
-  internal::JoinEmitRange(left, right, lpos, rpos, rextra, lpm, rpm, lmono,
-                          dir, 0, ln, &b, &cx.row, &st.comparisons);
+  internal::JoinEmitRange(left, right, lall, lk, rk, nk, rex, nex, lpm, rpm,
+                          lmono, dir, 0, ln, &b, &cx.row, &st.comparisons);
   Relation<S> out = b.Build();
   st.rows_out += static_cast<int64_t>(out.size());
   return out;
@@ -624,10 +667,11 @@ Relation<S> Semijoin(const Relation<S>& left, const Relation<S>& right,
     }
   }
 
-  const Value* ld = left.data().data();
-  const Value* rd = right.data().data();
-  const size_t la = left.arity();
-  const size_t ra = right.arity();
+  internal::GatherColPtrs(left, lpos, &cx.cols_a);
+  internal::GatherColPtrs(right, rpos, &cx.cols_b);
+  const Value* const* lk = cx.cols_a.data();
+  const Value* const* rk = cx.cols_b.data();
+  const size_t nk = lpos.size();
   const size_t ln = left.size();
   const size_t rn = right.size();
 
@@ -636,7 +680,7 @@ Relation<S> Semijoin(const Relation<S>& left, const Relation<S>& right,
   if (internal::IsCanonicalKeyPrefix(right, rpos)) {
     ++st.sort_skips;
   } else {
-    internal::KeyOrderPerm(right, rpos, &cx.perm_b, &st);
+    internal::KeyOrderPerm(right, rpos, cx, &cx.perm_b, &st);
     rpm = cx.perm_b.data();
   }
 
@@ -652,20 +696,19 @@ Relation<S> Semijoin(const Relation<S>& left, const Relation<S>& right,
     internal::RunDirectory dir;
     std::vector<size_t> shard_cuts;
     if (!lmono) {
-      shard_cuts = internal::BuildShardedRunDirectory(cx, workers, rd, ra, rn,
-                                                      rpm, rpos);
+      shard_cuts =
+          internal::BuildShardedRunDirectory(cx, workers, rk, nk, rn, rpm);
       dir.shards = &cx.table_shards;
       dir.shard_cuts = &shard_cuts;
     }
     Relation<S> out = MorselRun<S>(
         cx, workers, left.schema(), ln,
         [&](size_t t) {
-          return internal::CompareKeys(ld + t * la, lpos, ld + (t - 1) * la,
-                                       lpos) != 0;
+          return internal::CompareKeysAt(lk, t, lk, t - 1, nk) != 0;
         },
         &st,
         [&](ExecContext& wc, size_t xb, size_t xe, RelationBuilder<S>* b) {
-          internal::SemijoinEmitRange(left, right, lpos, rpos, rpm, lmono,
+          internal::SemijoinEmitRange(left, right, lk, rk, nk, rpm, lmono,
                                       dir, xb, xe, b,
                                       &wc.semijoin.comparisons);
         });
@@ -680,11 +723,11 @@ Relation<S> Semijoin(const Relation<S>& left, const Relation<S>& right,
 
   internal::RunDirectory dir;
   if (!lmono && ln > 0 && rn > 0) {
-    internal::BuildRunDirectory(rd, ra, rn, rpm, rpos, &cx.table);
+    internal::BuildRunDirectory(rk, nk, rn, rpm, &cx.table);
     dir.single = &cx.table;
   }
   RelationBuilder<S> b{left.schema()};
-  internal::SemijoinEmitRange(left, right, lpos, rpos, rpm, lmono, dir, 0,
+  internal::SemijoinEmitRange(left, right, lk, rk, nk, rpm, lmono, dir, 0,
                               ln, &b, &st.comparisons);
   Relation<S> out = b.Build();
   st.rows_out += static_cast<int64_t>(out.size());
@@ -697,6 +740,7 @@ Relation<S> Semijoin(const Relation<S>& left, const Relation<S>& right,
 /// Streaming: rows are walked in kept-column order (no sort when `keep` is a
 /// canonical schema prefix) and collapsing rows merge adjacently in the
 /// builder — no hash table, and the output is canonical by construction.
+/// Only the kept columns and the annotation column are ever read.
 /// Key-aligned morsels keep every collapse inside one morsel, so the
 /// parallel path (ctx->parallelism > 1) is bit-identical to serial.
 template <CommutativeSemiring S>
@@ -716,11 +760,19 @@ Relation<S> Project(const Relation<S>& r, const std::vector<VarId>& keep,
     pos.push_back(p);
   }
 
-  internal::KeyOrderPerm(r, pos, &cx.perm_a, &st);
+  // Traversal in kept-column order; nullptr permutation = identity (no
+  // permutation stream on the hot path) when `keep` is a canonical prefix.
   const size_t n = r.size();
-  const size_t* perm = cx.perm_a.data();
-  const Value* d = r.data().data();
-  const size_t a = r.arity();
+  const size_t* perm = nullptr;
+  if (internal::IsCanonicalKeyPrefix(r, pos)) {
+    ++st.sort_skips;
+  } else {
+    internal::KeyOrderPerm(r, pos, cx, &cx.perm_a, &st);
+    perm = cx.perm_a.data();
+  }
+  internal::GatherColPtrs(r, pos, &cx.cols_a);
+  const Value* const* kc = cx.cols_a.data();
+  const size_t nkc = pos.size();
 
   Relation<S> out;
   const int workers = PlannedWorkers(cx, n);
@@ -728,16 +780,17 @@ Relation<S> Project(const Relation<S>& r, const std::vector<VarId>& keep,
     out = MorselRun<S>(
         cx, workers, Schema(keep), n,
         [&](size_t t) {
-          return internal::CompareKeys(d + perm[t] * a, pos,
-                                       d + perm[t - 1] * a, pos) != 0;
+          const size_t a = perm ? perm[t] : t;
+          const size_t p = perm ? perm[t - 1] : t - 1;
+          return internal::CompareKeysAt(kc, a, kc, p, nkc) != 0;
         },
         &st,
         [&](ExecContext& wc, size_t tb, size_t te, RelationBuilder<S>* b) {
-          internal::ProjectEmitRange(r, pos, perm, tb, te, b, &wc.row);
+          internal::ProjectEmitRange(r, kc, nkc, perm, tb, te, b, &wc.row);
         });
   } else {
     RelationBuilder<S> b{Schema(keep)};
-    internal::ProjectEmitRange(r, pos, perm, 0, n, &b, &cx.row);
+    internal::ProjectEmitRange(r, kc, nkc, perm, 0, n, &b, &cx.row);
     out = b.Build();
   }
   st.rows_out += static_cast<int64_t>(out.size());
@@ -754,12 +807,16 @@ Relation<S> Project(const Relation<S>& r, const std::vector<VarId>& keep,
 /// (sound because each aggregate is associative and commutative, so folding
 /// the combined group equals folding variable-at-a-time). FAQ-SS queries —
 /// every aggregate the semiring ⊕ — therefore group exactly once, where the
-/// seed kernel re-grouped once per variable. Each batch's group-by fans out
-/// into key-aligned morsels when ctx->parallelism > 1; a group always folds
-/// whole inside one morsel, in traversal order, so parallel results are
-/// bit-identical to serial — floating-point semirings included.
+/// seed kernel re-grouped once per variable. Columnar storage makes the
+/// group-by touch only the surviving columns and the annotation column —
+/// the eliminated columns are never read, the payoff the scan benches gate.
+/// Each batch's group-by fans out into key-aligned morsels when
+/// ctx->parallelism > 1; a group always folds whole inside one morsel, in
+/// traversal order, so parallel results are bit-identical to serial —
+/// floating-point semirings included. The input is consumed by const
+/// reference through column views — no defensive copy.
 template <CommutativeSemiring S>
-Relation<S> Eliminate(Relation<S> r, std::vector<VarId> vars,
+Relation<S> Eliminate(const Relation<S>& r, std::vector<VarId> vars,
                       std::vector<VarOp> ops, ExecContext* ctx = nullptr) {
   TOPOFAQ_CHECK_MSG(vars.size() == ops.size(),
                     "one aggregate op per eliminated variable required");
@@ -767,6 +824,13 @@ Relation<S> Eliminate(Relation<S> r, std::vector<VarId> vars,
   OpStats& st = cx.eliminate;
   ++st.calls;
   st.rows_in += static_cast<int64_t>(r.size());
+
+  // The input is only ever *read* (the first batch consumes it through
+  // column views; later batches consume the previous batch's output), so an
+  // lvalue argument costs no relation copy. Only the degenerate call that
+  // eliminates nothing returns a copy of `r`.
+  const Relation<S>* src = &r;
+  Relation<S> cur;
 
   // Keep only variables present, then order descending (innermost first).
   {
@@ -803,11 +867,12 @@ Relation<S> Eliminate(Relation<S> r, std::vector<VarId> vars,
     const VarOp op = ops[bi];
 
     // Surviving columns of this batch, in schema order.
+    const Relation<S>& in = *src;
     std::vector<VarId> kept_vars;
     std::vector<int>& kept_pos = cx.pos_a;
     kept_pos.clear();
-    for (size_t p = 0; p < r.arity(); ++p) {
-      const VarId v = r.schema().var(p);
+    for (size_t p = 0; p < in.arity(); ++p) {
+      const VarId v = in.schema().var(p);
       if (std::find(vars.begin() + bi, vars.begin() + be, v) ==
           vars.begin() + be) {
         kept_vars.push_back(v);
@@ -815,25 +880,32 @@ Relation<S> Eliminate(Relation<S> r, std::vector<VarId> vars,
       }
     }
 
-    internal::KeyOrderPerm(r, kept_pos, &cx.perm_a, &st);
-    const size_t n = r.size();
-    const size_t* perm = cx.perm_a.data();
-    const Value* d = r.data().data();
-    const size_t a = r.arity();
+    const size_t n = in.size();
+    const size_t* perm = nullptr;
+    if (internal::IsCanonicalKeyPrefix(in, kept_pos)) {
+      ++st.sort_skips;
+    } else {
+      internal::KeyOrderPerm(in, kept_pos, cx, &cx.perm_a, &st);
+      perm = cx.perm_a.data();
+    }
+    internal::GatherColPtrs(in, kept_pos, &cx.cols_a);
+    const Value* const* kc = cx.cols_a.data();
+    const size_t nkc = kept_pos.size();
     Schema out_schema{std::move(kept_vars)};
 
+    Relation<S> out;
     const int workers = PlannedWorkers(cx, n);
     if (workers > 1) {
-      r = MorselRun<S>(
+      out = MorselRun<S>(
           cx, workers, std::move(out_schema), n,
           [&](size_t t) {
-            return internal::CompareKeys(d + perm[t] * a, kept_pos,
-                                         d + perm[t - 1] * a,
-                                         kept_pos) != 0;
+            const size_t a = perm ? perm[t] : t;
+            const size_t p = perm ? perm[t - 1] : t - 1;
+            return internal::CompareKeysAt(kc, a, kc, p, nkc) != 0;
           },
           &st,
           [&](ExecContext& wc, size_t gb, size_t ge, RelationBuilder<S>* b) {
-            internal::EliminateEmitRange(r, kept_pos, perm, op, gb, ge, b,
+            internal::EliminateEmitRange(in, kc, nkc, perm, op, gb, ge, b,
                                          &wc.row,
                                          &wc.eliminate.comparisons);
           });
@@ -844,14 +916,16 @@ Relation<S> Eliminate(Relation<S> r, std::vector<VarId> vars,
       }
     } else {
       RelationBuilder<S> b{std::move(out_schema)};
-      internal::EliminateEmitRange(r, kept_pos, perm, op, 0, n, &b, &cx.row,
+      internal::EliminateEmitRange(in, kc, nkc, perm, op, 0, n, &b, &cx.row,
                                    &st.comparisons);
-      r = b.Build();
+      out = b.Build();
     }
+    cur = std::move(out);
+    src = &cur;
     bi = be;
   }
-  st.rows_out += static_cast<int64_t>(r.size());
-  return r;
+  st.rows_out += static_cast<int64_t>(src->size());
+  return src == &r ? r : std::move(cur);
 }
 
 /// Eliminates a single variable `v` with aggregate `op`: groups rows by the

@@ -27,6 +27,7 @@
 #define TOPOFAQ_RELATION_PARALLEL_H_
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -121,6 +122,42 @@ std::vector<size_t> KeyAlignedCuts(size_t n, size_t want,
   }
   cuts.push_back(n);
   return cuts;
+}
+
+/// Deterministic parallel permutation sort — the "parallelize the serial
+/// preambles" seam (ROADMAP): Canonicalize and the operator key/row-order
+/// permutation sorts route through this. `less` MUST be a *total* order
+/// (callers tie-break by index), so the sorted sequence is unique and the
+/// chunked sort-then-pairwise-inplace-merge below produces bit-identical
+/// results to a serial std::sort at every worker count — including
+/// workers == 1, which is exactly the serial sort.
+template <typename Less>
+void ParallelSortPerm(std::vector<size_t>* perm, int workers, Less&& less) {
+  const size_t n = perm->size();
+  size_t* base = perm->data();
+  if (workers <= 1 || n < 2 * kParallelMinRows) {
+    std::sort(base, base + n, less);
+    return;
+  }
+  const size_t chunks = static_cast<size_t>(workers);
+  std::vector<size_t> bounds(chunks + 1);
+  for (size_t i = 0; i <= chunks; ++i) bounds[i] = i * n / chunks;
+  WorkerPool::Shared().ParallelFor(workers, chunks, [&](int, size_t i) {
+    std::sort(base + bounds[i], base + bounds[i + 1], less);
+  });
+  // Balanced pairwise merge: log2(chunks) levels, each level's merges
+  // independent and run on the pool.
+  for (size_t width = 1; width < chunks; width <<= 1) {
+    std::vector<std::array<size_t, 3>> jobs;
+    for (size_t i = 0; i + width < chunks; i += 2 * width)
+      jobs.push_back({bounds[i], bounds[i + width],
+                      bounds[std::min(chunks, i + 2 * width)]});
+    WorkerPool::Shared().ParallelFor(
+        workers, jobs.size(), [&](int, size_t j) {
+          std::inplace_merge(base + jobs[j][0], base + jobs[j][1],
+                             base + jobs[j][2], less);
+        });
+  }
 }
 
 /// The shared fork/join scaffold for morsel-parallel operators: splits the

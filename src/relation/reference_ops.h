@@ -1,8 +1,11 @@
-// The seed hash-based relational operators, retained verbatim as the
-// *reference implementation* for the sorted-relation kernel in ops.h:
-// differential tests cross-check the sort-merge operators against these on
-// randomized inputs, and bench_relation_ops reports kernel speedup relative
-// to them. Not used on any production path.
+// The seed hash-based relational operators, retained as the *reference
+// implementation* for the sorted-relation kernel in ops.h: differential
+// tests cross-check the sort-merge operators against these on randomized
+// inputs, and bench_relation_ops reports kernel speedup relative to them.
+// Row-at-a-time on purpose — rows are gathered through RowCursor (the
+// columnar escape hatch), preserving the seed kernel's hash-and-gather
+// access pattern as the baseline the benches normalize against. Not used on
+// any production path.
 #ifndef TOPOFAQ_RELATION_REFERENCE_OPS_H_
 #define TOPOFAQ_RELATION_REFERENCE_OPS_H_
 
@@ -27,11 +30,10 @@ inline uint64_t HashKey(std::span<const Value> key) {
   return h;
 }
 
-/// Extracts the values of `positions` from `row` into `out`.
-inline void Gather(std::span<const Value> row, const std::vector<int>& positions,
-                   std::vector<Value>* out) {
-  out->clear();
-  for (int p : positions) out->push_back(row[static_cast<size_t>(p)]);
+/// Extracts row `row` of the cursor's columns into `out`.
+inline void Gather(const RowCursor& cur, size_t row, std::vector<Value>* out) {
+  out->resize(cur.width());
+  cur.Gather(row, out->data());
 }
 
 /// Groups rows of `r` by the named key positions. Returns map hash→row ids;
@@ -41,9 +43,10 @@ std::unordered_multimap<uint64_t, size_t> BuildHashIndex(
     const Relation<S>& r, const std::vector<int>& key_positions) {
   std::unordered_multimap<uint64_t, size_t> index;
   index.reserve(r.size() * 2);
+  const RowCursor keys(r, key_positions);
   std::vector<Value> key;
   for (size_t i = 0; i < r.size(); ++i) {
-    Gather(r.tuple(i), key_positions, &key);
+    Gather(keys, i, &key);
     index.emplace(HashKey(key), i);
   }
   return index;
@@ -70,16 +73,21 @@ Relation<S> Join(const Relation<S>& left, const Relation<S>& right) {
 
   Relation<S> out{Schema(out_vars)};
   auto index = internal::BuildHashIndex(right, rpos);
+  const RowCursor lkeys(left, lpos);
+  const RowCursor lall(left);
+  const RowCursor rkeys(right, rpos);
+  const RowCursor rex(right, rextra);
   std::vector<Value> key, rkey, row;
   for (size_t i = 0; i < left.size(); ++i) {
-    internal::Gather(left.tuple(i), lpos, &key);
+    internal::Gather(lkeys, i, &key);
     auto [lo, hi] = index.equal_range(internal::HashKey(key));
     for (auto it = lo; it != hi; ++it) {
       const size_t j = it->second;
-      internal::Gather(right.tuple(j), rpos, &rkey);
+      internal::Gather(rkeys, j, &rkey);
       if (rkey != key) continue;
-      row.assign(left.tuple(i).begin(), left.tuple(i).end());
-      for (int p : rextra) row.push_back(right.tuple(j)[static_cast<size_t>(p)]);
+      row.resize(left.arity() + rextra.size());
+      lall.Gather(i, row.data());
+      rex.Gather(j, row.data() + left.arity());
       out.Add(row, S::Multiply(left.annot(i), right.annot(j)));
     }
   }
@@ -98,16 +106,22 @@ Relation<S> Semijoin(const Relation<S>& left, const Relation<S>& right) {
   }
   auto index = internal::BuildHashIndex(right, rpos);
   Relation<S> out{left.schema()};
-  std::vector<Value> key, rkey;
+  const RowCursor lkeys(left, lpos);
+  const RowCursor lall(left);
+  const RowCursor rkeys(right, rpos);
+  std::vector<Value> key, rkey, row;
   for (size_t i = 0; i < left.size(); ++i) {
-    internal::Gather(left.tuple(i), lpos, &key);
+    internal::Gather(lkeys, i, &key);
     auto [lo, hi] = index.equal_range(internal::HashKey(key));
     bool matched = false;
     for (auto it = lo; it != hi && !matched; ++it) {
-      internal::Gather(right.tuple(it->second), rpos, &rkey);
+      internal::Gather(rkeys, it->second, &rkey);
       matched = (rkey == key);
     }
-    if (matched) out.Add(left.tuple(i), left.annot(i));
+    if (matched) {
+      internal::Gather(lall, i, &row);
+      out.Add(row, left.annot(i));
+    }
   }
   out.Canonicalize();
   return out;
@@ -123,9 +137,10 @@ Relation<S> Project(const Relation<S>& r, const std::vector<VarId>& keep) {
     pos.push_back(p);
   }
   Relation<S> out{Schema(keep)};
+  const RowCursor kept(r, pos);
   std::vector<Value> row;
   for (size_t i = 0; i < r.size(); ++i) {
-    internal::Gather(r.tuple(i), pos, &row);
+    internal::Gather(kept, i, &row);
     out.Add(row, r.annot(i));
   }
   out.Canonicalize();
@@ -150,9 +165,10 @@ Relation<S> EliminateVar(const Relation<S>& r, VarId v, VarOp op) {
     bool init = false;
   };
   std::unordered_map<uint64_t, std::vector<Group>> groups;
+  const RowCursor kept(r, pos);
   std::vector<Value> key;
   for (size_t i = 0; i < r.size(); ++i) {
-    internal::Gather(r.tuple(i), pos, &key);
+    internal::Gather(kept, i, &key);
     auto& bucket = groups[internal::HashKey(key)];
     Group* g = nullptr;
     for (auto& cand : bucket)

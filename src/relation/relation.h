@@ -3,16 +3,22 @@
 // value, R_e = {(y, f_e(y)) : f_e(y) ≠ 0} — exactly the input representation
 // assumed by the paper (Section 1).
 //
-// Storage is flat (row-major, fixed arity stride) for cache friendliness; the
-// annotation array is parallel to the rows.
+// Storage is columnar (struct-of-arrays): one contiguous `std::vector<Value>`
+// per schema column plus the parallel annotation column. Operators never see
+// a row stride — they traverse typed column views (`ColumnView`, `RowCursor`)
+// over exactly the columns they touch, so a key comparison or a trie seek
+// reads only the cache lines of the key columns (docs/kernel.md, "Columnar
+// storage"). `MaterializeRows()` is the row-major escape hatch kept for
+// layout-differential tests and debugging.
 //
 // Canonical-order invariant (docs/kernel.md): a relation is *canonical* when
 // its rows are sorted lexicographically in schema-column order, tuples are
 // distinct, and no annotation is semiring zero. Canonical relations compare
-// pointwise-equal functions as bit-equal arrays, and the sort-merge operators
-// in ops.h exploit the ordering to skip sorting entirely on shared-key-prefix
-// inputs. The `canonical()` flag tracks the invariant; RelationBuilder is the
-// sanctioned way for operators to produce sorted output directly.
+// pointwise-equal functions as per-column bit-equal arrays, and the
+// sort-merge operators in ops.h exploit the ordering to skip sorting entirely
+// on shared-key-prefix inputs. The `canonical()` flag tracks the invariant;
+// RelationBuilder is the sanctioned way for operators to produce sorted
+// output directly.
 #ifndef TOPOFAQ_RELATION_RELATION_H_
 #define TOPOFAQ_RELATION_RELATION_H_
 
@@ -30,6 +36,8 @@
 #include "util/types.h"
 
 namespace topofaq {
+
+class ExecContext;  // exec.h; relation.h stays include-free of the kernel seams
 
 /// An ordered list of distinct variables naming a relation's columns.
 class Schema {
@@ -95,42 +103,60 @@ class SchemaIndex {
   std::vector<std::pair<VarId, int>> pairs_;
 };
 
+/// A borrowed, read-only view of one column: contiguous row values.
+using ColumnView = std::span<const Value>;
+
 template <CommutativeSemiring S>
 class RelationBuilder;
 
 namespace detail {
 
-/// Compacts parallel row/annotation arrays that are already sorted and
+/// Compacts parallel column/annotation arrays that are already sorted and
 /// distinct by dropping zero-annotated rows in place (merge cancellation,
 /// e.g. GF2). The single certification pass shared by
-/// RelationBuilder::Build's sorted path and Relation::ConcatPieces.
+/// RelationBuilder::Build's sorted path, Relation::ConcatPieces, and
+/// Relation::Compact. A no-op (and no writes at all) when nothing is zero.
 template <CommutativeSemiring S>
-void CompactSortedRows(std::vector<Value>* data,
-                       std::vector<typename S::Value>* annots, size_t arity) {
+void CompactSortedColumns(std::vector<std::vector<Value>>* cols,
+                          std::vector<typename S::Value>* annots) {
+  std::vector<typename S::Value>& an = *annots;
   size_t w = 0;
-  for (size_t i = 0; i < annots->size(); ++i) {
-    if (S::IsZero((*annots)[i])) continue;
-    if (w != i) {
-      std::copy(data->begin() + i * arity, data->begin() + (i + 1) * arity,
-                data->begin() + w * arity);
-      (*annots)[w] = (*annots)[i];
-    }
-    ++w;
+  while (w < an.size() && !S::IsZero(an[w])) ++w;
+  if (w == an.size()) return;  // common case: nothing to drop
+  size_t out = w;
+  for (size_t i = w + 1; i < an.size(); ++i) {
+    if (S::IsZero(an[i])) continue;
+    an[out] = an[i];
+    for (std::vector<Value>& c : *cols) c[out] = c[i];
+    ++out;
   }
-  data->resize(w * arity);
-  annots->resize(w);
+  an.resize(out);
+  for (std::vector<Value>& c : *cols) c.resize(out);
 }
+
+/// Fills `perm` (resized to the row count) with the lexicographic row order
+/// of the column arrays `cols`, ties broken by row id — a *total* order, so
+/// the sorted permutation is unique and every downstream duplicate-merge ⊕
+/// folds in a deterministic association. When the ambient context (`ctx`,
+/// or the thread-local default for nullptr) has parallelism > 1 and the
+/// input is large, sort morsels run on the WorkerPool and merge pairwise —
+/// bit-identical to the serial sort by totality. Defined in relation.cc.
+void SortRowPerm(const std::vector<std::vector<Value>>& cols, size_t rows,
+                 std::vector<size_t>* perm, ExecContext* ctx);
 
 }  // namespace detail
 
-/// A relation annotated with values from semiring S.
+/// A relation annotated with values from semiring S. Column-major: column j
+/// of the rows lives in its own contiguous array, parallel to the
+/// annotation column.
 template <CommutativeSemiring S>
 class Relation {
  public:
   using SemiringValue = typename S::Value;
 
   Relation() = default;
-  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+  explicit Relation(Schema schema)
+      : schema_(std::move(schema)), cols_(schema_.arity()) {}
 
   const Schema& schema() const { return schema_; }
   size_t arity() const { return schema_.arity(); }
@@ -140,33 +166,73 @@ class Relation {
   /// True when rows are sorted lexicographically, distinct, and non-zero.
   bool canonical() const { return canonical_; }
 
-  /// The i-th tuple as a read-only view.
-  std::span<const Value> tuple(size_t i) const {
-    return {data_.data() + i * arity(), arity()};
+  /// Column `j` as a contiguous read-only view — the unit operators traverse.
+  ColumnView col(size_t j) const { return cols_[j]; }
+  /// All columns, schema order. Per-column equality of columns() + annots()
+  /// is the determinism contract of the parallel kernel.
+  const std::vector<std::vector<Value>>& columns() const { return cols_; }
+
+  /// Value of column `j` at row `i` (random access; hot loops should hoist
+  /// col(j).data() instead).
+  Value at(size_t i, size_t j) const { return cols_[j][i]; }
+
+  /// Row `i` gathered across all columns — the row-at-a-time escape hatch
+  /// for reference/debug code; O(arity) column probes per call.
+  std::vector<Value> Row(size_t i) const {
+    std::vector<Value> out(arity());
+    for (size_t j = 0; j < out.size(); ++j) out[j] = cols_[j][i];
+    return out;
   }
+
+  /// The whole relation gathered into a flat row-major array (stride =
+  /// arity) — kept for layout round-trip tests and row-oriented baselines;
+  /// no operator consumes this.
+  std::vector<Value> MaterializeRows() const {
+    std::vector<Value> out(size() * arity());
+    for (size_t j = 0; j < arity(); ++j) {
+      const Value* c = cols_[j].data();
+      for (size_t i = 0; i < size(); ++i) out[i * arity() + j] = c[i];
+    }
+    return out;
+  }
+
   SemiringValue annot(size_t i) const { return annots_[i]; }
-  /// The full annotation array, parallel to the rows. Byte-level equality of
-  /// data() + annots() is the determinism contract of the parallel kernel.
+  /// The full annotation column, parallel to the rows.
   const std::vector<SemiringValue>& annots() const { return annots_; }
   void set_annot(size_t i, SemiringValue v) {
     annots_[i] = v;
     // A zero annotation violates the canonical invariant (non-zero rows
-    // only); nonzero overwrites keep ordering/distinctness intact.
-    if (S::IsZero(v)) canonical_ = false;
+    // only) but not row ordering/distinctness, so Compact() can re-certify
+    // in one pass; nonzero overwrites keep the invariant intact.
+    if (S::IsZero(v) && canonical_) {
+      canonical_ = false;
+      sorted_distinct_ = true;
+    }
   }
 
-  /// Raw row storage (row-major, stride = arity). Operators use this to
-  /// compare columns without materializing per-row key vectors.
-  const std::vector<Value>& data() const { return data_; }
+  /// Re-certifies a relation whose only invariant violations are
+  /// zero-valued annotations (the set_annot wart): drops those rows in one
+  /// compaction pass and restores the canonical flag. Falls back to a full
+  /// Canonicalize() when row order/distinctness is not certified.
+  void Compact() {
+    if (canonical_) return;
+    if (!sorted_distinct_) {
+      Canonicalize();
+      return;
+    }
+    detail::CompactSortedColumns<S>(&cols_, &annots_);
+    canonical_ = true;
+  }
 
   /// Appends (t, v). Zero-annotated tuples are dropped (listing rep stores
   /// only non-zeros). Duplicates are merged by Canonicalize().
   void Add(std::span<const Value> t, SemiringValue v) {
     TOPOFAQ_CHECK(t.size() == arity());
     if (S::IsZero(v)) return;
-    data_.insert(data_.end(), t.begin(), t.end());
+    for (size_t j = 0; j < t.size(); ++j) cols_[j].push_back(t[j]);
     annots_.push_back(v);
     canonical_ = false;
+    sorted_distinct_ = false;
   }
   void Add(std::initializer_list<Value> t, SemiringValue v) {
     Add(std::span<const Value>(t.begin(), t.size()), v);
@@ -177,57 +243,55 @@ class Relation {
   /// Sorts rows lexicographically, merges duplicate tuples with S::Add, and
   /// drops zero annotations. After this, the relation is a canonical function
   /// representation: pointwise-equal functions compare equal. A no-op when
-  /// the canonical flag is already set.
-  void Canonicalize() {
+  /// the canonical flag is already set. Columnar execution: one permutation
+  /// sort (parallel on the WorkerPool when `ctx` — or the thread-local
+  /// ambient context for nullptr — allows, see detail::SortRowPerm), then
+  /// one gather pass per column; rows are never copied through a row buffer.
+  void Canonicalize(ExecContext* ctx = nullptr) {
     if (canonical_) return;
-    const size_t a = arity();
     const size_t n = size();
-    std::vector<size_t> order(n);
-    std::iota(order.begin(), order.end(), 0);
-    const Value* d = data_.data();
-    std::sort(order.begin(), order.end(), [d, a](size_t x, size_t y) {
-      const Value* px = d + x * a;
-      const Value* py = d + y * a;
-      for (size_t k = 0; k < a; ++k)
-        if (px[k] != py[k]) return px[k] < py[k];
-      return false;
-    });
-    std::vector<Value> nd;
+    std::vector<size_t> order;
+    detail::SortRowPerm(cols_, n, &order, ctx);
+    // Walk sorted runs of equal rows once, folding annotations; `keep` is
+    // the surviving source row per output row, in output order.
+    std::vector<size_t> keep;
     std::vector<SemiringValue> na;
-    nd.reserve(data_.size());
+    keep.reserve(n);
     na.reserve(n);
     for (size_t idx = 0; idx < n;) {
       size_t run_end = idx + 1;
-      while (run_end < n &&
-             std::equal(data_.begin() + order[idx] * a,
-                        data_.begin() + (order[idx] + 1) * a,
-                        data_.begin() + order[run_end] * a))
-        ++run_end;
+      while (run_end < n && RowsEqual(order[idx], order[run_end])) ++run_end;
       SemiringValue acc = annots_[order[idx]];
       for (size_t j = idx + 1; j < run_end; ++j)
         acc = S::Add(acc, annots_[order[j]]);
       if (!S::IsZero(acc)) {
-        nd.insert(nd.end(), data_.begin() + order[idx] * a,
-                  data_.begin() + (order[idx] + 1) * a);
+        keep.push_back(order[idx]);
         na.push_back(acc);
       }
       idx = run_end;
     }
-    data_ = std::move(nd);
+    for (std::vector<Value>& c : cols_) {
+      std::vector<Value> nc;
+      nc.reserve(keep.size());
+      const Value* src = c.data();
+      for (size_t id : keep) nc.push_back(src[id]);
+      c = std::move(nc);
+    }
     annots_ = std::move(na);
     canonical_ = true;
+    sorted_distinct_ = true;
   }
 
-  /// Exact function equality. Canonical operands compare directly; others
-  /// are canonicalized on a copy first.
+  /// Exact function equality. Canonical operands compare directly, column by
+  /// column; others are canonicalized on a copy first.
   bool EqualsAsFunction(const Relation& other) const {
     if (!(schema_ == other.schema_)) return false;
     if (canonical_ && other.canonical_)
-      return data_ == other.data_ && annots_ == other.annots_;
+      return cols_ == other.cols_ && annots_ == other.annots_;
     Relation a = *this, b = other;
     a.Canonicalize();
     b.Canonicalize();
-    return a.data_ == b.data_ && a.annots_ == b.annots_;
+    return a.cols_ == b.cols_ && a.annots_ == b.annots_;
   }
 
   /// Wire size in bits when shipped over the network: each tuple costs
@@ -240,26 +304,43 @@ class Relation {
   /// Largest attribute value + 1 appearing anywhere (lower bound on D).
   uint64_t MaxValuePlusOne() const {
     uint64_t m = 1;
-    for (Value v : data_) m = std::max(m, v + 1);
+    for (const std::vector<Value>& c : cols_)
+      for (Value v : c) m = std::max(m, v + 1);
     return m;
+  }
+
+  /// Reinterprets the relation under a permuted schema: column j of the
+  /// result is current column `src[j]`. Pure column-handle moves — no row
+  /// data is copied and rows keep their identity — but row *order* is no
+  /// longer sorted under the new column order, so the canonical flag drops;
+  /// callers re-canonicalize (one permutation sort + per-column gather).
+  void ReorderColumns(Schema new_schema, const std::vector<int>& src) {
+    TOPOFAQ_CHECK(new_schema.arity() == arity() && src.size() == arity());
+    std::vector<std::vector<Value>> nc(src.size());
+    for (size_t j = 0; j < src.size(); ++j)
+      nc[j] = std::move(cols_[static_cast<size_t>(src[j])]);
+    cols_ = std::move(nc);
+    schema_ = std::move(new_schema);
+    canonical_ = false;
+    sorted_distinct_ = false;
   }
 
   /// Concatenates per-morsel pieces produced by the parallel kernel
   /// (docs/kernel.md): each piece is the canonical output of one morsel, and
   /// morsels are disjoint key-aligned traversal ranges in nondecreasing
-  /// order, so splicing the pieces back-to-back already yields sorted rows.
-  /// Equal boundary rows (possible only if a cut were ever to land inside a
-  /// run) are merged with ⊕ and zero annotations dropped, mirroring
-  /// RelationBuilder::Append/Build, so the result is bit-identical to a
-  /// single-builder serial run; out-of-order pieces fall back to one
-  /// Canonicalize().
+  /// order, so splicing the pieces column-by-column already yields sorted
+  /// rows. Equal boundary rows (possible only if a cut were ever to land
+  /// inside a run) are merged with ⊕ and zero annotations dropped, mirroring
+  /// RelationBuilder::Append/Build, so the result is bit-identical (per
+  /// column) to a single-builder serial run; out-of-order pieces fall back
+  /// to one Canonicalize().
   static Relation ConcatPieces(Schema schema, std::vector<Relation> pieces) {
     const size_t a = schema.arity();
     size_t rows = 0;
     for (const Relation& p : pieces) rows += p.size();
-    std::vector<Value> data;
+    std::vector<std::vector<Value>> cols(a);
+    for (std::vector<Value>& c : cols) c.reserve(rows);
     std::vector<SemiringValue> annots;
-    data.reserve(rows * a);
     annots.reserve(rows);
     bool sorted = true;
     for (Relation& p : pieces) {
@@ -267,11 +348,13 @@ class Relation {
       if (!p.canonical()) sorted = false;
       size_t start = 0;
       if (sorted && !annots.empty()) {
-        const Value* last = data.data() + data.size() - a;
-        const Value* first = p.data_.data();
+        const size_t last = annots.size() - 1;
         int cmp = 0;
-        for (size_t k = 0; k < a && cmp == 0; ++k)
-          cmp = last[k] < first[k] ? -1 : (last[k] > first[k] ? 1 : 0);
+        for (size_t k = 0; k < a && cmp == 0; ++k) {
+          const Value x = cols[k][last];
+          const Value y = p.cols_[k][0];
+          cmp = x < y ? -1 : (x > y ? 1 : 0);
+        }
         if (cmp == 0) {
           annots.back() = S::Add(annots.back(), p.annots_[0]);
           start = 1;
@@ -279,18 +362,20 @@ class Relation {
           sorted = false;
         }
       }
-      data.insert(data.end(), p.data_.begin() + start * a, p.data_.end());
+      for (size_t k = 0; k < a; ++k)
+        cols[k].insert(cols[k].end(), p.cols_[k].begin() + start,
+                       p.cols_[k].end());
       annots.insert(annots.end(), p.annots_.begin() + start, p.annots_.end());
       p = Relation();  // release the piece's storage eagerly
     }
     if (sorted) {
       // Rows are sorted and distinct; one compacting pass drops annotations
       // that merged to zero (exactly RelationBuilder::Build's sorted path).
-      detail::CompactSortedRows<S>(&data, &annots, a);
-      return Relation(std::move(schema), std::move(data), std::move(annots),
+      detail::CompactSortedColumns<S>(&cols, &annots);
+      return Relation(std::move(schema), std::move(cols), std::move(annots),
                       true);
     }
-    Relation out(std::move(schema), std::move(data), std::move(annots), false);
+    Relation out(std::move(schema), std::move(cols), std::move(annots), false);
     out.Canonicalize();
     return out;
   }
@@ -302,7 +387,7 @@ class Relation {
       out += "(";
       for (size_t j = 0; j < arity(); ++j) {
         if (j) out += ",";
-        out += std::to_string(tuple(i)[j]);
+        out += std::to_string(at(i, j));
       }
       out += ")";
     }
@@ -313,18 +398,63 @@ class Relation {
  private:
   friend class RelationBuilder<S>;
 
-  Relation(Schema schema, std::vector<Value> data,
+  Relation(Schema schema, std::vector<std::vector<Value>> cols,
            std::vector<SemiringValue> annots, bool canonical)
       : schema_(std::move(schema)),
-        data_(std::move(data)),
+        cols_(std::move(cols)),
         annots_(std::move(annots)),
-        canonical_(canonical) {}
+        canonical_(canonical),
+        sorted_distinct_(canonical) {
+    TOPOFAQ_DCHECK(cols_.size() == schema_.arity());
+  }
+
+  bool RowsEqual(size_t x, size_t y) const {
+    for (const std::vector<Value>& c : cols_)
+      if (c[x] != c[y]) return false;
+    return true;
+  }
 
   Schema schema_;
-  std::vector<Value> data_;             // row-major, stride = arity()
-  std::vector<SemiringValue> annots_;   // parallel to rows
-  // Empty relations are trivially canonical; Add clears the flag.
+  std::vector<std::vector<Value>> cols_;  // column-major: cols_[j][row]
+  std::vector<SemiringValue> annots_;     // parallel annotation column
+  // Empty relations are trivially canonical; Add clears the flags.
   bool canonical_ = true;
+  // Rows sorted + distinct even though canonical_ dropped — true exactly
+  // after set_annot(i, zero) on a canonical relation, letting Compact()
+  // re-certify without a sort.
+  bool sorted_distinct_ = true;
+};
+
+/// Cached per-column base pointers over a chosen column subset of one
+/// relation — the typed view operators traverse instead of assuming any row
+/// stride. Borrowed: invalidated by any mutation of the relation.
+class RowCursor {
+ public:
+  RowCursor() = default;
+  /// All columns, schema order.
+  template <CommutativeSemiring S>
+  explicit RowCursor(const Relation<S>& r) {
+    cols_.reserve(r.arity());
+    for (size_t j = 0; j < r.arity(); ++j) cols_.push_back(r.col(j).data());
+  }
+  /// The columns named by `pos`, in `pos` order.
+  template <CommutativeSemiring S>
+  RowCursor(const Relation<S>& r, const std::vector<int>& pos) {
+    cols_.reserve(pos.size());
+    for (int p : pos) cols_.push_back(r.col(static_cast<size_t>(p)).data());
+  }
+
+  size_t width() const { return cols_.size(); }
+  Value at(size_t row, size_t c) const { return cols_[c][row]; }
+  /// Raw base-pointer array for hot loops.
+  const Value* const* cols() const { return cols_.data(); }
+  /// Copies row `row` into out[0..width).
+  void Gather(size_t row, Value* out) const {
+    for (size_t c = 0; c < cols_.size(); ++c) out[c] = cols_[c][row];
+  }
+
+ private:
+  std::vector<const Value*> cols_;
 };
 
 /// Accumulates operator output rows and produces a canonical Relation.
@@ -334,17 +464,20 @@ class Relation {
 /// the output canonical with a single zero-dropping pass (the sorted case —
 /// every sort-merge operator emitting in key order lands here) or falls back
 /// to one Canonicalize() sort. This is what lets operators produce sorted
-/// output directly instead of sort-after-the-fact.
+/// output directly instead of sort-after-the-fact. Output accumulates
+/// column-major, so Build is a handle move with no transpose.
 template <CommutativeSemiring S>
 class RelationBuilder {
  public:
   using SemiringValue = typename S::Value;
 
   explicit RelationBuilder(Schema schema)
-      : schema_(std::move(schema)), arity_(schema_.arity()) {}
+      : schema_(std::move(schema)),
+        arity_(schema_.arity()),
+        cols_(arity_) {}
 
   void Reserve(size_t rows) {
-    data_.reserve(rows * arity_);
+    for (std::vector<Value>& c : cols_) c.reserve(rows);
     annots_.reserve(rows);
   }
 
@@ -355,19 +488,40 @@ class RelationBuilder {
   void Append(std::span<const Value> t, SemiringValue v) {
     TOPOFAQ_DCHECK(t.size() == arity_);
     if (!annots_.empty()) {
-      const Value* last = data_.data() + data_.size() - arity_;
-      int cmp = Compare(last, t.data());
+      const int cmp = CompareLast(t.data());
       if (cmp == 0) {
         annots_.back() = S::Add(annots_.back(), v);
         return;
       }
       if (cmp > 0) sorted_ = false;
     }
-    data_.insert(data_.end(), t.begin(), t.end());
+    for (size_t j = 0; j < arity_; ++j) cols_[j].push_back(t[j]);
     annots_.push_back(v);
   }
   void Append(std::initializer_list<Value> t, SemiringValue v) {
     Append(std::span<const Value>(t.begin(), t.size()), v);
+  }
+
+  /// Appends row `row` of `r` with annotation `v`, column to column — no
+  /// row-gather buffer (the Semijoin survivor path).
+  void AppendFrom(const Relation<S>& r, size_t row, SemiringValue v) {
+    TOPOFAQ_DCHECK(r.arity() == arity_);
+    if (!annots_.empty()) {
+      const size_t last = annots_.size() - 1;
+      int cmp = 0;
+      for (size_t j = 0; j < arity_ && cmp == 0; ++j) {
+        const Value x = cols_[j][last];
+        const Value y = r.col(j)[row];
+        cmp = x < y ? -1 : (x > y ? 1 : 0);
+      }
+      if (cmp == 0) {
+        annots_.back() = S::Add(annots_.back(), v);
+        return;
+      }
+      if (cmp > 0) sorted_ = false;
+    }
+    for (size_t j = 0; j < arity_; ++j) cols_[j].push_back(r.col(j)[row]);
+    annots_.push_back(v);
   }
 
   /// Finalizes into a canonical relation. The builder is left empty and
@@ -376,35 +530,38 @@ class RelationBuilder {
     if (sorted_) {
       // Rows are already sorted and distinct; drop zero annotations
       // (merge cancellation, e.g. GF2) with one compacting pass.
-      detail::CompactSortedRows<S>(&data_, &annots_, arity_);
-      Relation<S> out{schema_, std::move(data_), std::move(annots_), true};
+      detail::CompactSortedColumns<S>(&cols_, &annots_);
+      Relation<S> out{schema_, std::move(cols_), std::move(annots_), true};
       Clear();
       return out;
     }
-    Relation<S> out{schema_, std::move(data_), std::move(annots_), false};
+    Relation<S> out{schema_, std::move(cols_), std::move(annots_), false};
     Clear();
     out.Canonicalize();
     return out;
   }
 
  private:
-  int Compare(const Value* a, const Value* b) const {
-    for (size_t i = 0; i < arity_; ++i) {
-      if (a[i] < b[i]) return -1;
-      if (a[i] > b[i]) return 1;
+  /// Lexicographic compare of the last stored row vs `t`: <0, 0, >0.
+  int CompareLast(const Value* t) const {
+    const size_t last = annots_.size() - 1;
+    for (size_t j = 0; j < arity_; ++j) {
+      const Value x = cols_[j][last];
+      if (x < t[j]) return -1;
+      if (x > t[j]) return 1;
     }
     return 0;
   }
 
   void Clear() {
-    data_ = {};
+    cols_.assign(arity_, {});
     annots_ = {};
     sorted_ = true;
   }
 
   Schema schema_;
   size_t arity_;
-  std::vector<Value> data_;
+  std::vector<std::vector<Value>> cols_;  // column-major, parallel to annots_
   std::vector<SemiringValue> annots_;
   bool sorted_ = true;
 };

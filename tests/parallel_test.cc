@@ -117,7 +117,7 @@ Gf2Semiring::Value MakeAnnot<Gf2Semiring>(uint64_t) {
   return 1;
 }
 
-/// Byte-level equality: schema, rows, and annotation bit patterns.
+/// Byte-level equality: schema, per-column bytes, and annotation bit patterns.
 template <CommutativeSemiring S>
 ::testing::AssertionResult BytesEqual(const Relation<S>& a,
                                       const Relation<S>& b) {
@@ -125,9 +125,9 @@ template <CommutativeSemiring S>
     return ::testing::AssertionFailure() << "schemas differ";
   if (a.canonical() != b.canonical())
     return ::testing::AssertionFailure() << "canonical flags differ";
-  if (a.data() != b.data())
+  if (a.columns() != b.columns())
     return ::testing::AssertionFailure()
-           << "row bytes differ (" << a.size() << " vs " << b.size()
+           << "column bytes differ (" << a.size() << " vs " << b.size()
            << " rows)";
   if (a.annots().size() != b.annots().size())
     return ::testing::AssertionFailure() << "annot counts differ";

@@ -5,9 +5,13 @@
 // coverage.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
+#include <thread>
 
+#include "relation/exec.h"
 #include "relation/ops.h"
+#include "relation/parallel.h"
 #include "relation/reference_ops.h"
 #include "relation/relation.h"
 #include "util/rng.h"
@@ -51,9 +55,9 @@ TEST(Relation, CanonicalizeMergesDuplicates) {
   r.Canonicalize();
   ASSERT_EQ(r.size(), 2u);
   // Sorted lexicographically.
-  EXPECT_EQ(r.tuple(0)[0], 0u);
+  EXPECT_EQ(r.at(0, 0), 0u);
   EXPECT_EQ(r.annot(0), 1u);
-  EXPECT_EQ(r.tuple(1)[0], 1u);
+  EXPECT_EQ(r.at(1, 0), 1u);
   EXPECT_EQ(r.annot(1), 7u);
 }
 
@@ -88,9 +92,41 @@ TEST(Relation, SetAnnotToZeroClearsCanonicalFlag) {
   EXPECT_TRUE(r.canonical());
   r.set_annot(0, 0);  // zero row: invariant broken, flag must drop
   EXPECT_FALSE(r.canonical());
-  r.Canonicalize();
+  // Compact re-certifies in one pass: rows stayed sorted and distinct, so
+  // no sort is needed, only the zero row drops.
+  r.Compact();
+  EXPECT_TRUE(r.canonical());
   ASSERT_EQ(r.size(), 1u);
-  EXPECT_EQ(r.tuple(0)[0], 2u);
+  EXPECT_EQ(r.at(0, 0), 2u);
+}
+
+TEST(Relation, CompactDropsEveryZeroedRowAndKeepsOrder) {
+  NRel r{Schema({0, 1})};
+  for (Value v = 0; v < 10; ++v) r.Add({v, v + 100}, v + 1);
+  r.Canonicalize();
+  r.set_annot(2, 0);
+  r.set_annot(7, 0);
+  EXPECT_FALSE(r.canonical());
+  r.Compact();
+  EXPECT_TRUE(r.canonical());
+  ASSERT_EQ(r.size(), 8u);
+  // Survivors keep relative order and values.
+  NRel expect{Schema({0, 1})};
+  for (Value v = 0; v < 10; ++v)
+    if (v != 2 && v != 7) expect.Add({v, v + 100}, v + 1);
+  expect.Canonicalize();
+  EXPECT_TRUE(r.EqualsAsFunction(expect));
+}
+
+TEST(Relation, CompactFallsBackToCanonicalizeWhenUnsorted) {
+  NRel r{Schema({0})};
+  r.Add({5}, 1);
+  r.Add({3}, 2);  // out of order: Compact must sort, not just drop zeros
+  r.Compact();
+  EXPECT_TRUE(r.canonical());
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.at(0, 0), 3u);
+  EXPECT_EQ(r.at(1, 0), 5u);
 }
 
 TEST(SchemaIndex, MatchesLinearLookup) {
@@ -122,7 +158,7 @@ TEST(RelationBuilder, UnsortedAppendsFallBackToCanonicalize) {
   NRel r = b.Build();
   EXPECT_TRUE(r.canonical());
   ASSERT_EQ(r.size(), 2u);
-  EXPECT_EQ(r.tuple(0)[0], 3u);
+  EXPECT_EQ(r.at(0, 0), 3u);
   EXPECT_EQ(r.annot(1), 5u);
 }
 
@@ -134,7 +170,7 @@ TEST(RelationBuilder, CancellationDropsRowsOnSortedPath) {
   Relation<Gf2Semiring> r = b.Build();
   EXPECT_TRUE(r.canonical());
   ASSERT_EQ(r.size(), 1u);
-  EXPECT_EQ(r.tuple(0)[0], 2u);
+  EXPECT_EQ(r.at(0, 0), 2u);
 }
 
 TEST(Relation, CanonicalizeDropsCancellingPairsInGf2) {
@@ -144,7 +180,7 @@ TEST(Relation, CanonicalizeDropsCancellingPairsInGf2) {
   r.Add({5}, 1);
   r.Canonicalize();
   ASSERT_EQ(r.size(), 1u);
-  EXPECT_EQ(r.tuple(0)[0], 5u);
+  EXPECT_EQ(r.at(0, 0), 5u);
 }
 
 TEST(Relation, EqualsAsFunctionIgnoresOrder) {
@@ -176,8 +212,8 @@ TEST(Join, SimpleTwoWay) {
   BRel j = Join(r, s);
   EXPECT_EQ(j.schema().vars(), (std::vector<VarId>{0, 1, 2}));
   ASSERT_EQ(j.size(), 2u);  // (1,10,100), (1,10,101)
-  EXPECT_EQ(j.tuple(0)[0], 1u);
-  EXPECT_EQ(j.tuple(1)[2], 101u);
+  EXPECT_EQ(j.at(0, 0), 1u);
+  EXPECT_EQ(j.at(1, 2), 101u);
 }
 
 TEST(Join, AnnotationsMultiply) {
@@ -219,9 +255,9 @@ TEST(Semijoin, KeepsMatchingLeftTuplesUnchanged) {
   s.Add({30, 6}, 9);
   NRel out = Semijoin(r, s);
   ASSERT_EQ(out.size(), 2u);
-  EXPECT_EQ(out.tuple(0)[0], 1u);
+  EXPECT_EQ(out.at(0, 0), 1u);
   EXPECT_EQ(out.annot(0), 2u);  // left annotation preserved
-  EXPECT_EQ(out.tuple(1)[0], 3u);
+  EXPECT_EQ(out.at(1, 0), 3u);
 }
 
 TEST(Semijoin, MatchesJoinProjectForBoolean) {
@@ -325,14 +361,14 @@ NRel NaiveJoin(const NRel& a, const NRel& b) {
     for (size_t j = 0; j < b.size(); ++j) {
       bool match = true;
       for (VarId v : a.schema().SharedWith(b.schema()))
-        if (a.tuple(i)[a.schema().PositionOf(v)] !=
-            b.tuple(j)[b.schema().PositionOf(v)])
+        if (a.at(i, a.schema().PositionOf(v)) !=
+            b.at(j, b.schema().PositionOf(v)))
           match = false;
       if (!match) continue;
-      std::vector<Value> row(a.tuple(i).begin(), a.tuple(i).end());
+      std::vector<Value> row = a.Row(i);
       for (VarId v : out_vars)
         if (!a.schema().Contains(v))
-          row.push_back(b.tuple(j)[b.schema().PositionOf(v)]);
+          row.push_back(b.at(j, b.schema().PositionOf(v)));
       out.Add(row, a.annot(i) * b.annot(j));
     }
   out.Canonicalize();
@@ -579,6 +615,264 @@ TEST(KernelOps, NonCanonicalInputsStillAgreeWithReference) {
     EXPECT_TRUE(
         Project(a, {1}).EqualsAsFunction(reference::Project(a, {1})));
   }
+}
+
+// --- Columnar storage: round-trip, views, ConcatPieces ---------------------
+
+TEST(Columnar, RoundTripMaterializeRowsMatchesColumns) {
+  NRel r{Schema({3, 1, 7})};
+  Rng rng(11);
+  std::vector<std::vector<Value>> rows;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<Value> row{rng.NextU64(6), rng.NextU64(6), rng.NextU64(6)};
+    r.Add(row, rng.NextU64(4) + 1);
+    rows.push_back(row);
+  }
+  r.Canonicalize();
+  // Columns are parallel, same length, and agree with every row accessor.
+  ASSERT_EQ(r.columns().size(), 3u);
+  for (const auto& c : r.columns()) ASSERT_EQ(c.size(), r.size());
+  const std::vector<Value> flat = r.MaterializeRows();
+  ASSERT_EQ(flat.size(), r.size() * r.arity());
+  for (size_t i = 0; i < r.size(); ++i) {
+    const std::vector<Value> row = r.Row(i);
+    for (size_t j = 0; j < r.arity(); ++j) {
+      EXPECT_EQ(row[j], r.at(i, j));
+      EXPECT_EQ(row[j], r.col(j)[i]);
+      EXPECT_EQ(row[j], flat[i * r.arity() + j]);
+    }
+  }
+  // Rebuilding from the materialized rows reproduces the same function.
+  NRel back{Schema({3, 1, 7})};
+  for (size_t i = 0; i < r.size(); ++i)
+    back.Add(std::span<const Value>(flat.data() + i * 3, 3), r.annot(i));
+  EXPECT_TRUE(back.EqualsAsFunction(r));
+}
+
+TEST(Columnar, RowCursorGathersSelectedColumns) {
+  NRel r{Schema({0, 1, 2})};
+  r.Add({1, 2, 3}, 1);
+  r.Add({4, 5, 6}, 2);
+  r.Canonicalize();
+  RowCursor cur(r, std::vector<int>{2, 0});
+  ASSERT_EQ(cur.width(), 2u);
+  EXPECT_EQ(cur.at(1, 0), 6u);
+  EXPECT_EQ(cur.at(1, 1), 4u);
+  Value out[2];
+  cur.Gather(0, out);
+  EXPECT_EQ(out[0], 3u);
+  EXPECT_EQ(out[1], 1u);
+}
+
+TEST(Columnar, ReorderColumnsKeepsTheFunction) {
+  NRel r{Schema({4, 2})};
+  r.Add({10, 20}, 3);
+  r.Add({11, 21}, 5);
+  r.Canonicalize();
+  NRel permuted = r;
+  permuted.ReorderColumns(Schema({2, 4}), {1, 0});
+  EXPECT_FALSE(permuted.canonical());
+  permuted.Canonicalize();
+  ASSERT_EQ(permuted.size(), 2u);
+  EXPECT_EQ(permuted.at(0, 0), 20u);
+  EXPECT_EQ(permuted.at(0, 1), 10u);
+  EXPECT_EQ(permuted.annot(0), 3u);
+}
+
+TEST(ConcatPieces, SplicesSortedPiecesWithBoundaryMerge) {
+  // Three canonical pieces in key order; the last row of piece 0 equals the
+  // first row of piece 1, so the boundary rows must merge with ⊕.
+  RelationBuilder<NaturalSemiring> b0{Schema({0})}, b1{Schema({0})},
+      b2{Schema({0})};
+  b0.Append({1}, 2);
+  b0.Append({5}, 3);
+  b1.Append({5}, 4);
+  b1.Append({9}, 1);
+  b2.Append({12}, 7);
+  std::vector<NRel> pieces;
+  pieces.push_back(b0.Build());
+  pieces.push_back(b1.Build());
+  pieces.push_back(b2.Build());
+  NRel out = NRel::ConcatPieces(Schema({0}), std::move(pieces));
+  EXPECT_TRUE(out.canonical());
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.at(1, 0), 5u);
+  EXPECT_EQ(out.annot(1), 7u);  // 3 ⊕ 4 merged across the boundary
+}
+
+TEST(ConcatPieces, BoundaryMergeToZeroDropsTheRow) {
+  RelationBuilder<Gf2Semiring> b0{Schema({0})}, b1{Schema({0})};
+  b0.Append({1}, 1);
+  b0.Append({4}, 1);
+  b1.Append({4}, 1);  // cancels the boundary row: 1 XOR 1 = 0
+  b1.Append({6}, 1);
+  std::vector<Relation<Gf2Semiring>> pieces;
+  pieces.push_back(b0.Build());
+  pieces.push_back(b1.Build());
+  auto out = Relation<Gf2Semiring>::ConcatPieces(Schema({0}),
+                                                 std::move(pieces));
+  EXPECT_TRUE(out.canonical());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.at(0, 0), 1u);
+  EXPECT_EQ(out.at(1, 0), 6u);
+}
+
+TEST(ConcatPieces, OutOfOrderPiecesFallBackToCanonicalize) {
+  RelationBuilder<NaturalSemiring> b0{Schema({0})}, b1{Schema({0})};
+  b0.Append({8}, 1);
+  b1.Append({2}, 1);  // starts below piece 0's last key
+  std::vector<NRel> pieces;
+  pieces.push_back(b0.Build());
+  pieces.push_back(b1.Build());
+  NRel out = NRel::ConcatPieces(Schema({0}), std::move(pieces));
+  EXPECT_TRUE(out.canonical());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.at(0, 0), 2u);
+  EXPECT_EQ(out.at(1, 0), 8u);
+}
+
+// --- Parallel canonicalization (the parallelized serial preamble) ----------
+
+/// Per-column + annotation bit equality (the columnar determinism contract).
+template <CommutativeSemiring S>
+::testing::AssertionResult ColumnsBitEqual(const Relation<S>& a,
+                                           const Relation<S>& b) {
+  if (a.columns() != b.columns())
+    return ::testing::AssertionFailure() << "column bytes differ";
+  if (a.annots().size() != b.annots().size())
+    return ::testing::AssertionFailure() << "annot counts differ";
+  for (size_t i = 0; i < a.annots().size(); ++i)
+    if (std::memcmp(&a.annots()[i], &b.annots()[i],
+                    sizeof(typename S::Value)) != 0)
+      return ::testing::AssertionFailure() << "annot " << i << " differs";
+  return ::testing::AssertionSuccess();
+}
+
+template <CommutativeSemiring S, typename AnnotFn>
+void CheckParallelCanonicalize(uint64_t seed, AnnotFn annot) {
+  Rng rng(seed);
+  Relation<S> base{Schema({0, 1})};
+  std::vector<Value> row(2);
+  // > kParallelMinRows rows with duplicates, so the parallel sort path and
+  // the duplicate ⊕ folds are both exercised.
+  for (int i = 0; i < 6000; ++i) {
+    row[0] = rng.NextU64(40);
+    row[1] = rng.NextU64(40);
+    base.Add(row, annot(&rng));
+  }
+  ExecContext serial;
+  serial.parallelism = 1;
+  Relation<S> want = base;
+  want.Canonicalize(&serial);
+  for (int p : {2, 4, static_cast<int>(std::thread::hardware_concurrency())}) {
+    ExecContext ctx;
+    ctx.parallelism = std::max(p, 1);
+    Relation<S> got = base;
+    got.Canonicalize(&ctx);
+    EXPECT_TRUE(got.canonical());
+    EXPECT_TRUE(ColumnsBitEqual(want, got)) << "parallelism " << p;
+  }
+}
+
+TEST(ParallelCanonicalize, BitIdenticalAcrossParallelismNatural) {
+  CheckParallelCanonicalize<NaturalSemiring>(
+      91, [](Rng* r) { return r->NextU64(9) + 1; });
+}
+
+TEST(ParallelCanonicalize, BitIdenticalAcrossParallelismCountingFloat) {
+  // Duplicate folds are float additions: the index-tiebroken total order
+  // pins their association, so even double ⊕ must be bit-identical.
+  CheckParallelCanonicalize<CountingSemiring>(
+      92, [](Rng* r) { return 0.25 * static_cast<double>(r->NextU64(31) + 1); });
+}
+
+// --- Columnar kernel vs reference across semirings × shapes × parallelism --
+
+enum class Shape { kRandom, kSkewed, kEmpty, kSingleKeyRun };
+
+template <CommutativeSemiring S, typename AnnotFn>
+Relation<S> ShapedRel(Rng* rng, std::vector<VarId> vars, size_t n,
+                      Shape shape, AnnotFn annot) {
+  Relation<S> r{Schema(std::move(vars))};
+  if (shape == Shape::kEmpty) return r;
+  std::vector<Value> row(r.arity());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      switch (shape) {
+        case Shape::kRandom:
+          row[j] = rng->NextU64(64);
+          break;
+        case Shape::kSkewed: {
+          const uint64_t v = rng->NextU64(64);
+          row[j] = (j == 0) ? (v * v) / 256 : v;  // front-loaded first column
+          break;
+        }
+        case Shape::kSingleKeyRun:
+          row[j] = (j == 0) ? 7 : rng->NextU64(64);
+          break;
+        case Shape::kEmpty:
+          break;
+      }
+    }
+    r.Add(row, annot(rng));
+  }
+  r.Canonicalize();
+  return r;
+}
+
+/// Differential check of the columnar kernel against reference_ops at the
+/// given parallelism: Join/Semijoin/Project/Eliminate on 2000-row inputs of
+/// the named shape (above kParallelMinRows, so p > 1 really fans out).
+template <CommutativeSemiring S, typename AnnotFn>
+void CrossCheckShapedAtParallelism(uint64_t seed, Shape shape, int p,
+                                   AnnotFn annot) {
+  Rng rng(seed);
+  ExecContext ctx;
+  ctx.parallelism = p;
+  auto a = ShapedRel<S>(&rng, {0, 1}, 2000, shape, annot);
+  auto b = ShapedRel<S>(&rng, {1, 2}, 2000, shape, annot);
+  EXPECT_TRUE(Join(a, b, &ctx).EqualsAsFunction(reference::Join(a, b)));
+  EXPECT_TRUE(
+      Semijoin(a, b, &ctx).EqualsAsFunction(reference::Semijoin(a, b)));
+  EXPECT_TRUE(Project(a, {1}, &ctx).EqualsAsFunction(
+      reference::Project(a, {1})));
+  if (!a.empty())
+    for (VarOp op : {VarOp::kSemiringSum, VarOp::kMax})
+      EXPECT_TRUE(EliminateVar(a, 1, op, &ctx).EqualsAsFunction(
+          reference::EliminateVar(a, 1, op)));
+}
+
+template <CommutativeSemiring S, typename AnnotFn>
+void CrossCheckAllShapes(uint64_t seed, AnnotFn annot) {
+  const int hw = std::max(1, static_cast<int>(
+                                 std::thread::hardware_concurrency()));
+  for (Shape shape : {Shape::kRandom, Shape::kSkewed, Shape::kEmpty,
+                      Shape::kSingleKeyRun})
+    for (int p : {1, 2, hw})
+      CrossCheckShapedAtParallelism<S>(
+          seed + static_cast<uint64_t>(shape) * 131 +
+              static_cast<uint64_t>(p),
+          shape, p, annot);
+}
+
+TEST(ColumnarVsReference, NaturalAllShapesAllParallelism) {
+  CrossCheckAllShapes<NaturalSemiring>(
+      1101, [](Rng* r) { return r->NextU64(5) + 1; });
+}
+
+TEST(ColumnarVsReference, CountingAllShapesAllParallelism) {
+  CrossCheckAllShapes<CountingSemiring>(
+      2202, [](Rng* r) { return 0.5 * static_cast<double>(r->NextU64(7) + 1); });
+}
+
+TEST(ColumnarVsReference, MinPlusAllShapesAllParallelism) {
+  CrossCheckAllShapes<MinPlusSemiring>(
+      3303, [](Rng* r) { return static_cast<double>(r->NextU64(9)); });
+}
+
+TEST(ColumnarVsReference, Gf2AllShapesAllParallelism) {
+  CrossCheckAllShapes<Gf2Semiring>(
+      4404, [](Rng*) { return static_cast<uint8_t>(1); });
 }
 
 }  // namespace
