@@ -43,6 +43,8 @@ template <CommutativeSemiring S>
 Relation<S> UnitRelation() {
   Relation<S> r{Schema(std::vector<VarId>{})};
   r.Add(std::initializer_list<Value>{}, S::One());
+  r.Canonicalize();  // one row, trivially sorted — certify so the unit can
+                     // flow anywhere a canonical relation is required
   return r;
 }
 

@@ -1,13 +1,32 @@
 #include "network/simulator.h"
 
 #include <algorithm>
+#include <string>
 
 namespace topofaq {
 
+Status SyncNetwork::ValidateCapacity(int64_t capacity_bits) {
+  if (capacity_bits < 1)
+    return Status::InvalidArgument("per-round capacity must be >= 1 bit");
+  if (capacity_bits > kMaxCapacityBits)
+    return Status::InvalidArgument(
+        "per-round capacity " + std::to_string(capacity_bits) +
+        " exceeds SyncNetwork's uint16 round-ledger limit of " +
+        std::to_string(kMaxCapacityBits) +
+        " bits; use the event-driven AsyncNetwork (network/async.h) for the "
+        "high-capacity regime");
+  return Status::Ok();
+}
+
+Result<SyncNetwork> SyncNetwork::Create(Graph g, int64_t capacity_bits) {
+  TOPOFAQ_RETURN_IF_ERROR(ValidateCapacity(capacity_bits));
+  return SyncNetwork(std::move(g), capacity_bits);
+}
+
 SyncNetwork::SyncNetwork(Graph g, int64_t capacity_bits)
     : g_(std::move(g)), capacity_bits_(capacity_bits) {
-  TOPOFAQ_CHECK(capacity_bits_ >= 1);
-  TOPOFAQ_CHECK_MSG(capacity_bits_ <= 65535, "per-round capacity too large");
+  const Status st = ValidateCapacity(capacity_bits_);
+  TOPOFAQ_CHECK_MSG(st.ok(), st.message().c_str());
   usage_fwd_.resize(g_.num_edges());
   usage_bwd_.resize(g_.num_edges());
 }

@@ -15,12 +15,29 @@
 #include <vector>
 
 #include "graphalg/graph.h"
+#include "util/status.h"
 
 namespace topofaq {
 
 class SyncNetwork {
  public:
+  /// Largest per-round capacity the uint16 round ledger can represent.
+  /// Capacities above this are a *contract violation* of the sync simulator,
+  /// not a soft failure: protocols that need the high-capacity regime run on
+  /// AsyncNetwork (network/async.h), whose bandwidths are unbounded doubles.
+  static constexpr int64_t kMaxCapacityBits = 65535;
+
+  /// Status form of the constructor contract: capacity must be in
+  /// [1, kMaxCapacityBits].
+  static Status ValidateCapacity(int64_t capacity_bits);
+
+  /// Checked construction; the error Status names the ledger limit and the
+  /// AsyncNetwork escape hatch.
+  static Result<SyncNetwork> Create(Graph g, int64_t capacity_bits);
+
   /// `capacity_bits` is the per-direction per-round budget of every channel.
+  /// CHECK-fails outside [1, kMaxCapacityBits]; callers with untrusted
+  /// capacities go through Create().
   SyncNetwork(Graph g, int64_t capacity_bits);
 
   const Graph& graph() const { return g_; }

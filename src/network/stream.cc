@@ -1,0 +1,19 @@
+#include "network/stream.h"
+
+#include <algorithm>
+
+namespace topofaq {
+
+InFlightLedger::InFlightLedger(int num_nodes) : in_flight_(num_nodes, 0) {}
+
+void InFlightLedger::Charge(NodeId src) {
+  peak_ = std::max(peak_, ++in_flight_[src]);
+  ++total_;
+}
+
+void InFlightLedger::Release(NodeId src) {
+  TOPOFAQ_CHECK_MSG(in_flight_[src] > 0, "credit for a node with no pages out");
+  --in_flight_[src];
+}
+
+}  // namespace topofaq

@@ -1,0 +1,442 @@
+// Event-driven execution mode of the paper's distributed protocols, on the
+// AsyncNetwork + streaming relation transport (network/async.h,
+// network/stream.h):
+//
+//  * RunTrivialProtocolAsync    — every relation is *streamed* to the sink
+//                                 as fixed-size column-chunk pages under the
+//                                 per-node page budget; the sink solves over
+//                                 the reassembled relations.
+//  * RunCoreForestProtocolAsync — the Theorem 4.1/5.2 star elimination as a
+//                                 dependency DAG of simulated events: each
+//                                 star broadcasts its center relation to the
+//                                 remote leaf owners as a stream, leaves
+//                                 compute their functional messages
+//                                 (Corollary G.2 push-down) and stream them
+//                                 back, and the center folds them in. Stars
+//                                 in disjoint subtrees overlap in simulated
+//                                 time, and every transfer overlaps with
+//                                 whatever local kernel work is ready —
+//                                 the communication/computation overlap the
+//                                 synchronous round ledger cannot express.
+//
+// The synchronous protocols (distributed.h) stay the paper-faithful oracle:
+// both async protocols construct the same decomposition (same
+// width_restarts/seed defaults), run the same kernel operations on the same
+// operands in the same order, and ship relations through a transport whose
+// reassembly is bit-exact, so answers are bit-identical — per column and per
+// annotation bit pattern — to RunTrivialProtocol / RunCoreForestProtocol at
+// every parallelism level and page budget. What changes is the cost model:
+// ProtocolStats reports a continuous makespan, actual transferred bits
+// (pages + framing + credits), peak in-flight pages, and per-edge
+// utilization instead of a round count.
+//
+// Local kernel work runs through the shared ExecContext: with parallelism
+// > 1 every join/elimination a node "computes" fans out into morsels on the
+// process-wide WorkerPool (docs/kernel.md), exactly as in the sync
+// protocols.
+#ifndef TOPOFAQ_PROTOCOLS_ASYNC_H_
+#define TOPOFAQ_PROTOCOLS_ASYNC_H_
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "faq/solvers.h"
+#include "ghd/width.h"
+#include "network/async.h"
+#include "network/stream.h"
+#include "protocols/distributed.h"
+#include "protocols/instance.h"
+
+namespace topofaq {
+
+/// Options shared by both async protocols.
+struct AsyncProtocolOptions {
+  /// Streaming transport knobs (page size, per-node page budget, framing).
+  StreamOptions stream;
+  /// Channel model. bandwidth_bits <= 0 derives the per-edge bandwidth from
+  /// the instance's capacity_bits — one synchronous round's budget per time
+  /// unit — so makespans are directly comparable to the round ledger's
+  /// round counts; latency defaults to 1 (one "round" per hop).
+  LinkParams link{1.0, 0.0};
+  /// Kernel parallelism for the simulated local computations (same knob as
+  /// CoreForestOptions::parallelism / TrivialOptions::parallelism).
+  int parallelism = 0;
+  /// Decomposition search knobs — defaults match CoreForestOptions, which is
+  /// what makes async-vs-sync answers comparable star for star.
+  int width_restarts = 8;
+  uint64_t seed = 0xfa0;
+  /// Simulated cost of local kernel work: time units per input row of each
+  /// compute task. 0 (default) makes compute free in simulated time, so the
+  /// makespan is pure transport; the *real* kernel work still runs (and is
+  /// what the answer is computed from).
+  double compute_time_per_row = 0.0;
+};
+
+namespace internal {
+
+/// Copies the async run's observables into ProtocolStats.
+inline void FillAsyncStats(const AsyncNetwork& net, int64_t pages,
+                           int64_t peak_pages, ProtocolStats* st) {
+  st->makespan = net.makespan();
+  st->total_bits = net.total_bits();
+  st->pages = pages;
+  st->max_in_flight_pages = peak_pages;
+  st->edge_utilization = net.EdgeUtilization();
+  st->max_edge_utilization = 0.0;
+  for (double u : st->edge_utilization)
+    st->max_edge_utilization = std::max(st->max_edge_utilization, u);
+}
+
+/// Effective link parameters: the configured ones, with bandwidth derived
+/// from the instance's per-round budget when unset.
+inline LinkParams ResolveLink(const AsyncProtocolOptions& opts,
+                              int64_t capacity_bits) {
+  LinkParams link = opts.link;
+  if (link.bandwidth_bits <= 0)
+    link.bandwidth_bits = static_cast<double>(capacity_bits);
+  return link;
+}
+
+/// The streaming transport cuts sorted pages from its sources, so the async
+/// protocols require canonical input relations — surfaced as a Status here
+/// rather than a CHECK crash mid-simulation. (The synchronous protocols
+/// accept unsorted listings; they never page anything.)
+template <CommutativeSemiring S>
+Status ValidateCanonicalInputs(const DistInstance<S>& inst) {
+  for (const Relation<S>& r : inst.query.relations)
+    if (!r.canonical())
+      return Status::InvalidArgument(
+          "async protocols stream relations page by page and require "
+          "canonical inputs — call Relation::Canonicalize() first (the "
+          "synchronous protocols accept unsorted listings)");
+  return Status::Ok();
+}
+
+}  // namespace internal
+
+/// Lemma 3.1, streaming edition: pages every remote relation to the sink
+/// under the page budget, then solves over the reassembled inputs. The
+/// answer is bit-identical to RunTrivialProtocol's.
+template <CommutativeSemiring S>
+Result<ProtocolResult<S>> RunTrivialProtocolAsync(
+    const DistInstance<S>& inst, const AsyncProtocolOptions& opts = {}) {
+  auto d = inst.Derived();
+  if (!d.ok()) return d.status();
+  TOPOFAQ_RETURN_IF_ERROR(internal::ValidateCanonicalInputs(inst));
+  AsyncNetwork net(inst.topology, internal::ResolveLink(opts, d->capacity_bits));
+  StreamNet<S> streams(&net, opts.stream);
+  ExecContext ctx;
+  if (opts.parallelism > 0) ctx.parallelism = opts.parallelism;
+
+  const int ne = inst.query.hypergraph.num_edges();
+  std::vector<Relation<S>> at_sink(ne);
+  int pending = 0;
+  Status task_status = Status::Ok();
+  bool solved = false;
+  ProtocolResult<S> out;
+
+  // The sink's solve task: scheduled (with the simulated compute cost) once
+  // the last stream completes. It consumes the *reassembled* relations, so
+  // this path also proves the transport lossless end to end.
+  auto solve = [&] {
+    size_t rows = 0;
+    for (const Relation<S>& r : at_sink) rows += r.size();
+    net.ScheduleAfter(opts.compute_time_per_row * static_cast<double>(rows),
+                      [&] {
+                        FaqQuery<S> q;
+                        q.hypergraph = inst.query.hypergraph;
+                        q.relations = std::move(at_sink);
+                        q.free_vars = inst.query.free_vars;
+                        q.var_ops = inst.query.var_ops;
+                        auto a = BruteForceSolve(q, &ctx);
+                        if (!a.ok()) {
+                          task_status = a.status();
+                          return;
+                        }
+                        out.answer = std::move(a.value());
+                        solved = true;
+                      });
+  };
+
+  for (int e = 0; e < ne; ++e) {
+    if (inst.owners[e] == inst.sink) {
+      at_sink[e] = inst.query.relations[e];
+      continue;
+    }
+    ++pending;
+    streams.SendRelation(inst.owners[e], inst.sink, inst.query.relations[e],
+                         d->bits_per_attr, [&, e](Relation<S> r) {
+                           at_sink[e] = std::move(r);
+                           if (--pending == 0) solve();
+                         });
+  }
+  if (pending == 0) solve();
+
+  net.Run();
+  TOPOFAQ_RETURN_IF_ERROR(task_status);
+  TOPOFAQ_CHECK_MSG(solved, "async trivial protocol did not complete");
+  internal::FillAsyncStats(net, streams.pages_shipped(),
+                           streams.max_in_flight_pages(), &out.stats);
+  out.stats.kernel = ctx.Totals();
+  return out;
+}
+
+/// The Theorem 4.1 / 5.2 protocol as an event-driven star DAG. Same
+/// decomposition, same local kernel operations in the same order as
+/// RunCoreForestProtocol — bit-identical answers — with streaming transfers,
+/// per-node page budgets, and makespan accounting instead of rounds.
+template <CommutativeSemiring S>
+Result<ProtocolResult<S>> RunCoreForestProtocolAsync(
+    const DistInstance<S>& inst, const AsyncProtocolOptions& opts = {}) {
+  auto d = inst.Derived();
+  if (!d.ok()) return d.status();
+  TOPOFAQ_RETURN_IF_ERROR(internal::ValidateCanonicalInputs(inst));
+  // Shared with RunCoreForestProtocol (one definition each), so both modes
+  // process the same stars from the same initial state.
+  auto w = internal::CoreForestDecomposition(inst.query, opts.width_restarts,
+                                             opts.seed);
+  if (!w.ok()) return w.status();
+  const Ghd& ghd = w->decomposition.ghd;
+
+  AsyncNetwork net(inst.topology, internal::ResolveLink(opts, d->capacity_bits));
+  StreamNet<S> streams(&net, opts.stream);
+  ExecContext ctx;
+  if (opts.parallelism > 0) ctx.parallelism = opts.parallelism;
+
+  const int n_nodes = ghd.num_nodes();
+  std::vector<Relation<S>> state;
+  std::vector<NodeId> node_owner;
+  std::vector<bool> removed(n_nodes, false);
+  internal::InitGhdState(inst, ghd, &state, &node_owner);
+  const bool root_is_relation = ghd.node(ghd.root()).edge_id >= 0;
+
+  // The star DAG. Each internal GHD node is one star step (the sync
+  // protocol's loop body); a star can start once the stars of its internal
+  // children have folded their subtrees, so disjoint subtrees run
+  // concurrently in simulated time.
+  struct Star {
+    int center = -1;
+    std::vector<int> kids;
+    int deps = 0;              // unfinished child stars
+    int messages_pending = 0;  // leaf messages not yet at the center owner
+    std::vector<Relation<S>> msg_local;      // computed at the leaf (stream
+                                             // sources; alive while in flight)
+    std::vector<Relation<S>> msg_at_center;  // as delivered, kid order
+    std::vector<int> dependents;             // star indices waiting on this
+  };
+  std::vector<Star> stars;
+  std::vector<int> star_of(n_nodes, -1);
+  for (int center : ghd.BottomUpOrder()) {
+    if (center == ghd.root() && !root_is_relation) break;
+    if (ghd.node(center).children.empty()) continue;
+    Star s;
+    s.center = center;
+    s.kids = ghd.node(center).children;
+    star_of[center] = static_cast<int>(stars.size());
+    stars.push_back(std::move(s));
+  }
+  for (size_t i = 0; i < stars.size(); ++i)
+    for (int c : stars[i].kids)
+      if (star_of[c] >= 0) {
+        ++stars[i].deps;
+        stars[star_of[c]].dependents.push_back(static_cast<int>(i));
+      }
+
+  int stars_done = 0;
+  bool finished = false;
+  ProtocolResult<S> out;
+  Relation<S> final_acc;                 // root answer, alive while streamed
+  std::vector<Relation<S>> gather_parts; // core-bag gather, sync's at_sink
+  int gather_pending = 0;
+
+  auto schedule_compute = [&](size_t rows, std::function<void()> fn) {
+    net.ScheduleAfter(opts.compute_time_per_row * static_cast<double>(rows),
+                      std::move(fn));
+  };
+
+  // Mutually recursive stages, declared up front so any of them can chain
+  // to any other from inside an event callback.
+  std::function<void(int)> start_star;
+  std::function<void(int, size_t)> compute_message;
+  std::function<void(int, size_t, Relation<S>)> on_message;
+  std::function<void(int)> star_join;
+  std::function<void()> finish;
+  std::function<void()> solve_core;
+
+  // Leaf side of one star: aggregate out the private bound variables
+  // (Corollary G.2) and stream the functional message to the center owner.
+  compute_message = [&](int i, size_t k) {
+    const int c = stars[i].kids[k];
+    schedule_compute(state[c].size(), [&, i, k, c] {
+      Star& s = stars[i];
+      const NodeId co = node_owner[s.center];
+      const Schema& center_schema = state[s.center].schema();
+      std::vector<VarId> private_vars;
+      for (VarId x : state[c].schema().vars())
+        if (!center_schema.Contains(x)) private_vars.push_back(x);
+      Relation<S> msg =
+          internal::EliminateAll(state[c], private_vars, inst.query, &ctx);
+      removed[c] = true;
+      if (node_owner[c] != co) {
+        s.msg_local[k] = std::move(msg);
+        streams.SendRelation(node_owner[c], co, s.msg_local[k],
+                             d->bits_per_attr, [&, i, k](Relation<S> m) {
+                               on_message(i, k, std::move(m));
+                             });
+      } else {
+        on_message(i, k, std::move(msg));
+      }
+    });
+  };
+
+  on_message = [&](int i, size_t k, Relation<S> m) {
+    Star& s = stars[i];
+    s.msg_at_center[k] = std::move(m);
+    if (--s.messages_pending == 0) star_join(i);
+  };
+
+  // Center side: fold the messages in kid order — the exact join sequence
+  // of the sync protocol — then release dependent stars.
+  star_join = [&](int i) {
+    size_t rows = state[stars[i].center].size();
+    for (const Relation<S>& m : stars[i].msg_at_center) rows += m.size();
+    schedule_compute(rows, [&, i] {
+      Star& s = stars[i];
+      for (size_t k = 0; k < s.kids.size(); ++k)
+        state[s.center] = Join(state[s.center], s.msg_at_center[k], &ctx);
+      s.msg_local.clear();
+      s.msg_at_center.clear();
+      ++stars_done;
+      for (int dep : s.dependents)
+        if (--stars[dep].deps == 0) start_star(dep);
+      if (stars_done == static_cast<int>(stars.size())) finish();
+    });
+  };
+
+  start_star = [&](int i) {
+    Star& s = stars[i];
+    const NodeId co = node_owner[s.center];
+    s.messages_pending = static_cast<int>(s.kids.size());
+    s.msg_local.resize(s.kids.size());
+    s.msg_at_center.resize(s.kids.size());
+    // Kid indices grouped by owning player: one broadcast stream per remote
+    // owner (Algorithm 1 step 3 — here as actual paged bytes), after which
+    // that owner's leaves compute their messages. Local leaves (and every
+    // leaf when the center is empty, where the sync protocol also skips the
+    // broadcast) start at once.
+    std::map<NodeId, std::vector<size_t>> by_owner;
+    for (size_t k = 0; k < s.kids.size(); ++k)
+      by_owner[node_owner[s.kids[k]]].push_back(k);
+    const bool broadcast = !state[s.center].empty();
+    for (const auto& [owner, kid_idx] : by_owner) {
+      if (owner == co || !broadcast) {
+        for (size_t k : kid_idx) compute_message(i, k);
+      } else {
+        streams.SendRelation(co, owner, state[s.center], d->bits_per_attr,
+                             [&, i, kid_idx](Relation<S>) {
+                               // The delivered copy only models the
+                               // broadcast's bytes; leaves compute messages
+                               // from their own state (see compute_message).
+                               for (size_t k : kid_idx) compute_message(i, k);
+                             });
+      }
+    }
+  };
+
+  // Residual core at the sink (Lemma 4.2 / F.2): join-and-eliminate the
+  // gathered survivors, exactly the sync finish.
+  solve_core = [&] {
+    size_t rows = 0;
+    for (const Relation<S>& r : gather_parts) rows += r.size();
+    schedule_compute(rows, [&] {
+      Relation<S> acc =
+          internal::JoinAndEliminate(std::move(gather_parts), inst.query, &ctx);
+      acc = Project(acc, inst.query.free_vars, &ctx);
+      out.answer = std::move(acc);
+      finished = true;
+    });
+  };
+
+  finish = [&] {
+    if (root_is_relation) {
+      const NodeId ro = node_owner[ghd.root()];
+      schedule_compute(state[ghd.root()].size(), [&, ro] {
+        Relation<S> acc = std::move(state[ghd.root()]);
+        std::vector<VarId> bound;
+        for (VarId v : acc.schema().vars())
+          if (std::find(inst.query.free_vars.begin(),
+                        inst.query.free_vars.end(),
+                        v) == inst.query.free_vars.end())
+            bound.push_back(v);
+        acc = internal::EliminateAll(std::move(acc), bound, inst.query, &ctx);
+        acc = Project(acc, inst.query.free_vars, &ctx);
+        if (ro != inst.sink) {
+          final_acc = std::move(acc);
+          streams.SendRelation(ro, inst.sink, final_acc, d->bits_per_attr,
+                               [&](Relation<S> a) {
+                                 out.answer = std::move(a);
+                                 finished = true;
+                               });
+        } else {
+          out.answer = std::move(acc);
+          finished = true;
+        }
+      });
+      return;
+    }
+    // Synthetic core bag: stream the surviving root children to the sink.
+    std::vector<int> gather_nodes;
+    for (int c : ghd.node(ghd.root()).children)
+      if (!removed[c]) gather_nodes.push_back(c);
+    gather_parts.resize(gather_nodes.size());
+    gather_pending = 0;
+    for (int c : gather_nodes)
+      if (node_owner[c] != inst.sink) ++gather_pending;
+    for (size_t idx = 0; idx < gather_nodes.size(); ++idx) {
+      const int c = gather_nodes[idx];
+      if (node_owner[c] == inst.sink) {
+        gather_parts[idx] = state[c];
+        continue;
+      }
+      streams.SendRelation(node_owner[c], inst.sink, state[c],
+                           d->bits_per_attr, [&, idx](Relation<S> r) {
+                             gather_parts[idx] = std::move(r);
+                             if (--gather_pending == 0) solve_core();
+                           });
+    }
+    if (gather_pending == 0) solve_core();
+  };
+
+  // Kick off every dependency-free star; a star-less decomposition (single
+  // bag) goes straight to the finish.
+  if (stars.empty()) {
+    finish();
+  } else {
+    for (size_t i = 0; i < stars.size(); ++i)
+      if (stars[i].deps == 0) start_star(static_cast<int>(i));
+  }
+
+  net.Run();
+  TOPOFAQ_CHECK_MSG(finished, "async core-forest protocol did not complete");
+  internal::FillAsyncStats(net, streams.pages_shipped(),
+                           streams.max_in_flight_pages(), &out.stats);
+  out.stats.kernel = ctx.Totals();
+  return out;
+}
+
+/// BCQ wrapper over the async structured protocol.
+inline Result<bool> RunBcqProtocolAsync(
+    const DistInstance<BooleanSemiring>& inst, ProtocolStats* stats = nullptr,
+    const AsyncProtocolOptions& opts = {}) {
+  auto r = RunCoreForestProtocolAsync(inst, opts);
+  if (!r.ok()) return r.status();
+  if (stats != nullptr) *stats = r->stats;
+  return !r->answer.empty();
+}
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_PROTOCOLS_ASYNC_H_

@@ -30,27 +30,39 @@
 
 namespace topofaq {
 
+/// Options for the trivial protocol.
+struct TrivialOptions {
+  /// Kernel parallelism for the sink's local solve — the same knob as
+  /// CoreForestOptions::parallelism (0 inherits the process default;
+  /// answers are bit-identical either way).
+  int parallelism = 0;
+};
+
 /// Lemma 3.1: gather all relations at the sink, solve centrally.
 template <CommutativeSemiring S>
-Result<ProtocolResult<S>> RunTrivialProtocol(const DistInstance<S>& inst) {
-  DistInstance<S> in = inst;
-  TOPOFAQ_RETURN_IF_ERROR(in.Finalize());
-  SyncNetwork net(in.topology, in.capacity_bits);
+Result<ProtocolResult<S>> RunTrivialProtocol(const DistInstance<S>& inst,
+                                             const TrivialOptions& opts = {}) {
+  auto d = inst.Derived();
+  if (!d.ok()) return d.status();
+  auto net = SyncNetwork::Create(inst.topology, d->capacity_bits);
+  if (!net.ok()) return net.status();
 
   std::vector<FlowDemand> demands;
-  for (int e = 0; e < in.query.hypergraph.num_edges(); ++e)
-    if (in.owners[e] != in.sink)
-      demands.push_back(
-          {in.owners[e], in.query.relations[e].EncodedBits(in.bits_per_attr)});
-  int64_t finish = demands.empty() ? 0 : GatherFlows(&net, demands, in.sink, 0);
+  for (int e = 0; e < inst.query.hypergraph.num_edges(); ++e)
+    if (inst.owners[e] != inst.sink)
+      demands.push_back({inst.owners[e],
+                         inst.query.relations[e].EncodedBits(d->bits_per_attr)});
+  int64_t finish =
+      demands.empty() ? 0 : GatherFlows(&net.value(), demands, inst.sink, 0);
 
   ExecContext ctx;
-  auto answer = BruteForceSolve(in.query, &ctx);
+  if (opts.parallelism > 0) ctx.parallelism = opts.parallelism;
+  auto answer = BruteForceSolve(inst.query, &ctx);
   if (!answer.ok()) return answer.status();
   ProtocolResult<S> out;
   out.answer = std::move(answer.value());
   out.stats.rounds = finish;
-  out.stats.total_bits = net.total_bits();
+  out.stats.total_bits = net->total_bits();
   out.stats.kernel = ctx.Totals();
   return out;
 }
@@ -67,6 +79,57 @@ inline std::vector<RootedTree> OrientAll(const Graph& g,
   out.reserve(trees.size());
   for (const auto& t : trees) out.push_back(OrientTree(g, t.edges, root));
   return out;
+}
+
+/// The decomposition both execution modes of the structured protocol run on
+/// (RunCoreForestProtocol and RunCoreForestProtocolAsync share this single
+/// definition, so their star sequences — and hence their bit-identical
+/// answers — can never silently diverge): width-minimized, re-rooted so
+/// F ⊆ χ(root) when F is non-empty, with the Appendix G.5 precondition
+/// checked.
+template <CommutativeSemiring S>
+Result<WidthResult> CoreForestDecomposition(const FaqQuery<S>& q,
+                                            int width_restarts,
+                                            uint64_t seed) {
+  WidthResult w;
+  if (q.free_vars.empty()) {
+    w = width_restarts > 0 ? MinimizeWidth(q.hypergraph, width_restarts, seed)
+                           : ComputeWidth(q.hypergraph);
+  } else {
+    std::vector<VarId> f = q.free_vars;
+    std::sort(f.begin(), f.end());
+    auto rooted = MinimizeWidthWithRoot(q.hypergraph, f, width_restarts, seed);
+    if (!rooted.ok()) return rooted.status();
+    w = std::move(rooted.value());
+  }
+  const Ghd& ghd = w.decomposition.ghd;
+  const auto& root_chi = ghd.node(ghd.root()).chi;
+  for (VarId v : q.free_vars)
+    if (!std::binary_search(root_chi.begin(), root_chi.end(), v))
+      return Status::FailedPrecondition(
+          "free variable outside V(C(H)) (Appendix G.5)");
+  return w;
+}
+
+/// Initial per-bag protocol state, shared by both execution modes: each GHD
+/// node starts with its relation (owned by that relation's player) or, for
+/// the synthetic core bag, the unit relation at the sink.
+template <CommutativeSemiring S>
+void InitGhdState(const DistInstance<S>& inst, const Ghd& ghd,
+                  std::vector<Relation<S>>* state,
+                  std::vector<NodeId>* node_owner) {
+  const int n_nodes = ghd.num_nodes();
+  state->resize(n_nodes);
+  node_owner->assign(n_nodes, inst.sink);
+  for (int v = 0; v < n_nodes; ++v) {
+    const int e = ghd.node(v).edge_id;
+    if (e >= 0) {
+      (*state)[v] = inst.query.relations[e];
+      (*node_owner)[v] = inst.owners[e];
+    } else {
+      (*state)[v] = UnitRelation<S>();
+    }
+  }
 }
 
 }  // namespace internal
@@ -87,29 +150,16 @@ struct CoreForestOptions {
 template <CommutativeSemiring S>
 Result<ProtocolResult<S>> RunCoreForestProtocol(
     const DistInstance<S>& inst, const CoreForestOptions& opts = {}) {
-  DistInstance<S> in = inst;
-  TOPOFAQ_RETURN_IF_ERROR(in.Finalize());
-  WidthResult w;
-  if (in.query.free_vars.empty()) {
-    w = opts.width_restarts > 0
-            ? MinimizeWidth(in.query.hypergraph, opts.width_restarts, opts.seed)
-            : ComputeWidth(in.query.hypergraph);
-  } else {
-    std::vector<VarId> f = in.query.free_vars;
-    std::sort(f.begin(), f.end());
-    auto rooted = MinimizeWidthWithRoot(in.query.hypergraph, f,
-                                        opts.width_restarts, opts.seed);
-    if (!rooted.ok()) return rooted.status();
-    w = std::move(rooted.value());
-  }
-  const Ghd& ghd = w.decomposition.ghd;
-  const auto& root_chi = ghd.node(ghd.root()).chi;
-  for (VarId v : in.query.free_vars)
-    if (!std::binary_search(root_chi.begin(), root_chi.end(), v))
-      return Status::FailedPrecondition(
-          "free variable outside V(C(H)) (Appendix G.5)");
+  auto d = inst.Derived();
+  if (!d.ok()) return d.status();
+  auto w = internal::CoreForestDecomposition(inst.query, opts.width_restarts,
+                                             opts.seed);
+  if (!w.ok()) return w.status();
+  const Ghd& ghd = w->decomposition.ghd;
 
-  SyncNetwork net(in.topology, in.capacity_bits);
+  auto created = SyncNetwork::Create(inst.topology, d->capacity_bits);
+  if (!created.ok()) return created.status();
+  SyncNetwork& net = created.value();
   int64_t round = 0;
   // One execution context for every local relational computation the
   // protocol simulates: scratch buffers are reused across all star steps and
@@ -121,18 +171,10 @@ Result<ProtocolResult<S>> RunCoreForestProtocol(
 
   // Node state: current relation + owning player.
   const int n_nodes = ghd.num_nodes();
-  std::vector<Relation<S>> state(n_nodes);
-  std::vector<NodeId> node_owner(n_nodes, in.sink);
+  std::vector<Relation<S>> state;
+  std::vector<NodeId> node_owner;
   std::vector<bool> removed(n_nodes, false);
-  for (int v = 0; v < n_nodes; ++v) {
-    const int e = ghd.node(v).edge_id;
-    if (e >= 0) {
-      state[v] = in.query.relations[e];
-      node_owner[v] = in.owners[e];
-    } else {
-      state[v] = internal::UnitRelation<S>();
-    }
-  }
+  internal::InitGhdState(inst, ghd, &state, &node_owner);
   // Bottom-up star elimination (Lemma 4.1 / F.1): repeatedly take an
   // internal node whose children are all leaves, run Algorithm 1/2/3 on that
   // star. The root (whether a real relation or the synthetic core bag) is
@@ -161,7 +203,7 @@ Result<ProtocolResult<S>> RunCoreForestProtocol(
     std::sort(k_star.begin(), k_star.end());
     k_star.erase(std::unique(k_star.begin(), k_star.end()), k_star.end());
 
-    const int64_t center_bits = state[center].EncodedBits(in.bits_per_attr);
+    const int64_t center_bits = state[center].EncodedBits(d->bits_per_attr);
     const int64_t n_items = static_cast<int64_t>(state[center].size());
 
     if (k_star.size() > 1 && n_items > 0) {
@@ -172,10 +214,10 @@ Result<ProtocolResult<S>> RunCoreForestProtocol(
       // |R_center| aggregated values.
       const int64_t star_bits = center_bits + n_items * S::kValueBits;
       const int64_t plan_items =
-          std::max<int64_t>(1, CeilDiv(star_bits, in.capacity_bits));
-      IntersectionPlan plan = PlanIntersection(in.topology, k_star, plan_items,
+          std::max<int64_t>(1, CeilDiv(star_bits, d->capacity_bits));
+      IntersectionPlan plan = PlanIntersection(inst.topology, k_star, plan_items,
                                                opts.seed + center);
-      auto rooted = internal::OrientAll(in.topology, plan.trees,
+      auto rooted = internal::OrientAll(inst.topology, plan.trees,
                                         node_owner[center]);
       round = MultiTreeBroadcast(&net, rooted, center_bits, round);
 
@@ -199,7 +241,7 @@ Result<ProtocolResult<S>> RunCoreForestProtocol(
       for (VarId x : state[c].schema().vars())
         if (!center_schema.Contains(x)) private_vars.push_back(x);
       messages.push_back(
-          internal::EliminateAll(state[c], private_vars, in.query, &ctx));
+          internal::EliminateAll(state[c], private_vars, inst.query, &ctx));
       removed[c] = true;
     }
 
@@ -223,27 +265,27 @@ Result<ProtocolResult<S>> RunCoreForestProtocol(
     acc = std::move(state[ghd.root()]);
     std::vector<VarId> bound;
     for (VarId v : acc.schema().vars())
-      if (std::find(in.query.free_vars.begin(), in.query.free_vars.end(), v) ==
-          in.query.free_vars.end())
+      if (std::find(inst.query.free_vars.begin(), inst.query.free_vars.end(), v) ==
+          inst.query.free_vars.end())
         bound.push_back(v);
-    acc = internal::EliminateAll(std::move(acc), bound, in.query, &ctx);
+    acc = internal::EliminateAll(std::move(acc), bound, inst.query, &ctx);
   } else {
     std::vector<FlowDemand> demands;
     std::vector<Relation<S>> at_sink;
     for (int c : ghd.node(ghd.root()).children) {
       if (removed[c]) continue;
-      if (node_owner[c] != in.sink)
+      if (node_owner[c] != inst.sink)
         demands.push_back(
-            {node_owner[c], state[c].EncodedBits(in.bits_per_attr)});
+            {node_owner[c], state[c].EncodedBits(d->bits_per_attr)});
       at_sink.push_back(state[c]);
     }
-    if (!demands.empty()) round = GatherFlows(&net, demands, in.sink, round);
-    acc = internal::JoinAndEliminate(at_sink, in.query, &ctx);
+    if (!demands.empty()) round = GatherFlows(&net, demands, inst.sink, round);
+    acc = internal::JoinAndEliminate(at_sink, inst.query, &ctx);
   }
-  acc = Project(acc, in.query.free_vars, &ctx);
-  if (root_is_relation && node_owner[ghd.root()] != in.sink)
-    round = UnicastBits(&net, node_owner[ghd.root()], in.sink,
-                        std::max<int64_t>(1, acc.EncodedBits(in.bits_per_attr)),
+  acc = Project(acc, inst.query.free_vars, &ctx);
+  if (root_is_relation && node_owner[ghd.root()] != inst.sink)
+    round = UnicastBits(&net, node_owner[ghd.root()], inst.sink,
+                        std::max<int64_t>(1, acc.EncodedBits(d->bits_per_attr)),
                         round);
 
   ProtocolResult<S> out;

@@ -13,6 +13,17 @@
 
 namespace topofaq {
 
+/// Wire parameters derived from a DistInstance without mutating it — what
+/// protocols consume instead of deep-copying the instance just to fill the
+/// derived fields in place (the seed's copy-then-finalize pattern).
+struct DistDerived {
+  /// Per-attribute wire width: log2(D).
+  int bits_per_attr = 0;
+  /// Per-edge per-round budget (the paper's O(r·log2 D) default unless the
+  /// instance pins one).
+  int64_t capacity_bits = 0;
+};
+
 template <CommutativeSemiring S>
 struct DistInstance {
   FaqQuery<S> query;
@@ -29,8 +40,12 @@ struct DistInstance {
   /// annotated tuples this means r·log2(D) + kValueBits (the default).
   int64_t capacity_bits = 0;
 
-  /// Fills derived fields and validates shapes.
-  Status Finalize() {
+  /// Validates shapes and computes the derived wire parameters without
+  /// mutating the instance — every protocol calls this on a const
+  /// reference, so running a protocol never deep-copies the relations. The
+  /// instance's own bits_per_attr / capacity_bits, when non-zero, pin the
+  /// derived values.
+  Result<DistDerived> Derived() const {
     TOPOFAQ_RETURN_IF_ERROR(query.Validate());
     if (static_cast<int>(owners.size()) != query.hypergraph.num_edges())
       return Status::InvalidArgument("one owner per relation required");
@@ -41,14 +56,16 @@ struct DistInstance {
       return Status::InvalidArgument("sink out of range");
     if (!topology.IsConnected())
       return Status::InvalidArgument("topology must be connected");
-    if (bits_per_attr == 0)
-      bits_per_attr = BitsForDomain(query.DomainSize());
-    if (capacity_bits == 0)
-      capacity_bits =
-          static_cast<int64_t>(std::max(1, query.hypergraph.MaxArity())) *
-              bits_per_attr +
-          S::kValueBits;
-    return Status::Ok();
+    DistDerived d;
+    d.bits_per_attr =
+        bits_per_attr != 0 ? bits_per_attr : BitsForDomain(query.DomainSize());
+    d.capacity_bits =
+        capacity_bits != 0
+            ? capacity_bits
+            : static_cast<int64_t>(std::max(1, query.hypergraph.MaxArity())) *
+                      d.bits_per_attr +
+                  S::kValueBits;
+    return d;
   }
 
   /// Distinct players (the set K).
@@ -63,9 +80,29 @@ struct DistInstance {
 /// Round/byte accounting common to all protocols, plus the rolled-up
 /// sorted-relation kernel counters for the local computation the protocol
 /// simulated (rows in/out, key comparisons, sorts paid vs. skipped).
+///
+/// The synchronous round-ledger protocols fill `rounds`; the event-driven
+/// async protocols (protocols/async.h) leave rounds at 0 and fill the
+/// makespan/streaming block instead. `total_bits` is exact in both modes —
+/// for async it is the *actual* transferred bits (pages + framing +
+/// credits), the observable the paper's footnote-6 per-edge budgets bound.
 struct ProtocolStats {
   int64_t rounds = 0;
   int64_t total_bits = 0;
+  /// Simulated completion time of the async run (0 for sync protocols).
+  double makespan = 0.0;
+  /// Relation pages shipped end to end by the streaming transport.
+  int64_t pages = 0;
+  /// High-water mark of pages any single *source* node had in flight
+  /// (materialized but not yet consumed at the sink) — bounded by
+  /// StreamOptions::node_page_budget by construction. Pages being relayed
+  /// on a multi-hop route stay charged to their source, so a relay node may
+  /// transiently buffer its own budget plus forwarded pages.
+  int64_t max_in_flight_pages = 0;
+  /// Per-edge channel utilization over the whole run (both directions,
+  /// AsyncNetwork::EdgeUtilization), and its maximum.
+  std::vector<double> edge_utilization;
+  double max_edge_utilization = 0.0;
   OpStats kernel;
 };
 

@@ -168,6 +168,12 @@ class Relation {
 
   /// Column `j` as a contiguous read-only view — the unit operators traverse.
   ColumnView col(size_t j) const { return cols_[j]; }
+  /// Rows [begin, end) of column `j` — the page-granular view the streaming
+  /// transport (network/stream.h) cuts fixed-size column chunks from.
+  ColumnView col(size_t j, size_t begin, size_t end) const {
+    TOPOFAQ_DCHECK(begin <= end && end <= size());
+    return ColumnView(cols_[j]).subspan(begin, end - begin);
+  }
   /// All columns, schema order. Per-column equality of columns() + annots()
   /// is the determinism contract of the parallel kernel.
   const std::vector<std::vector<Value>>& columns() const { return cols_; }
@@ -297,7 +303,14 @@ class Relation {
   /// Wire size in bits when shipped over the network: each tuple costs
   /// arity·bits_per_attr (the paper's r·log2 D) plus kValueBits annotation.
   int64_t EncodedBits(int bits_per_attr) const {
-    return static_cast<int64_t>(size()) *
+    return EncodedBitsRange(0, size(), bits_per_attr);
+  }
+
+  /// Wire size of rows [begin, end) only — what one streamed page of this
+  /// relation costs on a channel (network/stream.h pages never re-encode).
+  int64_t EncodedBitsRange(size_t begin, size_t end, int bits_per_attr) const {
+    TOPOFAQ_DCHECK(begin <= end && end <= size());
+    return static_cast<int64_t>(end - begin) *
            (static_cast<int64_t>(arity()) * bits_per_attr + S::kValueBits);
   }
 
@@ -500,6 +513,53 @@ class RelationBuilder {
   }
   void Append(std::initializer_list<Value> t, SemiringValue v) {
     Append(std::span<const Value>(t.begin(), t.size()), v);
+  }
+
+  /// Bulk append of a sorted, distinct column-chunk — the page-splice path
+  /// of the streaming transport (network/stream.h): one boundary compare
+  /// against the last stored row, then arity+1 range inserts, instead of a
+  /// per-row gather + compare. `cols[j]` are parallel column chunks of
+  /// `annots.size()` rows each, lexicographically ascending and distinct
+  /// (verified under TOPOFAQ_DCHECK); a chunk whose first row equals the
+  /// stored last row merges that row with S::Add, exactly Append's rule,
+  /// and a chunk starting below the stored last row clears the sorted flag
+  /// (Build() then pays its closing sort).
+  void AppendChunk(const std::vector<std::vector<Value>>& cols,
+                   std::span<const SemiringValue> annots) {
+    TOPOFAQ_DCHECK(cols.size() == arity_);
+    const size_t n = annots.size();
+    if (n == 0) return;
+#ifndef NDEBUG
+    for (size_t j = 0; j < arity_; ++j) TOPOFAQ_DCHECK(cols[j].size() == n);
+    for (size_t i = 1; i < n; ++i) {
+      int cmp = 0;
+      for (size_t j = 0; j < arity_ && cmp == 0; ++j) {
+        const Value x = cols[j][i - 1];
+        const Value y = cols[j][i];
+        cmp = x < y ? -1 : (x > y ? 1 : 0);
+      }
+      TOPOFAQ_DCHECK(cmp < 0);
+    }
+#endif
+    size_t start = 0;
+    if (!annots_.empty()) {
+      const size_t last = annots_.size() - 1;
+      int cmp = 0;
+      for (size_t j = 0; j < arity_ && cmp == 0; ++j) {
+        const Value x = cols_[j][last];
+        const Value y = cols[j][0];
+        cmp = x < y ? -1 : (x > y ? 1 : 0);
+      }
+      if (cmp == 0) {
+        annots_.back() = S::Add(annots_.back(), annots[0]);
+        start = 1;
+      } else if (cmp > 0) {
+        sorted_ = false;
+      }
+    }
+    for (size_t j = 0; j < arity_; ++j)
+      cols_[j].insert(cols_[j].end(), cols[j].begin() + start, cols[j].end());
+    annots_.insert(annots_.end(), annots.begin() + start, annots.end());
   }
 
   /// Appends row `row` of `r` with annotation `v`, column to column — no

@@ -1,0 +1,294 @@
+// Async-protocol differential tests: the event-driven protocols
+// (protocols/async.h) must produce answers bit-identical — per column and
+// per annotation bit pattern — to the synchronous round-ledger protocols on
+// every instance, across semirings and parallelism levels, while obeying
+// the streaming transport's page budget and reporting makespan/utilization.
+//
+// CI also runs this suite with TOPOFAQ_PAGE_BUDGET=2 (a hard per-node page
+// budget far below the payload sizes below), which forces the
+// larger-than-budget backpressure path through every differential case.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bit_identity.h"
+#include "graphalg/topologies.h"
+#include "hypergraph/generators.h"
+#include "protocols/async.h"
+#include "protocols/distributed.h"
+#include "util/rng.h"
+
+namespace topofaq {
+namespace {
+
+/// Per-node page budget for the differential sweeps: the CI streaming job
+/// pins it to a tiny value via TOPOFAQ_PAGE_BUDGET so the
+/// larger-than-budget path is provably exercised.
+int64_t BudgetFromEnv(int64_t fallback) {
+  const char* e = std::getenv("TOPOFAQ_PAGE_BUDGET");
+  if (e != nullptr && *e != '\0') {
+    const long v = std::atol(e);
+    if (v >= 1) return v;
+  }
+  return fallback;
+}
+
+template <CommutativeSemiring S>
+typename S::Value RandomAnnot(Rng* rng) {
+  const uint64_t u = rng->NextU64(100) + 1;
+  if constexpr (std::is_same_v<typename S::Value, double>) {
+    return static_cast<double>(u) * 0.5;
+  } else if constexpr (sizeof(typename S::Value) == 1) {
+    return S::One();  // Boolean/GF2: stay on the canonical {0,1} values
+  } else {
+    return static_cast<typename S::Value>(u % 3 + 1);
+  }
+}
+
+template <CommutativeSemiring S>
+Relation<S> RandomRelation(const std::vector<VarId>& vars, int tuples,
+                           uint64_t domain, Rng* rng) {
+  Relation<S> r{Schema(vars)};
+  std::vector<Value> row(vars.size());
+  for (int i = 0; i < tuples; ++i) {
+    for (auto& v : row) v = rng->NextU64(domain);
+    r.Add(row, RandomAnnot<S>(rng));
+  }
+  r.Canonicalize();
+  return r;
+}
+
+template <CommutativeSemiring S>
+DistInstance<S> RandomInstance(int seed, Graph g, int tuples = 12,
+                               uint64_t domain = 4) {
+  Rng rng(seed);
+  Hypergraph h = RandomAcyclicHypergraph(4, 3, &rng);
+  std::vector<Relation<S>> rels;
+  for (int e = 0; e < h.num_edges(); ++e)
+    rels.push_back(RandomRelation<S>(h.edge(e), tuples, domain, &rng));
+  DistInstance<S> inst;
+  inst.query = MakeFaqSS<S>(h, std::move(rels), {});
+  inst.topology = std::move(g);
+  inst.owners =
+      RoundRobinOwners(h.num_edges(), inst.topology.num_nodes());
+  inst.sink = inst.topology.num_nodes() - 1;
+  return inst;
+}
+
+/// Small pages so even the 12-tuple relations above span several pages.
+AsyncProtocolOptions SmallPageOptions(int parallelism = 0) {
+  AsyncProtocolOptions opts;
+  opts.stream.page_rows = 4;
+  opts.stream.node_page_budget = BudgetFromEnv(8);
+  opts.parallelism = parallelism;
+  return opts;
+}
+
+// ------------------------------------------------------------- trivial async
+
+TEST(TrivialAsync, MatchesSyncOnRandomInstances) {
+  for (int seed = 0; seed < 8; ++seed) {
+    auto inst = RandomInstance<BooleanSemiring>(400 + seed, LineTopology(4));
+    auto sync = RunTrivialProtocol(inst);
+    auto async = RunTrivialProtocolAsync(inst, SmallPageOptions());
+    ASSERT_TRUE(sync.ok() && async.ok()) << seed;
+    EXPECT_TRUE(BytesEqual(sync->answer, async->answer));
+    EXPECT_GT(async->stats.makespan, 0.0);
+    EXPECT_GT(async->stats.total_bits, 0);
+    EXPECT_GT(async->stats.pages, 0);
+    EXPECT_LE(async->stats.max_in_flight_pages,
+              SmallPageOptions().stream.node_page_budget);
+  }
+}
+
+TEST(TrivialAsync, NoCommunicationWhenSinkOwnsEverything) {
+  auto inst = RandomInstance<BooleanSemiring>(410, LineTopology(3));
+  for (auto& o : inst.owners) o = 2;
+  inst.sink = 2;
+  auto async = RunTrivialProtocolAsync(inst, SmallPageOptions());
+  ASSERT_TRUE(async.ok());
+  EXPECT_EQ(async->stats.total_bits, 0);
+  EXPECT_EQ(async->stats.pages, 0);
+  EXPECT_DOUBLE_EQ(async->stats.makespan, 0.0);
+  auto sync = RunTrivialProtocol(inst);
+  ASSERT_TRUE(sync.ok());
+  EXPECT_TRUE(BytesEqual(sync->answer, async->answer));
+}
+
+TEST(TrivialAsync, EmptyRelationStreamsAndSolves) {
+  auto inst = RandomInstance<NaturalSemiring>(420, LineTopology(4));
+  inst.query.relations[1] = Relation<NaturalSemiring>{
+      Schema(inst.query.hypergraph.edge(1))};
+  inst.query.relations[1].Canonicalize();
+  auto sync = RunTrivialProtocol(inst);
+  auto async = RunTrivialProtocolAsync(inst, SmallPageOptions());
+  ASSERT_TRUE(sync.ok() && async.ok());
+  EXPECT_TRUE(BytesEqual(sync->answer, async->answer));
+}
+
+TEST(TrivialAsync, ParallelismKnobKeepsAnswersBitIdentical) {
+  auto inst = RandomInstance<CountingSemiring>(430, CliqueTopology(4), 40, 6);
+  TrivialOptions p1{.parallelism = 1}, p2{.parallelism = 2};
+  auto s1 = RunTrivialProtocol(inst, p1);
+  auto s2 = RunTrivialProtocol(inst, p2);
+  auto a2 = RunTrivialProtocolAsync(inst, SmallPageOptions(2));
+  ASSERT_TRUE(s1.ok() && s2.ok() && a2.ok());
+  EXPECT_TRUE(BytesEqual(s1->answer, s2->answer));
+  EXPECT_TRUE(BytesEqual(s1->answer, a2->answer));
+}
+
+TEST(TrivialAsync, NonCanonicalInputIsRejectedWithStatus) {
+  // The sync protocols accept unsorted listings; the streaming transport
+  // cuts sorted pages, so the async protocols surface the requirement as a
+  // Status instead of CHECK-crashing mid-simulation.
+  auto inst = RandomInstance<NaturalSemiring>(440, LineTopology(3));
+  Relation<NaturalSemiring> raw{Schema(inst.query.hypergraph.edge(0))};
+  std::vector<Value> row(raw.arity(), 1);
+  raw.Add(row, 2);
+  row[0] = 0;
+  raw.Add(row, 3);  // out of order: not canonical
+  ASSERT_FALSE(raw.canonical());
+  inst.query.relations[0] = std::move(raw);
+  ASSERT_TRUE(RunTrivialProtocol(inst).ok());
+  auto async = RunTrivialProtocolAsync(inst, SmallPageOptions());
+  ASSERT_FALSE(async.ok());
+  EXPECT_NE(async.status().message().find("Canonicalize"), std::string::npos);
+  EXPECT_FALSE(RunCoreForestProtocolAsync(inst, SmallPageOptions()).ok());
+}
+
+// ---------------------------------------------------------- core-forest async
+
+template <CommutativeSemiring S>
+void CoreForestDifferential(int seed, Graph g, int parallelism) {
+  auto inst = RandomInstance<S>(seed, std::move(g));
+  CoreForestOptions sopts;
+  sopts.parallelism = parallelism;
+  AsyncProtocolOptions aopts = SmallPageOptions(parallelism);
+  auto sync = RunCoreForestProtocol(inst, sopts);
+  auto async = RunCoreForestProtocolAsync(inst, aopts);
+  ASSERT_TRUE(sync.ok() && async.ok())
+      << S::kName << " seed=" << seed << " p=" << parallelism;
+  EXPECT_TRUE(BytesEqual(sync->answer, async->answer));
+  EXPECT_LE(async->stats.max_in_flight_pages, aopts.stream.node_page_budget);
+}
+
+TEST(CoreForestAsync, BitIdenticalAcrossSemiringsAndParallelism) {
+  const int hw =
+      std::max(2, static_cast<int>(std::thread::hardware_concurrency()));
+  for (int p : {1, 2, hw}) {
+    for (int seed = 0; seed < 3; ++seed) {
+      Graph topo = (seed % 2 == 0) ? Graph(LineTopology(5))
+                                   : Graph(CliqueTopology(5));
+      CoreForestDifferential<BooleanSemiring>(500 + seed, topo, p);
+      CoreForestDifferential<NaturalSemiring>(520 + seed, topo, p);
+      CoreForestDifferential<CountingSemiring>(540 + seed, topo, p);
+      CoreForestDifferential<MinPlusSemiring>(560 + seed, topo, p);
+    }
+  }
+}
+
+TEST(CoreForestAsync, CyclicQueryMatchesSync) {
+  Rng rng(600);
+  Hypergraph h = CycleGraph(4);
+  std::vector<Relation<BooleanSemiring>> rels;
+  for (int e = 0; e < h.num_edges(); ++e)
+    rels.push_back(RandomRelation<BooleanSemiring>(h.edge(e), 10, 3, &rng));
+  DistInstance<BooleanSemiring> inst;
+  inst.query = MakeBcq(h, std::move(rels));
+  inst.topology = RingTopology(5);
+  inst.owners = RoundRobinOwners(h.num_edges(), 5);
+  inst.sink = 0;
+  auto sync = RunCoreForestProtocol(inst);
+  auto async = RunCoreForestProtocolAsync(inst, SmallPageOptions());
+  ASSERT_TRUE(sync.ok() && async.ok());
+  EXPECT_TRUE(BytesEqual(sync->answer, async->answer));
+}
+
+TEST(CoreForestAsync, FreeVariableMarginalMatchesSync) {
+  Rng rng(610);
+  Hypergraph h = PaperH2();
+  std::vector<Relation<CountingSemiring>> rels;
+  for (int e = 0; e < h.num_edges(); ++e)
+    rels.push_back(RandomRelation<CountingSemiring>(h.edge(e), 10, 3, &rng));
+  DistInstance<CountingSemiring> inst;
+  inst.query = MakeFactorMarginal(h, std::move(rels), /*marginal_edge=*/0);
+  inst.topology = BalancedTreeTopology(2, 2);
+  inst.owners = RoundRobinOwners(h.num_edges(), inst.topology.num_nodes());
+  inst.sink = 0;
+  auto sync = RunCoreForestProtocol(inst);
+  auto async = RunCoreForestProtocolAsync(inst, SmallPageOptions());
+  ASSERT_TRUE(sync.ok() && async.ok());
+  EXPECT_TRUE(BytesEqual(sync->answer, async->answer));
+}
+
+// ------------------------------------------------- acceptance: page budget
+
+TEST(AsyncAcceptance, OversizedPayloadCompletesWithinPageBudget) {
+  // Total payload far exceeds the budget: 4 relations x 200 rows at 4 rows
+  // per page is ~200 pages against a per-source-node budget of 2. The run
+  // must finish with bit-identical answers while no source ever has more
+  // than 2 of its pages in flight (asserted via the ledger's high-water
+  // mark; relays forward pages charged to their source on top of their own
+  // budget).
+  auto inst =
+      RandomInstance<NaturalSemiring>(700, LineTopology(4), 200, 1 << 16);
+  AsyncProtocolOptions opts;
+  opts.stream.page_rows = 4;
+  opts.stream.node_page_budget = 2;
+  auto sync = RunTrivialProtocol(inst);
+  auto async = RunTrivialProtocolAsync(inst, opts);
+  ASSERT_TRUE(sync.ok() && async.ok());
+  EXPECT_TRUE(BytesEqual(sync->answer, async->answer));
+  EXPECT_GT(async->stats.pages, opts.stream.node_page_budget);
+  EXPECT_LE(async->stats.max_in_flight_pages, opts.stream.node_page_budget);
+  EXPECT_GE(async->stats.max_in_flight_pages, 1);
+  EXPECT_GT(async->stats.makespan, 0.0);
+  EXPECT_GT(async->stats.total_bits, 0);
+}
+
+TEST(AsyncAcceptance, UtilizationIsReportedPerEdge) {
+  auto inst = RandomInstance<BooleanSemiring>(710, LineTopology(4), 64, 8);
+  auto async = RunTrivialProtocolAsync(inst, SmallPageOptions());
+  ASSERT_TRUE(async.ok());
+  ASSERT_EQ(async->stats.edge_utilization.size(),
+            static_cast<size_t>(inst.topology.num_edges()));
+  EXPECT_GT(async->stats.max_edge_utilization, 0.0);
+  for (double u : async->stats.edge_utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+// ------------------------------------------- high-capacity regime hand-off
+
+TEST(HighCapacity, SyncProtocolsRejectAboveLedgerLimit) {
+  auto inst = RandomInstance<BooleanSemiring>(720, LineTopology(4));
+  inst.capacity_bits = int64_t{1} << 20;  // > SyncNetwork::kMaxCapacityBits
+  auto trivial = RunTrivialProtocol(inst);
+  ASSERT_FALSE(trivial.ok());
+  EXPECT_NE(trivial.status().message().find("AsyncNetwork"),
+            std::string::npos);
+  auto forest = RunCoreForestProtocol(inst);
+  ASSERT_FALSE(forest.ok());
+}
+
+TEST(HighCapacity, AsyncProtocolsTakeOver) {
+  auto inst = RandomInstance<BooleanSemiring>(720, LineTopology(4));
+  auto baseline = RunTrivialProtocol(inst);  // derived (small) capacity
+  inst.capacity_bits = int64_t{1} << 20;
+  auto async = RunTrivialProtocolAsync(inst, SmallPageOptions());
+  auto forest = RunCoreForestProtocolAsync(inst, SmallPageOptions());
+  ASSERT_TRUE(baseline.ok() && async.ok() && forest.ok());
+  EXPECT_TRUE(BytesEqual(baseline->answer, async->answer));
+  EXPECT_TRUE(BytesEqual(baseline->answer, forest->answer));
+  // The fat pipe moves the same bits in (much) less simulated time.
+  EXPECT_GT(async->stats.total_bits, 0);
+  EXPECT_LT(async->stats.makespan,
+            static_cast<double>(baseline->stats.rounds) + 1.0);
+}
+
+}  // namespace
+}  // namespace topofaq

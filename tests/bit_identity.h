@@ -1,0 +1,42 @@
+// The kernel's determinism contract as one shared gtest predicate: two
+// relations are bit-identical when their schemas match, their canonical
+// flags match, every column compares byte-equal, and every annotation
+// compares bit-pattern-equal (memcmp, so float semirings compare
+// representations — NaN payloads, signed zeros — not values). Every
+// differential suite (parallelism levels, multiway vs pairwise oracle,
+// async vs sync protocols, streamed vs source relations) asserts through
+// this one definition so the contract cannot silently diverge per file.
+#ifndef TOPOFAQ_TESTS_BIT_IDENTITY_H_
+#define TOPOFAQ_TESTS_BIT_IDENTITY_H_
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "relation/relation.h"
+
+namespace topofaq {
+
+template <CommutativeSemiring S>
+::testing::AssertionResult BytesEqual(const Relation<S>& a,
+                                      const Relation<S>& b) {
+  if (!(a.schema() == b.schema()))
+    return ::testing::AssertionFailure() << "schemas differ";
+  if (a.canonical() != b.canonical())
+    return ::testing::AssertionFailure() << "canonical flags differ";
+  if (a.columns() != b.columns())
+    return ::testing::AssertionFailure()
+           << "column bytes differ (" << a.size() << " vs " << b.size()
+           << " rows)";
+  if (a.annots().size() != b.annots().size())
+    return ::testing::AssertionFailure() << "annot counts differ";
+  for (size_t i = 0; i < a.annots().size(); ++i)
+    if (std::memcmp(&a.annots()[i], &b.annots()[i],
+                    sizeof(typename S::Value)) != 0)
+      return ::testing::AssertionFailure() << "annot " << i << " differs";
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_TESTS_BIT_IDENTITY_H_

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "bit_identity.h"
 #include "faq/query.h"
 #include "faq/solvers.h"
 #include "hypergraph/generators.h"
@@ -43,27 +44,6 @@ MinPlusSemiring::Value MakeAnnot<MinPlusSemiring>(uint64_t k) {
 template <>
 Gf2Semiring::Value MakeAnnot<Gf2Semiring>(uint64_t) {
   return 1;
-}
-
-/// Byte-level equality: schema, per-column bytes, and annotation bit patterns.
-template <CommutativeSemiring S>
-::testing::AssertionResult BytesEqual(const Relation<S>& a,
-                                      const Relation<S>& b) {
-  if (!(a.schema() == b.schema()))
-    return ::testing::AssertionFailure() << "schemas differ";
-  if (a.canonical() != b.canonical())
-    return ::testing::AssertionFailure() << "canonical flags differ";
-  if (a.columns() != b.columns())
-    return ::testing::AssertionFailure()
-           << "row bytes differ (" << a.size() << " vs " << b.size()
-           << " rows)";
-  if (a.annots().size() != b.annots().size())
-    return ::testing::AssertionFailure() << "annot counts differ";
-  for (size_t i = 0; i < a.annots().size(); ++i)
-    if (std::memcmp(&a.annots()[i], &b.annots()[i],
-                    sizeof(typename S::Value)) != 0)
-      return ::testing::AssertionFailure() << "annot " << i << " differs";
-  return ::testing::AssertionSuccess();
 }
 
 /// Random canonical relation; skew > 0 front-loads the first column so key

@@ -26,6 +26,22 @@ TEST(Simulator, DirectionsAreIndependent) {
   EXPECT_EQ(net.Reserve(0, 1, 0, 8), 8);  // 1 -> 0, same round
 }
 
+TEST(Simulator, CreateRejectsCapacityBeyondLedgerLimit) {
+  // The uint16 round ledger caps per-round capacity at kMaxCapacityBits;
+  // Create surfaces that contract as a Status (and names the AsyncNetwork
+  // escape hatch) instead of CHECK-crashing.
+  auto at_limit = SyncNetwork::Create(LineTopology(2),
+                                      SyncNetwork::kMaxCapacityBits);
+  ASSERT_TRUE(at_limit.ok());
+  EXPECT_EQ(at_limit->capacity_bits(), SyncNetwork::kMaxCapacityBits);
+  auto over = SyncNetwork::Create(LineTopology(2),
+                                  SyncNetwork::kMaxCapacityBits + 1);
+  ASSERT_FALSE(over.ok());
+  EXPECT_NE(over.status().message().find("AsyncNetwork"), std::string::npos);
+  EXPECT_FALSE(SyncNetwork::Create(LineTopology(2), 0).ok());
+  EXPECT_FALSE(SyncNetwork::ValidateCapacity(int64_t{1} << 20).ok());
+}
+
 TEST(Simulator, HorizonTracksLastTraffic) {
   SyncNetwork net(LineTopology(2), 8);
   EXPECT_EQ(net.horizon(), 0);

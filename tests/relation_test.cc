@@ -9,6 +9,7 @@
 #include <map>
 #include <thread>
 
+#include "bit_identity.h"
 #include "relation/exec.h"
 #include "relation/ops.h"
 #include "relation/parallel.h"
@@ -171,6 +172,32 @@ TEST(RelationBuilder, CancellationDropsRowsOnSortedPath) {
   EXPECT_TRUE(r.canonical());
   ASSERT_EQ(r.size(), 1u);
   EXPECT_EQ(r.at(0, 0), 2u);
+}
+
+TEST(RelationBuilder, AppendChunkSplicesSortedPages) {
+  // The streaming-sink path: sorted distinct column chunks splice with one
+  // boundary compare; an equal boundary row merges with ⊕ (Append's rule).
+  RelationBuilder<NaturalSemiring> b{Schema({0, 1})};
+  b.AppendChunk({{1, 2}, {5, 0}}, std::vector<uint64_t>{2, 7});
+  b.AppendChunk({{2, 3}, {0, 9}}, std::vector<uint64_t>{4, 1});  // merges (2,0)
+  b.AppendChunk({{}, {}}, std::span<const uint64_t>{});          // empty page
+  NRel r = b.Build();
+  EXPECT_TRUE(r.canonical());
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.annot(0), 2u);
+  EXPECT_EQ(r.annot(1), 11u);  // 7 ⊕ 4
+  EXPECT_EQ(r.annot(2), 1u);
+}
+
+TEST(RelationBuilder, AppendChunkOutOfOrderFallsBackToCanonicalize) {
+  RelationBuilder<NaturalSemiring> b{Schema({0})};
+  b.AppendChunk({{7, 9}}, std::vector<uint64_t>{1, 2});
+  b.AppendChunk({{3}}, std::vector<uint64_t>{5});  // below the stored rows
+  NRel r = b.Build();
+  EXPECT_TRUE(r.canonical());
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.at(0, 0), 3u);
+  EXPECT_EQ(r.annot(0), 5u);
 }
 
 TEST(Relation, CanonicalizeDropsCancellingPairsInGf2) {
@@ -733,21 +760,6 @@ TEST(ConcatPieces, OutOfOrderPiecesFallBackToCanonicalize) {
 
 // --- Parallel canonicalization (the parallelized serial preamble) ----------
 
-/// Per-column + annotation bit equality (the columnar determinism contract).
-template <CommutativeSemiring S>
-::testing::AssertionResult ColumnsBitEqual(const Relation<S>& a,
-                                           const Relation<S>& b) {
-  if (a.columns() != b.columns())
-    return ::testing::AssertionFailure() << "column bytes differ";
-  if (a.annots().size() != b.annots().size())
-    return ::testing::AssertionFailure() << "annot counts differ";
-  for (size_t i = 0; i < a.annots().size(); ++i)
-    if (std::memcmp(&a.annots()[i], &b.annots()[i],
-                    sizeof(typename S::Value)) != 0)
-      return ::testing::AssertionFailure() << "annot " << i << " differs";
-  return ::testing::AssertionSuccess();
-}
-
 template <CommutativeSemiring S, typename AnnotFn>
 void CheckParallelCanonicalize(uint64_t seed, AnnotFn annot) {
   Rng rng(seed);
@@ -770,7 +782,7 @@ void CheckParallelCanonicalize(uint64_t seed, AnnotFn annot) {
     Relation<S> got = base;
     got.Canonicalize(&ctx);
     EXPECT_TRUE(got.canonical());
-    EXPECT_TRUE(ColumnsBitEqual(want, got)) << "parallelism " << p;
+    EXPECT_TRUE(BytesEqual(want, got)) << "parallelism " << p;
   }
 }
 
