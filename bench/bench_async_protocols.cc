@@ -8,7 +8,11 @@
 //    reference_ms = sync — the reference-normalized ratio CI gates);
 //  * the *simulated* cost models side by side: sync rounds vs async
 //    makespan, plus total bits, pages shipped, and the peak in-flight pages
-//    of the streaming transport under its per-node page budget.
+//    of the streaming transport under its per-node page budget;
+//  * the encoded/plain payload ratio (enc/pln column, ProtocolStats::
+//    payload_bits_encoded over payload_bits_plain) — the wire compression
+//    the per-column encodings bought, reported per topology: the trivial
+//    protocol is rerun on star and clique topologies at the top size.
 //
 // Workload: the Example 2.1/2.2 star intersection (full-overlap first
 // attribute) over the Natural semiring on a line topology — the shape whose
@@ -76,14 +80,25 @@ struct Row {
   int64_t sync_bits;
   int64_t pages;
   int64_t peak_pages;
+  int64_t payload_bits_encoded = 0;
+  int64_t payload_bits_plain = 0;
 };
+
+/// Wire compression the per-column encodings bought on this run's streamed
+/// payload (1.0 when everything shipped plain).
+double PayloadRatio(const Row& r) {
+  return r.payload_bits_plain > 0 ? static_cast<double>(r.payload_bits_encoded) /
+                                        static_cast<double>(r.payload_bits_plain)
+                                  : 1.0;
+}
 
 void Report(std::vector<Row>* rows, Row r) {
   std::printf(
-      "%-13s %8zu %9.3f %9.3f %9.3f %10.1f %8lld %7lld %5lld %9.2fx\n",
+      "%-13s %8zu %9.3f %9.3f %9.3f %10.1f %8lld %7lld %5lld %9.2fx %7.3f\n",
       r.bench.c_str(), r.n, r.async_ms, r.async_par_ms, r.sync_ms, r.makespan,
       static_cast<long long>(r.rounds), static_cast<long long>(r.pages),
-      static_cast<long long>(r.peak_pages), r.sync_ms / r.async_ms);
+      static_cast<long long>(r.peak_pages), r.sync_ms / r.async_ms,
+      PayloadRatio(r));
   rows->push_back(std::move(r));
 }
 
@@ -126,6 +141,8 @@ void BenchPair(std::vector<Row>* rows, const char* name, size_t n, int reps,
   r.sync_bits = sync_out.stats.total_bits;
   r.pages = async_out.stats.pages;
   r.peak_pages = async_out.stats.max_in_flight_pages;
+  r.payload_bits_encoded = async_out.stats.payload_bits_encoded;
+  r.payload_bits_plain = async_out.stats.payload_bits_plain;
   Report(rows, std::move(r));
 }
 
@@ -147,6 +164,28 @@ void BenchSize(std::vector<Row>* rows, size_t n, int reps) {
       [&](int p) { return RunCoreForestProtocolAsync(inst, AsyncOptions(p)); });
 }
 
+/// The trivial protocol on alternative topologies over the same instance —
+/// the per-topology rows of the encoded/plain payload ratio (the streamed
+/// payload is identical; routing and contention differ).
+void BenchTopologies(std::vector<Row>* rows, size_t n, int reps) {
+  auto inst = StarInstance(/*leaves=*/4, n);
+  struct Variant {
+    const char* name;
+    Graph g;
+  };
+  Variant variants[] = {{"async_trivial_star", StarTopology(5)},
+                        {"async_trivial_clique", CliqueTopology(5)}};
+  for (auto& v : variants) {
+    inst.topology = std::move(v.g);
+    BenchPair(
+        rows, v.name, n, reps,
+        [&](int p) {
+          return RunTrivialProtocol(inst, TrivialOptions{.parallelism = p});
+        },
+        [&](int p) { return RunTrivialProtocolAsync(inst, AsyncOptions(p)); });
+  }
+}
+
 void WriteJson(const std::vector<Row>& rows, const char* path) {
   std::vector<std::string> lines;
   char buf[512];
@@ -157,13 +196,17 @@ void WriteJson(const std::vector<Row>& rows, const char* path) {
         "\"kernel_ms\": %.4f, \"parallel_ms\": %.4f, \"parallelism\": %d, "
         "\"reference_ms\": %.4f, \"speedup\": %.3f, \"par_speedup\": %.3f, "
         "\"makespan\": %.1f, \"rounds\": %lld, \"async_bits\": %lld, "
-        "\"sync_bits\": %lld, \"pages\": %lld, \"peak_pages\": %lld}",
+        "\"sync_bits\": %lld, \"pages\": %lld, \"peak_pages\": %lld, "
+        "\"payload_bits_encoded\": %lld, \"payload_bits_plain\": %lld, "
+        "\"payload_ratio\": %.4f}",
         r.bench.c_str(), r.n, r.out_rows, r.async_ms, r.async_par_ms,
         g_parallelism, r.sync_ms, r.sync_ms / r.async_ms,
         r.async_ms / r.async_par_ms, r.makespan,
         static_cast<long long>(r.rounds), static_cast<long long>(r.async_bits),
         static_cast<long long>(r.sync_bits), static_cast<long long>(r.pages),
-        static_cast<long long>(r.peak_pages));
+        static_cast<long long>(r.peak_pages),
+        static_cast<long long>(r.payload_bits_encoded),
+        static_cast<long long>(r.payload_bits_plain), PayloadRatio(r));
     lines.emplace_back(buf);
   }
   bench::WriteJsonRows(lines, path);
@@ -178,9 +221,9 @@ int main(int argc, char** argv) {
   topofaq::g_parallelism = args.parallelism;
 
   std::printf("parallelism: %d\n", topofaq::g_parallelism);
-  std::printf("%-13s %8s %9s %9s %9s %10s %8s %7s %5s %9s\n", "bench", "n",
-              "async_ms", "apar_ms", "sync_ms", "makespan", "rounds", "pages",
-              "peak", "spd");
+  std::printf("%-13s %8s %9s %9s %9s %10s %8s %7s %5s %9s %7s\n", "bench",
+              "n", "async_ms", "apar_ms", "sync_ms", "makespan", "rounds",
+              "pages", "peak", "spd", "enc/pln");
   std::vector<topofaq::Row> rows;
   // --quick keeps the 1e5 size: protocol wall times below it are
   // few-millisecond timings — shared-CI clock noise for the 1.5x relative
@@ -190,6 +233,7 @@ int main(int argc, char** argv) {
   for (size_t n : {size_t{1000}, size_t{10000}, size_t{100000}}) {
     const int reps = args.quick ? (n <= 10000 ? 3 : 2) : (n <= 10000 ? 5 : 3);
     topofaq::BenchSize(&rows, n, reps);
+    if (n == 100000) topofaq::BenchTopologies(&rows, n, reps);
   }
   std::erase_if(rows, [](const topofaq::Row& r) { return r.n < 100000; });
   topofaq::WriteJson(rows, args.out_path);

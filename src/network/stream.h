@@ -10,6 +10,19 @@
 // the sink's RelationBuilder re-certifies the canonical invariant with no
 // sort because pages arrive in row order over FIFO channels.
 //
+// Compressed columns ship compressed: a chunk of an encoded source column
+// (relation/encoding.h) is re-packed as the bit-packed code slice it covers
+// (EncodedColumn::Slice) instead of decoded values, and the packet's wire
+// bits are the true packed payload — rows·width bits per encoded column
+// versus rows·bits_per_attr for a plain one. A dictionary travels exactly
+// once per stream, on the first page; the sink caches it and decodes every
+// later chunk against the cached copy. Decoding happens only at the sink's
+// AppendChunk splice (the RelationBuilder emission point), and the rebuilt
+// relation re-runs the encode-on-canonicalize policy in Build(), so a
+// skewed relation stays compressed end to end: in memory at the source, on
+// every hop of the wire, and in memory at the sink. The per-stream
+// encoded/plain payload totals are exported for ProtocolStats.
+//
 // Backpressure rule: every *source node* has a page budget
 // (`StreamOptions::node_page_budget`, shared by all streams it is currently
 // sourcing). A page is charged against the budget when it is materialized,
@@ -77,11 +90,22 @@ class InFlightLedger {
   int64_t total_ = 0;
 };
 
+/// One column chunk of a page: raw values (kPlain) or a bit-packed code
+/// slice sharing the source column's code space (kDict / kFor). The
+/// dictionary rides in `enc.dict` only on the stream's first page; later
+/// chunks carry codes alone and the sink decodes them against its cached
+/// copy.
+struct PageCol {
+  ColumnEncoding encoding = ColumnEncoding::kPlain;
+  std::vector<Value> plain;  // kPlain only
+  EncodedColumn enc;         // kDict / kFor only
+};
+
 /// One page: rows [row_begin, row_begin + rows()) of the source relation as
 /// column chunks, schema order, plus the annotation chunk.
 template <CommutativeSemiring S>
 struct RelationPage {
-  std::vector<std::vector<Value>> cols;
+  std::vector<PageCol> cols;
   std::vector<typename S::Value> annots;
   bool last = false;
   size_t rows() const { return annots.size(); }
@@ -128,13 +152,24 @@ class StreamNet {
     routes_[id] = std::move(route);
     sources_.emplace(id, SourceState{&rel, bits_per_attr, 0, 0, false});
     sinks_.emplace(id, SinkState{RelationBuilder<S>(rel.schema()),
-                                 std::move(done)});
+                                 std::move(done),
+                                 {},
+                                 {}});
     Pump(src);
   }
 
   int64_t pages_shipped() const { return ledger_.total_pages(); }
   int64_t max_in_flight_pages() const { return ledger_.peak_pages(); }
   const InFlightLedger& ledger() const { return ledger_; }
+
+  /// Actual payload bits shipped (annotations + column chunks as encoded,
+  /// dictionaries included; framing/credits excluded) — what the packets'
+  /// wire bits charge.
+  int64_t payload_bits_encoded() const { return payload_bits_encoded_; }
+  /// The same payload priced by the plain r·log2(D) cost model. The ratio
+  /// encoded/plain is the wire compression the column encodings bought;
+  /// the two are equal when every shipped column was plain.
+  int64_t payload_bits_plain() const { return payload_bits_plain_; }
 
  private:
   struct SourceState {
@@ -147,6 +182,11 @@ class StreamNet {
   struct SinkState {
     RelationBuilder<S> builder;
     Completion done;
+    /// Per-column dictionaries cached from the stream's first page; later
+    /// chunks of a dict column decode against these.
+    std::vector<std::vector<Value>> dicts;
+    /// Decoded-chunk scratch reused across pages of this stream.
+    std::vector<std::vector<Value>> scratch;
   };
 
   /// Materializes and launches pages for every stream sourced at `src`, in
@@ -160,22 +200,42 @@ class StreamNet {
         const size_t n = st.rel->size();
         const size_t begin = st.next_row;
         const size_t end = std::min(n, begin + opts_.page_rows);
+        const int64_t rows = static_cast<int64_t>(end - begin);
         auto page = std::make_shared<RelationPage<S>>();
         page->cols.reserve(st.rel->arity());
+        // Payload accounting: encoded columns cost their true packed bits
+        // (plus the dictionary, once per stream); plain columns keep the
+        // r·log2(D) cost model, so a fully plain relation's wire bits are
+        // unchanged from the pre-encoding transport.
+        int64_t payload = rows * S::kValueBits;
         for (size_t j = 0; j < st.rel->arity(); ++j) {
-          ColumnView c = st.rel->col(j, begin, end);
-          page->cols.emplace_back(c.begin(), c.end());
+          PageCol pc;
+          if (const EncodedColumn* e = st.rel->encoded_col(j)) {
+            const bool ship_dict =
+                st.seq == 0 && e->encoding == ColumnEncoding::kDict;
+            pc.encoding = e->encoding;
+            pc.enc = EncodedColumn::Slice(*e, begin, end, ship_dict);
+            payload += rows * e->width;
+            if (ship_dict) payload += static_cast<int64_t>(e->DictBits());
+          } else {
+            ColumnView c = st.rel->col(j, begin, end);
+            pc.plain.assign(c.begin(), c.end());
+            payload += rows * st.bits_per_attr;
+          }
+          page->cols.push_back(std::move(pc));
         }
         const auto& an = st.rel->annots();
         page->annots.assign(an.begin() + begin, an.begin() + end);
         page->last = end == n;
         st.next_row = end;
         st.all_sent = page->last;
+        payload_bits_encoded_ += payload;
+        payload_bits_plain_ +=
+            st.rel->EncodedBitsRange(begin, end, st.bits_per_attr);
         Packet p;
         p.src = src;
         p.dst = routes_[id].back();
-        p.bits = opts_.page_header_bits +
-                 st.rel->EncodedBitsRange(begin, end, st.bits_per_attr);
+        p.bits = opts_.page_header_bits + payload;
         p.stream = id;
         p.seq = st.seq++;
         p.hop = 0;
@@ -216,11 +276,37 @@ class StreamNet {
     TOPOFAQ_CHECK_MSG(it != sinks_.end(), "page for an unknown stream");
     SinkState& sink = it->second;
     auto* page = static_cast<RelationPage<S>*>(p.payload.get());
+    // Decode the chunks here — the RelationBuilder emission point, the one
+    // place packed codes turn back into values. A first-page dictionary is
+    // captured into the per-stream cache; FOR chunks are self-contained.
+    const size_t rows = page->rows();
+    if (sink.dicts.size() < page->cols.size())
+      sink.dicts.resize(page->cols.size());
+    std::vector<std::vector<Value>>& cols = sink.scratch;
+    cols.resize(page->cols.size());
+    for (size_t j = 0; j < page->cols.size(); ++j) {
+      PageCol& pc = page->cols[j];
+      if (pc.encoding == ColumnEncoding::kPlain) {
+        cols[j] = std::move(pc.plain);
+        continue;
+      }
+      cols[j].resize(rows);
+      if (pc.encoding == ColumnEncoding::kFor) {
+        pc.enc.DecodeInto(0, rows, cols[j].data());
+        continue;
+      }
+      if (!pc.enc.dict.empty()) sink.dicts[j] = std::move(pc.enc.dict);
+      const std::vector<Value>& dict = sink.dicts[j];
+      const uint64_t m = pc.enc.mask();
+      for (size_t i = 0; i < rows; ++i)
+        cols[j][i] = dict[UnpackAt(pc.enc.words.data(), i, pc.enc.width, m)];
+    }
     // Pages are contiguous sorted column chunks already — splice them in
     // bulk (one boundary compare + arity+1 range inserts) instead of
-    // regathering row by row.
+    // regathering row by row. Build() re-runs the encoding policy, so a
+    // compressed source arrives compressed.
     sink.builder.AppendChunk(
-        page->cols, std::span<const typename S::Value>(page->annots));
+        cols, std::span<const typename S::Value>(page->annots));
     const bool last = page->last;
     p.payload.reset();  // the page is consumed; only the credit remains
 
@@ -249,6 +335,8 @@ class StreamNet {
   StreamOptions opts_;
   InFlightLedger ledger_;
   uint64_t next_stream_ = 0;
+  int64_t payload_bits_encoded_ = 0;
+  int64_t payload_bits_plain_ = 0;
   // Ordered maps: Pump walks streams in id order, so scheduling is
   // deterministic and independent of map iteration quirks.
   std::map<uint64_t, SourceState> sources_;

@@ -79,11 +79,14 @@ namespace internal {
 
 /// Copies the async run's observables into ProtocolStats.
 inline void FillAsyncStats(const AsyncNetwork& net, int64_t pages,
-                           int64_t peak_pages, ProtocolStats* st) {
+                           int64_t peak_pages, int64_t payload_bits_encoded,
+                           int64_t payload_bits_plain, ProtocolStats* st) {
   st->makespan = net.makespan();
   st->total_bits = net.total_bits();
   st->pages = pages;
   st->max_in_flight_pages = peak_pages;
+  st->payload_bits_encoded = payload_bits_encoded;
+  st->payload_bits_plain = payload_bits_plain;
   st->edge_utilization = net.EdgeUtilization();
   st->max_edge_utilization = 0.0;
   for (double u : st->edge_utilization)
@@ -179,7 +182,9 @@ Result<ProtocolResult<S>> RunTrivialProtocolAsync(
   TOPOFAQ_RETURN_IF_ERROR(task_status);
   TOPOFAQ_CHECK_MSG(solved, "async trivial protocol did not complete");
   internal::FillAsyncStats(net, streams.pages_shipped(),
-                           streams.max_in_flight_pages(), &out.stats);
+                           streams.max_in_flight_pages(),
+                           streams.payload_bits_encoded(),
+                           streams.payload_bits_plain(), &out.stats);
   out.stats.kernel = ctx.Totals();
   return out;
 }
@@ -422,7 +427,9 @@ Result<ProtocolResult<S>> RunCoreForestProtocolAsync(
   net.Run();
   TOPOFAQ_CHECK_MSG(finished, "async core-forest protocol did not complete");
   internal::FillAsyncStats(net, streams.pages_shipped(),
-                           streams.max_in_flight_pages(), &out.stats);
+                           streams.max_in_flight_pages(),
+                           streams.payload_bits_encoded(),
+                           streams.payload_bits_plain(), &out.stats);
   out.stats.kernel = ctx.Totals();
   return out;
 }

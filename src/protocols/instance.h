@@ -99,6 +99,14 @@ struct ProtocolStats {
   /// on a multi-hop route stay charged to their source, so a relay node may
   /// transiently buffer its own budget plus forwarded pages.
   int64_t max_in_flight_pages = 0;
+  /// Actual payload bits the streaming transport shipped, with per-column
+  /// encodings applied (packed codes + dictionaries + annotations; framing
+  /// and credits excluded), and the same payload priced by the plain
+  /// r·log2(D) cost model. encoded/plain is the wire compression the
+  /// column encodings bought; the two are equal when nothing shipped
+  /// encoded. Zero for the synchronous protocols, which never page.
+  int64_t payload_bits_encoded = 0;
+  int64_t payload_bits_plain = 0;
   /// Per-edge channel utilization over the whole run (both directions,
   /// AsyncNetwork::EdgeUtilization), and its maximum.
   std::vector<double> edge_utilization;

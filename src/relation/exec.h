@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "relation/encoding.h"
 #include "util/types.h"
 
 namespace topofaq {
@@ -123,6 +124,13 @@ class ExecContext {
   std::vector<const Value*> cols_c;
   std::vector<const Value*> cols_d;
   std::vector<const Value*> cols_e;
+  // ColView counterparts of cols_* for the encoded kernel instantiations
+  // (relations with compressed columns traverse views, never raw pointers).
+  std::vector<ColView> vcols_a;
+  std::vector<ColView> vcols_b;
+  std::vector<ColView> vcols_c;
+  std::vector<ColView> vcols_d;
+  std::vector<ColView> vcols_e;
   std::vector<Value> row;
   /// Open-addressing run directory (key hash → key-run start + 1), serial
   /// path. The parallel path shards the directory instead (table_shards).

@@ -5,9 +5,13 @@ namespace internal {
 
 namespace {
 
-/// Shared gallop: first position t in [lo, hi) of the contiguous column
-/// array `col` satisfying col[t] >= key (strict == false) or col[t] > key
-/// (strict == true). Probes are counted into *cmps.
+/// Shared gallop: first position t in [lo, hi) of the column satisfying
+/// load(t) >= key (strict == false) or load(t) > key (strict == true).
+/// Probes are counted into *cmps. Templated over the element loader so the
+/// same three-phase search runs on raw Value arrays (plain columns) and on
+/// bit-packed code words (encoded columns, one word-at-a-time unpack per
+/// probe) — keys and samples are then raw codes, translated once per seek
+/// by the caller (LowerCode/UpperCode).
 ///
 /// Three phases, all maintaining the invariant "everything ≤ prev is
 /// not-past, cur is past or cur == hi", finished by one shared binary
@@ -22,11 +26,14 @@ namespace {
 ///     whose probes hit cache, landing in a single stride-wide window of
 ///     the column — a couple of lines — rather than chasing ~log2(hi - lo)
 ///     dependent misses across it.
-///  3. The closing binary search prefetches both candidate next midpoints,
-///     overlapping each dependent probe's miss with the next.
-size_t Gallop(const Value* col, const Value* samp, size_t lo, size_t hi,
-              Value key, bool strict, int64_t* cmps) {
-  auto past = [&](Value v) { return strict ? v > key : v >= key; };
+///  3. The closing binary search prefetches both candidate next midpoints
+///     (plain columns only — packed probes land inside at most two words,
+///     already covered by the loader), overlapping each dependent probe's
+///     miss with the next.
+template <typename Load, typename Prefetch>
+size_t Gallop(Load load, Prefetch prefetch, const Value* samp, size_t lo,
+              size_t hi, uint64_t key, bool strict, int64_t* cmps) {
+  auto past = [&](uint64_t v) { return strict ? v > key : v >= key; };
   if (lo >= hi) return hi;
   // Probes accumulate in a register and publish once on exit; a per-probe
   // write through the pointer would serialize the dependent-load chain.
@@ -36,7 +43,7 @@ size_t Gallop(const Value* col, const Value* samp, size_t lo, size_t hi,
     int64_t* n;
     ~Publish() { *out += *n; }
   } publish{cmps, &probes};
-  if (past(col[lo])) return lo;
+  if (past(load(lo))) return lo;
   size_t prev = lo;  // last position known not-past
   size_t cur = hi;   // first position known past (hi: none yet)
   size_t step = 1;
@@ -64,7 +71,7 @@ size_t Gallop(const Value* col, const Value* samp, size_t lo, size_t hi,
       break;
     }
     ++probes;
-    if (past(col[probe])) {
+    if (past(load(probe))) {
       cur = probe;
       break;
     }
@@ -77,14 +84,9 @@ size_t Gallop(const Value* col, const Value* samp, size_t lo, size_t hi,
   size_t b = cur;
   while (a < b) {
     const size_t mid = a + (b - a) / 2;
-#if defined(__GNUC__)
-    // Both candidate next midpoints, prefetched so the next probe's cache
-    // miss overlaps this one's — the search is a chain of dependent loads.
-    __builtin_prefetch(col + (a + (mid - a) / 2));
-    __builtin_prefetch(col + (mid + 1 + (b - mid) / 2));
-#endif
+    prefetch(a + (mid - a) / 2, mid + 1 + (b - mid) / 2);
     ++probes;
-    if (past(col[mid])) {
+    if (past(load(mid))) {
       b = mid;
     } else {
       a = mid + 1;
@@ -93,16 +95,73 @@ size_t Gallop(const Value* col, const Value* samp, size_t lo, size_t hi,
   return a;
 }
 
+size_t GallopPlain(const Value* col, const Value* samp, size_t lo, size_t hi,
+                   Value key, bool strict, int64_t* cmps) {
+  return Gallop(
+      [col](size_t i) { return col[i]; },
+      [col](size_t m1, size_t m2) {
+#if defined(__GNUC__)
+        // Both candidate next midpoints, prefetched so the next probe's
+        // cache miss overlaps this one's — the search is a chain of
+        // dependent loads.
+        __builtin_prefetch(col + m1);
+        __builtin_prefetch(col + m2);
+#else
+        (void)m1;
+        (void)m2;
+#endif
+      },
+      samp, lo, hi, key, strict, cmps);
+}
+
 }  // namespace
 
 size_t TrieSeek(const Value* col, const Value* samp, size_t lo, size_t hi,
                 Value key, int64_t* cmps) {
-  return Gallop(col, samp, lo, hi, key, /*strict=*/false, cmps);
+  return GallopPlain(col, samp, lo, hi, key, /*strict=*/false, cmps);
 }
 
 size_t TrieRunEnd(const Value* col, const Value* samp, size_t lo, size_t hi,
                   Value key, int64_t* cmps) {
-  return Gallop(col, samp, lo, hi, key, /*strict=*/true, cmps);
+  return GallopPlain(col, samp, lo, hi, key, /*strict=*/true, cmps);
+}
+
+size_t TrieSeekPacked(const uint64_t* words, int width, const Value* samp,
+                      size_t lo, size_t hi, uint64_t code, int64_t* cmps) {
+  const uint64_t mask = PackMask(width);
+  if (width <= 57) {
+    // Rolling byte-addressed scan of the first few positions: leapfrog
+    // seek distances are usually tiny, and the sequential unpack (advance
+    // the bit cursor, one unaligned load per code — no positional multiply,
+    // no dependent probe chain) beats the exponential phase on those.
+    // Far seeks fall through to the shared gallop from where the scan
+    // stopped; every scanned position is known not-past, so the gallop
+    // invariant holds from the new lo.
+    constexpr size_t kPackedLinearProbe = 16;
+    const auto* bytes = reinterpret_cast<const unsigned char*>(words);
+    const size_t end = std::min(hi, lo + kPackedLinearProbe);
+    size_t bit = lo * static_cast<size_t>(width);
+    int64_t probes = 0;
+    for (size_t pos = lo; pos < end; ++pos) {
+      uint64_t v;
+      std::memcpy(&v, bytes + (bit >> 3), sizeof v);
+      ++probes;
+      if (((v >> (bit & 7)) & mask) >= code) {
+        *cmps += probes;
+        return pos;
+      }
+      bit += static_cast<size_t>(width);
+    }
+    *cmps += probes;
+    if (end == hi) return hi;
+    lo = end;
+  }
+  // Strictness is handled by the caller's key→code translation (a strict
+  // value seek is a non-strict seek to UpperCode), so only the >= form
+  // exists here.
+  return Gallop(
+      [words, width, mask](size_t i) { return UnpackAt(words, i, width, mask); },
+      [](size_t, size_t) {}, samp, lo, hi, code, /*strict=*/false, cmps);
 }
 
 }  // namespace internal

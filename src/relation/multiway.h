@@ -33,6 +33,7 @@
 #define TOPOFAQ_RELATION_MULTIWAY_H_
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 #include <vector>
 
@@ -66,6 +67,16 @@ size_t TrieSeek(const Value* col, const Value* samp, size_t lo, size_t hi,
 /// key's run when [lo, hi) is positioned at it.
 size_t TrieRunEnd(const Value* col, const Value* samp, size_t lo, size_t hi,
                   Value key, int64_t* cmps);
+
+/// The packed-column gallop: first position in [lo, hi) of the bit-packed
+/// code buffer `words` (codes of `width` bits) whose code is >= `code`.
+/// Encoded trie columns seek through this — the seek key is translated to
+/// code space once per seek (EncodedColumn::LowerCode/UpperCode, valid
+/// because both encodings preserve order within a column), then every
+/// gallop probe is a word-at-a-time unpack instead of a decode. `samp`
+/// holds every kSeekSampleStride-th *code* (or nullptr).
+size_t TrieSeekPacked(const uint64_t* words, int width, const Value* samp,
+                      size_t lo, size_t hi, uint64_t code, int64_t* cmps);
 
 /// Returns `r` as a canonical relation whose columns follow ascending VarId
 /// order — the trie view MultiwayJoin consumes. Takes its argument by value
@@ -123,7 +134,9 @@ struct MultiwayPlan {
   std::vector<VarId> vars;        ///< global variable order (ascending)
   std::vector<std::vector<Active>> levels;  ///< actives per global level
   /// samples[rel][col]: the column's seek sample (every
-  /// kSeekSampleStride-th value), empty below kSeekSampleMinRows rows.
+  /// kSeekSampleStride-th value — raw *codes* for an encoded column, so the
+  /// sampled descent compares in code space), empty below
+  /// kSeekSampleMinRows rows.
   std::vector<std::vector<std::vector<Value>>> samples;
   /// root_dirs[rel]: dense O(1) seek directory for the relation's *root*
   /// column — the one column that is globally sorted over the whole
@@ -131,10 +144,17 @@ struct MultiwayPlan {
   /// key is >= v answers every seek with one cached load. Built only when
   /// the leading-key domain is dense (max key + 1 <= 4x rows) and the
   /// relation is large; empty otherwise (seeks fall back to the gallop).
+  /// For an encoded root column the directory is rebuilt in *code space*
+  /// (d indexed by code, seeks translate through LowerCode/UpperCode first)
+  /// — and since codes are dense by construction (dict codes are
+  /// consecutive, FOR deltas span the value range), encoded roots qualify
+  /// far more often than raw keys do.
   std::vector<std::vector<uint32_t>> root_dirs;
 
   /// Builds the per-column seek samples and per-relation root directories;
-  /// one sequential pass each, shared read-only by all workers.
+  /// one sequential pass each, shared read-only by all workers. Encoded
+  /// columns are sampled/indexed via CodeAt — never decoded, never through
+  /// the col() cache.
   void BuildSeekIndexes() {
     samples.resize(rels.size());
     root_dirs.resize(rels.size());
@@ -143,11 +163,33 @@ struct MultiwayPlan {
       const size_t n = rels[i].size();
       if (n < kSeekSampleMinRows) continue;
       for (size_t c = 0; c < rels[i].arity(); ++c) {
-        const ColumnView col = rels[i].col(c);
         std::vector<Value>& samp = samples[i][c];
+        if (const EncodedColumn* e = rels[i].encoded_col(c)) {
+          samp.reserve(n / kSeekSampleStride + 1);
+          for (size_t t = 0; t < n; t += kSeekSampleStride)
+            samp.push_back(e->CodeAt(t));
+          continue;
+        }
+        const ColumnView col = rels[i].col(c);
         samp.reserve(col.size() / kSeekSampleStride + 1);
         for (size_t t = 0; t < col.size(); t += kSeekSampleStride)
           samp.push_back(col[t]);
+      }
+      if (const EncodedColumn* e = rels[i].encoded_col(0)) {
+        // Root column sorted ⇒ codes sorted (order-preserving encodings),
+        // so the last code is the max. Same density guard as the plain
+        // directory, in code space.
+        const uint64_t max_code = e->CodeAt(n - 1);
+        if (max_code < 4 * n && n < UINT32_MAX) {
+          std::vector<uint32_t>& d = root_dirs[i];
+          d.resize(static_cast<size_t>(max_code) + 2);
+          size_t pos = 0;
+          for (uint64_t v = 0; v <= max_code + 1; ++v) {
+            while (pos < n && e->CodeAt(pos) < v) ++pos;
+            d[static_cast<size_t>(v)] = static_cast<uint32_t>(pos);
+          }
+        }
+        continue;
       }
       const ColumnView c0 = rels[i].col(0);
       const Value max_key = c0[n - 1];  // root column is globally sorted
@@ -184,9 +226,32 @@ class MultiwayWalker {
       its_[l].reserve(plan.levels[l].size());
       for (const auto& a : plan.levels[l]) {
         Iter it;
-        // The level variable's column of this relation, as one contiguous
-        // array: every seek below gallops over dense keys.
-        it.c = plan.rels[static_cast<size_t>(a.rel)].col(a.col).data();
+        // The level variable's column of this relation: one contiguous
+        // value array (plain) or one packed code buffer (encoded) — every
+        // seek below gallops over dense keys or codes respectively, and an
+        // encoded column is never materialized.
+        const Relation<S>& rel = plan.rels[static_cast<size_t>(a.rel)];
+        if (const EncodedColumn* e = rel.encoded_col(a.col)) {
+          it.enc = e;
+          it.c = nullptr;
+          it.ebytes = reinterpret_cast<const unsigned char*>(e->words.data());
+          it.edict = e->encoding == ColumnEncoding::kDict ? e->dict.data()
+                                                          : nullptr;
+          it.ebase = e->encoding == ColumnEncoding::kDict ? 0 : e->base;
+          it.emask = e->mask();
+          it.ewidth = static_cast<uint32_t>(e->width);
+        } else {
+          it.c = rel.col(a.col).data();
+          it.enc = nullptr;
+          it.ebytes = nullptr;
+          it.edict = nullptr;
+          it.ebase = 0;
+          it.emask = 0;
+          it.ewidth = 0;
+        }
+        it.dec = nullptr;
+        it.dec_lo = 0;
+        it.dec_hi = 0;
         const auto& samp = plan.samples[static_cast<size_t>(a.rel)][a.col];
         it.samp = samp.empty() ? nullptr : samp.data();
         const auto& dir = plan.root_dirs[static_cast<size_t>(a.rel)];
@@ -222,25 +287,83 @@ class MultiwayWalker {
 
  private:
   struct Iter {
-    const Value* c;       // this level's column array of the relation
+    const Value* c;       // this level's column array (nullptr if encoded)
+    const EncodedColumn* enc;  // this level's packed column (nullptr if plain)
+    // Flattened encoded-column fields (valid iff enc != nullptr): the
+    // per-step decode in Key() runs off the iterator row alone instead of
+    // chasing the EncodedColumn object on every frontier advance.
+    const unsigned char* ebytes;  // packed code bytes
+    const Value* edict;           // dict table (nullptr for FOR)
+    Value ebase;                  // FOR base (0 for dict)
+    uint64_t emask;
+    uint32_t ewidth;
     const Value* samp;    // its seek sample (nullptr below the size floor)
     const uint32_t* dir;  // root-column dense directory (col == 0 only)
-    Value dir_max;        // largest key the directory covers
+    Value dir_max;        // largest key (plain) / code (encoded) it covers
     size_t col;           // trie depth (column index) of c in rel
-    size_t lo, hi;   // current candidate range (rows matching bound prefix)
-    size_t run;      // end of the matched key's run
+    size_t lo = 0, hi = 0;  // current candidate range (rows matching prefix)
+    size_t run = 0;         // end of the matched key's run
+    // Small-window decode cache: when the parent level binds this iterator
+    // to a window of at most kDecodeWindow rows, the packed codes are
+    // decoded once into `scratch` and the whole intersection at this level
+    // runs on plain values (dec[pos - dec_lo]). Keyed by the window bounds,
+    // so a window revisited across sibling subtrees (the same prefix run
+    // re-intersected for every key of an unrelated level) decodes once.
+    std::vector<Value> scratch;
+    const Value* dec;     // scratch.data() iff the current window is decoded
+    size_t dec_lo, dec_hi;
     int rel;
     bool last;
   };
 
-  Value Key(const Iter& it) const { return it.c[it.lo]; }
+  /// Largest encoded window materialized by the small-window decode cache.
+  static constexpr size_t kDecodeWindow = 128;
+
+  /// The *value* at the iterator's head: keys cross relation boundaries in
+  /// the leapfrog frontier, so they are always decoded (codes from
+  /// different columns are incomparable). This is the only per-step decode
+  /// an encoded column pays; seeks translate once and stay in code space.
+  /// The packed read is the byte-addressed single-load form of UnpackAt,
+  /// off the iterator's flattened fields (widths above 57 bits fall back
+  /// to the two-word read; the policy never picks them, forced modes can).
+  Value Key(const Iter& it) const {
+    if (it.c != nullptr) return it.c[it.lo];
+    if (it.dec != nullptr) return it.dec[it.lo - it.dec_lo];
+    if (it.ewidth <= 57) {
+      const size_t bit = it.lo * it.ewidth;
+      uint64_t v;
+      std::memcpy(&v, it.ebytes + (bit >> 3), sizeof v);
+      const uint64_t code = (v >> (bit & 7)) & it.emask;
+      return it.edict != nullptr ? it.edict[code] : it.ebase + code;
+    }
+    return it.enc->At(it.lo);
+  }
 
   /// First position in [it.lo, it.hi) with value >= key. Root columns with
   /// a dense directory answer in O(1): the directory's global lower bound,
   /// clamped into the current window (valid because the root column is
-  /// globally sorted). Everything else gallops.
+  /// globally sorted). Everything else gallops — over raw values (plain)
+  /// or packed codes after one LowerCode translation (encoded).
   size_t Seek(const Iter& it, Value key) {
     ++st_->seeks;
+    if (it.dec != nullptr) {
+      // Materialized window: value-space gallop over the decoded scratch
+      // (window <= kDecodeWindow rows, so no sample is ever warranted).
+      return it.dec_lo + TrieSeek(it.dec, nullptr, it.lo - it.dec_lo,
+                                  it.hi - it.dec_lo, key, &st_->comparisons);
+    }
+    if (it.enc != nullptr) {
+      const uint64_t target = it.enc->LowerCode(key);
+      if (it.dir != nullptr) {
+        ++st_->comparisons;
+        // The code-space directory is addressable up to dir_max + 1.
+        if (target > static_cast<uint64_t>(it.dir_max) + 1) return it.hi;
+        const size_t g = it.dir[static_cast<size_t>(target)];
+        return g <= it.lo ? it.lo : (g >= it.hi ? it.hi : g);
+      }
+      return TrieSeekPacked(it.enc->words.data(), it.enc->width, it.samp,
+                            it.lo, it.hi, target, &st_->comparisons);
+    }
     if (it.dir != nullptr) {
       ++st_->comparisons;
       if (key > it.dir_max) return it.hi;
@@ -251,8 +374,36 @@ class MultiwayWalker {
   }
 
   /// End of `key`'s run at [it.lo, it.hi): first position with value > key.
+  /// On an encoded column the strict bound is translated to code space —
+  /// first code >= UpperCode(key) — with the top-of-domain corner (no code
+  /// can exceed `key`) answered directly, so the ~0ull sentinel never
+  /// collides with a legitimate width-64 code.
   size_t RunEnd(const Iter& it, Value key) {
     ++st_->seeks;
+    if (it.dec != nullptr) {
+      return it.dec_lo + TrieRunEnd(it.dec, nullptr, it.lo - it.dec_lo,
+                                    it.hi - it.dec_lo, key, &st_->comparisons);
+    }
+    if (it.enc != nullptr) {
+      uint64_t target;
+      if (it.enc->encoding == ColumnEncoding::kDict) {
+        target = it.enc->UpperCode(key);
+      } else if (key < it.enc->base) {
+        target = 0;
+      } else {
+        const uint64_t d = key - it.enc->base;
+        if (d == ~0ull) return it.hi;  // no representable code exceeds key
+        target = d + 1;
+      }
+      if (it.dir != nullptr) {
+        ++st_->comparisons;
+        if (target > static_cast<uint64_t>(it.dir_max) + 1) return it.hi;
+        const size_t g = it.dir[static_cast<size_t>(target)];
+        return g <= it.lo ? it.lo : (g >= it.hi ? it.hi : g);
+      }
+      return TrieSeekPacked(it.enc->words.data(), it.enc->width, it.samp,
+                            it.lo, it.hi, target, &st_->comparisons);
+    }
     if (it.dir != nullptr) {
       ++st_->comparisons;
       if (key >= it.dir_max) return it.hi;
@@ -270,6 +421,17 @@ class MultiwayWalker {
       if (a == b) return;
       it.lo = a;
       it.hi = b;
+      if (it.enc != nullptr && b - a <= kDecodeWindow) {
+        if (it.dec_lo != a || it.dec_hi != b) {
+          it.scratch.resize(b - a);
+          it.enc->DecodeInto(a, b, it.scratch.data());
+          it.dec_lo = a;
+          it.dec_hi = b;
+        }
+        it.dec = it.scratch.data();
+      } else {
+        it.dec = nullptr;
+      }
     }
     if (l == 0 && win_lo_ > 0) {
       // Morsel window entry: land every outermost iterator at the first key
@@ -454,7 +616,9 @@ Relation<S> MultiwayJoin(std::vector<Relation<S>> inputs,
         plan.rels[static_cast<size_t>(cut_rel)].size())
       cut_rel = a.rel;
   const Relation<S>& cut = plan.rels[static_cast<size_t>(cut_rel)];
-  const Value* cd = cut.col(0).data();  // leading column, contiguous
+  // Leading column behind the encoding seam: run boundaries compare codes,
+  // window endpoints decode once per morsel.
+  const ColView cd = cut.view(0);
   const size_t cn = cut.size();
 
   // Gate the fan-out on the *largest* input, not the cut relation: a small
@@ -466,11 +630,11 @@ Relation<S> MultiwayJoin(std::vector<Relation<S>> inputs,
   if (workers > 1) {
     Relation<S> out = MorselRun<S>(
         cx, workers, out_schema, cn,
-        [&](size_t t) { return cd[t] != cd[t - 1]; }, &st,
+        [&](size_t t) { return !cd.EqualAt(t, t - 1); }, &st,
         [&](ExecContext& wc, size_t xb, size_t xe, RelationBuilder<S>* b) {
           internal::MultiwayWalker<S> walk(plan, b, &wc.multiway);
           const bool bounded_hi = xe < cn;
-          walk.Run(scalar, cd[xb], bounded_hi ? cd[xe] : 0, bounded_hi);
+          walk.Run(scalar, cd.At(xb), bounded_hi ? cd.At(xe) : 0, bounded_hi);
         });
     for (int w = 0; w < workers; ++w) {
       ExecContext& wc = cx.WorkerContext(w);

@@ -13,11 +13,16 @@
 // operators survive in reference_ops.h for differential tests and speedup
 // benchmarks.
 //
-// Storage is columnar (docs/kernel.md, "Columnar storage"): every traversal
-// below runs over per-column base-pointer arrays gathered once per call
-// (GatherColPtrs / RowCursor), so key comparisons, run-directory probes, and
-// group folds touch only the cache lines of the columns they name — never a
-// full row stride.
+// Storage is columnar (docs/kernel.md, "Columnar storage"), and columns may
+// arrive *compressed* (relation/encoding.h). Every kernel below has exactly
+// one body, templated over an access policy — PlainAccess (raw base-pointer
+// loads, byte-for-byte the pre-encoding code paths) or EncodedAccess
+// (ColView, decoding per access) — and each public operator dispatches on
+// whether any input column is encoded. Same-column work (run boundaries,
+// group detection, key-order sorts, morsel cut alignment) compares raw
+// codes without decoding — valid because both encodings preserve order and
+// equality within a column; only cross-relation key comparisons and hashes
+// decode, and rows decode at emission into the RelationBuilder.
 //
 // Each operator's emission loop is factored over a traversal *range* so the
 // morsel-parallel path (relation/parallel.h) can replay disjoint key-aligned
@@ -29,6 +34,7 @@
 
 #include <numeric>
 #include <tuple>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -41,8 +47,9 @@ namespace topofaq {
 namespace internal {
 
 /// Fills `out` with the base pointers of the `pos` columns of `r` — the
-/// typed column view an operator traverses. Borrowed from `r`: invalidated
-/// by any mutation.
+/// typed column view the plain kernel instantiation traverses. Borrowed
+/// from `r`: invalidated by any mutation. Plain-path only: the caller must
+/// have dispatched away relations with encoded columns.
 template <CommutativeSemiring S>
 void GatherColPtrs(const Relation<S>& r, const std::vector<int>& pos,
                    std::vector<const Value*>* out) {
@@ -59,15 +66,96 @@ void GatherAllColPtrs(const Relation<S>& r, std::vector<const Value*>* out) {
   for (size_t j = 0; j < r.arity(); ++j) out->push_back(r.col(j).data());
 }
 
+/// ColView counterparts for the encoded instantiation (safe on worker
+/// threads: views never touch the relation's decode cache).
+template <CommutativeSemiring S>
+void GatherColViews(const Relation<S>& r, const std::vector<int>& pos,
+                    std::vector<ColView>* out) {
+  out->clear();
+  out->reserve(pos.size());
+  for (int p : pos) out->push_back(r.view(static_cast<size_t>(p)));
+}
+
+template <CommutativeSemiring S>
+void GatherAllColViews(const Relation<S>& r, std::vector<ColView>* out) {
+  out->clear();
+  out->reserve(r.arity());
+  for (size_t j = 0; j < r.arity(); ++j) out->push_back(r.view(j));
+}
+
+/// One gather entry point per access policy.
+template <typename A, CommutativeSemiring S>
+void GatherCols(const Relation<S>& r, const std::vector<int>& pos,
+                std::vector<typename A::Col>* out) {
+  if constexpr (std::is_same_v<A, PlainAccess>)
+    GatherColPtrs(r, pos, out);
+  else
+    GatherColViews(r, pos, out);
+}
+
+template <typename A, CommutativeSemiring S>
+void GatherAllCols(const Relation<S>& r, std::vector<typename A::Col>* out) {
+  if constexpr (std::is_same_v<A, PlainAccess>)
+    GatherAllColPtrs(r, out);
+  else
+    GatherAllColViews(r, out);
+}
+
+/// Maps an access policy to the ExecContext scratch vectors it borrows.
+template <typename A>
+struct ScratchCols;
+template <>
+struct ScratchCols<PlainAccess> {
+  static std::vector<const Value*>& a(ExecContext& cx) { return cx.cols_a; }
+  static std::vector<const Value*>& b(ExecContext& cx) { return cx.cols_b; }
+  static std::vector<const Value*>& c(ExecContext& cx) { return cx.cols_c; }
+  static std::vector<const Value*>& d(ExecContext& cx) { return cx.cols_d; }
+  static std::vector<const Value*>& e(ExecContext& cx) { return cx.cols_e; }
+};
+template <>
+struct ScratchCols<EncodedAccess> {
+  static std::vector<ColView>& a(ExecContext& cx) { return cx.vcols_a; }
+  static std::vector<ColView>& b(ExecContext& cx) { return cx.vcols_b; }
+  static std::vector<ColView>& c(ExecContext& cx) { return cx.vcols_c; }
+  static std::vector<ColView>& d(ExecContext& cx) { return cx.vcols_d; }
+  static std::vector<ColView>& e(ExecContext& cx) { return cx.vcols_e; }
+};
+
 /// Lexicographic compare of row `x` under columns `a` vs row `y` under
-/// columns `b`; both views must have width `k`.
-inline int CompareKeysAt(const Value* const* a, size_t x,
-                         const Value* const* b, size_t y, size_t k) {
+/// columns `b`; both views must have width `k`. Cross-view: values decode
+/// through the access policy (codes from different columns are not
+/// comparable).
+template <typename A>
+int CompareKeysAt(const typename A::Col* a, size_t x, const typename A::Col* b,
+                  size_t y, size_t k) {
   for (size_t t = 0; t < k; ++t) {
-    const Value u = a[t][x];
-    const Value v = b[t][y];
+    const Value u = A::At(a[t], x);
+    const Value v = A::At(b[t], y);
     if (u < v) return -1;
     if (u > v) return 1;
+  }
+  return 0;
+}
+
+/// Equality of rows `x` and `y` under the SAME column views — compares raw
+/// codes on encoded columns (encodings are injective per column), so run
+/// boundaries and group scans never decode.
+template <typename A>
+bool KeysEqualAt(const typename A::Col* c, size_t x, size_t y, size_t k) {
+  for (size_t t = 0; t < k; ++t)
+    if (!A::EqualAt(c[t], x, y)) return false;
+  return true;
+}
+
+/// Ordered compare of rows `x` and `y` under the SAME column views —
+/// compares raw codes on encoded columns (both encodings preserve value
+/// order within a column), so key-order permutation sorts stay in code
+/// space.
+template <typename A>
+int CompareKeysSameAt(const typename A::Col* c, size_t x, size_t y, size_t k) {
+  for (size_t t = 0; t < k; ++t) {
+    const int r = A::CompareAt(c[t], x, y);
+    if (r != 0) return r;
   }
   return 0;
 }
@@ -86,7 +174,8 @@ inline int64_t SortComparisonBound(size_t n) {
 /// Fills `perm` with the canonical (full-row lexicographic) order of `r`;
 /// the identity, sort skipped, when `r` is already canonical. The sort runs
 /// through ParallelSortPerm (index tiebreak → total order → bit-identical
-/// at every parallelism level).
+/// at every parallelism level). Non-canonical relations are always plain
+/// (mutation decodes), so this path reads raw columns.
 template <CommutativeSemiring S>
 void RowOrderPerm(const Relation<S>& r, ExecContext& cx,
                   std::vector<size_t>* perm, OpStats* st) {
@@ -117,11 +206,14 @@ bool IsCanonicalKeyPrefix(const Relation<S>& r, const std::vector<int>& pos) {
   return r.canonical() && IsPrefixPositions(pos);
 }
 
-/// FNV-1a over row `row` of the key columns `cols` (width `k`).
-inline uint64_t HashKeyAt(const Value* const* cols, size_t k, size_t row) {
+/// FNV-1a over row `row` of the key columns `cols` (width `k`). Hashes the
+/// *decoded* values so directories built over one relation's codes match
+/// probes arriving from another relation's.
+template <typename A>
+uint64_t HashKeyAt(const typename A::Col* cols, size_t k, size_t row) {
   uint64_t h = 1469598103934665603ULL;
   for (size_t t = 0; t < k; ++t) {
-    h ^= cols[t][row];
+    h ^= A::At(cols[t], row);
     h *= 1099511628211ULL;
   }
   return h;
@@ -135,10 +227,12 @@ inline uint64_t HashKeyAt(const Value* const* cols, size_t k, size_t row) {
 /// in place — the canonical-prefix case, spared the indirection). Stored
 /// positions are *global* traversal positions (+ 1; entry 0 means empty), so
 /// per-shard directories built over key-aligned ranges probe with the
-/// unchanged ProbeRunDirectory below.
-inline void BuildRunDirectoryRange(const Value* const* rk, size_t nk,
-                                   size_t sb, size_t se, const size_t* rp,
-                                   std::vector<uint64_t>* table) {
+/// unchanged ProbeRunDirectory below. Run detection compares codes; only
+/// the per-run hash decodes.
+template <typename A>
+void BuildRunDirectoryRange(const typename A::Col* rk, size_t nk, size_t sb,
+                            size_t se, const size_t* rp,
+                            std::vector<uint64_t>* table) {
   const size_t rows = se - sb;
   size_t cap = 16;
   while (cap < rows * 2) cap <<= 1;
@@ -148,39 +242,43 @@ inline void BuildRunDirectoryRange(const Value* const* rk, size_t nk,
   bool have_prev = false;
   for (size_t s = sb; s < se; ++s) {
     const size_t row = rp ? rp[s] : s;
-    if (have_prev && CompareKeysAt(rk, row, rk, prev, nk) == 0) {
+    if (have_prev && KeysEqualAt<A>(rk, row, prev, nk)) {
       prev = row;
       continue;
     }
     prev = row;
     have_prev = true;
-    uint64_t idx = HashKeyAt(rk, nk, row) & mask;
+    uint64_t idx = HashKeyAt<A>(rk, nk, row) & mask;
     while ((*table)[idx] != 0) idx = (idx + 1) & mask;
     (*table)[idx] = s + 1;
   }
 }
 
 /// Whole-traversal directory (the serial path).
-inline void BuildRunDirectory(const Value* const* rk, size_t nk, size_t rn,
-                              const size_t* rp, std::vector<uint64_t>* table) {
-  BuildRunDirectoryRange(rk, nk, 0, rn, rp, table);
+template <typename A>
+void BuildRunDirectory(const typename A::Col* rk, size_t nk, size_t rn,
+                       const size_t* rp, std::vector<uint64_t>* table) {
+  BuildRunDirectoryRange<A>(rk, nk, 0, rn, rp, table);
 }
 
 /// Returns the traversal-position run [lo, hi) whose key equals row `lrow`
 /// of the left key view `lk`, or an empty range when there is no match.
-inline std::pair<size_t, size_t> ProbeRunDirectory(
-    const std::vector<uint64_t>& table, const Value* const* rk, size_t nk,
-    size_t rn, const size_t* rp, const Value* const* lk, size_t lrow,
-    int64_t* cmps) {
+template <typename A>
+std::pair<size_t, size_t> ProbeRunDirectory(const std::vector<uint64_t>& table,
+                                            const typename A::Col* rk,
+                                            size_t nk, size_t rn,
+                                            const size_t* rp,
+                                            const typename A::Col* lk,
+                                            size_t lrow, int64_t* cmps) {
   const uint64_t mask = table.size() - 1;
-  uint64_t idx = HashKeyAt(lk, nk, lrow) & mask;
+  uint64_t idx = HashKeyAt<A>(lk, nk, lrow) & mask;
   while (table[idx] != 0) {
     const size_t s = table[idx] - 1;
     ++*cmps;
-    if (CompareKeysAt(rk, rp ? rp[s] : s, lk, lrow, nk) == 0) {
+    if (CompareKeysAt<A>(rk, rp ? rp[s] : s, lk, lrow, nk) == 0) {
       size_t hi = s + 1;
       while (hi < rn &&
-             CompareKeysAt(rk, rp ? rp[hi] : hi, lk, lrow, nk) == 0)
+             CompareKeysAt<A>(rk, rp ? rp[hi] : hi, lk, lrow, nk) == 0)
         ++hi;
       *cmps += static_cast<int64_t>(hi - s);
       return {s, hi};
@@ -201,34 +299,38 @@ struct RunDirectory {
   const std::vector<uint64_t>* single = nullptr;
   const std::vector<std::vector<uint64_t>>* shards = nullptr;
   const std::vector<size_t>* shard_cuts = nullptr;
-
-  std::pair<size_t, size_t> Probe(const Value* const* rk, size_t nk,
-                                  size_t rn, const size_t* rp,
-                                  const Value* const* lk, size_t lrow,
-                                  int64_t* cmps) const {
-    if (single != nullptr)
-      return ProbeRunDirectory(*single, rk, nk, rn, rp, lk, lrow, cmps);
-    const std::vector<size_t>& cuts = *shard_cuts;
-    size_t lo = 0;
-    size_t hi = cuts.size() - 1;  // number of shards
-    while (hi - lo > 1) {
-      const size_t mid = lo + (hi - lo) / 2;
-      ++*cmps;
-      const size_t s = rp ? rp[cuts[mid]] : cuts[mid];
-      if (CompareKeysAt(rk, s, lk, lrow, nk) <= 0)
-        lo = mid;
-      else
-        hi = mid;
-    }
-    return ProbeRunDirectory((*shards)[lo], rk, nk, rn, rp, lk, lrow, cmps);
-  }
 };
+
+template <typename A>
+std::pair<size_t, size_t> DirProbe(const RunDirectory& dir,
+                                   const typename A::Col* rk, size_t nk,
+                                   size_t rn, const size_t* rp,
+                                   const typename A::Col* lk, size_t lrow,
+                                   int64_t* cmps) {
+  if (dir.single != nullptr)
+    return ProbeRunDirectory<A>(*dir.single, rk, nk, rn, rp, lk, lrow, cmps);
+  const std::vector<size_t>& cuts = *dir.shard_cuts;
+  size_t lo = 0;
+  size_t hi = cuts.size() - 1;  // number of shards
+  while (hi - lo > 1) {
+    const size_t mid = lo + (hi - lo) / 2;
+    ++*cmps;
+    const size_t s = rp ? rp[cuts[mid]] : cuts[mid];
+    if (CompareKeysAt<A>(rk, s, lk, lrow, nk) <= 0)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return ProbeRunDirectory<A>((*dir.shards)[lo], rk, nk, rn, rp, lk, lrow,
+                              cmps);
+}
 
 /// Fills `perm` with a row ordering of `r` sorted by key columns `pos`.
 /// When `pos` is the schema prefix [0, k) of a canonical relation the rows
 /// are already key-ordered and the sort is skipped (the kernel fast path).
-/// Like RowOrderPerm, the sort is a ParallelSortPerm with index tiebreak.
-template <CommutativeSemiring S>
+/// Like RowOrderPerm, the sort is a ParallelSortPerm with index tiebreak;
+/// on encoded columns the comparator runs in code space.
+template <typename A, CommutativeSemiring S>
 void KeyOrderPerm(const Relation<S>& r, const std::vector<int>& pos,
                   ExecContext& cx, std::vector<size_t>* perm, OpStats* st) {
   const size_t n = r.size();
@@ -238,12 +340,12 @@ void KeyOrderPerm(const Relation<S>& r, const std::vector<int>& pos,
     ++st->sort_skips;
     return;
   }
-  std::vector<const Value*> kc;
-  GatherColPtrs(r, pos, &kc);
-  const Value* const* k = kc.data();
+  std::vector<typename A::Col> kc;
+  GatherCols<A>(r, pos, &kc);
+  const typename A::Col* k = kc.data();
   const size_t nk = kc.size();
   ParallelSortPerm(perm, PlannedWorkers(cx, n), [k, nk](size_t x, size_t y) {
-    const int c = CompareKeysAt(k, x, k, y, nk);
+    const int c = CompareKeysSameAt<A>(k, x, y, nk);
     if (c != 0) return c < 0;
     return x < y;
   });
@@ -254,14 +356,15 @@ void KeyOrderPerm(const Relation<S>& r, const std::vector<int>& pos,
 /// Lower bound of the left key of row `lrow` in the key-ordered right
 /// traversal: first traversal position whose key is not < the probe key.
 /// Used by morsels entering the middle of a monotone merge.
-inline size_t RightLowerBound(const Value* const* rk, size_t nk, size_t rn,
-                              const size_t* rpm, const Value* const* lk,
-                              size_t lrow, int64_t* cmps) {
+template <typename A>
+size_t RightLowerBound(const typename A::Col* rk, size_t nk, size_t rn,
+                       const size_t* rpm, const typename A::Col* lk,
+                       size_t lrow, int64_t* cmps) {
   size_t lo = 0, hi = rn;
   while (lo < hi) {
     const size_t mid = lo + (hi - lo) / 2;
     ++*cmps;
-    if (CompareKeysAt(rk, rpm ? rpm[mid] : mid, lk, lrow, nk) < 0)
+    if (CompareKeysAt<A>(rk, rpm ? rpm[mid] : mid, lk, lrow, nk) < 0)
       lo = mid + 1;
     else
       hi = mid;
@@ -272,13 +375,14 @@ inline size_t RightLowerBound(const Value* const* rk, size_t nk, size_t rn,
 /// Emits the join outputs of left traversal positions [xb, xe) into `b`:
 /// the serial Join emission loop, parameterized over the traversal range so
 /// key-aligned morsels can replay disjoint slices of it on workers. `lall`
-/// is every left column (output assembly), `lk`/`rk` the key views, `rex`
-/// the right extra columns. `dir` must be populated when !lmono and rn > 0.
-template <CommutativeSemiring S>
+/// is every left column (output assembly — rows decode here, at emission),
+/// `lk`/`rk` the key views, `rex` the right extra columns. `dir` must be
+/// populated when !lmono and rn > 0.
+template <typename A, CommutativeSemiring S>
 void JoinEmitRange(const Relation<S>& left, const Relation<S>& right,
-                   const Value* const* lall, const Value* const* lk,
-                   const Value* const* rk, size_t nk,
-                   const Value* const* rex, size_t nex, const size_t* lpm,
+                   const typename A::Col* lall, const typename A::Col* lk,
+                   const typename A::Col* rk, size_t nk,
+                   const typename A::Col* rex, size_t nex, const size_t* lpm,
                    const size_t* rpm, bool lmono, const RunDirectory& dir,
                    size_t xb, size_t xe, RelationBuilder<S>* b,
                    std::vector<Value>* rowbuf, int64_t* cmps) {
@@ -292,7 +396,7 @@ void JoinEmitRange(const Relation<S>& left, const Relation<S>& right,
   // binary search instead of replaying the merge from traversal position 0.
   size_t j = 0;
   if (lmono && xb > 0)
-    j = RightLowerBound(rk, nk, rn, rpm, lk, lpm ? lpm[xb] : xb, cmps);
+    j = RightLowerBound<A>(rk, nk, rn, rpm, lk, lpm ? lpm[xb] : xb, cmps);
 
   bool have_prev = false;
   size_t prev_x = 0;
@@ -305,34 +409,35 @@ void JoinEmitRange(const Relation<S>& left, const Relation<S>& right,
     // with a shard binary search instead).
     if (!lmono && dir.single != nullptr && xi + 1 < xe) {
       const size_t nx = lpm ? lpm[xi + 1] : xi + 1;
-      __builtin_prefetch(dir.single->data() +
-                         (HashKeyAt(lk, nk, nx) & (dir.single->size() - 1)));
+      __builtin_prefetch(
+          dir.single->data() +
+          (HashKeyAt<A>(lk, nk, nx) & (dir.single->size() - 1)));
     }
 #endif
-    if (!have_prev || CompareKeysAt(lk, x, lk, prev_x, nk) != 0) {
+    if (!have_prev || !KeysEqualAt<A>(lk, x, prev_x, nk)) {
       if (lmono) {
         while (j < rn &&
-               CompareKeysAt(rk, rpm ? rpm[j] : j, lk, x, nk) < 0) {
+               CompareKeysAt<A>(rk, rpm ? rpm[j] : j, lk, x, nk) < 0) {
           ++*cmps;
           ++j;
         }
         lo = hi = j;
         while (hi < rn &&
-               CompareKeysAt(rk, rpm ? rpm[hi] : hi, lk, x, nk) == 0)
+               CompareKeysAt<A>(rk, rpm ? rpm[hi] : hi, lk, x, nk) == 0)
           ++hi;
         *cmps += static_cast<int64_t>(hi - lo) + 1;
         j = hi;
       } else {
-        std::tie(lo, hi) = dir.Probe(rk, nk, rn, rpm, lk, x, cmps);
+        std::tie(lo, hi) = DirProbe<A>(dir, rk, nk, rn, rpm, lk, x, cmps);
       }
     }
     have_prev = true;
     prev_x = x;
     if (lo == hi) continue;
-    for (size_t t = 0; t < la; ++t) row[t] = lall[t][x];
+    for (size_t t = 0; t < la; ++t) row[t] = A::At(lall[t], x);
     for (size_t y = lo; y < hi; ++y) {
       const size_t ry = rpm ? rpm[y] : y;
-      for (size_t t = 0; t < nex; ++t) row[la + t] = rex[t][ry];
+      for (size_t t = 0; t < nex; ++t) row[la + t] = A::At(rex[t], ry);
       b->Append(row, S::Multiply(left.annot(x), right.annot(ry)));
     }
   }
@@ -340,43 +445,42 @@ void JoinEmitRange(const Relation<S>& left, const Relation<S>& right,
 
 /// Emits the semijoin survivors among left rows [xb, xe) (original row
 /// order) into `b`; the serial Semijoin loop parameterized over the range.
-/// Survivors are appended column-to-column (RelationBuilder::AppendFrom),
-/// with no row-gather buffer.
-template <CommutativeSemiring S>
+/// Survivors are appended column-to-column (RelationBuilder::AppendFrom)
+/// through the `lall` views, with no row-gather buffer.
+template <typename A, CommutativeSemiring S>
 void SemijoinEmitRange(const Relation<S>& left, const Relation<S>& right,
-                       const Value* const* lk, const Value* const* rk,
-                       size_t nk, const size_t* rpm, bool lmono,
-                       const RunDirectory& dir, size_t xb, size_t xe,
-                       RelationBuilder<S>* b, int64_t* cmps) {
+                       const typename A::Col* lall, const typename A::Col* lk,
+                       const typename A::Col* rk, size_t nk, const size_t* rpm,
+                       bool lmono, const RunDirectory& dir, size_t xb,
+                       size_t xe, RelationBuilder<S>* b, int64_t* cmps) {
   const size_t rn = right.size();
   if (xb >= xe || rn == 0) return;
 
   size_t j = 0;
-  if (lmono && xb > 0)
-    j = RightLowerBound(rk, nk, rn, rpm, lk, xb, cmps);
+  if (lmono && xb > 0) j = RightLowerBound<A>(rk, nk, rn, rpm, lk, xb, cmps);
 
   bool have_prev = false;
   size_t prev_x = 0;
   bool matched = false;
   for (size_t x = xb; x < xe; ++x) {
-    if (!have_prev || CompareKeysAt(lk, x, lk, prev_x, nk) != 0) {
+    if (!have_prev || !KeysEqualAt<A>(lk, x, prev_x, nk)) {
       if (lmono) {
         while (j < rn &&
-               CompareKeysAt(rk, rpm ? rpm[j] : j, lk, x, nk) < 0) {
+               CompareKeysAt<A>(rk, rpm ? rpm[j] : j, lk, x, nk) < 0) {
           ++*cmps;
           ++j;
         }
         ++*cmps;
         matched =
-            j < rn && CompareKeysAt(rk, rpm ? rpm[j] : j, lk, x, nk) == 0;
+            j < rn && CompareKeysAt<A>(rk, rpm ? rpm[j] : j, lk, x, nk) == 0;
       } else {
-        auto [lo, hi] = dir.Probe(rk, nk, rn, rpm, lk, x, cmps);
+        auto [lo, hi] = DirProbe<A>(dir, rk, nk, rn, rpm, lk, x, cmps);
         matched = lo != hi;
       }
     }
     have_prev = true;
     prev_x = x;
-    if (matched) b->AppendFrom(left, x, left.annot(x));
+    if (matched) b->AppendFrom(lall, x, left.annot(x));
   }
 }
 
@@ -386,26 +490,83 @@ void SemijoinEmitRange(const Relation<S>& left, const Relation<S>& right,
 /// adjacently in the builder, and key-aligned morsels guarantee a collapse
 /// never straddles a morsel boundary. `kc` is the kept-column view (width
 /// `nkc`).
-template <CommutativeSemiring S>
-void ProjectEmitRange(const Relation<S>& r, const Value* const* kc,
+template <typename A, CommutativeSemiring S>
+void ProjectEmitRange(const Relation<S>& r, const typename A::Col* kc,
                       size_t nkc, const size_t* perm, size_t tb, size_t te,
                       RelationBuilder<S>* b, std::vector<Value>* rowbuf) {
   std::vector<Value>& row = *rowbuf;
   row.resize(nkc);
   for (size_t t = tb; t < te; ++t) {
     const size_t src = perm ? perm[t] : t;
-    for (size_t k = 0; k < nkc; ++k) row[k] = kc[k][src];
+    for (size_t k = 0; k < nkc; ++k) row[k] = A::At(kc[k], src);
     b->Append(row, r.annot(src));
   }
+}
+
+/// Counts the elimination groups covering traversal positions [gb, ge) —
+/// the pre-scan that sizes the output builder's Reserve. Pure same-column
+/// equality (codes on encoded columns), no decoding; not charged to
+/// OpStats::comparisons so counter semantics stay unchanged.
+template <typename A>
+size_t CountGroups(const typename A::Col* kc, size_t nkc, const size_t* perm,
+                   size_t gb, size_t ge) {
+  if (gb >= ge) return 0;
+  size_t groups = 1;
+  if (perm == nullptr && nkc == 1) {
+    if constexpr (std::is_same_v<A, EncodedAccess>) {
+      if (kc[0].encoded() && PackedCursor::Eligible(*kc[0].enc)) {
+        // Rolling bit cursor over the packed codes: the boundary scan is
+        // purely sequential, so no positional unpack per row. Narrow codes
+        // (width <= 14, the policy's usual output) extract four per load —
+        // branchless boundary adds over one 8-byte window.
+        const EncodedColumn& E = *kc[0].enc;
+        const size_t w = E.width;
+        PackedCursor cur(E, kc[0].offset + gb);
+        uint64_t prev = cur.Next();
+        size_t t = gb + 1;
+        if (w <= 14) {
+          const uint64_t m = cur.mask;
+          for (; t + 4 <= ge; t += 4, cur.bit += 4 * w) {
+            uint64_t v;
+            std::memcpy(&v, cur.bytes + (cur.bit >> 3), sizeof v);
+            v >>= (cur.bit & 7);
+            const uint64_t c0 = v & m;
+            const uint64_t c1 = (v >> w) & m;
+            const uint64_t c2 = (v >> (2 * w)) & m;
+            const uint64_t c3 = (v >> (3 * w)) & m;
+            groups += (c0 != prev) + (c1 != c0) + (c2 != c1) + (c3 != c2);
+            prev = c3;
+          }
+        }
+        for (; t < ge; ++t) {
+          const uint64_t code = cur.Next();
+          groups += code != prev;
+          prev = code;
+        }
+        return groups;
+      }
+    }
+    for (size_t t = gb + 1; t < ge; ++t)
+      groups += !A::EqualAt(kc[0], t, t - 1);
+    return groups;
+  }
+  for (size_t t = gb + 1; t < ge; ++t) {
+    const size_t a = perm ? perm[t] : t;
+    const size_t p = perm ? perm[t - 1] : t - 1;
+    groups += !KeysEqualAt<A>(kc, a, p, nkc);
+  }
+  return groups;
 }
 
 /// Folds the elimination groups covering traversal positions [gb, ge)
 /// (kept-key order via `perm`) into `b`. gb and ge must be group boundaries
 /// — key-aligned morsel cuts guarantee exactly that — so every group folds
 /// whole, in traversal order, identical to the serial pass. The group scan
-/// touches only the kept columns `kc` and the annotation column.
-template <CommutativeSemiring S>
-void EliminateEmitRange(const Relation<S>& r, const Value* const* kc,
+/// touches only the kept columns `kc` and the annotation column; on an
+/// encoded key column it detects runs over the packed codes and decodes
+/// exactly once per group, at emission.
+template <typename A, CommutativeSemiring S>
+void EliminateEmitRange(const Relation<S>& r, const typename A::Col* kc,
                         size_t nkc, const size_t* perm, VarOp op, size_t gb,
                         size_t ge, RelationBuilder<S>* b,
                         std::vector<Value>* rowbuf, int64_t* cmps) {
@@ -415,23 +576,109 @@ void EliminateEmitRange(const Relation<S>& r, const Value* const* kc,
   if (perm == nullptr && nkc == 1) {
     // The flagship columnar scan: group boundaries read one contiguous key
     // column and the fold one contiguous annotation column — no permutation
-    // stream, no pointer-array indirection (hoisting kc[0] into a local
-    // also frees the compiler from assuming the builder aliases it).
-    const Value* c0 = kc[0];
-    for (size_t g = gb; g < ge;) {
-      const Value key = c0[g];
-      typename S::Value acc = annots[g];
-      size_t e = g + 1;
-      while (e < ge && c0[e] == key) {
-        acc = ApplyVarOp<S>(op, acc, annots[e]);
-        ++e;
-      }
-      *cmps += static_cast<int64_t>(e - g);
-      row[0] = key;
-      b->Append(row, acc);
-      g = e;
+    // stream, no pointer-array indirection.
+    const Value* c0 = nullptr;
+    if constexpr (std::is_same_v<A, PlainAccess>) {
+      c0 = kc[0];
+    } else {
+      c0 = kc[0].plain;  // non-null when the single kept column is plain
     }
-    return;
+    if (c0 != nullptr) {
+      // Hoisting the base pointer into a local also frees the compiler
+      // from assuming the builder aliases it.
+      for (size_t g = gb; g < ge;) {
+        const Value key = c0[g];
+        typename S::Value acc = annots[g];
+        size_t e = g + 1;
+        while (e < ge && c0[e] == key) {
+          acc = ApplyVarOp<S>(op, acc, annots[e]);
+          ++e;
+        }
+        *cmps += static_cast<int64_t>(e - g);
+        row[0] = key;
+        b->Append(row, acc);
+        g = e;
+      }
+      return;
+    }
+    if constexpr (std::is_same_v<A, EncodedAccess>) {
+      // Encoded single-column scan: run detection over the packed codes
+      // (one word-at-a-time unpack per step, no dictionary touch), decode
+      // once per group at emission.
+      const ColView c0v = kc[0];
+      if (PackedCursor::Eligible(*c0v.enc)) {
+        // Sequential scan over the packed codes — one unaligned load per
+        // probe instead of a positional unpack, four rows per load inside a
+        // run for narrow codes — and the dictionary is touched once per
+        // group, at emission.
+        const EncodedColumn& E = *c0v.enc;
+        const auto* bytes =
+            reinterpret_cast<const unsigned char*>(E.words.data());
+        const size_t w = E.width;
+        const uint64_t m = E.mask();
+        const size_t off = c0v.offset;
+        uint64_t code = E.CodeAt(off + gb);
+        for (size_t g = gb; g < ge;) {
+          typename S::Value acc = annots[g];
+          size_t e = g + 1;
+          size_t bit = (off + e) * w;
+          if (w <= 14) {
+            // Quad run fold: leave at the first window containing a
+            // boundary, finish that run scalar.
+            while (e + 4 <= ge) {
+              uint64_t v;
+              std::memcpy(&v, bytes + (bit >> 3), sizeof v);
+              v >>= (bit & 7);
+              if ((v & m) != code || ((v >> w) & m) != code ||
+                  ((v >> (2 * w)) & m) != code ||
+                  ((v >> (3 * w)) & m) != code)
+                break;
+              acc = ApplyVarOp<S>(op, acc, annots[e]);
+              acc = ApplyVarOp<S>(op, acc, annots[e + 1]);
+              acc = ApplyVarOp<S>(op, acc, annots[e + 2]);
+              acc = ApplyVarOp<S>(op, acc, annots[e + 3]);
+              e += 4;
+              bit += 4 * w;
+            }
+          }
+          uint64_t next = 0;
+          bool have_next = false;
+          while (e < ge) {
+            uint64_t v;
+            std::memcpy(&v, bytes + (bit >> 3), sizeof v);
+            const uint64_t c = (v >> (bit & 7)) & m;
+            if (c != code) {
+              next = c;
+              have_next = true;
+              break;
+            }
+            acc = ApplyVarOp<S>(op, acc, annots[e]);
+            ++e;
+            bit += w;
+          }
+          *cmps += static_cast<int64_t>(e - g);
+          row[0] = E.Decode(code);
+          b->Append(row, acc);
+          g = e;
+          if (have_next) code = next;
+        }
+        return;
+      }
+      for (size_t g = gb; g < ge;) {
+        const uint64_t code = c0v.CodeAt(g);
+        typename S::Value acc = annots[g];
+        size_t e = g + 1;
+        while (e < ge && c0v.CodeAt(e) == code) {
+          acc = ApplyVarOp<S>(op, acc, annots[e]);
+          ++e;
+        }
+        *cmps += static_cast<int64_t>(e - g);
+        row[0] = c0v.enc->Decode(code);
+        b->Append(row, acc);
+        g = e;
+      }
+      return;
+    }
   }
   for (size_t g = gb; g < ge;) {
     const size_t head = perm ? perm[g] : g;
@@ -439,12 +686,12 @@ void EliminateEmitRange(const Relation<S>& r, const Value* const* kc,
     size_t e = g + 1;
     while (e < ge) {
       const size_t src = perm ? perm[e] : e;
-      if (CompareKeysAt(kc, src, kc, head, nkc) != 0) break;
+      if (!KeysEqualAt<A>(kc, src, head, nkc)) break;
       acc = ApplyVarOp<S>(op, acc, annots[src]);
       ++e;
     }
     *cmps += static_cast<int64_t>(e - g);
-    for (size_t k = 0; k < nkc; ++k) row[k] = kc[k][head];
+    for (size_t k = 0; k < nkc; ++k) row[k] = A::At(kc[k], head);
     b->Append(row, acc);
     g = e;
   }
@@ -454,49 +701,33 @@ void EliminateEmitRange(const Relation<S>& r, const Value* const* kc,
 /// the worker pool: the traversal is cut into key-aligned shards, worker w
 /// claims shards through the pool and builds each into
 /// `cx.table_shards[s]`. Returns the shard cuts for RunDirectory probing.
-inline std::vector<size_t> BuildShardedRunDirectory(
-    ExecContext& cx, int workers, const Value* const* rk, size_t nk,
-    size_t rn, const size_t* rpm) {
-  std::vector<size_t> cuts = KeyAlignedCuts(
-      rn, static_cast<size_t>(workers), [&](size_t t) {
+template <typename A>
+std::vector<size_t> BuildShardedRunDirectory(ExecContext& cx, int workers,
+                                             const typename A::Col* rk,
+                                             size_t nk, size_t rn,
+                                             const size_t* rpm) {
+  std::vector<size_t> cuts =
+      KeyAlignedCuts(rn, static_cast<size_t>(workers), [&](size_t t) {
         const size_t a = rpm ? rpm[t] : t;
         const size_t p = rpm ? rpm[t - 1] : t - 1;
-        return CompareKeysAt(rk, a, rk, p, nk) != 0;
+        return !KeysEqualAt<A>(rk, a, p, nk);
       });
   const size_t n_shards = cuts.size() - 1;
   if (cx.table_shards.size() < n_shards) cx.table_shards.resize(n_shards);
   WorkerPool::Shared().ParallelFor(
       std::min<int>(workers, static_cast<int>(n_shards)), n_shards,
       [&](int, size_t s) {
-        BuildRunDirectoryRange(rk, nk, cuts[s], cuts[s + 1], rpm,
-                               &cx.table_shards[s]);
+        BuildRunDirectoryRange<A>(rk, nk, cuts[s], cuts[s + 1], rpm,
+                                  &cx.table_shards[s]);
       });
   return cuts;
 }
 
-}  // namespace internal
-
-/// Natural join: output schema is left's variables followed by right's
-/// non-shared variables; annotations multiply (⊗). Output is canonical.
-///
-/// Left-driven sort-merge: the left side is walked in canonical row order
-/// and matched against key-runs of the key-ordered right side — by a linear
-/// two-pointer merge when the left key is a schema prefix (keys then arrive
-/// monotonically), and by a flat hashed run directory otherwise. Because
-/// every output row is the left row extended by right extras — and runs are
-/// tie-broken by full right row — output rows stream out in nondecreasing
-/// order, so the result is certified canonical with no closing sort. At most
-/// one permutation sort is paid (on the right, only when its key columns are
-/// not already a canonical schema prefix); with no shared variables the
-/// single all-rows run makes this the streaming cross product.
-///
-/// With ctx->parallelism > 1 and a large enough left side, the left
-/// traversal is cut into key-aligned morsels executed on the worker pool
-/// (run directory sharded across workers too); output bytes are identical
-/// to the serial path — see docs/kernel.md, "Morsel-parallel execution".
-template <CommutativeSemiring S>
-Relation<S> Join(const Relation<S>& left, const Relation<S>& right,
-                 ExecContext* ctx = nullptr) {
+/// The Join body (see the public wrapper below for semantics), one
+/// instantiation per access policy.
+template <typename A, CommutativeSemiring S>
+Relation<S> JoinImpl(const Relation<S>& left, const Relation<S>& right,
+                     ExecContext* ctx) {
   ExecContext& cx = ExecContext::Resolve(ctx);
   OpStats& st = cx.join;
   ++st.calls;
@@ -526,14 +757,14 @@ Relation<S> Join(const Relation<S>& left, const Relation<S>& right,
 
   // Typed column views of everything this call traverses: left key + all
   // left columns (output assembly), right key + right extras.
-  internal::GatherColPtrs(left, lpos, &cx.cols_a);
-  internal::GatherColPtrs(right, rpos, &cx.cols_b);
-  internal::GatherColPtrs(right, rextra, &cx.cols_c);
-  internal::GatherAllColPtrs(left, &cx.cols_d);
-  const Value* const* lk = cx.cols_a.data();
-  const Value* const* rk = cx.cols_b.data();
-  const Value* const* rex = cx.cols_c.data();
-  const Value* const* lall = cx.cols_d.data();
+  GatherCols<A>(left, lpos, &ScratchCols<A>::a(cx));
+  GatherCols<A>(right, rpos, &ScratchCols<A>::b(cx));
+  GatherCols<A>(right, rextra, &ScratchCols<A>::c(cx));
+  GatherAllCols<A>(left, &ScratchCols<A>::d(cx));
+  const typename A::Col* lk = ScratchCols<A>::a(cx).data();
+  const typename A::Col* rk = ScratchCols<A>::b(cx).data();
+  const typename A::Col* rex = ScratchCols<A>::c(cx).data();
+  const typename A::Col* lall = ScratchCols<A>::d(cx).data();
   const size_t nk = lpos.size();
   const size_t nex = rextra.size();
   const size_t ln = left.size();
@@ -545,39 +776,40 @@ Relation<S> Join(const Relation<S>& left, const Relation<S>& right,
   if (left.canonical()) {
     ++st.sort_skips;
   } else {
-    internal::RowOrderPerm(left, cx, &cx.perm_a, &st);
+    RowOrderPerm(left, cx, &cx.perm_a, &st);
     lpm = cx.perm_a.data();
   }
 
   // Right side key-ordered with full-row tiebreak so extras within a key-run
   // stream out sorted; identity (no sort, no indirection) when the key is
-  // already a canonical schema prefix.
+  // already a canonical schema prefix. Comparators run in code space on
+  // encoded columns.
   const size_t* rpm = nullptr;
-  if (internal::IsCanonicalKeyPrefix(right, rpos)) {
+  if (IsCanonicalKeyPrefix(right, rpos)) {
     ++st.sort_skips;
   } else {
     std::vector<size_t>& rp = cx.perm_b;
     rp.resize(rn);
     std::iota(rp.begin(), rp.end(), size_t{0});
-    internal::GatherAllColPtrs(right, &cx.cols_e);
-    const Value* const* rall = cx.cols_e.data();
+    GatherAllCols<A>(right, &ScratchCols<A>::e(cx));
+    const typename A::Col* rall = ScratchCols<A>::e(cx).data();
     const size_t ra = right.arity();
     ParallelSortPerm(&rp, PlannedWorkers(cx, rn), [&](size_t x, size_t y) {
-      const int c = internal::CompareKeysAt(rk, x, rk, y, nk);
+      const int c = CompareKeysSameAt<A>(rk, x, y, nk);
       if (c != 0) return c < 0;
-      const int f = internal::CompareKeysAt(rall, x, rall, y, ra);
+      const int f = CompareKeysSameAt<A>(rall, x, y, ra);
       if (f != 0) return f < 0;
       return x < y;
     });
     ++st.sorts;
-    st.comparisons += internal::SortComparisonBound(rn);
+    st.comparisons += SortComparisonBound(rn);
     rpm = rp.data();
   }
 
   // Left keys arrive monotonically under full-row traversal order exactly
   // when the key columns are the left schema prefix — then a linear merge
   // suffices; otherwise probe through the hashed run directory.
-  const bool lmono = internal::IsPrefixPositions(lpos);
+  const bool lmono = IsPrefixPositions(lpos);
   Schema out_schema{std::move(out_vars)};
 
   // Parallel only for a canonical left: duplicate left tuples would emit
@@ -590,11 +822,10 @@ Relation<S> Join(const Relation<S>& left, const Relation<S>& right,
   // emission order, identically on both paths.
   const int workers = left.canonical() ? PlannedWorkers(cx, ln) : 1;
   if (workers > 1 && rn > 0) {
-    internal::RunDirectory dir;
+    RunDirectory dir;
     std::vector<size_t> shard_cuts;
     if (!lmono) {
-      shard_cuts =
-          internal::BuildShardedRunDirectory(cx, workers, rk, nk, rn, rpm);
+      shard_cuts = BuildShardedRunDirectory<A>(cx, workers, rk, nk, rn, rpm);
       dir.shards = &cx.table_shards;
       dir.shard_cuts = &shard_cuts;
     }
@@ -603,14 +834,14 @@ Relation<S> Join(const Relation<S>& left, const Relation<S>& right,
         [&](size_t t) {
           const size_t a = lpm ? lpm[t] : t;
           const size_t p = lpm ? lpm[t - 1] : t - 1;
-          return internal::CompareKeysAt(lk, a, lk, p, nk) != 0;
+          return !KeysEqualAt<A>(lk, a, p, nk);
         },
         &st,
         [&](ExecContext& wc, size_t xb, size_t xe, RelationBuilder<S>* b) {
           b->Reserve(xe - xb);
-          internal::JoinEmitRange(left, right, lall, lk, rk, nk, rex, nex,
-                                  lpm, rpm, lmono, dir, xb, xe, b, &wc.row,
-                                  &wc.join.comparisons);
+          JoinEmitRange<A>(left, right, lall, lk, rk, nk, rex, nex, lpm, rpm,
+                           lmono, dir, xb, xe, b, &wc.row,
+                           &wc.join.comparisons);
         });
     for (int w = 0; w < workers; ++w) {
       ExecContext& wc = cx.WorkerContext(w);
@@ -621,34 +852,24 @@ Relation<S> Join(const Relation<S>& left, const Relation<S>& right,
     return out;
   }
 
-  internal::RunDirectory dir;
+  RunDirectory dir;
   if (!lmono && ln > 0 && rn > 0) {
-    internal::BuildRunDirectory(rk, nk, rn, rpm, &cx.table);
+    BuildRunDirectory<A>(rk, nk, rn, rpm, &cx.table);
     dir.single = &cx.table;
   }
   RelationBuilder<S> b{std::move(out_schema)};
   b.Reserve(std::max(ln, rn));
-  internal::JoinEmitRange(left, right, lall, lk, rk, nk, rex, nex, lpm, rpm,
-                          lmono, dir, 0, ln, &b, &cx.row, &st.comparisons);
+  JoinEmitRange<A>(left, right, lall, lk, rk, nk, rex, nex, lpm, rpm, lmono,
+                   dir, 0, ln, &b, &cx.row, &st.comparisons);
   Relation<S> out = b.Build();
   st.rows_out += static_cast<int64_t>(out.size());
   return out;
 }
 
-/// Semijoin left ⋉ right: rows of `left` whose projection onto the shared
-/// variables matches some non-zero row of `right`; annotations of `left`
-/// are kept unchanged (Definition 3.5 semantics).
-///
-/// Left rows are tested in their original order against a key-ordered right
-/// side (linear merge when the left key is a canonical schema prefix, hashed
-/// run-directory probes otherwise; the right-side sort is skipped when its
-/// key is a canonical schema prefix) — for a canonical left input the output
-/// is a canonical subsequence and never needs sorting. A canonical left also
-/// unlocks the morsel-parallel path (ctx->parallelism > 1): disjoint
-/// key-aligned slices of the left filter independently and concatenate.
-template <CommutativeSemiring S>
-Relation<S> Semijoin(const Relation<S>& left, const Relation<S>& right,
-                     ExecContext* ctx = nullptr) {
+/// The Semijoin body, one instantiation per access policy.
+template <typename A, CommutativeSemiring S>
+Relation<S> SemijoinImpl(const Relation<S>& left, const Relation<S>& right,
+                         ExecContext* ctx) {
   ExecContext& cx = ExecContext::Resolve(ctx);
   OpStats& st = cx.semijoin;
   ++st.calls;
@@ -667,50 +888,48 @@ Relation<S> Semijoin(const Relation<S>& left, const Relation<S>& right,
     }
   }
 
-  internal::GatherColPtrs(left, lpos, &cx.cols_a);
-  internal::GatherColPtrs(right, rpos, &cx.cols_b);
-  const Value* const* lk = cx.cols_a.data();
-  const Value* const* rk = cx.cols_b.data();
+  GatherCols<A>(left, lpos, &ScratchCols<A>::a(cx));
+  GatherCols<A>(right, rpos, &ScratchCols<A>::b(cx));
+  GatherAllCols<A>(left, &ScratchCols<A>::d(cx));
+  const typename A::Col* lk = ScratchCols<A>::a(cx).data();
+  const typename A::Col* rk = ScratchCols<A>::b(cx).data();
+  const typename A::Col* lall = ScratchCols<A>::d(cx).data();
   const size_t nk = lpos.size();
   const size_t ln = left.size();
   const size_t rn = right.size();
 
   // Right side key-ordered; identity when the key is a canonical prefix.
   const size_t* rpm = nullptr;
-  if (internal::IsCanonicalKeyPrefix(right, rpos)) {
+  if (IsCanonicalKeyPrefix(right, rpos)) {
     ++st.sort_skips;
   } else {
-    internal::KeyOrderPerm(right, rpos, cx, &cx.perm_b, &st);
+    KeyOrderPerm<A>(right, rpos, cx, &cx.perm_b, &st);
     rpm = cx.perm_b.data();
   }
 
   // Left keys arrive monotonically only when left is canonical and the key
   // is its schema prefix (the traversal below is in original row order).
-  const bool lmono = internal::IsCanonicalKeyPrefix(left, lpos);
+  const bool lmono = IsCanonicalKeyPrefix(left, lpos);
 
   // Parallel only for canonical left: the output is then a concatenation of
   // canonical subsequences; a non-canonical left would make piece-local
   // canonicalization orders observable.
   const int workers = left.canonical() ? PlannedWorkers(cx, ln) : 1;
   if (workers > 1 && rn > 0) {
-    internal::RunDirectory dir;
+    RunDirectory dir;
     std::vector<size_t> shard_cuts;
     if (!lmono) {
-      shard_cuts =
-          internal::BuildShardedRunDirectory(cx, workers, rk, nk, rn, rpm);
+      shard_cuts = BuildShardedRunDirectory<A>(cx, workers, rk, nk, rn, rpm);
       dir.shards = &cx.table_shards;
       dir.shard_cuts = &shard_cuts;
     }
     Relation<S> out = MorselRun<S>(
         cx, workers, left.schema(), ln,
-        [&](size_t t) {
-          return internal::CompareKeysAt(lk, t, lk, t - 1, nk) != 0;
-        },
-        &st,
+        [&](size_t t) { return !KeysEqualAt<A>(lk, t, t - 1, nk); }, &st,
         [&](ExecContext& wc, size_t xb, size_t xe, RelationBuilder<S>* b) {
-          internal::SemijoinEmitRange(left, right, lk, rk, nk, rpm, lmono,
-                                      dir, xb, xe, b,
-                                      &wc.semijoin.comparisons);
+          b->Reserve(xe - xb);
+          SemijoinEmitRange<A>(left, right, lall, lk, rk, nk, rpm, lmono, dir,
+                               xb, xe, b, &wc.semijoin.comparisons);
         });
     for (int w = 0; w < workers; ++w) {
       ExecContext& wc = cx.WorkerContext(w);
@@ -721,31 +940,24 @@ Relation<S> Semijoin(const Relation<S>& left, const Relation<S>& right,
     return out;
   }
 
-  internal::RunDirectory dir;
+  RunDirectory dir;
   if (!lmono && ln > 0 && rn > 0) {
-    internal::BuildRunDirectory(rk, nk, rn, rpm, &cx.table);
+    BuildRunDirectory<A>(rk, nk, rn, rpm, &cx.table);
     dir.single = &cx.table;
   }
   RelationBuilder<S> b{left.schema()};
-  internal::SemijoinEmitRange(left, right, lk, rk, nk, rpm, lmono, dir, 0,
-                              ln, &b, &st.comparisons);
+  b.Reserve(ln);
+  SemijoinEmitRange<A>(left, right, lall, lk, rk, nk, rpm, lmono, dir, 0, ln,
+                       &b, &st.comparisons);
   Relation<S> out = b.Build();
   st.rows_out += static_cast<int64_t>(out.size());
   return out;
 }
 
-/// π with ⊕-aggregation: projects onto `keep` (which must be a subset of the
-/// schema), summing annotations of collapsing rows with S::Add.
-///
-/// Streaming: rows are walked in kept-column order (no sort when `keep` is a
-/// canonical schema prefix) and collapsing rows merge adjacently in the
-/// builder — no hash table, and the output is canonical by construction.
-/// Only the kept columns and the annotation column are ever read.
-/// Key-aligned morsels keep every collapse inside one morsel, so the
-/// parallel path (ctx->parallelism > 1) is bit-identical to serial.
-template <CommutativeSemiring S>
-Relation<S> Project(const Relation<S>& r, const std::vector<VarId>& keep,
-                    ExecContext* ctx = nullptr) {
+/// The Project body, one instantiation per access policy.
+template <typename A, CommutativeSemiring S>
+Relation<S> ProjectImpl(const Relation<S>& r, const std::vector<VarId>& keep,
+                        ExecContext* ctx) {
   ExecContext& cx = ExecContext::Resolve(ctx);
   OpStats& st = cx.project;
   ++st.calls;
@@ -764,14 +976,14 @@ Relation<S> Project(const Relation<S>& r, const std::vector<VarId>& keep,
   // permutation stream on the hot path) when `keep` is a canonical prefix.
   const size_t n = r.size();
   const size_t* perm = nullptr;
-  if (internal::IsCanonicalKeyPrefix(r, pos)) {
+  if (IsCanonicalKeyPrefix(r, pos)) {
     ++st.sort_skips;
   } else {
-    internal::KeyOrderPerm(r, pos, cx, &cx.perm_a, &st);
+    KeyOrderPerm<A>(r, pos, cx, &cx.perm_a, &st);
     perm = cx.perm_a.data();
   }
-  internal::GatherColPtrs(r, pos, &cx.cols_a);
-  const Value* const* kc = cx.cols_a.data();
+  GatherCols<A>(r, pos, &ScratchCols<A>::a(cx));
+  const typename A::Col* kc = ScratchCols<A>::a(cx).data();
   const size_t nkc = pos.size();
 
   Relation<S> out;
@@ -782,19 +994,150 @@ Relation<S> Project(const Relation<S>& r, const std::vector<VarId>& keep,
         [&](size_t t) {
           const size_t a = perm ? perm[t] : t;
           const size_t p = perm ? perm[t - 1] : t - 1;
-          return internal::CompareKeysAt(kc, a, kc, p, nkc) != 0;
+          return !KeysEqualAt<A>(kc, a, p, nkc);
         },
         &st,
         [&](ExecContext& wc, size_t tb, size_t te, RelationBuilder<S>* b) {
-          internal::ProjectEmitRange(r, kc, nkc, perm, tb, te, b, &wc.row);
+          b->Reserve(te - tb);
+          ProjectEmitRange<A>(r, kc, nkc, perm, tb, te, b, &wc.row);
         });
   } else {
     RelationBuilder<S> b{Schema(keep)};
-    internal::ProjectEmitRange(r, kc, nkc, perm, 0, n, &b, &cx.row);
+    b.Reserve(n);
+    ProjectEmitRange<A>(r, kc, nkc, perm, 0, n, &b, &cx.row);
     out = b.Build();
   }
   st.rows_out += static_cast<int64_t>(out.size());
   return out;
+}
+
+/// One Eliminate batch (all variables sharing one aggregate), one
+/// instantiation per access policy. `vb`/`ve` delimit the batch's variables.
+template <typename A, CommutativeSemiring S>
+Relation<S> EliminateBatch(const Relation<S>& in, const VarId* vb,
+                           const VarId* ve, VarOp op, ExecContext& cx,
+                           OpStats& st) {
+  // Surviving columns of this batch, in schema order.
+  std::vector<VarId> kept_vars;
+  std::vector<int>& kept_pos = cx.pos_a;
+  kept_pos.clear();
+  for (size_t p = 0; p < in.arity(); ++p) {
+    const VarId v = in.schema().var(p);
+    if (std::find(vb, ve, v) == ve) {
+      kept_vars.push_back(v);
+      kept_pos.push_back(static_cast<int>(p));
+    }
+  }
+
+  const size_t n = in.size();
+  const size_t* perm = nullptr;
+  if (IsCanonicalKeyPrefix(in, kept_pos)) {
+    ++st.sort_skips;
+  } else {
+    KeyOrderPerm<A>(in, kept_pos, cx, &cx.perm_a, &st);
+    perm = cx.perm_a.data();
+  }
+  GatherCols<A>(in, kept_pos, &ScratchCols<A>::a(cx));
+  const typename A::Col* kc = ScratchCols<A>::a(cx).data();
+  const size_t nkc = kept_pos.size();
+  Schema out_schema{std::move(kept_vars)};
+
+  Relation<S> out;
+  const int workers = PlannedWorkers(cx, n);
+  if (workers > 1) {
+    out = MorselRun<S>(
+        cx, workers, std::move(out_schema), n,
+        [&](size_t t) {
+          const size_t a = perm ? perm[t] : t;
+          const size_t p = perm ? perm[t - 1] : t - 1;
+          return !KeysEqualAt<A>(kc, a, p, nkc);
+        },
+        &st,
+        [&](ExecContext& wc, size_t gb, size_t ge, RelationBuilder<S>* b) {
+          // Reserve from the group count discovered by the scan pass: the
+          // emission loop then never regrows its output columns.
+          b->Reserve(CountGroups<A>(kc, nkc, perm, gb, ge));
+          EliminateEmitRange<A>(in, kc, nkc, perm, op, gb, ge, b, &wc.row,
+                                &wc.eliminate.comparisons);
+        });
+    for (int w = 0; w < workers; ++w) {
+      ExecContext& wc = cx.WorkerContext(w);
+      st += wc.eliminate;
+      wc.eliminate = OpStats{};
+    }
+  } else {
+    RelationBuilder<S> b{std::move(out_schema)};
+    b.Reserve(CountGroups<A>(kc, nkc, perm, 0, n));
+    EliminateEmitRange<A>(in, kc, nkc, perm, op, 0, n, &b, &cx.row,
+                          &st.comparisons);
+    out = b.Build();
+  }
+  return out;
+}
+
+}  // namespace internal
+
+/// Natural join: output schema is left's variables followed by right's
+/// non-shared variables; annotations multiply (⊗). Output is canonical.
+///
+/// Left-driven sort-merge: the left side is walked in canonical row order
+/// and matched against key-runs of the key-ordered right side — by a linear
+/// two-pointer merge when the left key is a schema prefix (keys then arrive
+/// monotonically), and by a flat hashed run directory otherwise. Because
+/// every output row is the left row extended by right extras — and runs are
+/// tie-broken by full right row — output rows stream out in nondecreasing
+/// order, so the result is certified canonical with no closing sort. At most
+/// one permutation sort is paid (on the right, only when its key columns are
+/// not already a canonical schema prefix); with no shared variables the
+/// single all-rows run makes this the streaming cross product.
+///
+/// With ctx->parallelism > 1 and a large enough left side, the left
+/// traversal is cut into key-aligned morsels executed on the worker pool
+/// (run directory sharded across workers too); output bytes are identical
+/// to the serial path — see docs/kernel.md, "Morsel-parallel execution".
+/// Encoded inputs dispatch to the EncodedAccess instantiation of the same
+/// body; outputs are bit-identical either way.
+template <CommutativeSemiring S>
+Relation<S> Join(const Relation<S>& left, const Relation<S>& right,
+                 ExecContext* ctx = nullptr) {
+  if (left.any_encoded() || right.any_encoded())
+    return internal::JoinImpl<EncodedAccess>(left, right, ctx);
+  return internal::JoinImpl<PlainAccess>(left, right, ctx);
+}
+
+/// Semijoin left ⋉ right: rows of `left` whose projection onto the shared
+/// variables matches some non-zero row of `right`; annotations of `left`
+/// are kept unchanged (Definition 3.5 semantics).
+///
+/// Left rows are tested in their original order against a key-ordered right
+/// side (linear merge when the left key is a canonical schema prefix, hashed
+/// run-directory probes otherwise; the right-side sort is skipped when its
+/// key is a canonical schema prefix) — for a canonical left input the output
+/// is a canonical subsequence and never needs sorting. A canonical left also
+/// unlocks the morsel-parallel path (ctx->parallelism > 1): disjoint
+/// key-aligned slices of the left filter independently and concatenate.
+template <CommutativeSemiring S>
+Relation<S> Semijoin(const Relation<S>& left, const Relation<S>& right,
+                     ExecContext* ctx = nullptr) {
+  if (left.any_encoded() || right.any_encoded())
+    return internal::SemijoinImpl<EncodedAccess>(left, right, ctx);
+  return internal::SemijoinImpl<PlainAccess>(left, right, ctx);
+}
+
+/// π with ⊕-aggregation: projects onto `keep` (which must be a subset of the
+/// schema), summing annotations of collapsing rows with S::Add.
+///
+/// Streaming: rows are walked in kept-column order (no sort when `keep` is a
+/// canonical schema prefix) and collapsing rows merge adjacently in the
+/// builder — no hash table, and the output is canonical by construction.
+/// Only the kept columns and the annotation column are ever read.
+/// Key-aligned morsels keep every collapse inside one morsel, so the
+/// parallel path (ctx->parallelism > 1) is bit-identical to serial.
+template <CommutativeSemiring S>
+Relation<S> Project(const Relation<S>& r, const std::vector<VarId>& keep,
+                    ExecContext* ctx = nullptr) {
+  if (r.any_encoded()) return internal::ProjectImpl<EncodedAccess>(r, keep, ctx);
+  return internal::ProjectImpl<PlainAccess>(r, keep, ctx);
 }
 
 /// Batched multi-variable elimination: removes every variable of `vars`
@@ -809,12 +1152,15 @@ Relation<S> Project(const Relation<S>& r, const std::vector<VarId>& keep,
 /// every aggregate the semiring ⊕ — therefore group exactly once, where the
 /// seed kernel re-grouped once per variable. Columnar storage makes the
 /// group-by touch only the surviving columns and the annotation column —
-/// the eliminated columns are never read, the payoff the scan benches gate.
+/// the eliminated columns are never read, the payoff the scan benches gate;
+/// on an encoded key column the group scan runs over packed codes.
 /// Each batch's group-by fans out into key-aligned morsels when
 /// ctx->parallelism > 1; a group always folds whole inside one morsel, in
 /// traversal order, so parallel results are bit-identical to serial —
 /// floating-point semirings included. The input is consumed by const
-/// reference through column views — no defensive copy.
+/// reference through column views — no defensive copy. Each batch
+/// re-dispatches on its input's encoding, so encoded intermediates stay on
+/// the encoded kernel.
 template <CommutativeSemiring S>
 Relation<S> Eliminate(const Relation<S>& r, std::vector<VarId> vars,
                       std::vector<VarOp> ops, ExecContext* ctx = nullptr) {
@@ -865,61 +1211,13 @@ Relation<S> Eliminate(const Relation<S>& r, std::vector<VarId> vars,
     size_t be = bi + 1;
     while (be < vars.size() && ops[be] == ops[bi]) ++be;
     const VarOp op = ops[bi];
-
-    // Surviving columns of this batch, in schema order.
     const Relation<S>& in = *src;
-    std::vector<VarId> kept_vars;
-    std::vector<int>& kept_pos = cx.pos_a;
-    kept_pos.clear();
-    for (size_t p = 0; p < in.arity(); ++p) {
-      const VarId v = in.schema().var(p);
-      if (std::find(vars.begin() + bi, vars.begin() + be, v) ==
-          vars.begin() + be) {
-        kept_vars.push_back(v);
-        kept_pos.push_back(static_cast<int>(p));
-      }
-    }
-
-    const size_t n = in.size();
-    const size_t* perm = nullptr;
-    if (internal::IsCanonicalKeyPrefix(in, kept_pos)) {
-      ++st.sort_skips;
-    } else {
-      internal::KeyOrderPerm(in, kept_pos, cx, &cx.perm_a, &st);
-      perm = cx.perm_a.data();
-    }
-    internal::GatherColPtrs(in, kept_pos, &cx.cols_a);
-    const Value* const* kc = cx.cols_a.data();
-    const size_t nkc = kept_pos.size();
-    Schema out_schema{std::move(kept_vars)};
-
-    Relation<S> out;
-    const int workers = PlannedWorkers(cx, n);
-    if (workers > 1) {
-      out = MorselRun<S>(
-          cx, workers, std::move(out_schema), n,
-          [&](size_t t) {
-            const size_t a = perm ? perm[t] : t;
-            const size_t p = perm ? perm[t - 1] : t - 1;
-            return internal::CompareKeysAt(kc, a, kc, p, nkc) != 0;
-          },
-          &st,
-          [&](ExecContext& wc, size_t gb, size_t ge, RelationBuilder<S>* b) {
-            internal::EliminateEmitRange(in, kc, nkc, perm, op, gb, ge, b,
-                                         &wc.row,
-                                         &wc.eliminate.comparisons);
-          });
-      for (int w = 0; w < workers; ++w) {
-        ExecContext& wc = cx.WorkerContext(w);
-        st += wc.eliminate;
-        wc.eliminate = OpStats{};
-      }
-    } else {
-      RelationBuilder<S> b{std::move(out_schema)};
-      internal::EliminateEmitRange(in, kc, nkc, perm, op, 0, n, &b, &cx.row,
-                                   &st.comparisons);
-      out = b.Build();
-    }
+    const VarId* vb = vars.data() + bi;
+    const VarId* ve = vars.data() + be;
+    Relation<S> out =
+        in.any_encoded()
+            ? internal::EliminateBatch<EncodedAccess>(in, vb, ve, op, cx, st)
+            : internal::EliminateBatch<PlainAccess>(in, vb, ve, op, cx, st);
     cur = std::move(out);
     src = &cur;
     bi = be;

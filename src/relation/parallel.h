@@ -177,7 +177,12 @@ Relation<S> MorselRun(ExecContext& cx, int workers, Schema schema, size_t n,
   const size_t m = cuts.size() - 1;
   std::vector<RelationBuilder<S>> builders;
   builders.reserve(m);
-  for (size_t i = 0; i < m; ++i) builders.emplace_back(schema);
+  for (size_t i = 0; i < m; ++i) {
+    builders.emplace_back(schema);
+    // Pieces are spliced by ConcatPieces, which decodes them anyway — only
+    // the concatenated result runs the encoding policy.
+    builders.back().set_encode(false);
+  }
   // Materialize the worker arena before forking: lazy creation inside the
   // region would race on the arena vector.
   for (int w = 0; w < workers; ++w) cx.WorkerContext(w);

@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "relation/encoding.h"
 #include "semiring/semiring.h"
 #include "util/bits.h"
 #include "util/check.h"
@@ -166,27 +167,81 @@ class Relation {
   /// True when rows are sorted lexicographically, distinct, and non-zero.
   bool canonical() const { return canonical_; }
 
-  /// Column `j` as a contiguous read-only view — the unit operators traverse.
-  ColumnView col(size_t j) const { return cols_[j]; }
+  /// True when column `j` is stored compressed (encode-on-canonicalize).
+  const EncodedColumn* encoded_col(size_t j) const {
+    if (encs_.empty() || encs_[j].encoding == ColumnEncoding::kPlain)
+      return nullptr;
+    return &encs_[j];
+  }
+  bool any_encoded() const { return !encs_.empty(); }
+  ColumnEncoding col_encoding(size_t j) const {
+    const EncodedColumn* e = encoded_col(j);
+    return e == nullptr ? ColumnEncoding::kPlain : e->encoding;
+  }
+
+  /// Column `j` behind the encoding seam — the view the operator kernels
+  /// traverse. Plain columns cost a raw pointer; encoded columns decode
+  /// per access (or compare raw codes, see ColView).
+  ColView view(size_t j) const {
+    if (const EncodedColumn* e = encoded_col(j)) return ColView{nullptr, e, 0};
+    return ColView{cols_[j].data(), nullptr, 0};
+  }
+  /// View of column `j` starting at row `begin`.
+  ColView view(size_t j, size_t begin) const { return view(j).Sub(begin); }
+
+  /// Column `j` as a contiguous read-only view — the unit plain-path
+  /// operators traverse. On an encoded column this *materializes* the
+  /// decoded values into a per-relation cache (kept until the next
+  /// mutation): correct but O(n) space, intended for tests, benches and
+  /// reference code. NOT thread-safe on encoded columns — kernels running
+  /// on the WorkerPool must go through view() instead.
+  ColumnView col(size_t j) const {
+    if (encs_.empty() || encs_[j].encoding == ColumnEncoding::kPlain)
+      return cols_[j];
+    if (dcache_.empty()) dcache_.resize(arity());
+    if (dcache_[j].size() != size()) {
+      dcache_[j].resize(size());
+      encs_[j].DecodeInto(0, size(), dcache_[j].data());
+    }
+    return dcache_[j];
+  }
   /// Rows [begin, end) of column `j` — the page-granular view the streaming
   /// transport (network/stream.h) cuts fixed-size column chunks from.
   ColumnView col(size_t j, size_t begin, size_t end) const {
     TOPOFAQ_DCHECK(begin <= end && end <= size());
-    return ColumnView(cols_[j]).subspan(begin, end - begin);
+    return col(j).subspan(begin, end - begin);
   }
-  /// All columns, schema order. Per-column equality of columns() + annots()
-  /// is the determinism contract of the parallel kernel.
-  const std::vector<std::vector<Value>>& columns() const { return cols_; }
+  /// All columns, schema order, decoded. Per-column equality of columns() +
+  /// annots() is the determinism contract of the parallel kernel (encoded
+  /// relations compare by decoded bit pattern). Same caching caveat as
+  /// col(): single-threaded callers only when any column is encoded.
+  const std::vector<std::vector<Value>>& columns() const {
+    if (encs_.empty()) return cols_;
+    if (dcache_.empty()) dcache_.resize(arity());
+    for (size_t j = 0; j < arity(); ++j) {
+      if (dcache_[j].size() == size() && size() > 0) continue;
+      if (encs_[j].encoding == ColumnEncoding::kPlain) {
+        dcache_[j] = cols_[j];
+      } else {
+        dcache_[j].resize(size());
+        encs_[j].DecodeInto(0, size(), dcache_[j].data());
+      }
+    }
+    return dcache_;
+  }
 
   /// Value of column `j` at row `i` (random access; hot loops should hoist
-  /// col(j).data() instead).
-  Value at(size_t i, size_t j) const { return cols_[j][i]; }
+  /// view(j) or col(j).data() instead).
+  Value at(size_t i, size_t j) const {
+    if (const EncodedColumn* e = encoded_col(j)) return e->At(i);
+    return cols_[j][i];
+  }
 
   /// Row `i` gathered across all columns — the row-at-a-time escape hatch
   /// for reference/debug code; O(arity) column probes per call.
   std::vector<Value> Row(size_t i) const {
     std::vector<Value> out(arity());
-    for (size_t j = 0; j < out.size(); ++j) out[j] = cols_[j][i];
+    for (size_t j = 0; j < out.size(); ++j) out[j] = at(i, j);
     return out;
   }
 
@@ -196,16 +251,36 @@ class Relation {
   std::vector<Value> MaterializeRows() const {
     std::vector<Value> out(size() * arity());
     for (size_t j = 0; j < arity(); ++j) {
-      const Value* c = cols_[j].data();
+      const Value* c = col(j).data();
       for (size_t i = 0; i < size(); ++i) out[i * arity() + j] = c[i];
     }
     return out;
+  }
+
+  /// Bytes the key columns pin in memory: packed words + dictionaries for
+  /// encoded columns, raw value arrays for plain ones. The transient
+  /// decode cache behind col() is excluded — production paths never fill
+  /// it. This is the footprint number the bench gate compares encoded vs
+  /// plain on.
+  size_t ResidentKeyBytes() const {
+    size_t bytes = 0;
+    for (size_t j = 0; j < arity(); ++j) {
+      if (const EncodedColumn* e = encoded_col(j))
+        bytes += e->ResidentBytes();
+      else
+        bytes += cols_[j].size() * sizeof(Value);
+    }
+    return bytes;
   }
 
   SemiringValue annot(size_t i) const { return annots_[i]; }
   /// The full annotation column, parallel to the rows.
   const std::vector<SemiringValue>& annots() const { return annots_; }
   void set_annot(size_t i, SemiringValue v) {
+    // Keep the invariant "encoded ⇒ canonical": mutation decodes first, so
+    // the non-canonical states downstream code sorts through (RowOrderPerm
+    // and friends) only ever see plain columns.
+    DecodeAll();
     annots_[i] = v;
     // A zero annotation violates the canonical invariant (non-zero rows
     // only) but not row ordering/distinctness, so Compact() can re-certify
@@ -226,8 +301,10 @@ class Relation {
       Canonicalize();
       return;
     }
+    DecodeAll();
     detail::CompactSortedColumns<S>(&cols_, &annots_);
     canonical_ = true;
+    EncodeColumns();
   }
 
   /// Appends (t, v). Zero-annotated tuples are dropped (listing rep stores
@@ -235,6 +312,7 @@ class Relation {
   void Add(std::span<const Value> t, SemiringValue v) {
     TOPOFAQ_CHECK(t.size() == arity());
     if (S::IsZero(v)) return;
+    DecodeAll();
     for (size_t j = 0; j < t.size(); ++j) cols_[j].push_back(t[j]);
     annots_.push_back(v);
     canonical_ = false;
@@ -255,6 +333,7 @@ class Relation {
   /// one gather pass per column; rows are never copied through a row buffer.
   void Canonicalize(ExecContext* ctx = nullptr) {
     if (canonical_) return;
+    DecodeAll();  // non-canonical relations are plain; enforce defensively
     const size_t n = size();
     std::vector<size_t> order;
     detail::SortRowPerm(cols_, n, &order, ctx);
@@ -276,16 +355,64 @@ class Relation {
       }
       idx = run_end;
     }
+    // Per-column gather, with the cheap encoding stats (min/max and the
+    // adjacent-distinct run-head count) folded into the same pass — the
+    // encode-on-canonicalize policy consumes them without re-scanning.
+    std::vector<ColumnStats> stats(cols_.size());
+    size_t cj = 0;
     for (std::vector<Value>& c : cols_) {
+      ColumnStats& st = stats[cj++];
       std::vector<Value> nc;
       nc.reserve(keep.size());
       const Value* src = c.data();
-      for (size_t id : keep) nc.push_back(src[id]);
+      Value prev = 0;
+      for (size_t id : keep) {
+        const Value v = src[id];
+        if (nc.empty()) {
+          st.min = st.max = v;
+          st.run_heads = 1;
+        } else {
+          st.min = std::min(st.min, v);
+          st.max = std::max(st.max, v);
+          st.run_heads += v != prev;
+        }
+        prev = v;
+        nc.push_back(v);
+      }
+      st.rows = nc.size();
       c = std::move(nc);
     }
     annots_ = std::move(na);
     canonical_ = true;
     sorted_distinct_ = true;
+    EncodeColumnsWithStats(stats);
+  }
+
+  /// Applies the encode-on-canonicalize policy to a canonical, currently
+  /// plain relation (no-op otherwise). Exposed so Build()/ConcatPieces —
+  /// which certify canonical without running Canonicalize — and tests can
+  /// trigger the same policy.
+  void EncodeColumns() {
+    if (!canonical_ || !encs_.empty() || size() == 0) return;
+    std::vector<ColumnStats> stats(arity());
+    for (size_t j = 0; j < arity(); ++j)
+      stats[j] = ColumnStats::Of(cols_[j]);
+    EncodeColumnsWithStats(stats);
+  }
+
+  /// Materializes every encoded column back into its plain value array and
+  /// drops the encodings. Mutators call this so row-level edits and sorts
+  /// always operate on raw values.
+  void DecodeAll() {
+    if (encs_.empty()) return;
+    for (size_t j = 0; j < arity(); ++j) {
+      if (encs_[j].encoding == ColumnEncoding::kPlain) continue;
+      cols_[j].resize(encs_[j].rows);
+      encs_[j].DecodeInto(0, encs_[j].rows, cols_[j].data());
+    }
+    encs_.clear();
+    dcache_.clear();
+    dcache_.shrink_to_fit();
   }
 
   /// Exact function equality. Canonical operands compare directly, column by
@@ -293,11 +420,11 @@ class Relation {
   bool EqualsAsFunction(const Relation& other) const {
     if (!(schema_ == other.schema_)) return false;
     if (canonical_ && other.canonical_)
-      return cols_ == other.cols_ && annots_ == other.annots_;
+      return columns() == other.columns() && annots_ == other.annots_;
     Relation a = *this, b = other;
     a.Canonicalize();
     b.Canonicalize();
-    return a.cols_ == b.cols_ && a.annots_ == b.annots_;
+    return a.columns() == b.columns() && a.annots_ == b.annots_;
   }
 
   /// Wire size in bits when shipped over the network: each tuple costs
@@ -306,8 +433,10 @@ class Relation {
     return EncodedBitsRange(0, size(), bits_per_attr);
   }
 
-  /// Wire size of rows [begin, end) only — what one streamed page of this
-  /// relation costs on a channel (network/stream.h pages never re-encode).
+  /// Wire size of rows [begin, end) only under the plain cost model — what
+  /// one streamed page of this relation would cost with no column
+  /// encodings (network/stream.h prices every page both ways and ships the
+  /// cheaper encoded form when columns carry one).
   int64_t EncodedBitsRange(size_t begin, size_t end, int bits_per_attr) const {
     TOPOFAQ_DCHECK(begin <= end && end <= size());
     return static_cast<int64_t>(end - begin) *
@@ -317,8 +446,17 @@ class Relation {
   /// Largest attribute value + 1 appearing anywhere (lower bound on D).
   uint64_t MaxValuePlusOne() const {
     uint64_t m = 1;
-    for (const std::vector<Value>& c : cols_)
-      for (Value v : c) m = std::max(m, v + 1);
+    for (size_t j = 0; j < arity(); ++j) {
+      if (const EncodedColumn* e = encoded_col(j)) {
+        if (e->encoding == ColumnEncoding::kDict) {
+          if (!e->dict.empty()) m = std::max(m, e->dict.back() + 1);
+        } else {
+          for (size_t i = 0; i < e->rows; ++i) m = std::max(m, e->At(i) + 1);
+        }
+      } else {
+        for (Value v : cols_[j]) m = std::max(m, v + 1);
+      }
+    }
     return m;
   }
 
@@ -329,6 +467,7 @@ class Relation {
   /// callers re-canonicalize (one permutation sort + per-column gather).
   void ReorderColumns(Schema new_schema, const std::vector<int>& src) {
     TOPOFAQ_CHECK(new_schema.arity() == arity() && src.size() == arity());
+    DecodeAll();
     std::vector<std::vector<Value>> nc(src.size());
     for (size_t j = 0; j < src.size(); ++j)
       nc[j] = std::move(cols_[static_cast<size_t>(src[j])]);
@@ -359,6 +498,7 @@ class Relation {
     for (Relation& p : pieces) {
       if (p.empty()) continue;
       if (!p.canonical()) sorted = false;
+      p.DecodeAll();  // splice raw values; the result re-encodes below
       size_t start = 0;
       if (sorted && !annots.empty()) {
         const size_t last = annots.size() - 1;
@@ -385,8 +525,10 @@ class Relation {
       // Rows are sorted and distinct; one compacting pass drops annotations
       // that merged to zero (exactly RelationBuilder::Build's sorted path).
       detail::CompactSortedColumns<S>(&cols, &annots);
-      return Relation(std::move(schema), std::move(cols), std::move(annots),
-                      true);
+      Relation out(std::move(schema), std::move(cols), std::move(annots),
+                   true);
+      out.EncodeColumns();
+      return out;
     }
     Relation out(std::move(schema), std::move(cols), std::move(annots), false);
     out.Canonicalize();
@@ -427,8 +569,36 @@ class Relation {
     return true;
   }
 
+  /// Runs the per-column policy over freshly canonicalized plain columns:
+  /// columns the policy compresses move into encs_ and release their plain
+  /// storage; the rest stay raw (their encs_ slot is a kPlain marker).
+  void EncodeColumnsWithStats(const std::vector<ColumnStats>& stats) {
+    dcache_.clear();
+    encs_.clear();
+    const EncodingMode mode = GlobalEncodingMode();
+    if (mode == EncodingMode::kPlain || size() == 0) return;
+    std::vector<EncodedColumn> encs(arity());
+    bool any = false;
+    for (size_t j = 0; j < arity(); ++j) {
+      encs[j] = ChooseAndEncode(cols_[j], stats[j], mode, j == 0);
+      if (encs[j].encoding != ColumnEncoding::kPlain) {
+        any = true;
+        cols_[j].clear();
+        cols_[j].shrink_to_fit();
+      }
+    }
+    if (any) encs_ = std::move(encs);
+  }
+
   Schema schema_;
   std::vector<std::vector<Value>> cols_;  // column-major: cols_[j][row]
+  // Compressed columns (encode-on-canonicalize). Empty when every column is
+  // plain; otherwise one entry per column, kPlain-tagged for columns left
+  // raw. An encoded column's cols_[j] is released (empty).
+  std::vector<EncodedColumn> encs_;
+  // Lazy decoded copies backing col()/columns() on encoded relations.
+  // Transient (cleared on mutation), excluded from ResidentKeyBytes().
+  mutable std::vector<std::vector<Value>> dcache_;
   std::vector<SemiringValue> annots_;     // parallel annotation column
   // Empty relations are trivially canonical; Add clears the flags.
   bool canonical_ = true;
@@ -488,6 +658,11 @@ class RelationBuilder {
       : schema_(std::move(schema)),
         arity_(schema_.arity()),
         cols_(arity_) {}
+
+  /// Disables encode-on-build. Morsel builders use this: their pieces are
+  /// spliced by Relation::ConcatPieces (which would decode them right
+  /// back), so only the spliced result runs the encoding policy.
+  void set_encode(bool encode) { encode_ = encode; }
 
   void Reserve(size_t rows) {
     for (std::vector<Value>& c : cols_) c.reserve(rows);
@@ -562,16 +737,16 @@ class RelationBuilder {
     annots_.insert(annots_.end(), annots.begin() + start, annots.end());
   }
 
-  /// Appends row `row` of `r` with annotation `v`, column to column — no
-  /// row-gather buffer (the Semijoin survivor path).
-  void AppendFrom(const Relation<S>& r, size_t row, SemiringValue v) {
-    TOPOFAQ_DCHECK(r.arity() == arity_);
+  /// Appends row `row` read through per-column base pointers with annotation
+  /// `v`, column to column — no row-gather buffer (the Semijoin survivor
+  /// path, plain instantiation).
+  void AppendFrom(const Value* const* cols, size_t row, SemiringValue v) {
     if (!annots_.empty()) {
       const size_t last = annots_.size() - 1;
       int cmp = 0;
       for (size_t j = 0; j < arity_ && cmp == 0; ++j) {
         const Value x = cols_[j][last];
-        const Value y = r.col(j)[row];
+        const Value y = cols[j][row];
         cmp = x < y ? -1 : (x > y ? 1 : 0);
       }
       if (cmp == 0) {
@@ -580,7 +755,30 @@ class RelationBuilder {
       }
       if (cmp > 0) sorted_ = false;
     }
-    for (size_t j = 0; j < arity_; ++j) cols_[j].push_back(r.col(j)[row]);
+    for (size_t j = 0; j < arity_; ++j) cols_[j].push_back(cols[j][row]);
+    annots_.push_back(v);
+  }
+
+  /// Appends row `row` read through per-column views with annotation `v`,
+  /// column to column — no row-gather buffer (the Semijoin survivor path).
+  /// Views decode at this emission point; worker threads use this overload
+  /// (never the relation's col() cache).
+  void AppendFrom(const ColView* cols, size_t row, SemiringValue v) {
+    if (!annots_.empty()) {
+      const size_t last = annots_.size() - 1;
+      int cmp = 0;
+      for (size_t j = 0; j < arity_ && cmp == 0; ++j) {
+        const Value x = cols_[j][last];
+        const Value y = cols[j].At(row);
+        cmp = x < y ? -1 : (x > y ? 1 : 0);
+      }
+      if (cmp == 0) {
+        annots_.back() = S::Add(annots_.back(), v);
+        return;
+      }
+      if (cmp > 0) sorted_ = false;
+    }
+    for (size_t j = 0; j < arity_; ++j) cols_[j].push_back(cols[j].At(row));
     annots_.push_back(v);
   }
 
@@ -593,6 +791,7 @@ class RelationBuilder {
       detail::CompactSortedColumns<S>(&cols_, &annots_);
       Relation<S> out{schema_, std::move(cols_), std::move(annots_), true};
       Clear();
+      if (encode_) out.EncodeColumns();
       return out;
     }
     Relation<S> out{schema_, std::move(cols_), std::move(annots_), false};
@@ -624,6 +823,7 @@ class RelationBuilder {
   std::vector<std::vector<Value>> cols_;  // column-major, parallel to annots_
   std::vector<SemiringValue> annots_;
   bool sorted_ = true;
+  bool encode_ = true;
 };
 
 }  // namespace topofaq

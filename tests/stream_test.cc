@@ -118,6 +118,8 @@ struct StreamRun {
   int64_t pages = 0;
   int64_t peak = 0;
   int64_t bits = 0;
+  int64_t payload_encoded = 0;
+  int64_t payload_plain = 0;
   SimTime makespan = 0;
   bool completed = false;
 };
@@ -136,6 +138,8 @@ StreamRun ShipOnce(const NRel& rel, Graph g, NodeId src, NodeId dst,
   out.pages = streams.pages_shipped();
   out.peak = streams.max_in_flight_pages();
   out.bits = net.total_bits();
+  out.payload_encoded = streams.payload_bits_encoded();
+  out.payload_plain = streams.payload_bits_plain();
   return out;
 }
 
@@ -145,7 +149,15 @@ TEST(Stream, RoundTripIsBitIdentical) {
   ASSERT_TRUE(run.completed);
   EXPECT_TRUE(BytesEqual(r, run.rebuilt));
   EXPECT_EQ(run.pages, static_cast<int64_t>((r.size() + 63) / 64));
-  EXPECT_GT(run.bits, r.EncodedBits(8));  // framing + credits on top
+  // The plain-model price of the shipped payload matches the relation's
+  // own cost model; the wire carries framing + credits on top of whatever
+  // actually shipped. The encoded accounting is honest, not bounded: a
+  // forced encoding on this high-cardinality input may ship a dictionary
+  // table that outweighs the 8-bit plain model, so the two payloads are
+  // only required to be consistent, not ordered.
+  EXPECT_EQ(run.payload_plain, r.EncodedBits(8));
+  EXPECT_GT(run.bits, run.payload_encoded);
+  EXPECT_GT(run.payload_encoded, 0);
   EXPECT_GT(run.makespan, 0.0);
 }
 
