@@ -13,16 +13,25 @@
 #include <cstdlib>
 #include <cstring>
 
-#include "faq/solvers.h"
 #include "graphalg/topologies.h"
 #include "hypergraph/generators.h"
 #include "lowerbounds/bounds.h"
 #include "protocols/distributed.h"
 #include "relation/parallel.h"
+#include "server/engine.h"
 #include "util/rng.h"
 
 namespace topofaq {
 namespace bench {
+
+/// The process-wide engine every bench verifies against: Engine::Solve's
+/// centralized answer is the oracle for the protocol outputs, and repeated
+/// rows over one query shape exercise the plan cache the way a serving
+/// workload would.
+inline Engine& BenchEngine() {
+  static Engine engine{EngineOptions::FromEnv()};
+  return engine;
+}
 
 /// Flags shared by every bench binary.
 struct BenchArgs {
@@ -120,7 +129,13 @@ void ReportRow(const char* label, const FaqQuery<S>& query, Graph topology,
   }
   BoundBreakdown b =
       ComputeBounds(query.hypergraph, inst.topology, inst.Players(), n);
-  const bool correct = smart->answer.EqualsAsFunction(trivial->answer);
+  // Both protocol outputs must match the engine's centralized answer (which
+  // itself is solver-independent — tests/engine_test.cc pins it to the
+  // brute-force oracle bit for bit).
+  auto central = BenchEngine().Solve(query);
+  const bool correct = central.ok() &&
+                       smart->answer.EqualsAsFunction(*central) &&
+                       trivial->answer.EqualsAsFunction(*central);
   const OpStats& k = smart->stats.kernel;
   std::printf(
       "%-22s %8lld %9lld %9lld %9lld %7.2f %8lld %7lld  %s\n", label,

@@ -4,9 +4,9 @@
 // formulation, and prints the round counts next to the Θ(kN) lower bound.
 #include <cstdio>
 
-#include "faq/solvers.h"
 #include "lowerbounds/bounds.h"
 #include "mcm/protocols.h"
+#include "server/engine.h"
 
 using namespace topofaq;
 
@@ -42,7 +42,8 @@ int main() {
   small.x = BitVector::Random(6, &rng);
   for (int i = 0; i < 3; ++i)
     small.matrices.push_back(BitMatrix::Random(6, &rng));
-  auto res = BruteForceSolve(McmAsFaq(small));
+  Engine engine;
+  auto res = engine.Solve(McmAsFaq(small), Strategy::kBruteForce);
   if (!res.ok()) {
     std::printf("FAQ error: %s\n", res.status().ToString().c_str());
     return 1;

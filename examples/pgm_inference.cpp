@@ -4,10 +4,10 @@
 // protocol and verify it against exact centralized inference.
 #include <cstdio>
 
-#include "faq/solvers.h"
 #include "graphalg/topologies.h"
 #include "hypergraph/generators.h"
 #include "protocols/distributed.h"
+#include "server/engine.h"
 #include "util/rng.h"
 
 using namespace topofaq;
@@ -34,8 +34,9 @@ int main() {
   // Marginalize onto factor 0 (the paper's "factor marginal in PGMs").
   auto query = MakeFactorMarginal(model, factors, /*marginal_edge=*/0);
 
-  // Centralized exact inference.
-  auto exact = YannakakisSolve(query);
+  // Centralized exact inference, served by the engine (GHD strategy).
+  Engine engine;
+  auto exact = engine.Solve(query);
   if (!exact.ok()) {
     std::printf("solver error: %s\n", exact.status().ToString().c_str());
     return 1;

@@ -1,13 +1,14 @@
-// Quickstart: build a small FAQ query, solve it centrally, then run the
-// paper's distributed protocol on two topologies and compare the measured
-// round counts with the Theorem 4.1 bound formulas.
+// Quickstart: build a small FAQ query, solve it through the engine (which
+// predicts the paper's bounds before executing), then run the distributed
+// protocol on two topologies and compare the measured round counts with the
+// Theorem 4.1 bound formulas.
 #include <cstdio>
 
-#include "faq/solvers.h"
 #include "graphalg/topologies.h"
 #include "hypergraph/generators.h"
 #include "lowerbounds/bounds.h"
 #include "protocols/distributed.h"
+#include "server/engine.h"
 
 using namespace topofaq;
 
@@ -29,10 +30,28 @@ int main() {
   }
   auto query = MakeBcq(h, std::move(rels));
 
-  // 1. Centralized evaluation (Theorem G.3 GHD message passing).
-  auto central = SolveBcq(query);
-  std::printf("centralized BCQ answer: %s\n\n",
-              *central ? "satisfiable" : "unsatisfiable");
+  // 1. Centralized evaluation, served: the engine computes the hypergraph
+  // bounds first (admission control), classifies the query, then runs the
+  // Theorem G.3 GHD message passing.
+  Engine engine;
+  QueryRequest request;
+  request.query = query;
+  request.tag = "quickstart-bcq";
+  auto central = engine.Solve(std::move(request));
+  if (!central.ok()) {
+    std::printf("engine error: %s\n", central.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("centralized BCQ answer: %s\n",
+              central->answer_as<BooleanSemiring>().empty() ? "unsatisfiable"
+                                                            : "satisfiable");
+  std::printf("engine: queue=%s, predicted <= %llu rows, observed %llu, "
+              "plan cache %s\n\n",
+              QueueClassName(central->klass),
+              static_cast<unsigned long long>(
+                  central->bounds.predicted_output_rows),
+              static_cast<unsigned long long>(central->observed_rows),
+              central->plan_cache_hit ? "hit" : "miss");
 
   // 2. Width machinery: y(H1) = 1, one star.
   WidthResult w = ComputeWidth(h);

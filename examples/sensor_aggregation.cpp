@@ -4,10 +4,10 @@
 // SUM on the rest, and compare topologies.
 #include <cstdio>
 
-#include "faq/solvers.h"
 #include "graphalg/topologies.h"
 #include "hypergraph/generators.h"
 #include "protocols/distributed.h"
+#include "server/engine.h"
 #include "util/rng.h"
 
 using namespace topofaq;
@@ -35,7 +35,9 @@ int main() {
   auto query = MakeFaqSS<CountingSemiring>(h, std::move(tables), {0});
   query.var_ops[1] = VarOp::kMin;  // sensor 1's reading: MIN aggregate
 
-  auto exact = BruteForceSolve(query);
+  // The brute-force oracle, selected as an engine strategy.
+  Engine engine;
+  auto exact = engine.Solve(query, Strategy::kBruteForce);
   if (!exact.ok()) {
     std::printf("error: %s\n", exact.status().ToString().c_str());
     return 1;

@@ -1,0 +1,205 @@
+#include "faq/parse.h"
+
+#include <cctype>
+
+namespace topofaq {
+
+namespace {
+
+/// Hand-rolled cursor over the query text. Error messages carry the byte
+/// offset so shell users can locate the problem in long batch lines.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+  /// Consumes `tok` (after whitespace) or returns false without moving.
+  bool Eat(std::string_view tok) {
+    SkipWs();
+    if (text_.substr(pos_, tok.size()) != tok) return false;
+    pos_ += tok.size();
+    return true;
+  }
+
+  /// Consumes an identifier, or returns an empty string without moving.
+  std::string Ident() {
+    SkipWs();
+    size_t end = pos_;
+    auto head = [&](char c) {
+      return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+    };
+    auto tail = [&](char c) {
+      return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    };
+    if (end < text_.size() && head(text_[end])) {
+      ++end;
+      while (end < text_.size() && tail(text_[end])) ++end;
+    }
+    std::string id(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    return id;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+/// Parses `name ( v1, v2, ... )`, returning variable names in written order.
+Status ParseAtomInto(Cursor& c, std::string* name,
+                     std::vector<std::string>* vars) {
+  *name = c.Ident();
+  if (name->empty()) return c.Error("expected a predicate name");
+  if (!c.Eat("(")) return c.Error("expected '(' after " + *name);
+  vars->clear();
+  if (c.Eat(")")) return Status::Ok();
+  for (;;) {
+    std::string v = c.Ident();
+    if (v.empty()) return c.Error("expected a variable name in " + *name);
+    vars->push_back(std::move(v));
+    if (c.Eat(")")) return Status::Ok();
+    if (!c.Eat(","))
+      return c.Error("expected ',' or ')' in " + *name + "'s argument list");
+  }
+}
+
+}  // namespace
+
+Result<ParsedQuery> ParseQuery(std::string_view text) {
+  Cursor c(text);
+  ParsedQuery p;
+
+  // Name -> VarId interning, first appearance wins (head first, then atoms).
+  auto intern = [&p](const std::string& name) {
+    for (size_t i = 0; i < p.var_names.size(); ++i)
+      if (p.var_names[i] == name) return static_cast<VarId>(i);
+    p.var_names.push_back(name);
+    return static_cast<VarId>(p.var_names.size() - 1);
+  };
+
+  std::vector<std::string> head_vars;
+  TOPOFAQ_RETURN_IF_ERROR(ParseAtomInto(c, &p.head, &head_vars));
+  for (const std::string& v : head_vars) {
+    const VarId id = intern(v);
+    if (std::find(p.free_vars.begin(), p.free_vars.end(), id) !=
+        p.free_vars.end())
+      return c.Error("head variable " + v + " repeated");
+    p.free_vars.push_back(id);
+  }
+
+  if (!c.Eat(":-")) return c.Error("expected ':-' after the head");
+
+  do {
+    ParsedQuery::Atom atom;
+    std::vector<std::string> names;
+    TOPOFAQ_RETURN_IF_ERROR(ParseAtomInto(c, &atom.name, &names));
+    for (const std::string& v : names) {
+      const VarId id = intern(v);
+      if (std::find(atom.vars.begin(), atom.vars.end(), id) != atom.vars.end())
+        return c.Error("variable " + v + " repeated within atom " + atom.name);
+      atom.vars.push_back(id);
+    }
+    p.atoms.push_back(std::move(atom));
+  } while (c.Eat(","));
+  if (p.atoms.empty()) return c.Error("query body has no atoms");
+
+  p.var_ops.assign(p.var_names.size(), VarOp::kSemiringSum);
+  std::vector<bool> agg_seen(p.var_names.size(), false);
+  if (c.Eat(";")) {
+    do {
+      const std::string op_name = c.Ident();
+      VarOp op;
+      if (op_name == "sum") {
+        op = VarOp::kSemiringSum;
+      } else if (op_name == "min") {
+        op = VarOp::kMin;
+      } else if (op_name == "max") {
+        op = VarOp::kMax;
+      } else if (op_name == "prod") {
+        op = VarOp::kProduct;
+      } else {
+        return c.Error("unknown aggregate '" + op_name +
+                       "' (want sum/min/max/prod)");
+      }
+      if (!c.Eat("(")) return c.Error("expected '(' after " + op_name);
+      const std::string v = c.Ident();
+      if (v.empty() || !c.Eat(")"))
+        return c.Error("expected '(variable)' after " + op_name);
+      // Aggregates may only name bound variables that actually occur: a
+      // typo'd variable silently defaulting to sum would change answers.
+      VarId id = static_cast<VarId>(-1);
+      for (size_t i = 0; i < p.var_names.size(); ++i)
+        if (p.var_names[i] == v) id = static_cast<VarId>(i);
+      if (id == static_cast<VarId>(-1))
+        return c.Error("aggregate names unknown variable " + v);
+      if (std::find(p.free_vars.begin(), p.free_vars.end(), id) !=
+          p.free_vars.end())
+        return c.Error("aggregate on free variable " + v +
+                       " (free variables are not eliminated)");
+      if (agg_seen[id])
+        return c.Error("duplicate aggregate clause for " + v);
+      agg_seen[id] = true;
+      p.var_ops[id] = op;
+    } while (c.Eat(","));
+  }
+
+  c.Eat(".");  // optional statement terminator
+  if (!c.AtEnd()) return c.Error("trailing input after query");
+
+  // Every head variable must occur in some atom: a free variable outside
+  // every hyperedge has no input function constraining it.
+  for (VarId f : p.free_vars) {
+    bool found = false;
+    for (const ParsedQuery::Atom& a : p.atoms)
+      if (std::find(a.vars.begin(), a.vars.end(), f) != a.vars.end())
+        found = true;
+    if (!found)
+      return Status::InvalidArgument("head variable " + p.var_names[f] +
+                                     " appears in no body atom");
+  }
+  return p;
+}
+
+std::string FormatQuery(const ParsedQuery& p) {
+  auto atom = [&p](const std::string& name, const std::vector<VarId>& vars) {
+    std::string out = name + "(";
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += p.var_names[vars[i]];
+    }
+    return out + ")";
+  };
+  std::string out = atom(p.head, p.free_vars) + " :- ";
+  for (size_t i = 0; i < p.atoms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += atom(p.atoms[i].name, p.atoms[i].vars);
+  }
+  std::string aggs;
+  for (size_t v = 0; v < p.var_ops.size(); ++v) {
+    if (p.var_ops[v] == VarOp::kSemiringSum) continue;
+    if (std::find(p.free_vars.begin(), p.free_vars.end(),
+                  static_cast<VarId>(v)) != p.free_vars.end())
+      continue;
+    if (!aggs.empty()) aggs += ", ";
+    aggs += std::string(VarOpName(p.var_ops[v])) + "(" + p.var_names[v] + ")";
+  }
+  if (!aggs.empty()) out += "; " + aggs;
+  return out;
+}
+
+}  // namespace topofaq

@@ -1,0 +1,123 @@
+// Textual FAQ query format: a datalog-ish surface syntax for QueryRequests.
+//
+//   q(A, C) :- R(A, B), S(B, C); min(B)
+//
+// reads "the FAQ with free variables {A, C}, one hyperedge per body atom,
+// and aggregate min for bound variable B" (bound variables without an
+// aggregate clause default to the semiring's own ⊕, i.e. FAQ-SS). The text
+// names *shapes* only — variables are identifiers, there are no constants —
+// because an FAQ instance is a hypergraph plus one input function per edge;
+// the functions (relations) are bound separately by InstantiateQuery, one
+// per atom in atom order, with columns matching the atom's written variable
+// order.
+//
+// Grammar (whitespace-insensitive; a trailing '.' is accepted):
+//
+//   query   := head ":-" atom ("," atom)* [";" agg ("," agg)*] ["."]
+//   head    := ident "(" [ident ("," ident)*] ")"
+//   atom    := ident "(" [ident ("," ident)*] ")"
+//   agg     := ("sum" | "min" | "max" | "prod") "(" ident ")"
+//   ident   := [A-Za-z_][A-Za-z0-9_]*
+//
+// VarIds are assigned by first appearance (head first, then atoms left to
+// right), so the parse is deterministic: the same text always produces the
+// same hypergraph, which is what lets the engine's plan cache key on parsed
+// shapes. FormatQuery prints a ParsedQuery back to this grammar such that
+// ParseQuery(FormatQuery(p)) reproduces p exactly (round-trip property,
+// tests/engine_test.cc).
+#ifndef TOPOFAQ_FAQ_PARSE_H_
+#define TOPOFAQ_FAQ_PARSE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "faq/query.h"
+#include "hypergraph/hypergraph.h"
+#include "semiring/variable_ops.h"
+#include "util/status.h"
+
+namespace topofaq {
+
+/// The semiring-independent result of parsing: query shape + names. Pair it
+/// with per-atom relations via InstantiateQuery to get a runnable FaqQuery.
+struct ParsedQuery {
+  /// One body atom: a named input function over variables in written order
+  /// (possibly unsorted; never repeated within one atom).
+  struct Atom {
+    std::string name;
+    std::vector<VarId> vars;
+  };
+
+  std::string head;                    ///< head predicate name (kept verbatim)
+  std::vector<std::string> var_names;  ///< display name per VarId
+  std::vector<VarId> free_vars;        ///< head variables, in written order
+  std::vector<VarOp> var_ops;          ///< aggregate per VarId (default sum)
+  std::vector<Atom> atoms;             ///< body atoms, in written order
+
+  /// The query hypergraph: one edge per atom, in atom order (edge ids index
+  /// the atom list and hence InstantiateQuery's relation list).
+  Hypergraph ToHypergraph() const {
+    std::vector<std::vector<VarId>> edges;
+    edges.reserve(atoms.size());
+    for (const Atom& a : atoms) edges.push_back(a.vars);
+    return Hypergraph(static_cast<int>(var_names.size()), std::move(edges));
+  }
+};
+
+/// Parses one query in the grammar above. Rejects: empty bodies, repeated
+/// variables within an atom, head variables that appear in no atom,
+/// aggregates naming free or unknown variables, duplicate aggregate clauses,
+/// and trailing garbage — each with a position-carrying message.
+Result<ParsedQuery> ParseQuery(std::string_view text);
+
+/// Prints `p` back to the surface grammar. Aggregate clauses are emitted
+/// only for bound variables whose op differs from the kSemiringSum default,
+/// in VarId order, so the output is canonical and round-trips exactly.
+std::string FormatQuery(const ParsedQuery& p);
+
+/// Binds one relation per atom (atom order) and returns the runnable query.
+/// `atom_relations[i]`'s columns must positionally match atom i's written
+/// variable order; the relation is re-schema'd to the atom's variables,
+/// column-reordered into sorted-VarId order (the Relation schema invariant)
+/// and canonicalized. Arity mismatches are InvalidArgument.
+template <CommutativeSemiring S>
+Result<FaqQuery<S>> InstantiateQuery(const ParsedQuery& p,
+                                     std::vector<Relation<S>> atom_relations) {
+  if (atom_relations.size() != p.atoms.size())
+    return Status::InvalidArgument(
+        "need exactly one relation per atom: got " +
+        std::to_string(atom_relations.size()) + " for " +
+        std::to_string(p.atoms.size()) + " atoms");
+  for (size_t i = 0; i < p.atoms.size(); ++i) {
+    const ParsedQuery::Atom& atom = p.atoms[i];
+    Relation<S>& r = atom_relations[i];
+    if (r.arity() != atom.vars.size())
+      return Status::InvalidArgument(
+          "atom " + atom.name + " has arity " +
+          std::to_string(atom.vars.size()) + " but its relation has arity " +
+          std::to_string(r.arity()));
+    // Columns arrive in written-atom order; the storage invariant wants
+    // sorted VarId order. src[j] = written position of the j-th sorted var.
+    std::vector<VarId> sorted = atom.vars;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<int> src(sorted.size());
+    for (size_t j = 0; j < sorted.size(); ++j)
+      src[j] = static_cast<int>(
+          std::find(atom.vars.begin(), atom.vars.end(), sorted[j]) -
+          atom.vars.begin());
+    r.ReorderColumns(Schema(sorted), src);
+    r.Canonicalize();
+  }
+  FaqQuery<S> q;
+  q.hypergraph = p.ToHypergraph();
+  q.relations = std::move(atom_relations);
+  q.free_vars = p.free_vars;
+  q.var_ops = p.var_ops;
+  TOPOFAQ_RETURN_IF_ERROR(q.Validate());
+  return q;
+}
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_FAQ_PARSE_H_

@@ -30,6 +30,7 @@
 #include <unordered_map>
 
 #include "faq/query.h"
+#include "ghd/plan_cache.h"
 #include "ghd/width.h"
 #include "relation/exec.h"
 #include "relation/multiway.h"
@@ -127,11 +128,17 @@ Relation<S> JoinAndEliminate(std::vector<Relation<S>> parts,
 }  // namespace internal
 
 /// Ground-truth solver. Returns a relation over exactly `free_vars`.
+/// Cooperative cancellation: when the context carries a fired cancel token
+/// (server/engine.h), returns Status::Cancelled — checked between operator
+/// calls, plus at every morsel boundary inside parallel operators.
 template <CommutativeSemiring S>
 Result<Relation<S>> BruteForceSolve(const FaqQuery<S>& q,
                                     ExecContext* ctx = nullptr) {
   TOPOFAQ_RETURN_IF_ERROR(q.Validate());
+  ExecContext& cx = ExecContext::Resolve(ctx);
+  if (cx.cancelled()) return Status::Cancelled("query cancelled before solve");
   Relation<S> acc = internal::JoinAndEliminate(q.relations, q, ctx);
+  if (cx.cancelled()) return Status::Cancelled("query cancelled mid-solve");
   return Project(acc, q.free_vars, ctx);
 }
 
@@ -151,12 +158,16 @@ Result<Relation<S>> YannakakisSolveOn(const FaqQuery<S>& q, const GyoGhd& gg,
 
   // Upward pass: message[v] = relation over χ(v) ∩ χ(parent(v)). Every join
   // and batched elimination below shares `ctx`'s scratch buffers.
+  ExecContext& cx = ExecContext::Resolve(ctx);
   std::vector<Relation<S>> state(ghd.num_nodes());
   for (int v = 0; v < ghd.num_nodes(); ++v) {
     const int e = ghd.node(v).edge_id;
     state[v] = (e >= 0) ? q.relations[e] : internal::UnitRelation<S>();
   }
   for (int v : ghd.BottomUpOrder()) {
+    // Node-boundary cancellation check: one GHD node's work is the pass's
+    // natural morsel (parallel operators additionally check per morsel).
+    if (cx.cancelled()) return Status::Cancelled("query cancelled mid-pass");
     for (int c : ghd.node(v).children) state[v] = Join(state[v], state[c], ctx);
     if (v == ghd.root()) break;
     // Push down aggregates over variables private to this subtree
@@ -177,20 +188,27 @@ Result<Relation<S>> YannakakisSolveOn(const FaqQuery<S>& q, const GyoGhd& gg,
         q.free_vars.end())
       bound.push_back(v);
   root_rel = internal::EliminateAll(std::move(root_rel), bound, q, ctx);
+  if (cx.cancelled()) return Status::Cancelled("query cancelled mid-pass");
   return Project(root_rel, q.free_vars, ctx);
 }
 
 /// Theorem G.3 solver using the canonical minimized decomposition; when F is
 /// non-empty the decomposition is re-rooted so that F ⊆ χ(root) whenever the
-/// query shape permits it.
+/// query shape permits it. Decompositions come from the process-wide
+/// PlanCache (ghd/plan_cache.h), so repeated query shapes skip the
+/// GYO/width search entirely — both lookup paths are deterministic, hence a
+/// cache hit produces bit-identical plans and answers; the cache's
+/// hit/miss counters are the observability surface (PlanCache::stats).
 template <CommutativeSemiring S>
 Result<Relation<S>> YannakakisSolve(const FaqQuery<S>& q,
                                     ExecContext* ctx = nullptr) {
   if (q.free_vars.empty())
-    return YannakakisSolveOn(q, ComputeWidth(q.hypergraph).decomposition, ctx);
+    return YannakakisSolveOn(
+        q, PlanCache::Shared().Canonical(q.hypergraph).decomposition, ctx);
   std::vector<VarId> f = q.free_vars;
   std::sort(f.begin(), f.end());
-  auto w = MinimizeWidthWithRoot(q.hypergraph, f, /*restarts=*/4, /*seed=*/1);
+  auto w = PlanCache::Shared().WithRoot(q.hypergraph, f, /*restarts=*/4,
+                                        /*seed=*/1);
   if (!w.ok()) return w.status();
   return YannakakisSolveOn(q, w->decomposition, ctx);
 }

@@ -8,20 +8,11 @@ namespace topofaq {
 
 namespace {
 
-EncodingMode ModeFromEnv() {
-  const char* s = std::getenv("TOPOFAQ_ENCODING");
-  if (s == nullptr || *s == '\0' || std::strcmp(s, "auto") == 0)
-    return EncodingMode::kAuto;
-  if (std::strcmp(s, "plain") == 0 || std::strcmp(s, "off") == 0)
-    return EncodingMode::kPlain;
-  if (std::strcmp(s, "dict") == 0) return EncodingMode::kForceDict;
-  if (std::strcmp(s, "for") == 0) return EncodingMode::kForceFor;
-  TOPOFAQ_CHECK_MSG(false, "TOPOFAQ_ENCODING must be auto|plain|off|dict|for");
-  return EncodingMode::kAuto;
-}
+// DefaultEncodingMode() is defined in server/options.cc: every environment
+// knob (TOPOFAQ_ENCODING included) is read and parsed in that one file.
 
 std::atomic<EncodingMode>& ModeSlot() {
-  static std::atomic<EncodingMode> mode{ModeFromEnv()};
+  static std::atomic<EncodingMode> mode{DefaultEncodingMode()};
   return mode;
 }
 

@@ -57,8 +57,13 @@ enum class ColumnEncoding : uint8_t { kPlain = 0, kDict = 1, kFor = 2 };
 /// any column has a finite distinct set).
 enum class EncodingMode : uint8_t { kAuto = 0, kPlain = 1, kForceDict = 2, kForceFor = 3 };
 
-/// Process-global encoding mode. Resolved once from TOPOFAQ_ENCODING
-/// ("auto" | "plain"/"off" | "dict" | "for"); tests may override it.
+/// The TOPOFAQ_ENCODING default ("auto" | "plain"/"off" | "dict" | "for"),
+/// resolved once. Defined in server/options.cc — the one file that reads
+/// environment knobs (EngineOptions::FromEnv).
+EncodingMode DefaultEncodingMode();
+
+/// Process-global encoding mode. Starts at DefaultEncodingMode(); tests may
+/// override it.
 EncodingMode GlobalEncodingMode();
 void SetGlobalEncodingMode(EncodingMode mode);
 

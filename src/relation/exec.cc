@@ -1,27 +1,11 @@
 #include "relation/exec.h"
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <thread>
+
+// DefaultParallelism() is defined in server/options.cc: every environment
+// knob (TOPOFAQ_PARALLELISM included) is read and parsed in that one file.
 
 namespace topofaq {
-
-int DefaultParallelism() {
-  static const int v = [] {
-    const char* env = std::getenv("TOPOFAQ_PARALLELISM");
-    if (env == nullptr || *env == '\0') return 1;
-    const int hw =
-        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
-    if (std::strcmp(env, "max") == 0) return hw;
-    char* end = nullptr;
-    const long n = std::strtol(env, &end, 10);
-    if (end == env || *end != '\0' || n < 0) return 1;  // invalid → serial
-    if (n == 0) return hw;  // "0" = use every core, like "max"
-    return static_cast<int>(std::min<long>(n, 1024));
-  }();
-  return v;
-}
 
 OpStats ExecContext::Totals() const {
   OpStats t;
@@ -47,6 +31,10 @@ ExecContext& ExecContext::WorkerContext(int i) {
     ctx->parallelism = 1;  // workers never fan out again
     workers_.push_back(std::move(ctx));
   }
+  // Workers observe the owner's current cancel token (it may be installed
+  // after the arena was first materialized, or swapped between queries when
+  // an engine reuses a context).
+  workers_[static_cast<size_t>(i)]->cancel = cancel;
   return *workers_[static_cast<size_t>(i)];
 }
 

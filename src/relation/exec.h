@@ -32,6 +32,7 @@
 #ifndef TOPOFAQ_RELATION_EXEC_H_
 #define TOPOFAQ_RELATION_EXEC_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -45,7 +46,8 @@ namespace topofaq {
 /// Process-wide default operator parallelism, resolved once: the value of the
 /// TOPOFAQ_PARALLELISM environment variable ("max" or "0" meaning
 /// hardware_concurrency), or 1 when unset/invalid. Freshly constructed
-/// ExecContexts start at this value.
+/// ExecContexts start at this value. Defined in server/options.cc — the one
+/// file that reads environment knobs (EngineOptions::FromEnv).
 int DefaultParallelism();
 
 /// Counters for one operator family. All counts are cumulative since the
@@ -102,6 +104,19 @@ class ExecContext {
   /// results are bit-identical for every setting.
   int parallelism = DefaultParallelism();
 
+  /// Cooperative cancellation seam (server/engine.h): when non-null and set,
+  /// the query that owns this context has been cancelled. The parallel
+  /// scaffold checks it at every morsel boundary (MorselRun skips the
+  /// morsel's emission entirely), and the solvers check it between operator
+  /// calls; once it fires, operator outputs are unspecified and the caller
+  /// must discard them and surface Status::Cancelled. Never consulted when
+  /// null, so existing callers are untouched. Borrowed, not owned: the flag
+  /// must outlive every operator call made through this context.
+  const std::atomic<bool>* cancel = nullptr;
+  bool cancelled() const {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  }
+
   // Per-operator statistics.
   OpStats join;
   OpStats semijoin;
@@ -141,8 +156,9 @@ class ExecContext {
 
   /// The i-th worker's child context, created on first use and reused across
   /// operator calls. Worker contexts always have parallelism == 1 (no nested
-  /// fan-out); parallel operators hand context i exclusively to worker i for
-  /// the duration of one fork/join region and roll its stats up afterwards.
+  /// fan-out) and inherit this context's cancel token; parallel operators
+  /// hand context i exclusively to worker i for the duration of one
+  /// fork/join region and roll its stats up afterwards.
   ExecContext& WorkerContext(int i);
 
   /// Sum of all operator counters (the protocol-level rollup).

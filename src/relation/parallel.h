@@ -168,6 +168,15 @@ void ParallelSortPerm(std::vector<size_t>* perm, int workers, Less&& less) {
 /// globally sorted because morsels are disjoint key ranges in traversal
 /// order. Returns the canonical result and reports the morsel count in
 /// `st->morsels`; callers roll worker stats up separately.
+///
+/// Cancellation (server/engine.h): the owning context's cancel token is
+/// checked once per morsel, inside the ParallelFor task body, before the
+/// morsel's emission runs. Once the token fires, remaining morsels become
+/// no-ops (their builders stay empty), so a cancelled parallel operator
+/// call returns within one morsel's worth of work. The (empty-ish) result
+/// is still structurally canonical but semantically unspecified; solvers
+/// check ExecContext::cancelled between operator calls and discard it,
+/// surfacing Status::Cancelled instead.
 template <CommutativeSemiring S, typename StartsRun, typename Emit>
 Relation<S> MorselRun(ExecContext& cx, int workers, Schema schema, size_t n,
                       StartsRun&& starts_run, OpStats* st, Emit&& emit) {
@@ -188,6 +197,7 @@ Relation<S> MorselRun(ExecContext& cx, int workers, Schema schema, size_t n,
   for (int w = 0; w < workers; ++w) cx.WorkerContext(w);
   WorkerPool::Shared().ParallelFor(
       std::min<int>(workers, static_cast<int>(m)), m, [&](int w, size_t t) {
+        if (cx.cancelled()) return;  // morsel-boundary cancellation check
         emit(cx.WorkerContext(w), cuts[t], cuts[t + 1], &builders[t]);
       });
   st->morsels += static_cast<int64_t>(m);

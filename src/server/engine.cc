@@ -1,0 +1,260 @@
+#include "server/engine.h"
+
+#include <algorithm>
+
+#include "faq/solvers.h"
+
+namespace topofaq {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0,
+               std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// Everything admission needs, extracted from one typed query.
+struct Assessed {
+  Status validate;
+  std::vector<RelationProfile> profiles;
+  std::vector<VarId> free_vars;
+  uint64_t domain = 2;
+};
+
+/// Executes one typed query with the job's strategy. The context already
+/// carries the session's cancel token and the class parallelism.
+template <CommutativeSemiring S>
+Result<Relation<S>> RunSolver(const FaqQuery<S>& q, Strategy strategy,
+                              ExecContext& ctx) {
+  switch (strategy) {
+    case Strategy::kBruteForce:
+      return BruteForceSolve(q, &ctx);
+    case Strategy::kYannakakis:
+      return YannakakisSolve(q, &ctx);
+    case Strategy::kAuto:
+      break;
+  }
+  Result<Relation<S>> ans = YannakakisSolve(q, &ctx);
+  // Appendix G.5: the GHD pass requires F ⊆ V(C(H)). Shapes outside that
+  // restriction fall back to the brute-force oracle.
+  if (!ans.ok() && ans.status().code() == StatusCode::kFailedPrecondition)
+    return BruteForceSolve(q, &ctx);
+  return ans;
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions opts)
+    : opts_(opts), admission_(opts.admission) {
+  SetGlobalEncodingMode(opts_.encoding);
+  const int n = std::max(1, opts_.dispatchers);
+  dispatchers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i)
+    dispatchers_.emplace_back([this] { DispatcherLoop(); });
+}
+
+Engine::~Engine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : dispatchers_) t.join();
+}
+
+std::shared_ptr<Session> Engine::Submit(QueryRequest req) {
+  auto session = std::make_shared<Session>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    if (stopping_) {
+      ++stats_.cancelled;
+      session->Deliver(Status::Cancelled("engine is shutting down"));
+      return session;
+    }
+  }
+
+  Assessed a = std::visit(
+      [](const auto& q) {
+        Assessed out;
+        out.validate = q.Validate();
+        if (!out.validate.ok()) return out;
+        out.profiles.reserve(q.relations.size());
+        for (const auto& r : q.relations)
+          out.profiles.push_back(ProfileRelation(r));
+        out.free_vars = q.free_vars;
+        out.domain = q.DomainSize();
+        return out;
+      },
+      req.query);
+  if (!a.validate.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.failed;
+    session->Deliver(a.validate);
+    return session;
+  }
+
+  // Plan through the shared cache with the exact keys YannakakisSolve will
+  // use, so submission warms the plan the execution consumes. When the
+  // rooted search fails (free vars outside the core — the brute-force
+  // fallback shapes), the canonical decomposition still provides y/n2 for
+  // admission.
+  const Hypergraph& h = std::visit(
+      [](const auto& q) -> const Hypergraph& { return q.hypergraph; },
+      req.query);
+  bool plan_hit = false;
+  WidthResult width;
+  if (a.free_vars.empty()) {
+    width = PlanCache::Shared().Canonical(h, &plan_hit);
+  } else {
+    std::vector<VarId> f = a.free_vars;
+    std::sort(f.begin(), f.end());
+    auto w =
+        PlanCache::Shared().WithRoot(h, f, /*restarts=*/4, /*seed=*/1, &plan_hit);
+    if (w.ok())
+      width = *std::move(w);
+    else
+      width = PlanCache::Shared().Canonical(h, &plan_hit);
+  }
+
+  Job job;
+  job.bounds = admission_.Assess(h, a.profiles, a.free_vars.size(), a.domain,
+                                 width);
+  const Status admit = admission_.Admit(job.bounds);
+  if (!admit.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected;
+    session->Deliver(admit);
+    return session;
+  }
+  job.klass = admission_.Classify(job.bounds);
+  job.req = std::move(req);
+  job.session = session;
+  job.plan_cache_hit = plan_hit;
+  job.enqueued = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queues_[static_cast<size_t>(job.klass)].push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return session;
+}
+
+bool Engine::RunnableLocked() const {
+  if (!queues_[static_cast<size_t>(QueueClass::kPoint)].empty()) return true;
+  if (!queues_[static_cast<size_t>(QueueClass::kGeneral)].empty()) return true;
+  return !queues_[static_cast<size_t>(QueueClass::kHeavy)].empty() &&
+         running_heavy_ < std::max(1, opts_.heavy_slots);
+}
+
+bool Engine::PopLocked(Job* out) {
+  for (QueueClass c : {QueueClass::kPoint, QueueClass::kGeneral}) {
+    std::deque<Job>& q = queues_[static_cast<size_t>(c)];
+    if (!q.empty()) {
+      *out = std::move(q.front());
+      q.pop_front();
+      return true;
+    }
+  }
+  std::deque<Job>& heavy = queues_[static_cast<size_t>(QueueClass::kHeavy)];
+  if (!heavy.empty() && running_heavy_ < std::max(1, opts_.heavy_slots)) {
+    *out = std::move(heavy.front());
+    heavy.pop_front();
+    ++running_heavy_;
+    return true;
+  }
+  return false;
+}
+
+void Engine::DispatcherLoop() {
+  // One context per dispatcher: scratch buffers and the worker arena are
+  // reused across every query this thread runs.
+  ExecContext ctx;
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Wake for runnable work, or to exit once shutdown has drained every
+      // queue. A heavy backlog behind an occupied slot keeps the thread
+      // asleep (not spinning) until the slot-release notify_all.
+      auto drained = [this] {
+        for (const auto& q : queues_)
+          if (!q.empty()) return false;
+        return true;
+      };
+      cv_.wait(lock, [&] { return RunnableLocked() || (stopping_ && drained()); });
+      if (!PopLocked(&job)) {
+        if (stopping_ && drained()) return;
+        continue;
+      }
+    }
+    const bool was_heavy = job.klass == QueueClass::kHeavy;
+    RunJob(job, ctx);
+    if (was_heavy) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --running_heavy_;
+      }
+      cv_.notify_all();  // a heavy slot freed; wake waiting dispatchers
+    } else {
+      cv_.notify_one();
+    }
+  }
+}
+
+void Engine::RunJob(Job& job, ExecContext& ctx) {
+  const auto started = std::chrono::steady_clock::now();
+  ctx.ResetStats();
+  ctx.cancel = job.session->cancel_token();
+  // Point lookups always run serially: morsel fan-out costs more than the
+  // lookup itself, and a serial point query can never be blocked behind the
+  // pool by a heavy query's morsels.
+  ctx.parallelism =
+      job.klass == QueueClass::kPoint ? 1 : std::max(1, opts_.parallelism);
+
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    if (job.session->cancel_requested())
+      return Status::Cancelled("query cancelled while queued");
+    return std::visit(
+        [&](const auto& q) -> Result<QueryResult> {
+          auto ans = RunSolver(q, job.req.strategy, ctx);
+          if (!ans.ok()) return ans.status();
+          if (ctx.cancelled())
+            return Status::Cancelled("query cancelled mid-solve");
+          QueryResult out;
+          out.observed_rows = ans->size();
+          out.answer = *std::move(ans);
+          return out;
+        },
+        job.req.query);
+  }();
+  ctx.cancel = nullptr;
+
+  if (result.ok()) {
+    result->kernel = ctx.Totals();
+    result->bounds = job.bounds;
+    result->klass = job.klass;
+    result->plan_cache_hit = job.plan_cache_hit;
+    result->queue_ms = MsSince(job.enqueued, started);
+    result->exec_ms = MsSince(started, std::chrono::steady_clock::now());
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (result.ok())
+      ++stats_.completed;
+    else if (result.status().code() == StatusCode::kCancelled)
+      ++stats_.cancelled;
+    else
+      ++stats_.failed;
+  }
+  job.session->Deliver(std::move(result));
+}
+
+EngineStats Engine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  EngineStats s = stats_;
+  s.plan_cache = PlanCache::Shared().stats();
+  return s;
+}
+
+}  // namespace topofaq

@@ -1,0 +1,130 @@
+// topofaq::Engine — the FAQ-as-a-service entry point.
+//
+// One Engine owns the whole serving path:
+//
+//   Submit(QueryRequest)
+//     → validate + profile inputs (one O(rows) scan per relation)
+//     → plan: decomposition from the process-wide PlanCache
+//     → admit: predicted bounds vs budgets (server/admission.h); rejected
+//       queries complete immediately with ResourceExhausted, before any
+//       execution resource is spent
+//     → classify: point / general / heavy priority queues
+//     → dispatch: dispatcher threads drain the queues in strict priority
+//       order, with at most `heavy_slots` heavy queries in flight — so a
+//       dispatcher is always free for point lookups while cyclic analytics
+//       churn, and point-lookup latency stays flat under heavy load
+//       (bench/bench_engine_concurrent.cc gates this in CI).
+//
+// Concurrency model: queries multiplex the process-wide WorkerPool at morsel
+// granularity. A parallel operator whose ParallelFor finds the pool busy
+// runs its morsels on the dispatcher thread instead of queueing
+// (relation/parallel.h), so concurrent queries interleave at morsel
+// boundaries without any additional scheduler — and results stay
+// bit-identical to direct solver calls because morsel decomposition never
+// changes output bytes (the determinism contract).
+//
+// Cancellation: Session::Cancel() flips an atomic the query's ExecContext
+// carries; MorselRun checks it at every morsel boundary and the solvers
+// between operator calls, so a heavy query unwinds within one morsel and
+// surfaces Status::Cancelled. Queued queries cancel without running.
+//
+// This is the one public solve surface: examples, benches, and the shell go
+// through Engine::Solve. BruteForceSolve / YannakakisSolve remain available
+// as strategies (and as the differential oracle in tests), selected via
+// QueryRequest::strategy.
+#ifndef TOPOFAQ_SERVER_ENGINE_H_
+#define TOPOFAQ_SERVER_ENGINE_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ghd/plan_cache.h"
+#include "server/admission.h"
+#include "server/options.h"
+#include "server/session.h"
+
+namespace topofaq {
+
+/// Cumulative engine counters plus a plan-cache snapshot.
+struct EngineStats {
+  int64_t submitted = 0;
+  int64_t rejected = 0;   ///< refused by admission control
+  int64_t completed = 0;  ///< delivered an answer
+  int64_t cancelled = 0;  ///< delivered Status::Cancelled
+  int64_t failed = 0;     ///< delivered any other error
+  PlanCache::Stats plan_cache;
+};
+
+class Engine {
+ public:
+  /// Constructing an Engine installs opts.encoding as the process encoding
+  /// mode (the engine owns process configuration) and starts the
+  /// dispatcher threads.
+  explicit Engine(EngineOptions opts = EngineOptions::FromEnv());
+  /// Drains every submitted query (cancelled ones unwind fast), then joins.
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Admits and enqueues. Never blocks on execution: the returned session
+  /// resolves immediately for validation/admission failures, later for
+  /// executed queries. Wait()/Cancel() on the session from any thread.
+  std::shared_ptr<Session> Submit(QueryRequest req);
+
+  /// Submit + Wait: the synchronous entry point every call site uses.
+  Result<QueryResult> Solve(QueryRequest req) { return Submit(std::move(req))->Wait(); }
+
+  /// Statically-typed convenience: callers that know their semiring get the
+  /// answer relation back directly.
+  template <CommutativeSemiring S>
+  Result<Relation<S>> Solve(FaqQuery<S> q, Strategy strategy = Strategy::kAuto) {
+    QueryRequest req;
+    req.query = std::move(q);
+    req.strategy = strategy;
+    Result<QueryResult> r = Solve(std::move(req));
+    if (!r.ok()) return r.status();
+    return r->answer_as<S>();
+  }
+
+  EngineStats stats() const;
+  const EngineOptions& options() const { return opts_; }
+
+ private:
+  struct Job {
+    QueryRequest req;
+    std::shared_ptr<Session> session;
+    QueryBounds bounds;
+    QueueClass klass = QueueClass::kGeneral;
+    bool plan_cache_hit = false;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void DispatcherLoop();
+  /// Pops the runnable job of highest priority (point > general > heavy,
+  /// heavy only below the in-flight cap). Caller holds mu_.
+  bool PopLocked(Job* out);
+  bool RunnableLocked() const;
+  void RunJob(Job& job, ExecContext& ctx);
+
+  EngineOptions opts_;
+  AdmissionController admission_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::array<std::deque<Job>, 3> queues_;  // indexed by QueueClass
+  int running_heavy_ = 0;
+  bool stopping_ = false;
+  EngineStats stats_;
+
+  std::vector<std::thread> dispatchers_;
+};
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_SERVER_ENGINE_H_

@@ -20,6 +20,11 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  /// Cooperative cancellation observed mid-query (server/engine.h).
+  kCancelled,
+  /// Admission control refused the work: a predicted bound exceeds the
+  /// configured budget (server/admission.h names the violated bound).
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -51,6 +56,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -19,6 +19,7 @@
 #include "hypergraph/generators.h"
 #include "protocols/async.h"
 #include "protocols/distributed.h"
+#include "server/options.h"
 #include "util/rng.h"
 
 namespace topofaq {
@@ -26,15 +27,9 @@ namespace {
 
 /// Per-node page budget for the differential sweeps: the CI streaming job
 /// pins it to a tiny value via TOPOFAQ_PAGE_BUDGET so the
-/// larger-than-budget path is provably exercised.
-int64_t BudgetFromEnv(int64_t fallback) {
-  const char* e = std::getenv("TOPOFAQ_PAGE_BUDGET");
-  if (e != nullptr && *e != '\0') {
-    const long v = std::atol(e);
-    if (v >= 1) return v;
-  }
-  return fallback;
-}
+/// larger-than-budget path is provably exercised. Read through the one env
+/// parser (EngineOptions::FromEnv, server/options.cc).
+int64_t BudgetFromEnv() { return EngineOptions::FromEnv().page_budget; }
 
 template <CommutativeSemiring S>
 typename S::Value RandomAnnot(Rng* rng) {
@@ -82,7 +77,7 @@ DistInstance<S> RandomInstance(int seed, Graph g, int tuples = 12,
 AsyncProtocolOptions SmallPageOptions(int parallelism = 0) {
   AsyncProtocolOptions opts;
   opts.stream.page_rows = 4;
-  opts.stream.node_page_budget = BudgetFromEnv(8);
+  opts.stream.node_page_budget = BudgetFromEnv();
   opts.parallelism = parallelism;
   return opts;
 }

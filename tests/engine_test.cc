@@ -1,0 +1,454 @@
+// Engine serving-path tests: concurrent queries through topofaq::Engine must
+// be bit-identical to direct solver calls (the variant/queue/dispatch layers
+// may not change a single output byte); cancellation surfaces
+// Status::Cancelled and leaves the engine reusable; admission rejects
+// over-budget queries with a Status naming the violated bound; the textual
+// query format round-trips; the plan cache reports hits.
+//
+// CI runs this suite under TSan with TOPOFAQ_PARALLELISM=max (the engine
+// stress leg), so every cross-thread handoff here is sanitizer-checked.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "bit_identity.h"
+#include "faq/parse.h"
+#include "faq/solvers.h"
+#include "hypergraph/generators.h"
+#include "server/engine.h"
+#include "util/rng.h"
+
+namespace topofaq {
+namespace {
+
+template <CommutativeSemiring S>
+Relation<S> RandomRelation(const std::vector<VarId>& vars, int tuples,
+                           uint64_t domain, Rng* rng,
+                           typename S::Value (*val)(Rng*)) {
+  Relation<S> r{Schema(vars)};
+  for (int i = 0; i < tuples; ++i) {
+    std::vector<Value> row;
+    for (size_t j = 0; j < vars.size(); ++j)
+      row.push_back(rng->NextU64(domain));
+    r.Add(row, val(rng));
+  }
+  r.Canonicalize();
+  return r;
+}
+
+uint8_t BoolVal(Rng*) { return 1; }
+uint64_t NatVal(Rng* rng) { return rng->NextU64(4) + 1; }
+double CountVal(Rng* rng) { return static_cast<double>(rng->NextU64(4) + 1); }
+double MinPlusVal(Rng* rng) { return static_cast<double>(rng->NextU64(9)); }
+
+template <CommutativeSemiring S>
+FaqQuery<S> RandomQuery(const Hypergraph& h, int tuples, uint64_t domain,
+                        uint64_t seed, typename S::Value (*val)(Rng*),
+                        std::vector<VarId> free_vars) {
+  Rng rng(seed);
+  std::vector<Relation<S>> rels;
+  for (int e = 0; e < h.num_edges(); ++e)
+    rels.push_back(RandomRelation<S>(h.edge(e), tuples, domain, &rng, val));
+  return MakeFaqSS<S>(h, std::move(rels), std::move(free_vars));
+}
+
+/// Mirrors the engine's kAuto strategy on a private serial context: the
+/// direct-call baseline the engine must reproduce byte for byte.
+template <CommutativeSemiring S>
+Relation<S> DirectAuto(const FaqQuery<S>& q) {
+  ExecContext ctx;
+  ctx.parallelism = 1;
+  auto ans = YannakakisSolve(q, &ctx);
+  if (!ans.ok() && ans.status().code() == StatusCode::kFailedPrecondition)
+    ans = BruteForceSolve(q, &ctx);
+  EXPECT_TRUE(ans.ok()) << ans.status().ToString();
+  return *std::move(ans);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent bit-identity across semirings, shapes, and queue classes.
+
+/// One in-flight comparison: submit through the engine, remember the
+/// directly-computed baseline, check bytes after Wait().
+template <CommutativeSemiring S>
+struct Flight {
+  std::shared_ptr<Session> session;
+  Relation<S> expected;
+  QueueClass want_class;
+
+  void Launch(Engine& engine, const FaqQuery<S>& q, QueueClass want) {
+    expected = DirectAuto(q);
+    want_class = want;
+    QueryRequest req;
+    req.query = q;
+    session = engine.Submit(std::move(req));
+  }
+
+  void Check() {
+    auto r = session->Wait();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(BytesEqual(expected, r->answer_as<S>()));
+    EXPECT_EQ(r->klass, want_class);
+    // The admission predictor must be a genuine upper bound.
+    EXPECT_LE(r->observed_rows, r->bounds.predicted_output_rows);
+  }
+};
+
+TEST(Engine, ConcurrentQueriesBitIdenticalToDirectCalls) {
+  EngineOptions opts;
+  opts.parallelism = 4;
+  opts.dispatchers = 3;
+  opts.heavy_slots = 1;
+  Engine engine(opts);
+
+  const Hypergraph path = PathGraph(2);   // acyclic: R(0,1), S(1,2)
+  const Hypergraph star = StarGraph(4);   // acyclic, one shared attribute
+  const Hypergraph cycle = CycleGraph(3); // y = 1: heavy class
+
+  // 16 concurrent queries: 4 semirings x {path point lookup, star BCQ,
+  // cyclic heavy, brute-force-strategy oracle}. All in flight at once on 3
+  // dispatchers, multiplexing the process WorkerPool at morsel granularity.
+  Flight<BooleanSemiring> b1, b2, b3;
+  Flight<NaturalSemiring> n1, n2, n3;
+  Flight<CountingSemiring> c1, c2, c3;
+  Flight<MinPlusSemiring> m1, m2, m3;
+
+  b1.Launch(engine,
+            RandomQuery<BooleanSemiring>(path, 200, 40, 1, BoolVal, {0}),
+            QueueClass::kPoint);
+  n1.Launch(engine,
+            RandomQuery<NaturalSemiring>(path, 200, 40, 2, NatVal, {0}),
+            QueueClass::kPoint);
+  c1.Launch(engine,
+            RandomQuery<CountingSemiring>(path, 200, 40, 3, CountVal, {0}),
+            QueueClass::kPoint);
+  m1.Launch(engine,
+            RandomQuery<MinPlusSemiring>(path, 200, 40, 4, MinPlusVal, {0}),
+            QueueClass::kPoint);
+
+  b2.Launch(engine,
+            RandomQuery<BooleanSemiring>(star, 300, 16, 5, BoolVal, {}),
+            QueueClass::kPoint);
+  n2.Launch(engine,
+            RandomQuery<NaturalSemiring>(star, 300, 16, 6, NatVal, {}),
+            QueueClass::kPoint);
+  c2.Launch(engine,
+            RandomQuery<CountingSemiring>(star, 300, 16, 7, CountVal, {}),
+            QueueClass::kPoint);
+  m2.Launch(engine,
+            RandomQuery<MinPlusSemiring>(star, 300, 16, 8, MinPlusVal, {}),
+            QueueClass::kPoint);
+
+  b3.Launch(engine,
+            RandomQuery<BooleanSemiring>(cycle, 400, 24, 9, BoolVal, {}),
+            QueueClass::kHeavy);
+  n3.Launch(engine,
+            RandomQuery<NaturalSemiring>(cycle, 400, 24, 10, NatVal, {}),
+            QueueClass::kHeavy);
+  c3.Launch(engine,
+            RandomQuery<CountingSemiring>(cycle, 400, 24, 11, CountVal, {}),
+            QueueClass::kHeavy);
+  m3.Launch(engine,
+            RandomQuery<MinPlusSemiring>(cycle, 400, 24, 12, MinPlusVal, {}),
+            QueueClass::kHeavy);
+
+  // Brute-force strategy selected explicitly, against its own oracle call.
+  auto qb = RandomQuery<NaturalSemiring>(cycle, 120, 12, 13, NatVal, {});
+  ExecContext oracle_ctx;
+  auto oracle = BruteForceSolve(qb, &oracle_ctx);
+  ASSERT_TRUE(oracle.ok());
+  QueryRequest brute_req;
+  brute_req.query = qb;
+  brute_req.strategy = Strategy::kBruteForce;
+  auto brute_session = engine.Submit(std::move(brute_req));
+
+  b1.Check(); n1.Check(); c1.Check(); m1.Check();
+  b2.Check(); n2.Check(); c2.Check(); m2.Check();
+  b3.Check(); n3.Check(); c3.Check(); m3.Check();
+  auto brute = brute_session->Wait();
+  ASSERT_TRUE(brute.ok()) << brute.status().ToString();
+  EXPECT_TRUE(BytesEqual(*oracle, brute->answer_as<NaturalSemiring>()));
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 13);
+  EXPECT_EQ(stats.completed, 13);
+  EXPECT_EQ(stats.rejected, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation.
+
+TEST(Engine, CancelledQueryReturnsCancelledAndEngineStaysUsable) {
+  EngineOptions opts;
+  opts.dispatchers = 1;  // one dispatcher: the heavy query occupies it
+  opts.heavy_slots = 1;
+  Engine engine(opts);
+
+  // Occupy the only dispatcher with a heavy cyclic query...
+  auto heavy = RandomQuery<NaturalSemiring>(CycleGraph(3), 800, 48, 21,
+                                            NatVal, {});
+  QueryRequest heavy_req;
+  heavy_req.query = heavy;
+  auto heavy_session = engine.Submit(std::move(heavy_req));
+
+  // ...queue a victim behind it and cancel while it waits. Whether the
+  // victim is still queued (fast path) or just started (solver checks the
+  // token at operator/morsel boundaries), the outcome is kCancelled.
+  auto victim = RandomQuery<NaturalSemiring>(PathGraph(2), 200, 40, 22,
+                                             NatVal, {0});
+  QueryRequest victim_req;
+  victim_req.query = victim;
+  auto victim_session = engine.Submit(std::move(victim_req));
+  victim_session->Cancel();
+
+  auto victim_result = victim_session->Wait();
+  ASSERT_FALSE(victim_result.ok());
+  EXPECT_EQ(victim_result.status().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(heavy_session->Wait().ok());
+
+  // No leaked scratch / poisoned state: the same engine must keep serving
+  // bit-identical answers after a cancellation.
+  auto followup = RandomQuery<NaturalSemiring>(PathGraph(2), 200, 40, 22,
+                                               NatVal, {0});
+  auto again = engine.Solve(followup);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(BytesEqual(DirectAuto(followup), *again));
+
+  const EngineStats stats = engine.stats();
+  EXPECT_GE(stats.cancelled, 1);
+}
+
+TEST(Engine, SolversReturnCancelledOnPreFiredToken) {
+  // The solver-level contract, no engine involved: a context whose token is
+  // already set yields kCancelled from both solvers.
+  auto q = RandomQuery<CountingSemiring>(CycleGraph(3), 100, 16, 31,
+                                         CountVal, {});
+  std::atomic<bool> flag{true};
+  ExecContext ctx;
+  ctx.cancel = &flag;
+  auto a = BruteForceSolve(q, &ctx);
+  ASSERT_FALSE(a.ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kCancelled);
+  auto b = YannakakisSolve(q, &ctx);
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kCancelled);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control.
+
+TEST(Engine, AdmissionRejectsOverBudgetNamingTheBound) {
+  EngineOptions opts;
+  opts.admission.max_predicted_output_rows = 10;
+  Engine engine(opts);
+
+  // Natural join over a path: predicted output far above 10 rows.
+  auto big = RandomQuery<BooleanSemiring>(PathGraph(2), 3000, 1u << 20, 41,
+                                          BoolVal, {0, 1, 2});
+  auto r = engine.Solve(big);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("FD-aware output bound"),
+            std::string::npos)
+      << r.status().message();
+
+  // Tiny point lookups still get through the same engine.
+  auto small = RandomQuery<BooleanSemiring>(PathGraph(2), 50, 8, 42, BoolVal,
+                                            {0});
+  EXPECT_TRUE(engine.Solve(small).ok());
+  EXPECT_EQ(engine.stats().rejected, 1);
+}
+
+TEST(Engine, AdmissionRejectsDeepJoinTreesByWidth) {
+  // y counts internal join-tree nodes: PathGraph(5) decomposes with y = 3,
+  // PathGraph(2) with y = 1 (see ghd_test.cc).
+  EngineOptions opts;
+  opts.admission.max_width = 2;
+  Engine engine(opts);
+
+  auto deep = RandomQuery<NaturalSemiring>(PathGraph(5), 50, 8, 51, NatVal,
+                                           {});
+  auto r = engine.Solve(deep);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("internal-node-width"),
+            std::string::npos)
+      << r.status().message();
+
+  auto shallow = RandomQuery<NaturalSemiring>(PathGraph(2), 50, 8, 52,
+                                              NatVal, {});
+  EXPECT_TRUE(engine.Solve(shallow).ok());
+}
+
+TEST(Engine, ProfileRelationMeasuresLeadingRuns) {
+  Relation<NaturalSemiring> r{Schema(std::vector<VarId>{0, 1})};
+  for (Value k : {0, 0, 0, 1, 2, 2})
+    r.Add({k, static_cast<Value>(r.size())}, 1);
+  r.Canonicalize();
+  const RelationProfile p = ProfileRelation(r);
+  EXPECT_EQ(p.rows, 6u);
+  EXPECT_EQ(p.max_leading_run, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Parser round-trip and instantiation.
+
+TEST(Parse, RoundTripsThroughFormat) {
+  const char* text = "q(A, C) :- R(A, B), S(B, C), T(C); min(B)";
+  auto p1 = ParseQuery(text);
+  ASSERT_TRUE(p1.ok()) << p1.status().ToString();
+  const std::string printed = FormatQuery(*p1);
+  auto p2 = ParseQuery(printed);
+  ASSERT_TRUE(p2.ok()) << p2.status().ToString();
+  EXPECT_EQ(FormatQuery(*p2), printed);
+  EXPECT_EQ(p1->head, p2->head);
+  EXPECT_EQ(p1->var_names, p2->var_names);
+  EXPECT_EQ(p1->free_vars, p2->free_vars);
+  EXPECT_EQ(p1->var_ops, p2->var_ops);
+  ASSERT_EQ(p1->atoms.size(), p2->atoms.size());
+  for (size_t i = 0; i < p1->atoms.size(); ++i) {
+    EXPECT_EQ(p1->atoms[i].name, p2->atoms[i].name);
+    EXPECT_EQ(p1->atoms[i].vars, p2->atoms[i].vars);
+  }
+  // Shape checks: vars are interned in first-appearance order A,C,B.
+  EXPECT_EQ(p1->var_names, (std::vector<std::string>{"A", "C", "B"}));
+  EXPECT_EQ(p1->free_vars, (std::vector<VarId>{0, 1}));
+  EXPECT_EQ(p1->var_ops[2], VarOp::kMin);
+}
+
+TEST(Parse, RejectsMalformedQueries) {
+  EXPECT_FALSE(ParseQuery("q(A)").ok());                       // no body
+  EXPECT_FALSE(ParseQuery("q(A) :- ").ok());                   // empty body
+  EXPECT_FALSE(ParseQuery("q(A) :- R(A, A)").ok());            // repeated var
+  EXPECT_FALSE(ParseQuery("q(A, A) :- R(A)").ok());            // repeated head
+  EXPECT_FALSE(ParseQuery("q(A) :- R(B)").ok());               // A not in body
+  EXPECT_FALSE(ParseQuery("q(A) :- R(A, B); avg(B)").ok());    // unknown agg
+  EXPECT_FALSE(ParseQuery("q(A) :- R(A, B); min(Z)").ok());    // unknown var
+  EXPECT_FALSE(ParseQuery("q(A) :- R(A, B); min(A)").ok());    // agg on free
+  EXPECT_FALSE(ParseQuery("q(A) :- R(A, B); min(B), max(B)").ok());  // dup agg
+  EXPECT_FALSE(ParseQuery("q(A) :- R(A, B) garbage").ok());    // trailing
+}
+
+TEST(Parse, InstantiatedQueryMatchesHandBuiltQuery) {
+  // S is written S(C, B) — reversed relative to VarId order — so this also
+  // exercises the positional column reordering.
+  auto parsed = ParseQuery("q(A) :- R(A, B), S(C, B)");
+  ASSERT_TRUE(parsed.ok());
+
+  Rng rng(77);
+  std::vector<std::vector<Value>> r_rows, s_rows;
+  for (int i = 0; i < 150; ++i) {
+    r_rows.push_back({rng.NextU64(20), rng.NextU64(20)});
+    s_rows.push_back({rng.NextU64(20), rng.NextU64(20)});
+  }
+
+  // Text path: columns in written-atom order (S's first column is C).
+  Relation<NaturalSemiring> r_txt{Schema(std::vector<VarId>{0, 1})};
+  for (auto& row : r_rows) r_txt.Add({row[0], row[1]}, 1);
+  Relation<NaturalSemiring> s_txt{Schema(std::vector<VarId>{0, 1})};
+  for (auto& row : s_rows) s_txt.Add({row[0], row[1]}, 1);
+  auto q_txt = InstantiateQuery<NaturalSemiring>(
+      *parsed, {std::move(r_txt), std::move(s_txt)});
+  ASSERT_TRUE(q_txt.ok()) << q_txt.status().ToString();
+
+  // Hand-built path: A=0, B=1, C=2; S's schema is sorted {B=1, C=2}.
+  Hypergraph h(3, {{0, 1}, {1, 2}});
+  Relation<NaturalSemiring> r_hand{Schema(std::vector<VarId>{0, 1})};
+  for (auto& row : r_rows) r_hand.Add({row[0], row[1]}, 1);
+  Relation<NaturalSemiring> s_hand{Schema(std::vector<VarId>{1, 2})};
+  for (auto& row : s_rows) s_hand.Add({row[1], row[0]}, 1);  // B, C
+  r_hand.Canonicalize();
+  s_hand.Canonicalize();
+  auto q_hand = MakeFaqSS<NaturalSemiring>(
+      h, {std::move(r_hand), std::move(s_hand)}, {0});
+
+  Engine engine;
+  auto a_txt = engine.Solve(*std::move(q_txt));
+  auto a_hand = engine.Solve(std::move(q_hand));
+  ASSERT_TRUE(a_txt.ok());
+  ASSERT_TRUE(a_hand.ok());
+  EXPECT_TRUE(BytesEqual(*a_txt, *a_hand));
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache.
+
+TEST(Engine, PlanCacheHitsOnRepeatedShapes) {
+  PlanCache::Shared().Clear();
+  Engine engine;
+
+  // Same shape, different data: first query misses, the rest hit.
+  auto q1 = RandomQuery<NaturalSemiring>(StarGraph(3), 100, 16, 61, NatVal,
+                                         {});
+  auto q2 = RandomQuery<NaturalSemiring>(StarGraph(3), 100, 16, 62, NatVal,
+                                         {});
+  QueryRequest req1;
+  req1.query = q1;
+  auto r1 = engine.Solve(std::move(req1));
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(r1->plan_cache_hit);
+
+  QueryRequest req2;
+  req2.query = q2;
+  auto r2 = engine.Solve(std::move(req2));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->plan_cache_hit);
+
+  const PlanCache::Stats stats = PlanCache::Shared().stats();
+  EXPECT_GE(stats.hits, 1);
+  EXPECT_GE(stats.misses, 1);
+  EXPECT_GT(stats.HitRate(), 0.0);
+
+  // Direct solver calls share the same cache: a third solve of the shape
+  // adds hits without misses.
+  const int64_t misses_before = stats.misses;
+  ExecContext ctx;
+  ASSERT_TRUE(YannakakisSolve(q1, &ctx).ok());
+  EXPECT_EQ(PlanCache::Shared().stats().misses, misses_before);
+  EXPECT_GT(PlanCache::Shared().stats().hits, stats.hits);
+}
+
+TEST(PlanCache, FingerprintSeparatesShapes) {
+  const Hypergraph a(3, {{0, 1}, {1, 2}});
+  const Hypergraph b(3, {{1, 2}, {0, 1}});  // same edge set, other order
+  EXPECT_NE(PlanCache::Fingerprint(a, {}, 4, 1),
+            PlanCache::Fingerprint(b, {}, 4, 1));
+  EXPECT_NE(PlanCache::Fingerprint(a, {0}, 4, 1),
+            PlanCache::Fingerprint(a, {1}, 4, 1));
+  EXPECT_EQ(PlanCache::Fingerprint(a, {}, 4, 1),
+            PlanCache::Fingerprint(a, {}, 4, 1));
+}
+
+TEST(PlanCache, EvictsLeastRecentlyUsed) {
+  PlanCache cache(/*capacity=*/2);
+  const Hypergraph h1(2, {{0, 1}});
+  const Hypergraph h2(3, {{0, 1}, {1, 2}});
+  const Hypergraph h3(4, {{0, 1}, {1, 2}, {2, 3}});
+  cache.Canonical(h1);
+  cache.Canonical(h2);
+  cache.Canonical(h3);  // evicts h1
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  bool hit = false;
+  cache.Canonical(h1, &hit);  // re-miss after eviction
+  EXPECT_FALSE(hit);
+  cache.Canonical(h3, &hit);
+  EXPECT_TRUE(hit);
+}
+
+// ---------------------------------------------------------------------------
+// Options.
+
+TEST(EngineOptions, FromEnvParsesPageBudget) {
+  setenv("TOPOFAQ_PAGE_BUDGET", "3", 1);
+  EXPECT_EQ(EngineOptions::FromEnv().page_budget, 3);
+  setenv("TOPOFAQ_PAGE_BUDGET", "0", 1);  // invalid: keep the default
+  EXPECT_EQ(EngineOptions::FromEnv().page_budget, 8);
+  unsetenv("TOPOFAQ_PAGE_BUDGET");
+  EXPECT_EQ(EngineOptions::FromEnv().page_budget, 8);
+}
+
+}  // namespace
+}  // namespace topofaq

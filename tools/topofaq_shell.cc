@@ -1,0 +1,256 @@
+// topofaq_shell — interactive / batch driver for the FAQ engine.
+//
+// Reads commands from stdin (REPL) or from script files given on the
+// command line (batch), and serves every query through one topofaq::Engine,
+// printing the answer next to the engine's predicted bounds, queue class,
+// and plan-cache behavior.
+//
+// Commands:
+//   gen NAME ROWS ARITY DOMAIN [SEED]   make a random relation
+//   load NAME FILE                      load rows (whitespace-separated
+//                                       values, one tuple per line, '#'
+//                                       comments)
+//   semiring boolean|natural|counting|minplus
+//   query  q(A) :- R(A,B), S(B,C); min(B)
+//   explain q(A) :- ...                 parse + admission only, don't run
+//   stats                               engine + plan cache counters
+//   help / quit
+//
+// Atom names in a query refer to gen/load relation names; atom columns bind
+// positionally to the atom's written variables (faq/parse.h).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "faq/parse.h"
+#include "server/engine.h"
+#include "util/rng.h"
+
+namespace topofaq {
+namespace {
+
+/// Semiring-agnostic stored table: raw rows; annotations are S::One() at
+/// instantiation time, so one loaded table serves queries on any semiring.
+struct Table {
+  size_t arity = 0;
+  std::vector<std::vector<Value>> rows;
+};
+
+struct ShellState {
+  Engine engine;
+  std::map<std::string, Table> tables;
+  std::string semiring = "counting";
+};
+
+template <CommutativeSemiring S>
+Result<FaqQuery<S>> BindQuery(const ParsedQuery& parsed,
+                              const ShellState& st) {
+  std::vector<Relation<S>> rels;
+  rels.reserve(parsed.atoms.size());
+  for (const ParsedQuery::Atom& atom : parsed.atoms) {
+    auto it = st.tables.find(atom.name);
+    if (it == st.tables.end())
+      return Status::NotFound("no relation named " + atom.name +
+                              " (use gen/load first)");
+    const Table& t = it->second;
+    if (t.arity != atom.vars.size())
+      return Status::InvalidArgument(
+          "relation " + atom.name + " has arity " + std::to_string(t.arity) +
+          ", atom wants " + std::to_string(atom.vars.size()));
+    // Placeholder schema 0..arity-1; InstantiateQuery re-schemas the
+    // columns onto the atom's variables.
+    std::vector<VarId> cols(t.arity);
+    for (size_t j = 0; j < cols.size(); ++j) cols[j] = static_cast<VarId>(j);
+    Relation<S> r{Schema(cols)};
+    for (const std::vector<Value>& row : t.rows)
+      r.Add(std::span<const Value>(row.data(), row.size()), S::One());
+    rels.push_back(std::move(r));
+  }
+  return InstantiateQuery<S>(parsed, std::move(rels));
+}
+
+template <CommutativeSemiring S>
+void RunQuery(const ParsedQuery& parsed, ShellState& st, bool execute) {
+  auto q = BindQuery<S>(parsed, st);
+  if (!q.ok()) {
+    std::printf("error: %s\n", q.status().ToString().c_str());
+    return;
+  }
+  QueryRequest req;
+  req.query = *std::move(q);
+  req.tag = parsed.head;
+  auto r = st.engine.Solve(std::move(req));
+  if (!r.ok()) {
+    std::printf("error: %s\n", r.status().ToString().c_str());
+    return;
+  }
+  std::printf("-- %s: queue=%s  predicted<=%llu rows  observed=%llu  "
+              "plan-cache=%s  queue=%.2fms exec=%.2fms\n",
+              FormatQuery(parsed).c_str(), QueueClassName(r->klass),
+              static_cast<unsigned long long>(r->bounds.predicted_output_rows),
+              static_cast<unsigned long long>(r->observed_rows),
+              r->plan_cache_hit ? "hit" : "miss", r->queue_ms, r->exec_ms);
+  if (execute) {
+    const auto& rel = r->answer_as<S>();
+    std::printf("%s\n", rel.DebugString().c_str());
+  }
+}
+
+void Dispatch(const ParsedQuery& parsed, ShellState& st, bool execute) {
+  if (st.semiring == "boolean")
+    RunQuery<BooleanSemiring>(parsed, st, execute);
+  else if (st.semiring == "natural")
+    RunQuery<NaturalSemiring>(parsed, st, execute);
+  else if (st.semiring == "minplus")
+    RunQuery<MinPlusSemiring>(parsed, st, execute);
+  else
+    RunQuery<CountingSemiring>(parsed, st, execute);
+}
+
+void PrintStats(const ShellState& st) {
+  const EngineStats s = st.engine.stats();
+  std::printf("engine: submitted=%lld completed=%lld rejected=%lld "
+              "cancelled=%lld failed=%lld\n",
+              static_cast<long long>(s.submitted),
+              static_cast<long long>(s.completed),
+              static_cast<long long>(s.rejected),
+              static_cast<long long>(s.cancelled),
+              static_cast<long long>(s.failed));
+  std::printf("plan cache: hits=%lld misses=%lld evictions=%lld "
+              "hit-rate=%.2f\n",
+              static_cast<long long>(s.plan_cache.hits),
+              static_cast<long long>(s.plan_cache.misses),
+              static_cast<long long>(s.plan_cache.evictions),
+              s.plan_cache.HitRate());
+}
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  gen NAME ROWS ARITY DOMAIN [SEED]  random relation\n"
+      "  load NAME FILE                     tuples from file (one per line)\n"
+      "  semiring boolean|natural|counting|minplus\n"
+      "  query  q(A) :- R(A,B), S(B,C); min(B)\n"
+      "  explain QUERY                      bounds/class only, no rows\n"
+      "  stats | help | quit\n");
+}
+
+/// Executes one shell line; returns false on quit.
+bool HandleLine(const std::string& line, ShellState& st) {
+  std::istringstream in(line);
+  std::string cmd;
+  if (!(in >> cmd) || cmd[0] == '#') return true;
+  if (cmd == "quit" || cmd == "exit") return false;
+  if (cmd == "help") {
+    PrintHelp();
+  } else if (cmd == "stats") {
+    PrintStats(st);
+  } else if (cmd == "semiring") {
+    std::string s;
+    in >> s;
+    if (s == "boolean" || s == "natural" || s == "counting" || s == "minplus")
+      st.semiring = s;
+    else
+      std::printf("error: unknown semiring '%s'\n", s.c_str());
+  } else if (cmd == "gen") {
+    std::string name;
+    uint64_t rows = 0, arity = 0, domain = 0, seed = 42;
+    if (!(in >> name >> rows >> arity >> domain) || arity == 0 ||
+        domain == 0) {
+      std::printf("usage: gen NAME ROWS ARITY DOMAIN [SEED]\n");
+      return true;
+    }
+    in >> seed;
+    Rng rng(seed);
+    Table t;
+    t.arity = arity;
+    t.rows.reserve(rows);
+    for (uint64_t i = 0; i < rows; ++i) {
+      std::vector<Value> row(arity);
+      for (Value& v : row) v = rng.NextU64(domain);
+      t.rows.push_back(std::move(row));
+    }
+    std::printf("%s: %zu rows, arity %llu\n", name.c_str(), t.rows.size(),
+                static_cast<unsigned long long>(arity));
+    st.tables[name] = std::move(t);
+  } else if (cmd == "load") {
+    std::string name, file;
+    if (!(in >> name >> file)) {
+      std::printf("usage: load NAME FILE\n");
+      return true;
+    }
+    std::ifstream f(file);
+    if (!f) {
+      std::printf("error: cannot open %s\n", file.c_str());
+      return true;
+    }
+    Table t;
+    std::string row_line;
+    while (std::getline(f, row_line)) {
+      if (row_line.empty() || row_line[0] == '#') continue;
+      std::istringstream rs(row_line);
+      std::vector<Value> row;
+      Value v;
+      while (rs >> v) row.push_back(v);
+      if (row.empty()) continue;
+      if (t.arity == 0) t.arity = row.size();
+      if (row.size() != t.arity) {
+        std::printf("error: %s: ragged row (arity %zu vs %zu)\n",
+                    file.c_str(), row.size(), t.arity);
+        return true;
+      }
+      t.rows.push_back(std::move(row));
+    }
+    std::printf("%s: %zu rows, arity %zu\n", name.c_str(), t.rows.size(),
+                t.arity);
+    st.tables[name] = std::move(t);
+  } else if (cmd == "query" || cmd == "explain") {
+    std::string rest;
+    std::getline(in, rest);
+    auto parsed = ParseQuery(rest);
+    if (!parsed.ok()) {
+      std::printf("error: %s\n", parsed.status().ToString().c_str());
+      return true;
+    }
+    Dispatch(*parsed, st, cmd == "query");
+  } else {
+    std::printf("error: unknown command '%s' (try help)\n", cmd.c_str());
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  ShellState st;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      std::ifstream f(argv[i]);
+      if (!f) {
+        std::printf("error: cannot open %s\n", argv[i]);
+        return 1;
+      }
+      std::string line;
+      while (std::getline(f, line))
+        if (!HandleLine(line, st)) return 0;
+    }
+    return 0;
+  }
+  std::printf("topofaq shell — 'help' lists commands\n");
+  std::string line;
+  while (true) {
+    std::printf("> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (!HandleLine(line, st)) break;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace topofaq
+
+int main(int argc, char** argv) { return topofaq::Run(argc, argv); }
