@@ -23,6 +23,8 @@ namespace topofaq {
 /// variable (Eq. (4)), subject to the push-down conditions of Theorem G.1.
 template <CommutativeSemiring S>
 struct FaqQuery {
+  using Semiring = S;
+
   Hypergraph hypergraph;
   /// relations[e] has schema == hypergraph.edge(e) (sorted variable order).
   std::vector<Relation<S>> relations;

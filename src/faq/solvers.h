@@ -202,13 +202,7 @@ Result<Relation<S>> YannakakisSolveOn(const FaqQuery<S>& q, const GyoGhd& gg,
 template <CommutativeSemiring S>
 Result<Relation<S>> YannakakisSolve(const FaqQuery<S>& q,
                                     ExecContext* ctx = nullptr) {
-  if (q.free_vars.empty())
-    return YannakakisSolveOn(
-        q, PlanCache::Shared().Canonical(q.hypergraph).decomposition, ctx);
-  std::vector<VarId> f = q.free_vars;
-  std::sort(f.begin(), f.end());
-  auto w = PlanCache::Shared().WithRoot(q.hypergraph, f, /*restarts=*/4,
-                                        /*seed=*/1);
+  auto w = PlanCache::Shared().PlanFor(q.hypergraph, q.free_vars);
   if (!w.ok()) return w.status();
   return YannakakisSolveOn(q, w->decomposition, ctx);
 }

@@ -1,5 +1,7 @@
 #include "ghd/plan_cache.h"
 
+#include <algorithm>
+
 namespace topofaq {
 
 PlanCache& PlanCache::Shared() {
@@ -107,6 +109,15 @@ Result<WidthResult> PlanCache::WithRoot(
     ++stats_.evictions;
   }
   return lru_.front().second;
+}
+
+Result<WidthResult> PlanCache::PlanFor(const Hypergraph& h,
+                                       const std::vector<VarId>& free_vars,
+                                       bool* was_hit) {
+  if (free_vars.empty()) return Canonical(h, was_hit);
+  std::vector<VarId> f = free_vars;
+  std::sort(f.begin(), f.end());
+  return WithRoot(h, f, /*restarts=*/4, /*seed=*/1, was_hit);
 }
 
 PlanCache::Stats PlanCache::stats() const {

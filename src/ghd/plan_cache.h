@@ -58,6 +58,16 @@ class PlanCache {
                                int restarts, uint64_t seed,
                                bool* was_hit = nullptr);
 
+  /// The one planning rule every execution surface shares (YannakakisSolve,
+  /// Engine::Submit, StandingQuery::Create): F = ∅ takes the canonical
+  /// decomposition, non-empty F takes the rooted search with fixed
+  /// restarts/seed — identical keys on every path, so a query shape planned
+  /// by any surface is a cache hit for all of them, and all of them execute
+  /// the same (bit-identical) plan.
+  Result<WidthResult> PlanFor(const Hypergraph& h,
+                              const std::vector<VarId>& free_vars,
+                              bool* was_hit = nullptr);
+
   struct Stats {
     int64_t hits = 0;
     int64_t misses = 0;

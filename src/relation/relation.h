@@ -737,6 +737,49 @@ class RelationBuilder {
     annots_.insert(annots_.end(), annots.begin() + start, annots.end());
   }
 
+  /// AppendChunk over borrowed column sub-ranges: the delta-splice path of
+  /// incremental maintenance (ivm/delta.h) appends runs of an existing
+  /// canonical relation's columns between delta rows, so the chunks are
+  /// views into live column storage rather than owned vectors. Same
+  /// boundary-merge and sorted-flag rules as the owning overload.
+  void AppendChunk(std::span<const ColumnView> cols,
+                   std::span<const SemiringValue> annots) {
+    TOPOFAQ_DCHECK(cols.size() == arity_);
+    const size_t n = annots.size();
+    if (n == 0) return;
+#ifndef NDEBUG
+    for (size_t j = 0; j < arity_; ++j) TOPOFAQ_DCHECK(cols[j].size() == n);
+    for (size_t i = 1; i < n; ++i) {
+      int cmp = 0;
+      for (size_t j = 0; j < arity_ && cmp == 0; ++j) {
+        const Value x = cols[j][i - 1];
+        const Value y = cols[j][i];
+        cmp = x < y ? -1 : (x > y ? 1 : 0);
+      }
+      TOPOFAQ_DCHECK(cmp < 0);
+    }
+#endif
+    size_t start = 0;
+    if (!annots_.empty()) {
+      const size_t last = annots_.size() - 1;
+      int cmp = 0;
+      for (size_t j = 0; j < arity_ && cmp == 0; ++j) {
+        const Value x = cols_[j][last];
+        const Value y = cols[j][0];
+        cmp = x < y ? -1 : (x > y ? 1 : 0);
+      }
+      if (cmp == 0) {
+        annots_.back() = S::Add(annots_.back(), annots[0]);
+        start = 1;
+      } else if (cmp > 0) {
+        sorted_ = false;
+      }
+    }
+    for (size_t j = 0; j < arity_; ++j)
+      cols_[j].insert(cols_[j].end(), cols[j].begin() + start, cols[j].end());
+    annots_.insert(annots_.end(), annots.begin() + start, annots.end());
+  }
+
   /// Appends row `row` read through per-column base pointers with annotation
   /// `v`, column to column — no row-gather buffer (the Semijoin survivor
   /// path, plain instantiation).

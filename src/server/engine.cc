@@ -104,18 +104,11 @@ std::shared_ptr<Session> Engine::Submit(QueryRequest req) {
       req.query);
   bool plan_hit = false;
   WidthResult width;
-  if (a.free_vars.empty()) {
+  auto w = PlanCache::Shared().PlanFor(h, a.free_vars, &plan_hit);
+  if (w.ok())
+    width = *std::move(w);
+  else
     width = PlanCache::Shared().Canonical(h, &plan_hit);
-  } else {
-    std::vector<VarId> f = a.free_vars;
-    std::sort(f.begin(), f.end());
-    auto w =
-        PlanCache::Shared().WithRoot(h, f, /*restarts=*/4, /*seed=*/1, &plan_hit);
-    if (w.ok())
-      width = *std::move(w);
-    else
-      width = PlanCache::Shared().Canonical(h, &plan_hit);
-  }
 
   Job job;
   job.bounds = admission_.Assess(h, a.profiles, a.free_vars.size(), a.domain,
@@ -213,6 +206,13 @@ void Engine::RunJob(Job& job, ExecContext& ctx) {
       job.klass == QueueClass::kPoint ? 1 : std::max(1, opts_.parallelism);
 
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    if (job.work) {
+      // Subscription delta: the closure applies it under the session mutex.
+      // No cancel token — a delta observed a cancel mid-propagation would
+      // leave the standing pass state half-updated.
+      ctx.cancel = nullptr;
+      return job.work(ctx);
+    }
     if (job.session->cancel_requested())
       return Status::Cancelled("query cancelled while queued");
     return std::visit(
@@ -248,6 +248,156 @@ void Engine::RunJob(Job& job, ExecContext& ctx) {
       ++stats_.failed;
   }
   job.session->Deliver(std::move(result));
+}
+
+Result<std::shared_ptr<StandingSession>> Engine::Subscribe(QueryRequest req) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return Status::Cancelled("engine is shutting down");
+    ++stats_.subscriptions;
+  }
+
+  Assessed a = std::visit(
+      [](const auto& q) {
+        Assessed out;
+        out.validate = q.Validate();
+        if (!out.validate.ok()) return out;
+        out.profiles.reserve(q.relations.size());
+        for (const auto& r : q.relations)
+          out.profiles.push_back(ProfileRelation(r));
+        out.free_vars = q.free_vars;
+        out.domain = q.DomainSize();
+        return out;
+      },
+      req.query);
+  if (!a.validate.ok()) return a.validate;
+
+  const Hypergraph& h = std::visit(
+      [](const auto& q) -> const Hypergraph& { return q.hypergraph; },
+      req.query);
+  auto w = PlanCache::Shared().PlanFor(h, a.free_vars);
+  if (!w.ok()) return w.status();  // no brute-force fallback for subscriptions
+
+  const QueryBounds bounds =
+      admission_.Assess(h, a.profiles, a.free_vars.size(), a.domain, *w);
+  const Status admit = admission_.Admit(bounds);
+  if (!admit.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected;
+    return admit;
+  }
+
+  // Build the standing state on the calling thread: one full pass, the same
+  // work Solve would do, with full kernel parallelism.
+  ExecContext ctx;
+  ctx.parallelism = std::max(1, opts_.parallelism);
+  return std::visit(
+      [&](auto& q) -> Result<std::shared_ptr<StandingSession>> {
+        using Sm = typename std::decay_t<decltype(q)>::Semiring;
+        auto sq = StandingQuery<Sm>::Create(std::move(q), &ctx);
+        if (!sq.ok()) return sq.status();
+        return std::shared_ptr<StandingSession>(new StandingSession(
+            this, AnyStandingQuery(*std::move(sq)), std::move(a.profiles),
+            a.domain, *std::move(w)));
+      },
+      req.query);
+}
+
+Result<QueryResult> Engine::SubmitDelta(StandingSession* ss, int relation_id,
+                                        AnyDelta delta) {
+  if (delta.index() != ss->standing_.index())
+    return Status::InvalidArgument(
+        "delta semiring does not match the subscription's semiring");
+  if (relation_id < 0 ||
+      relation_id >= static_cast<int>(ss->profiles_.size()))
+    return Status::InvalidArgument("delta targets unknown relation " +
+                                   std::to_string(relation_id));
+
+  // FD-aware bounds on the *delta's* profile: assess the query shape with
+  // the touched relation swapped for the delta, so admission prices the
+  // incremental join work this batch can cause, not the standing database.
+  const RelationProfile dp = std::visit(
+      [](const auto& d) {
+        const RelationProfile rm = ProfileRelation(d.removes);
+        const RelationProfile ad = ProfileRelation(d.adds);
+        RelationProfile out;
+        out.rows = rm.rows + ad.rows;
+        out.max_leading_run = std::max(rm.max_leading_run, ad.max_leading_run);
+        return out;
+      },
+      delta);
+  std::vector<RelationProfile> profiles;
+  size_t num_free = 0;
+  const Hypergraph* h = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(ss->mu_);
+    profiles = ss->profiles_;
+    std::visit(
+        [&](const auto& sq) {
+          h = &sq.query().hypergraph;  // shape is immutable after Create
+          num_free = sq.query().free_vars.size();
+        },
+        ss->standing_);
+  }
+  profiles[static_cast<size_t>(relation_id)] = dp;
+  const QueryBounds bounds =
+      admission_.Assess(*h, profiles, num_free, ss->domain_, ss->width_);
+  const Status admit = admission_.Admit(bounds);
+  if (!admit.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.deltas_rejected;
+    return admit;
+  }
+
+  Job job;
+  job.bounds = bounds;
+  job.klass = admission_.Classify(bounds);
+  job.session = std::make_shared<Session>();
+  job.enqueued = std::chrono::steady_clock::now();
+  // The caller blocks on Wait() below, so `ss` outlives the closure.
+  job.work = [ss, relation_id, dp,
+              d = std::move(delta)](ExecContext& ctx) mutable
+      -> Result<QueryResult> {
+    std::lock_guard<std::mutex> lock(ss->mu_);
+    QueryResult out;
+    const Status applied = std::visit(
+        [&](auto& sq) -> Status {
+          using Sm = typename std::decay_t<decltype(sq)>::Semiring;
+          Delta<Sm>& dd = std::get<Delta<Sm>>(d);
+          TOPOFAQ_RETURN_IF_ERROR(
+              sq.ApplyDelta(relation_id, std::move(dd), &ctx));
+          out.observed_rows = sq.Current().size();
+          // Keep the admission profile current without rescanning: exact
+          // row count, monotone upper bound on the leading run.
+          RelationProfile& p =
+              ss->profiles_[static_cast<size_t>(relation_id)];
+          p.rows = sq.query().relations[static_cast<size_t>(relation_id)]
+                       .size();
+          p.max_leading_run = std::max(p.max_leading_run, dp.max_leading_run);
+          return Status::Ok();
+        },
+        ss->standing_);
+    if (!applied.ok()) return applied;
+    return out;
+  };
+  std::shared_ptr<Session> session = job.session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return Status::Cancelled("engine is shutting down");
+    queues_[static_cast<size_t>(job.klass)].push_back(std::move(job));
+  }
+  cv_.notify_one();
+  Result<QueryResult> r = session->Wait();
+  if (r.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.deltas_applied;
+  }
+  return r;
+}
+
+Result<QueryResult> StandingSession::ApplyDelta(int relation_id,
+                                                AnyDelta delta) {
+  return engine_->SubmitDelta(this, relation_id, std::move(delta));
 }
 
 EngineStats Engine::stats() const {

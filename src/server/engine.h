@@ -39,6 +39,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <utility>
@@ -48,6 +49,7 @@
 #include "server/admission.h"
 #include "server/options.h"
 #include "server/session.h"
+#include "server/subscribe.h"
 
 namespace topofaq {
 
@@ -58,6 +60,9 @@ struct EngineStats {
   int64_t completed = 0;  ///< delivered an answer
   int64_t cancelled = 0;  ///< delivered Status::Cancelled
   int64_t failed = 0;     ///< delivered any other error
+  int64_t subscriptions = 0;     ///< standing sessions created
+  int64_t deltas_applied = 0;    ///< subscription deltas applied
+  int64_t deltas_rejected = 0;   ///< subscription deltas refused by admission
   PlanCache::Stats plan_cache;
 };
 
@@ -92,10 +97,21 @@ class Engine {
     return r->answer_as<S>();
   }
 
+  /// Subscription mode (docs/ivm.md): plans + admits like Submit, runs the
+  /// full pass once on the calling thread, and returns a live session whose
+  /// answer stays current under StandingSession::ApplyDelta. Standing
+  /// queries require the GHD pass (F ⊆ V(C(H))): shapes Solve would finish
+  /// by brute force come back FailedPrecondition here, because only the
+  /// Yannakakis pass has incrementally maintainable state. The engine must
+  /// outlive the returned session.
+  Result<std::shared_ptr<StandingSession>> Subscribe(QueryRequest req);
+
   EngineStats stats() const;
   const EngineOptions& options() const { return opts_; }
 
  private:
+  friend class StandingSession;
+
   struct Job {
     QueryRequest req;
     std::shared_ptr<Session> session;
@@ -103,7 +119,16 @@ class Engine {
     QueueClass klass = QueueClass::kGeneral;
     bool plan_cache_hit = false;
     std::chrono::steady_clock::time_point enqueued;
+    /// Non-query work riding the priority queues (subscription deltas):
+    /// when set, RunJob executes this instead of the solver path, with
+    /// cancellation disabled (a delta must never half-apply).
+    std::function<Result<QueryResult>(ExecContext&)> work;
   };
+
+  /// Admits a subscription delta (FD-aware bounds with the touched
+  /// relation's profile replaced by the delta's), queues it, and waits.
+  Result<QueryResult> SubmitDelta(StandingSession* ss, int relation_id,
+                                  AnyDelta delta);
 
   void DispatcherLoop();
   /// Pops the runnable job of highest priority (point > general > heavy,

@@ -1,0 +1,129 @@
+// Subscription mode: Engine::Subscribe(QueryRequest) -> StandingSession.
+//
+// A standing session owns one StandingQuery (ivm/standing_query.h) behind
+// the engine's untemplated surface: AnyDelta/AnyStandingQuery close the
+// variants over the same semiring set as AnyQuery. Deltas are admitted
+// through the same AdmissionController as one-shot queries — the FD-aware
+// chain bound is assessed with the touched relation's profile replaced by
+// the *delta's* profile, so admission prices the incremental work (delta
+// rows × matching key runs elsewhere), not the standing database — and ride
+// the same point/general/heavy priority queues as a dedicated job class, so
+// a storm of delta batches cannot starve point lookups (nor vice versa).
+//
+// Concurrency: ApplyDelta calls are serialized per session by a mutex (delta
+// propagation mutates the materialized pass state); Current() takes the same
+// mutex and copies the answer out, so readers never observe a half-applied
+// delta. Different sessions are independent. The engine must outlive every
+// session handle it returned.
+#ifndef TOPOFAQ_SERVER_SUBSCRIBE_H_
+#define TOPOFAQ_SERVER_SUBSCRIBE_H_
+
+#include <mutex>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "ghd/width.h"
+#include "ivm/standing_query.h"
+#include "server/session.h"
+
+namespace topofaq {
+
+class Engine;
+
+/// Every semiring the engine can maintain incrementally (same closed set as
+/// AnyQuery). Which maintenance mode runs inside — ring propagation or
+/// affected-subtree recompute — is per-semiring (RingTraits).
+using AnyDelta =
+    std::variant<Delta<BooleanSemiring>, Delta<NaturalSemiring>,
+                 Delta<CountingSemiring>, Delta<MinPlusSemiring>,
+                 Delta<MaxProductSemiring>, Delta<Gf2Semiring>>;
+
+using AnyStandingQuery =
+    std::variant<StandingQuery<BooleanSemiring>, StandingQuery<NaturalSemiring>,
+                 StandingQuery<CountingSemiring>,
+                 StandingQuery<MinPlusSemiring>,
+                 StandingQuery<MaxProductSemiring>, StandingQuery<Gf2Semiring>>;
+
+/// One live subscription. Obtained from Engine::Subscribe; see the file
+/// comment for the concurrency contract.
+class StandingSession {
+ public:
+  StandingSession(const StandingSession&) = delete;
+  StandingSession& operator=(const StandingSession&) = delete;
+
+  /// Snapshot of the current answer (copy, taken under the session mutex).
+  AnyRelation Current() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::visit(
+        [](const auto& sq) -> AnyRelation { return sq.Current(); }, standing_);
+  }
+
+  /// Statically-typed snapshot for callers that know their semiring.
+  template <CommutativeSemiring S>
+  Relation<S> Current() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::get<StandingQuery<S>>(standing_).Current();
+  }
+
+  /// Admits `delta` against the session's bounds, queues it on the engine
+  /// (its own QueueClass), and blocks until it has been applied. Returns
+  /// the delta job's QueryResult (bounds/queue timings; the answer slot is
+  /// left empty — read Current() for data). ResourceExhausted deltas are
+  /// NOT applied. Implemented in engine.cc.
+  Result<QueryResult> ApplyDelta(int relation_id, AnyDelta delta);
+
+  /// Statically-typed convenience.
+  template <CommutativeSemiring S>
+  Result<QueryResult> ApplyDelta(int relation_id, Delta<S> delta) {
+    return ApplyDelta(relation_id, AnyDelta(std::move(delta)));
+  }
+
+  StandingStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::visit([](const auto& sq) { return sq.stats(); }, standing_);
+  }
+
+  bool ring_mode() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::visit([](const auto& sq) { return sq.ring_mode(); },
+                      standing_);
+  }
+
+  /// Number of base relations (valid delta targets are [0, n)).
+  int num_relations() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::visit(
+        [](const auto& sq) {
+          return static_cast<int>(sq.query().relations.size());
+        },
+        standing_);
+  }
+
+ private:
+  friend class Engine;
+
+  StandingSession(Engine* engine, AnyStandingQuery standing,
+                  std::vector<RelationProfile> profiles, uint64_t domain,
+                  WidthResult width)
+      : engine_(engine),
+        standing_(std::move(standing)),
+        profiles_(std::move(profiles)),
+        domain_(domain),
+        width_(std::move(width)) {}
+
+  Engine* engine_;
+  mutable std::mutex mu_;  // serializes ApplyDelta propagation and Current()
+  AnyStandingQuery standing_;
+  /// Base-relation profiles for delta admission. Row counts track the live
+  /// base exactly; max_leading_run is maintained as a monotone upper bound
+  /// (max of base-at-subscribe and every admitted delta) so admission never
+  /// rescans the database on the delta path.
+  std::vector<RelationProfile> profiles_;
+  uint64_t domain_;
+  WidthResult width_;
+};
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_SERVER_SUBSCRIBE_H_

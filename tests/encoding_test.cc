@@ -22,6 +22,7 @@
 #include "network/stream.h"
 #include "protocols/async.h"
 #include "protocols/distributed.h"
+#include "random_instances.h"
 #include "relation/encoding.h"
 #include "relation/multiway.h"
 #include "relation/ops.h"
@@ -229,42 +230,9 @@ TEST(EncodingPolicy, AutoLeavesWideRandomColumnsPlain) {
 // Relation round trips
 // ---------------------------------------------------------------------------
 
-/// Nonzero annotation generator per semiring (bitwise-reproducible values).
-template <CommutativeSemiring S>
-typename S::Value MakeAnnot(uint64_t k) {
-  if constexpr (std::is_same_v<typename S::Value, double>) {
-    return 0.5 * static_cast<double>(k % 13 + 1);
-  } else if constexpr (sizeof(typename S::Value) == 1) {
-    return S::One();
-  } else {
-    return static_cast<typename S::Value>(k % 97 + 1);
-  }
-}
-
-/// Random canonical relation built under whatever encoding mode is in
-/// scope. skew > 0 squashes the leading domain so key runs become long —
-/// the inputs dictionaries pay off on.
-template <CommutativeSemiring S>
-Relation<S> RandomRel(std::vector<VarId> vars, size_t n, uint64_t dom,
-                      int skew, uint64_t seed) {
-  Rng rng(seed);
-  Relation<S> r{Schema(std::move(vars))};
-  std::vector<Value> row(r.arity());
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < row.size(); ++j) {
-      uint64_t v = rng.NextU64(dom);
-      if (skew > 0) v = (v * v) / (dom << skew);
-      row[j] = v;
-    }
-    r.Add(row, MakeAnnot<S>(rng.NextU64(1 << 20)));
-  }
-  r.Canonicalize();
-  return r;
-}
-
 TEST(RelationEncoding, EncodeDecodeRoundTrip) {
   ScopedEncodingMode plain(EncodingMode::kPlain);
-  NRel base = RandomRel<NaturalSemiring>({0, 1}, 6000, 4096, 2, 21);
+  NRel base = RandomRelation<NaturalSemiring>({0, 1}, 6000, 4096, 21, 2);
   ASSERT_FALSE(base.any_encoded());
   for (EncodingMode m : {EncodingMode::kForceDict, EncodingMode::kForceFor}) {
     NRel enc = base;
@@ -290,7 +258,7 @@ TEST(RelationEncoding, EncodeDecodeRoundTrip) {
 
 TEST(RelationEncoding, MutationDecodesFirst) {
   ScopedEncodingMode force(EncodingMode::kForceFor);
-  NRel r = RandomRel<NaturalSemiring>({0, 1}, 100, 32, 0, 5);
+  NRel r = RandomRelation<NaturalSemiring>({0, 1}, 100, 32, 5);
   ASSERT_TRUE(r.any_encoded());
   r.Add({99, 99}, 3);  // mutators drop to plain storage...
   EXPECT_FALSE(r.canonical());
@@ -303,11 +271,11 @@ TEST(RelationEncoding, AutoEncodingPreservesBytes) {
   // Auto mode on a large skewed relation: encoded and plain builds of the
   // same rows must decode identically.
   ScopedEncodingMode plain(EncodingMode::kPlain);
-  NRel base = RandomRel<NaturalSemiring>({0, 1, 2}, 20000, 256, 0, 33);
+  NRel base = RandomRelation<NaturalSemiring>({0, 1, 2}, 20000, 256, 33);
   NRel enc;
   {
     ScopedEncodingMode autom(EncodingMode::kAuto);
-    enc = RandomRel<NaturalSemiring>({0, 1, 2}, 20000, 256, 0, 33);
+    enc = RandomRelation<NaturalSemiring>({0, 1, 2}, 20000, 256, 33);
   }
   EXPECT_TRUE(enc.any_encoded());  // 20k rows over a 256-value domain
   EXPECT_TRUE(BytesEqual(enc, base));
@@ -378,12 +346,12 @@ void RunEncodedSemiringSuite(uint64_t seed) {
   ScopedEncodingMode plain(EncodingMode::kPlain);
   const size_t n = 5000;  // above kEncodeMinRows and kParallelMinRows
   // Skewed keys: long runs, where dictionaries actually engage.
-  CheckOpsEncodingInvariant<S>(RandomRel<S>({0, 1}, n, 5000, 2, seed),
-                               RandomRel<S>({1, 2}, n, 5000, 2, seed + 1),
+  CheckOpsEncodingInvariant<S>(RandomRelation<S>({0, 1}, n, 5000, seed, 2),
+                               RandomRelation<S>({1, 2}, n, 5000, seed + 1, 2),
                                "skewed probe join");
   // Prefix-aligned merge path.
-  CheckOpsEncodingInvariant<S>(RandomRel<S>({0, 1}, n, 256, 0, seed + 2),
-                               RandomRel<S>({0, 2}, n, 256, 0, seed + 3),
+  CheckOpsEncodingInvariant<S>(RandomRelation<S>({0, 1}, n, 256, seed + 2),
+                               RandomRelation<S>({0, 2}, n, 256, seed + 3),
                                "prefix merge join");
 }
 
@@ -401,9 +369,9 @@ TEST(EncodedOps, Gf2Semiring) { RunEncodedSemiringSuite<Gf2Semiring>(504); }
 TEST(EncodedOps, MultiwayTriangleMatchesPlain) {
   ScopedEncodingMode plain(EncodingMode::kPlain);
   using S = NaturalSemiring;
-  const Relation<S> r = RandomRel<S>({0, 1}, 5000, 48, 1, 601);
-  const Relation<S> s = RandomRel<S>({1, 2}, 5000, 48, 1, 602);
-  const Relation<S> t = RandomRel<S>({0, 2}, 5000, 48, 1, 603);
+  const Relation<S> r = RandomRelation<S>({0, 1}, 5000, 48, 601, 1);
+  const Relation<S> s = RandomRelation<S>({1, 2}, 5000, 48, 602, 1);
+  const Relation<S> t = RandomRelation<S>({0, 2}, 5000, 48, 603, 1);
   ExecContext serial;
   serial.parallelism = 1;
   const Relation<S> base =
@@ -436,7 +404,7 @@ TEST(EncodedOps, MultiwayTriangleMatchesPlain) {
 TEST(EncodedOps, EliminateBatchedFoldMatchesPlain) {
   ScopedEncodingMode plain(EncodingMode::kPlain);
   using S = MinPlusSemiring;
-  const Relation<S> r = RandomRel<S>({0, 1, 2, 3}, 6000, 16, 1, 71);
+  const Relation<S> r = RandomRelation<S>({0, 1, 2, 3}, 6000, 16, 71, 1);
   ExecContext serial;
   serial.parallelism = 1;
   const Relation<S> base =
@@ -458,7 +426,7 @@ TEST(EncodedOps, EliminateBatchedFoldMatchesPlain) {
 
 TEST(EncodedStream, RoundTripIsBitIdenticalAndCheaper) {
   ScopedEncodingMode force(EncodingMode::kForceDict);
-  NRel r = RandomRel<NaturalSemiring>({0, 1, 2}, 5000, 64, 2, 81);
+  NRel r = RandomRelation<NaturalSemiring>({0, 1, 2}, 5000, 64, 81, 2);
   ASSERT_TRUE(r.any_encoded());
   AsyncNetwork net(LineTopology(2), LinkParams{1.0, 64.0});
   StreamNet<NaturalSemiring> streams(&net, StreamOptions{64, 4, 64, 32});
@@ -491,7 +459,7 @@ DistInstance<S> SkewedInstance(int seed, Graph g) {
     for (int i = 0; i < 5000; ++i) {
       for (auto& v : row)
         v = (Value{1} << 30) + rng.NextU64(16) * 1'000'003;
-      r.Add(row, MakeAnnot<S>(rng.NextU64(1 << 20)));
+      r.Add(row, TestAnnot<S>(rng.NextU64(1 << 20)));
     }
     r.Canonicalize();
     rels.push_back(std::move(r));

@@ -17,42 +17,12 @@
 #include "faq/parse.h"
 #include "faq/solvers.h"
 #include "hypergraph/generators.h"
+#include "random_instances.h"
 #include "server/engine.h"
 #include "util/rng.h"
 
 namespace topofaq {
 namespace {
-
-template <CommutativeSemiring S>
-Relation<S> RandomRelation(const std::vector<VarId>& vars, int tuples,
-                           uint64_t domain, Rng* rng,
-                           typename S::Value (*val)(Rng*)) {
-  Relation<S> r{Schema(vars)};
-  for (int i = 0; i < tuples; ++i) {
-    std::vector<Value> row;
-    for (size_t j = 0; j < vars.size(); ++j)
-      row.push_back(rng->NextU64(domain));
-    r.Add(row, val(rng));
-  }
-  r.Canonicalize();
-  return r;
-}
-
-uint8_t BoolVal(Rng*) { return 1; }
-uint64_t NatVal(Rng* rng) { return rng->NextU64(4) + 1; }
-double CountVal(Rng* rng) { return static_cast<double>(rng->NextU64(4) + 1); }
-double MinPlusVal(Rng* rng) { return static_cast<double>(rng->NextU64(9)); }
-
-template <CommutativeSemiring S>
-FaqQuery<S> RandomQuery(const Hypergraph& h, int tuples, uint64_t domain,
-                        uint64_t seed, typename S::Value (*val)(Rng*),
-                        std::vector<VarId> free_vars) {
-  Rng rng(seed);
-  std::vector<Relation<S>> rels;
-  for (int e = 0; e < h.num_edges(); ++e)
-    rels.push_back(RandomRelation<S>(h.edge(e), tuples, domain, &rng, val));
-  return MakeFaqSS<S>(h, std::move(rels), std::move(free_vars));
-}
 
 /// Mirrors the engine's kAuto strategy on a private serial context: the
 /// direct-call baseline the engine must reproduce byte for byte.
@@ -116,46 +86,46 @@ TEST(Engine, ConcurrentQueriesBitIdenticalToDirectCalls) {
   Flight<MinPlusSemiring> m1, m2, m3;
 
   b1.Launch(engine,
-            RandomQuery<BooleanSemiring>(path, 200, 40, 1, BoolVal, {0}),
+            RandomQuery<BooleanSemiring>(path, 200, 40, 1, {0}),
             QueueClass::kPoint);
   n1.Launch(engine,
-            RandomQuery<NaturalSemiring>(path, 200, 40, 2, NatVal, {0}),
+            RandomQuery<NaturalSemiring>(path, 200, 40, 2, {0}),
             QueueClass::kPoint);
   c1.Launch(engine,
-            RandomQuery<CountingSemiring>(path, 200, 40, 3, CountVal, {0}),
+            RandomQuery<CountingSemiring>(path, 200, 40, 3, {0}),
             QueueClass::kPoint);
   m1.Launch(engine,
-            RandomQuery<MinPlusSemiring>(path, 200, 40, 4, MinPlusVal, {0}),
+            RandomQuery<MinPlusSemiring>(path, 200, 40, 4, {0}),
             QueueClass::kPoint);
 
   b2.Launch(engine,
-            RandomQuery<BooleanSemiring>(star, 300, 16, 5, BoolVal, {}),
+            RandomQuery<BooleanSemiring>(star, 300, 16, 5, {}),
             QueueClass::kPoint);
   n2.Launch(engine,
-            RandomQuery<NaturalSemiring>(star, 300, 16, 6, NatVal, {}),
+            RandomQuery<NaturalSemiring>(star, 300, 16, 6, {}),
             QueueClass::kPoint);
   c2.Launch(engine,
-            RandomQuery<CountingSemiring>(star, 300, 16, 7, CountVal, {}),
+            RandomQuery<CountingSemiring>(star, 300, 16, 7, {}),
             QueueClass::kPoint);
   m2.Launch(engine,
-            RandomQuery<MinPlusSemiring>(star, 300, 16, 8, MinPlusVal, {}),
+            RandomQuery<MinPlusSemiring>(star, 300, 16, 8, {}),
             QueueClass::kPoint);
 
   b3.Launch(engine,
-            RandomQuery<BooleanSemiring>(cycle, 400, 24, 9, BoolVal, {}),
+            RandomQuery<BooleanSemiring>(cycle, 400, 24, 9, {}),
             QueueClass::kHeavy);
   n3.Launch(engine,
-            RandomQuery<NaturalSemiring>(cycle, 400, 24, 10, NatVal, {}),
+            RandomQuery<NaturalSemiring>(cycle, 400, 24, 10, {}),
             QueueClass::kHeavy);
   c3.Launch(engine,
-            RandomQuery<CountingSemiring>(cycle, 400, 24, 11, CountVal, {}),
+            RandomQuery<CountingSemiring>(cycle, 400, 24, 11, {}),
             QueueClass::kHeavy);
   m3.Launch(engine,
-            RandomQuery<MinPlusSemiring>(cycle, 400, 24, 12, MinPlusVal, {}),
+            RandomQuery<MinPlusSemiring>(cycle, 400, 24, 12, {}),
             QueueClass::kHeavy);
 
   // Brute-force strategy selected explicitly, against its own oracle call.
-  auto qb = RandomQuery<NaturalSemiring>(cycle, 120, 12, 13, NatVal, {});
+  auto qb = RandomQuery<NaturalSemiring>(cycle, 120, 12, 13, {});
   ExecContext oracle_ctx;
   auto oracle = BruteForceSolve(qb, &oracle_ctx);
   ASSERT_TRUE(oracle.ok());
@@ -187,8 +157,7 @@ TEST(Engine, CancelledQueryReturnsCancelledAndEngineStaysUsable) {
   Engine engine(opts);
 
   // Occupy the only dispatcher with a heavy cyclic query...
-  auto heavy = RandomQuery<NaturalSemiring>(CycleGraph(3), 800, 48, 21,
-                                            NatVal, {});
+  auto heavy = RandomQuery<NaturalSemiring>(CycleGraph(3), 800, 48, 21, {});
   QueryRequest heavy_req;
   heavy_req.query = heavy;
   auto heavy_session = engine.Submit(std::move(heavy_req));
@@ -196,8 +165,7 @@ TEST(Engine, CancelledQueryReturnsCancelledAndEngineStaysUsable) {
   // ...queue a victim behind it and cancel while it waits. Whether the
   // victim is still queued (fast path) or just started (solver checks the
   // token at operator/morsel boundaries), the outcome is kCancelled.
-  auto victim = RandomQuery<NaturalSemiring>(PathGraph(2), 200, 40, 22,
-                                             NatVal, {0});
+  auto victim = RandomQuery<NaturalSemiring>(PathGraph(2), 200, 40, 22, {0});
   QueryRequest victim_req;
   victim_req.query = victim;
   auto victim_session = engine.Submit(std::move(victim_req));
@@ -210,8 +178,7 @@ TEST(Engine, CancelledQueryReturnsCancelledAndEngineStaysUsable) {
 
   // No leaked scratch / poisoned state: the same engine must keep serving
   // bit-identical answers after a cancellation.
-  auto followup = RandomQuery<NaturalSemiring>(PathGraph(2), 200, 40, 22,
-                                               NatVal, {0});
+  auto followup = RandomQuery<NaturalSemiring>(PathGraph(2), 200, 40, 22, {0});
   auto again = engine.Solve(followup);
   ASSERT_TRUE(again.ok()) << again.status().ToString();
   EXPECT_TRUE(BytesEqual(DirectAuto(followup), *again));
@@ -223,8 +190,7 @@ TEST(Engine, CancelledQueryReturnsCancelledAndEngineStaysUsable) {
 TEST(Engine, SolversReturnCancelledOnPreFiredToken) {
   // The solver-level contract, no engine involved: a context whose token is
   // already set yields kCancelled from both solvers.
-  auto q = RandomQuery<CountingSemiring>(CycleGraph(3), 100, 16, 31,
-                                         CountVal, {});
+  auto q = RandomQuery<CountingSemiring>(CycleGraph(3), 100, 16, 31, {});
   std::atomic<bool> flag{true};
   ExecContext ctx;
   ctx.cancel = &flag;
@@ -246,7 +212,7 @@ TEST(Engine, AdmissionRejectsOverBudgetNamingTheBound) {
 
   // Natural join over a path: predicted output far above 10 rows.
   auto big = RandomQuery<BooleanSemiring>(PathGraph(2), 3000, 1u << 20, 41,
-                                          BoolVal, {0, 1, 2});
+                                          {0, 1, 2});
   auto r = engine.Solve(big);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
@@ -255,8 +221,7 @@ TEST(Engine, AdmissionRejectsOverBudgetNamingTheBound) {
       << r.status().message();
 
   // Tiny point lookups still get through the same engine.
-  auto small = RandomQuery<BooleanSemiring>(PathGraph(2), 50, 8, 42, BoolVal,
-                                            {0});
+  auto small = RandomQuery<BooleanSemiring>(PathGraph(2), 50, 8, 42, {0});
   EXPECT_TRUE(engine.Solve(small).ok());
   EXPECT_EQ(engine.stats().rejected, 1);
 }
@@ -268,8 +233,7 @@ TEST(Engine, AdmissionRejectsDeepJoinTreesByWidth) {
   opts.admission.max_width = 2;
   Engine engine(opts);
 
-  auto deep = RandomQuery<NaturalSemiring>(PathGraph(5), 50, 8, 51, NatVal,
-                                           {});
+  auto deep = RandomQuery<NaturalSemiring>(PathGraph(5), 50, 8, 51, {});
   auto r = engine.Solve(deep);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
@@ -277,8 +241,7 @@ TEST(Engine, AdmissionRejectsDeepJoinTreesByWidth) {
             std::string::npos)
       << r.status().message();
 
-  auto shallow = RandomQuery<NaturalSemiring>(PathGraph(2), 50, 8, 52,
-                                              NatVal, {});
+  auto shallow = RandomQuery<NaturalSemiring>(PathGraph(2), 50, 8, 52, {});
   EXPECT_TRUE(engine.Solve(shallow).ok());
 }
 
@@ -380,10 +343,8 @@ TEST(Engine, PlanCacheHitsOnRepeatedShapes) {
   Engine engine;
 
   // Same shape, different data: first query misses, the rest hit.
-  auto q1 = RandomQuery<NaturalSemiring>(StarGraph(3), 100, 16, 61, NatVal,
-                                         {});
-  auto q2 = RandomQuery<NaturalSemiring>(StarGraph(3), 100, 16, 62, NatVal,
-                                         {});
+  auto q1 = RandomQuery<NaturalSemiring>(StarGraph(3), 100, 16, 61, {});
+  auto q2 = RandomQuery<NaturalSemiring>(StarGraph(3), 100, 16, 62, {});
   QueryRequest req1;
   req1.query = q1;
   auto r1 = engine.Solve(std::move(req1));

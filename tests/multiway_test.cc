@@ -17,54 +17,13 @@
 #include "faq/query.h"
 #include "faq/solvers.h"
 #include "hypergraph/generators.h"
+#include "random_instances.h"
 #include "relation/multiway.h"
 #include "relation/ops.h"
 #include "util/rng.h"
 
 namespace topofaq {
 namespace {
-
-/// Nonzero annotation generator per semiring. Values are exactly
-/// representable (small integers / halves), so ⊗ and ⊕ are exact in double
-/// arithmetic and function equality is insensitive to association order.
-template <CommutativeSemiring S>
-typename S::Value MakeAnnot(uint64_t k);
-template <>
-NaturalSemiring::Value MakeAnnot<NaturalSemiring>(uint64_t k) {
-  return k % 97 + 1;
-}
-template <>
-CountingSemiring::Value MakeAnnot<CountingSemiring>(uint64_t k) {
-  return 0.5 * static_cast<double>(k % 13 + 1);
-}
-template <>
-MinPlusSemiring::Value MakeAnnot<MinPlusSemiring>(uint64_t k) {
-  return static_cast<double>(k % 29);
-}
-template <>
-Gf2Semiring::Value MakeAnnot<Gf2Semiring>(uint64_t) {
-  return 1;
-}
-
-/// Random canonical relation; skew > 0 front-loads the first column so key
-/// runs become long and unequal (morsel-cut stress).
-template <CommutativeSemiring S>
-Relation<S> RandomRel(std::vector<VarId> vars, size_t n, uint64_t dom,
-                      int skew, uint64_t seed) {
-  Rng rng(seed);
-  Relation<S> r{Schema(std::move(vars))};
-  std::vector<Value> row(r.arity());
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < row.size(); ++j) {
-      uint64_t v = rng.NextU64(dom);
-      if (j == 0 && skew > 0) v = (v * v) / (dom << skew);
-      row[j] = v;
-    }
-    r.Add(row, MakeAnnot<S>(rng.NextU64(1 << 20)));
-  }
-  r.Canonicalize();
-  return r;
-}
 
 /// The pairwise oracle: left-fold of the sort-merge Join, permuted to the
 /// ascending-variable schema MultiwayJoin emits.
@@ -81,7 +40,8 @@ Relation<S> PairwiseOracle(const std::vector<Relation<S>>& rels) {
 /// compute the same function as the pairwise chain, and every parallelism
 /// level must reproduce the serial bytes.
 template <CommutativeSemiring S>
-void CheckMultiway(const std::vector<Relation<S>>& rels, const char* what) {
+void CheckMultiway(const std::vector<Relation<S>>& rels,
+                   const std::string& what) {
   SCOPED_TRACE(what);
   ExecContext serial;
   serial.parallelism = 1;
@@ -103,43 +63,43 @@ template <CommutativeSemiring S>
 void RunSemiringSuite(uint64_t seed) {
   const size_t n = 2000;  // above kParallelMinRows: the morsel path engages
   // Triangle R(0,1) ⋈ S(1,2) ⋈ T(0,2): the canonical cyclic core.
-  CheckMultiway<S>({RandomRel<S>({0, 1}, n, 250, 0, seed),
-                    RandomRel<S>({1, 2}, n, 250, 0, seed + 1),
-                    RandomRel<S>({0, 2}, n, 250, 0, seed + 2)},
-                   "triangle");
+  CheckMultiway<S>({RandomRelation<S>({0, 1}, n, 250, seed),
+                    RandomRelation<S>({1, 2}, n, 250, seed + 1),
+                    RandomRelation<S>({0, 2}, n, 250, seed + 2)},
+                   InstanceLabel("triangle", seed));
   // 4-cycle R(0,1) ⋈ S(1,2) ⋈ T(2,3) ⋈ U(0,3).
-  CheckMultiway<S>({RandomRel<S>({0, 1}, n, 400, 0, seed + 3),
-                    RandomRel<S>({1, 2}, n, 400, 0, seed + 4),
-                    RandomRel<S>({2, 3}, n, 400, 0, seed + 5),
-                    RandomRel<S>({0, 3}, n, 400, 0, seed + 6)},
-                   "4-cycle");
+  CheckMultiway<S>({RandomRelation<S>({0, 1}, n, 400, seed + 3),
+                    RandomRelation<S>({1, 2}, n, 400, seed + 4),
+                    RandomRelation<S>({2, 3}, n, 400, seed + 5),
+                    RandomRelation<S>({0, 3}, n, 400, seed + 6)},
+                   InstanceLabel("4-cycle", seed));
   // Heavy skew on the outermost variable: long unequal top-level key runs
   // stress the morsel-cut alignment.
-  CheckMultiway<S>({RandomRel<S>({0, 1}, n, 64, 2, seed + 7),
-                    RandomRel<S>({1, 2}, n, 64, 0, seed + 8),
-                    RandomRel<S>({0, 2}, n, 64, 2, seed + 9)},
-                   "skewed triangle");
+  CheckMultiway<S>({RandomRelation<S>({0, 1}, n, 64, seed + 7, 2),
+                    RandomRelation<S>({1, 2}, n, 64, seed + 8),
+                    RandomRelation<S>({0, 2}, n, 64, seed + 9, 2)},
+                   InstanceLabel("skewed triangle", seed));
   // One empty input: the join is empty at every parallelism level.
-  CheckMultiway<S>({RandomRel<S>({0, 1}, n, 250, 0, seed + 10),
+  CheckMultiway<S>({RandomRelation<S>({0, 1}, n, 250, seed + 10),
                     Relation<S>{Schema({1, 2})},
-                    RandomRel<S>({0, 2}, n, 250, 0, seed + 11)},
-                   "empty side");
+                    RandomRelation<S>({0, 2}, n, 250, seed + 11)},
+                   InstanceLabel("empty side", seed));
   // Single key run at the outermost variable: one morsel, serial semantics.
   {
     RelationBuilder<S> br{Schema({0, 1})}, bt{Schema({0, 2})};
     for (size_t i = 0; i < 2048; ++i) {
-      br.Append({7, static_cast<Value>(i)}, MakeAnnot<S>(i));
-      bt.Append({7, static_cast<Value>(i * 3 % 512)}, MakeAnnot<S>(i + 5));
+      br.Append({7, static_cast<Value>(i)}, TestAnnot<S>(i));
+      bt.Append({7, static_cast<Value>(i * 3 % 512)}, TestAnnot<S>(i + 5));
     }
-    CheckMultiway<S>({br.Build(), RandomRel<S>({1, 2}, n, 512, 0, seed + 12),
+    CheckMultiway<S>({br.Build(), RandomRelation<S>({1, 2}, n, 512, seed + 12),
                       bt.Build()},
-                     "single top key run");
+                     InstanceLabel("single top key run", seed));
   }
   // Out-of-order schema: the permutation pass must rebuild the trie view.
-  CheckMultiway<S>({RandomRel<S>({0, 1}, n, 250, 0, seed + 13),
-                    RandomRel<S>({1, 2}, n, 250, 0, seed + 14),
-                    RandomRel<S>({2, 0}, n, 250, 0, seed + 15)},
-                   "permuted schema");
+  CheckMultiway<S>({RandomRelation<S>({0, 1}, n, 250, seed + 13),
+                    RandomRelation<S>({1, 2}, n, 250, seed + 14),
+                    RandomRelation<S>({2, 0}, n, 250, seed + 15)},
+                   InstanceLabel("permuted schema", seed));
 }
 
 TEST(MultiwayJoin, NaturalSemiring) { RunSemiringSuite<NaturalSemiring>(11); }
@@ -150,7 +110,7 @@ TEST(MultiwayJoin, MinPlusSemiring) { RunSemiringSuite<MinPlusSemiring>(33); }
 TEST(MultiwayJoin, Gf2Semiring) { RunSemiringSuite<Gf2Semiring>(44); }
 
 TEST(MultiwayJoin, SingleRelationIsItsTrieView) {
-  auto r = RandomRel<NaturalSemiring>({3, 1}, 500, 40, 0, 9);
+  auto r = RandomRelation<NaturalSemiring>({3, 1}, 500, 40, 9);
   ExecContext ctx;
   const auto out = MultiwayJoin<NaturalSemiring>({r}, &ctx);
   EXPECT_EQ(out.schema().vars(), (std::vector<VarId>{1, 3}));
@@ -161,9 +121,9 @@ TEST(MultiwayJoin, SingleRelationIsItsTrieView) {
 TEST(MultiwayJoin, ZeroAryInputsFoldIntoAScalarFactor) {
   Relation<NaturalSemiring> scalar{Schema(std::vector<VarId>{})};
   scalar.Add(std::initializer_list<Value>{}, 5);
-  auto r = RandomRel<NaturalSemiring>({0, 1}, 300, 20, 0, 3);
-  auto s = RandomRel<NaturalSemiring>({1, 2}, 300, 20, 0, 4);
-  auto t = RandomRel<NaturalSemiring>({0, 2}, 300, 20, 0, 5);
+  auto r = RandomRelation<NaturalSemiring>({0, 1}, 300, 20, 3);
+  auto s = RandomRelation<NaturalSemiring>({1, 2}, 300, 20, 4);
+  auto t = RandomRelation<NaturalSemiring>({0, 2}, 300, 20, 5);
   ExecContext ctx;
   const auto with = MultiwayJoin<NaturalSemiring>({scalar, r, s, t}, &ctx);
   const auto without = MultiwayJoin<NaturalSemiring>({r, s, t}, &ctx);
@@ -175,9 +135,9 @@ TEST(MultiwayJoin, ZeroAryInputsFoldIntoAScalarFactor) {
 TEST(MultiwayJoin, ParallelPathActuallyEngages) {
   const size_t n = 8000;
   std::vector<Relation<NaturalSemiring>> rels{
-      RandomRel<NaturalSemiring>({0, 1}, n, 1000, 0, 1),
-      RandomRel<NaturalSemiring>({1, 2}, n, 1000, 0, 2),
-      RandomRel<NaturalSemiring>({0, 2}, n, 1000, 0, 3)};
+      RandomRelation<NaturalSemiring>({0, 1}, n, 1000, 1),
+      RandomRelation<NaturalSemiring>({1, 2}, n, 1000, 2),
+      RandomRelation<NaturalSemiring>({0, 2}, n, 1000, 3)};
   ExecContext ctx;
   ctx.parallelism = 4;
   MultiwayJoin(rels, &ctx);
@@ -225,7 +185,7 @@ TEST(Routing, BruteForceRoutesCyclicCoreThroughMultiway) {
   Hypergraph h = CycleGraph(3);
   std::vector<Relation<NaturalSemiring>> rels;
   for (int e = 0; e < 3; ++e)
-    rels.push_back(RandomRel<NaturalSemiring>(h.edge(e), 200, 16, 0, 50 + e));
+    rels.push_back(RandomRelation<NaturalSemiring>(h.edge(e), 200, 16, 50 + e));
   auto q = MakeFaqSS<NaturalSemiring>(h, rels, {});
   ExecContext ctx;
   auto res = BruteForceSolve(q, &ctx);
@@ -246,8 +206,8 @@ TEST(Routing, BruteForceRoutesCyclicCoreThroughMultiway) {
 TEST(Routing, TwoRelationComponentsStayPairwise) {
   Hypergraph h = PathGraph(2);  // R(0,1), S(1,2): acyclic, 2 relations
   std::vector<Relation<NaturalSemiring>> rels{
-      RandomRel<NaturalSemiring>({0, 1}, 200, 16, 0, 60),
-      RandomRel<NaturalSemiring>({1, 2}, 200, 16, 0, 61)};
+      RandomRelation<NaturalSemiring>({0, 1}, 200, 16, 60),
+      RandomRelation<NaturalSemiring>({1, 2}, 200, 16, 61)};
   auto q = MakeFaqSS<NaturalSemiring>(h, rels, {});
   ExecContext ctx;
   auto res = BruteForceSolve(q, &ctx);

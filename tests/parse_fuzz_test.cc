@@ -1,0 +1,276 @@
+// Property/fuzz tests for the textual query format (faq/parse.h).
+//
+// Three layers on top of the hand-written accept/reject cases in
+// engine_test.cc:
+//   1. Generative round-trip: render a random query shape with random
+//      whitespace, optional explicit sum() clauses (the formatter's
+//      default, so canonical output drops them), and an optional trailing
+//      '.'; the parse must fix-point through FormatQuery and reproduce the
+//      same structure from both the noisy and the canonical text.
+//   2. Byte mangles: deleting / substituting / inserting single bytes and
+//      truncating at every position must never crash, never accept-and-
+//      corrupt silently (any success must still fix-point), and every
+//      position-carrying error must report a byte offset inside the input.
+//   3. Targeted offsets: for each reject family the reported offset is
+//      pinned exactly, so error positions are part of the contract, not an
+//      accident of the cursor implementation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "faq/parse.h"
+#include "random_instances.h"
+#include "util/rng.h"
+
+namespace topofaq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Generative round-trip
+// ---------------------------------------------------------------------------
+
+/// Distinct identifiers exercising the whole ident grammar
+/// ([A-Za-z_][A-Za-z0-9_]*), including ones that look like keywords —
+/// "sum" is a fine variable name outside an aggregate clause.
+const char* const kVarNames[] = {"A", "B", "x9", "_u", "sum", "Very_Long_7"};
+const char* const kAtomNames[] = {"R", "S", "edge_3", "_f", "min"};
+const char* const kAggNames[] = {"sum", "min", "max", "prod"};
+
+/// A random query shape plus its token stream (no whitespace decisions yet).
+struct GenQuery {
+  std::vector<std::string> tokens;
+  size_t num_atoms = 0;
+};
+
+GenQuery GenerateQuery(Rng* rng) {
+  GenQuery g;
+  const size_t num_vars = 1 + rng->NextU64(6);
+  const size_t num_atoms = 1 + rng->NextU64(4);
+  g.num_atoms = num_atoms;
+
+  // Atoms first, so the head can be restricted to variables that occur in
+  // some atom (the parser rejects free variables outside every edge).
+  std::vector<std::vector<size_t>> atom_vars(num_atoms);
+  std::vector<bool> used(num_vars, false);
+  for (size_t a = 0; a < num_atoms; ++a) {
+    const size_t arity = 1 + rng->NextU64(std::min<size_t>(3, num_vars));
+    std::vector<size_t> pool(num_vars);
+    for (size_t i = 0; i < num_vars; ++i) pool[i] = i;
+    rng->Shuffle(&pool);
+    for (size_t j = 0; j < arity; ++j) {
+      atom_vars[a].push_back(pool[j]);
+      used[pool[j]] = true;
+    }
+  }
+  std::vector<size_t> usable;
+  for (size_t v = 0; v < num_vars; ++v)
+    if (used[v]) usable.push_back(v);
+
+  // Head: 0-2 distinct used variables.
+  rng->Shuffle(&usable);
+  const size_t num_free = rng->NextU64(std::min<size_t>(3, usable.size() + 1));
+  std::vector<bool> is_free(num_vars, false);
+  g.tokens.push_back("q");
+  g.tokens.push_back("(");
+  for (size_t i = 0; i < num_free; ++i) {
+    if (i > 0) g.tokens.push_back(",");
+    g.tokens.push_back(kVarNames[usable[i]]);
+    is_free[usable[i]] = true;
+  }
+  g.tokens.push_back(")");
+  g.tokens.push_back(":-");
+  for (size_t a = 0; a < num_atoms; ++a) {
+    if (a > 0) g.tokens.push_back(",");
+    g.tokens.push_back(kAtomNames[a % (sizeof(kAtomNames) /
+                                       sizeof(kAtomNames[0]))]);
+    g.tokens.push_back("(");
+    for (size_t j = 0; j < atom_vars[a].size(); ++j) {
+      if (j > 0) g.tokens.push_back(",");
+      g.tokens.push_back(kVarNames[atom_vars[a][j]]);
+    }
+    g.tokens.push_back(")");
+  }
+  // Aggregate clauses on a subset of bound variables; explicit sum()
+  // clauses are legal input that the canonical form drops.
+  std::vector<size_t> bound;
+  for (size_t v : usable)
+    if (!is_free[v]) bound.push_back(v);
+  rng->Shuffle(&bound);
+  const size_t num_aggs = rng->NextU64(bound.size() + 1);
+  for (size_t i = 0; i < num_aggs; ++i) {
+    g.tokens.push_back(i == 0 ? ";" : ",");
+    g.tokens.push_back(kAggNames[rng->NextU64(4)]);
+    g.tokens.push_back("(");
+    g.tokens.push_back(kVarNames[bound[i]]);
+    g.tokens.push_back(")");
+  }
+  if (rng->NextBool()) g.tokens.push_back(".");
+  return g;
+}
+
+/// Joins tokens with random whitespace (the grammar is whitespace-
+/// insensitive: punctuation separates tokens, so "" is legal glue).
+std::string RenderNoisy(const GenQuery& g, Rng* rng) {
+  const char* const kWs[] = {"", " ", "  ", "\t", "\n", " \t "};
+  std::string out = kWs[rng->NextU64(6)];
+  for (const std::string& t : g.tokens) {
+    out += t;
+    out += kWs[rng->NextU64(6)];
+  }
+  return out;
+}
+
+void ExpectSameQuery(const ParsedQuery& a, const ParsedQuery& b) {
+  EXPECT_EQ(a.head, b.head);
+  EXPECT_EQ(a.var_names, b.var_names);
+  EXPECT_EQ(a.free_vars, b.free_vars);
+  EXPECT_EQ(a.var_ops, b.var_ops);
+  ASSERT_EQ(a.atoms.size(), b.atoms.size());
+  for (size_t i = 0; i < a.atoms.size(); ++i) {
+    EXPECT_EQ(a.atoms[i].name, b.atoms[i].name);
+    EXPECT_EQ(a.atoms[i].vars, b.atoms[i].vars);
+  }
+}
+
+TEST(ParseFuzz, GeneratedQueriesRoundTripThroughFormat) {
+  const uint64_t base_seed = 4242;
+  for (uint64_t trial = 0; trial < 300; ++trial) {
+    const uint64_t seed = base_seed + trial;
+    SCOPED_TRACE(InstanceLabel("generated query", seed));
+    Rng rng(seed);
+    const GenQuery g = GenerateQuery(&rng);
+    const std::string noisy = RenderNoisy(g, &rng);
+    SCOPED_TRACE("text: " + noisy);
+
+    auto p1 = ParseQuery(noisy);
+    ASSERT_TRUE(p1.ok()) << p1.status().ToString();
+    EXPECT_EQ(p1->atoms.size(), g.num_atoms);
+
+    // FormatQuery(ParseQuery(s)) is the canonical form: parsing it back
+    // reproduces the same structure and the same bytes (fix point).
+    const std::string canonical = FormatQuery(*p1);
+    auto p2 = ParseQuery(canonical);
+    ASSERT_TRUE(p2.ok()) << "canonical: " << canonical << "\n"
+                         << p2.status().ToString();
+    EXPECT_EQ(FormatQuery(*p2), canonical);
+    ExpectSameQuery(*p1, *p2);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Byte mangles
+// ---------------------------------------------------------------------------
+
+/// Byte offset from a "parse error at offset N: ..." message, or -1 for
+/// errors that don't carry a position.
+int ErrorOffset(const Status& st) {
+  static const char kPrefix[] = "parse error at offset ";
+  const std::string& m = st.message();
+  if (m.rfind(kPrefix, 0) != 0) return -1;
+  return std::atoi(m.c_str() + sizeof(kPrefix) - 1);
+}
+
+/// The parser contract under arbitrary bytes: no crash, InvalidArgument on
+/// failure, any reported offset inside [0, len], and any *success* still
+/// fix-points through FormatQuery (a mangle may legitimately still parse —
+/// deleting one of two spaces, say — but it must never half-parse).
+void CheckMangled(const std::string& s) {
+  auto p = ParseQuery(s);
+  if (!p.ok()) {
+    EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument)
+        << p.status().ToString();
+    const int off = ErrorOffset(p.status());
+    if (off >= 0) {
+      EXPECT_LE(static_cast<size_t>(off), s.size())
+          << p.status().ToString();
+    }
+    return;
+  }
+  const std::string canonical = FormatQuery(*p);
+  auto p2 = ParseQuery(canonical);
+  ASSERT_TRUE(p2.ok()) << "canonical: " << canonical;
+  EXPECT_EQ(FormatQuery(*p2), canonical);
+}
+
+TEST(ParseFuzz, MangledBytesNeverCrashAndOffsetsStayInBounds) {
+  const char kNasty[] = "(),;:-. _0Zz\0\xff\t\n";  // includes NUL
+  const size_t nasty_n = sizeof(kNasty) - 1;
+  const uint64_t base_seed = 9090;
+  for (uint64_t trial = 0; trial < 400; ++trial) {
+    const uint64_t seed = base_seed + trial;
+    SCOPED_TRACE(InstanceLabel("mangle", seed));
+    Rng rng(seed);
+    const GenQuery g = GenerateQuery(&rng);
+    std::string s = RenderNoisy(g, &rng);
+    const size_t pos = rng.NextU64(s.size());
+    switch (rng.NextU64(4)) {
+      case 0:  // delete one byte
+        s.erase(pos, 1);
+        break;
+      case 1:  // substitute one byte
+        s[pos] = kNasty[rng.NextU64(nasty_n)];
+        break;
+      case 2:  // insert one byte
+        s.insert(pos, 1, kNasty[rng.NextU64(nasty_n)]);
+        break;
+      case 3:  // truncate
+        s.resize(pos);
+        break;
+    }
+    SCOPED_TRACE("text: " + s);
+    CheckMangled(s);
+  }
+}
+
+TEST(ParseFuzz, EveryTruncationOfAValidQueryIsHandled) {
+  const std::string full = "q(A, C) :- R(A, B), S(B, C), T(C); min(B)";
+  for (size_t len = 0; len <= full.size(); ++len) {
+    SCOPED_TRACE("prefix length " + std::to_string(len));
+    CheckMangled(full.substr(0, len));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Targeted error offsets
+// ---------------------------------------------------------------------------
+
+TEST(ParseFuzz, ErrorOffsetsArePinnedPerRejectFamily) {
+  struct Case {
+    const char* text;
+    int offset;
+    const char* needle;
+  };
+  const Case cases[] = {
+      // Missing ":-": the cursor stops right after the head.
+      {"q(A)", 4, "expected ':-'"},
+      {"q(A) :# R(A)", 5, "expected ':-'"},
+      // Empty body: offset is end-of-input, where an atom should start.
+      {"q(A) :- ", 8, "expected a predicate name"},
+      // Unclosed argument list: offset is where ',' or ')' was expected.
+      {"q(A) :- R(A", 11, "expected ',' or ')'"},
+      // Head repetition is detected after the head atom is consumed.
+      {"q(A, A) :- R(A)", 7, "repeated"},
+      // Trailing garbage: offset is the first unconsumed byte.
+      {"q(A) :- R(A, B) garbage", 16, "trailing input"},
+      // Unknown aggregate: offset is right after the bad name.
+      {"q(A) :- R(A, B); avg(B)", 20, "unknown aggregate"},
+      // Aggregate on a free variable: offset after the full clause.
+      {"q(A) :- R(A, B); min(A)", 23, "aggregate on free variable"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.text);
+    auto p = ParseQuery(c.text);
+    ASSERT_FALSE(p.ok());
+    EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(ErrorOffset(p.status()), c.offset) << p.status().ToString();
+    EXPECT_NE(p.status().message().find(c.needle), std::string::npos)
+        << p.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace topofaq

@@ -1,0 +1,89 @@
+// Shared randomized-instance generators for the test suites.
+//
+// Every suite that needs "a random canonical relation" or "a random FAQ
+// query over shape H" builds it here, from an explicit seed, so
+//   * the same (shape, size, domain, seed) tuple reproduces the same bytes
+//     in every suite and under every encoding mode in scope, and
+//   * failures are replayable: wrap checks in
+//     SCOPED_TRACE(InstanceLabel("what", seed)) and the seed appears in the
+//     failure output.
+//
+// The IVM differential harness (ivm_test.cc) draws its base instances and
+// delta batches from these generators too, so a standing-query mismatch
+// reproduces as a plain solver instance with the logged seed.
+#ifndef TOPOFAQ_TESTS_RANDOM_INSTANCES_H_
+#define TOPOFAQ_TESTS_RANDOM_INSTANCES_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "faq/query.h"
+#include "hypergraph/hypergraph.h"
+#include "relation/relation.h"
+#include "util/rng.h"
+
+namespace topofaq {
+
+/// Nonzero annotation for row-key `k`, bitwise-reproducible per semiring:
+/// small integers for the exact rings, small half-integer doubles for the
+/// floating semirings (sums and the products our suites take stay exact in
+/// an IEEE double), One() for the 1-byte semirings (Boolean/GF(2), whose
+/// carrier is {0,1}).
+template <CommutativeSemiring S>
+typename S::Value TestAnnot(uint64_t k) {
+  if constexpr (std::is_same_v<typename S::Value, double>) {
+    return 0.5 * static_cast<double>(k % 13 + 1);
+  } else if constexpr (sizeof(typename S::Value) == 1) {
+    return S::One();
+  } else {
+    return static_cast<typename S::Value>(k % 97 + 1);
+  }
+}
+
+/// Random canonical relation over `vars`: n draws from [0, dom) per column,
+/// duplicate rows ⊕-merged by Canonicalize under whatever encoding mode is
+/// in scope. skew > 0 squashes the leading column's domain so key runs get
+/// long and unequal — the distribution dictionaries, run-aware kernels, and
+/// morsel-cut alignment pay off on.
+template <CommutativeSemiring S>
+Relation<S> RandomRelation(std::vector<VarId> vars, size_t n, uint64_t dom,
+                           uint64_t seed, int skew = 0) {
+  Rng rng(seed);
+  Relation<S> r{Schema(std::move(vars))};
+  std::vector<Value> row(r.arity());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      uint64_t v = rng.NextU64(dom);
+      if (j == 0 && skew > 0) v = (v * v) / (dom << skew);
+      row[j] = v;
+    }
+    r.Add(row, TestAnnot<S>(rng.NextU64(1 << 20)));
+  }
+  r.Canonicalize();
+  return r;
+}
+
+/// Random FAQ-SS query over shape `h`: one RandomRelation per hyperedge,
+/// seeded seed, seed+1, ... in edge order.
+template <CommutativeSemiring S>
+FaqQuery<S> RandomQuery(const Hypergraph& h, size_t tuples, uint64_t dom,
+                        uint64_t seed, std::vector<VarId> free_vars,
+                        int skew = 0) {
+  std::vector<Relation<S>> rels;
+  rels.reserve(h.num_edges());
+  for (int e = 0; e < h.num_edges(); ++e)
+    rels.push_back(RandomRelation<S>(h.edge(e), tuples, dom,
+                                     seed + static_cast<uint64_t>(e), skew));
+  return MakeFaqSS<S>(h, std::move(rels), std::move(free_vars));
+}
+
+/// "what (seed N)" — the SCOPED_TRACE label that makes every generated
+/// instance replayable from the failure output.
+inline std::string InstanceLabel(const std::string& what, uint64_t seed) {
+  return what + " (seed " + std::to_string(seed) + ")";
+}
+
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_TESTS_RANDOM_INSTANCES_H_

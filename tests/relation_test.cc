@@ -5,11 +5,14 @@
 // coverage.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <map>
 #include <thread>
 
 #include "bit_identity.h"
+#include "random_instances.h"
+#include "relation/encoding.h"
 #include "relation/exec.h"
 #include "relation/ops.h"
 #include "relation/parallel.h"
@@ -756,6 +759,202 @@ TEST(ConcatPieces, OutOfOrderPiecesFallBackToCanonicalize) {
   ASSERT_EQ(out.size(), 2u);
   EXPECT_EQ(out.at(0, 0), 2u);
   EXPECT_EQ(out.at(1, 0), 8u);
+}
+
+// --- Delta workloads: Compact / ConcatPieces under repeated updates --------
+//
+// The IVM base-update path (ivm/delta.h) leans on exactly two storage
+// operations: set_annot-to-zero + Compact (deletes) and sorted splices with
+// boundary ⊕ (inserts). These tests pin those operations under *repeated*
+// application — interleaved zero runs, boundary rows whose annotations split
+// or cancel, and encoded columns where every mutation must decode first.
+
+TEST(DeltaWorkload, RepeatedZeroRunCompactionMatchesRebuild) {
+  ScopedEncodingMode plain(EncodingMode::kPlain);
+  const uint64_t seed = 881;
+  NRel r = RandomRelation<NaturalSemiring>({0, 1}, 5000, 48, seed, 2);
+  for (int round = 0; round < 6 && r.size() > 100; ++round) {
+    SCOPED_TRACE(InstanceLabel("round " + std::to_string(round), seed));
+    // Zero interleaved runs of rows — what a delete delta leaves behind —
+    // including the very first and very last row of the relation.
+    const size_t run = 7 + static_cast<size_t>(round);
+    const size_t last = r.size() - 1;
+    auto dropped = [&](size_t i) {
+      return (i / run) % 3 == static_cast<size_t>(round) % 3 || i == 0 ||
+             i == last;
+    };
+    NRel expect{r.schema()};
+    std::vector<Value> row(r.arity());
+    for (size_t i = 0; i < r.size(); ++i) {
+      if (dropped(i)) continue;
+      for (size_t j = 0; j < row.size(); ++j) row[j] = r.at(i, j);
+      expect.Add(row, r.annot(i));
+    }
+    expect.Canonicalize();
+    for (size_t i = 0; i < r.size(); ++i)
+      if (dropped(i)) r.set_annot(i, 0);
+    r.Compact();
+    EXPECT_TRUE(r.canonical());
+    EXPECT_TRUE(BytesEqual(r, expect));
+  }
+}
+
+TEST(DeltaWorkload, CompactOnEncodedColumnsDecodesFirst) {
+  // The mutator-decodes-first contract under repeated delta application:
+  // set_annot on dict/FOR-encoded storage must drop to plain values before
+  // writing, and Compact re-encodes — every round, bytes must match the
+  // all-plain twin.
+  const uint64_t seed = 883;
+  for (EncodingMode m : {EncodingMode::kForceDict, EncodingMode::kForceFor}) {
+    SCOPED_TRACE("mode " + std::to_string(static_cast<int>(m)));
+    NRel oracle, enc;
+    {
+      ScopedEncodingMode scope(EncodingMode::kPlain);
+      oracle = RandomRelation<NaturalSemiring>({0, 1}, 4000, 64, seed, 1);
+    }
+    {
+      ScopedEncodingMode scope(m);
+      enc = RandomRelation<NaturalSemiring>({0, 1}, 4000, 64, seed, 1);
+      ASSERT_TRUE(enc.any_encoded());
+    }
+    for (int round = 0; round < 4; ++round) {
+      SCOPED_TRACE(InstanceLabel("round " + std::to_string(round), seed));
+      ASSERT_EQ(enc.size(), oracle.size());
+      auto dropped = [&](size_t i) {
+        return i % 5 == static_cast<size_t>(round) % 5;
+      };
+      {
+        ScopedEncodingMode scope(EncodingMode::kPlain);
+        for (size_t i = 0; i < oracle.size(); ++i)
+          if (dropped(i)) oracle.set_annot(i, 0);
+        oracle.Compact();
+      }
+      {
+        ScopedEncodingMode scope(m);
+        for (size_t i = 0; i < enc.size(); ++i)
+          if (dropped(i)) enc.set_annot(i, 0);
+        enc.Compact();
+        EXPECT_TRUE(enc.any_encoded());  // forced modes re-encode
+      }
+      EXPECT_TRUE(enc.canonical());
+      EXPECT_TRUE(BytesEqual(enc, oracle));  // BytesEqual decodes
+    }
+  }
+}
+
+/// Cuts `base` into key-ordered pieces at `cuts` (row indexes), splitting
+/// each cut row's annotation across the two adjacent pieces when it can be
+/// split into two nonzero halves (a delta splice's boundary shape).
+std::vector<NRel> SplitWithBoundaryOverlap(const NRel& base,
+                                           const std::vector<size_t>& cuts) {
+  std::vector<NRel> pieces;
+  std::vector<Value> row(base.arity());
+  size_t begin = 0;
+  for (size_t c = 0; c <= cuts.size(); ++c) {
+    const size_t end = c < cuts.size() ? cuts[c] : base.size();
+    RelationBuilder<NaturalSemiring> b{base.schema()};
+    size_t i = begin;
+    if (c > 0 && begin > 0 && base.annot(begin - 1) >= 2) {
+      // The previous piece kept annot-1 of the cut row; this piece opens
+      // with the remaining 1, so the splice's boundary ⊕ reassembles it.
+      for (size_t j = 0; j < row.size(); ++j) row[j] = base.at(begin - 1, j);
+      b.Append(row, 1);
+    }
+    for (; i < end; ++i) {
+      for (size_t j = 0; j < row.size(); ++j) row[j] = base.at(i, j);
+      const bool split_here =
+          c < cuts.size() && i == end - 1 && base.annot(i) >= 2;
+      b.Append(row, split_here ? base.annot(i) - 1 : base.annot(i));
+    }
+    pieces.push_back(b.Build());
+    begin = end;
+  }
+  return pieces;
+}
+
+TEST(DeltaWorkload, RepeatedBoundarySplittingSplicesReassembleTheBytes) {
+  ScopedEncodingMode plain(EncodingMode::kPlain);
+  const uint64_t seed = 885;
+  NRel base = RandomRelation<NaturalSemiring>({0, 1}, 3000, 100, seed);
+  Rng rng(seed + 1);
+  for (int round = 0; round < 5; ++round) {
+    SCOPED_TRACE(InstanceLabel("round " + std::to_string(round), seed));
+    std::vector<size_t> cuts;
+    for (uint64_t c : rng.Sample(base.size() - 2, 3))
+      cuts.push_back(static_cast<size_t>(c) + 1);
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    NRel out =
+        NRel::ConcatPieces(base.schema(), SplitWithBoundaryOverlap(base, cuts));
+    EXPECT_TRUE(out.canonical());
+    EXPECT_TRUE(BytesEqual(out, base));
+    base = std::move(out);  // re-splice the splice: repeated application
+  }
+}
+
+TEST(DeltaWorkload, EncodedPiecesSpliceBitIdenticalToPlain) {
+  // Pieces arriving already dict/FOR-encoded (a delta shipped over the
+  // stream transport lands encoded): ConcatPieces decodes to splice and the
+  // output bytes must match the all-plain splice of the same pieces.
+  const uint64_t seed = 887;
+  NRel base;
+  {
+    ScopedEncodingMode scope(EncodingMode::kPlain);
+    base = RandomRelation<NaturalSemiring>({0, 1}, 4000, 64, seed, 1);
+  }
+  const std::vector<size_t> cuts = {base.size() / 3, (2 * base.size()) / 3};
+  for (EncodingMode m : {EncodingMode::kForceDict, EncodingMode::kForceFor}) {
+    SCOPED_TRACE("mode " + std::to_string(static_cast<int>(m)));
+    std::vector<NRel> pieces;
+    {
+      ScopedEncodingMode scope(m);
+      pieces = SplitWithBoundaryOverlap(base, cuts);
+      ASSERT_TRUE(pieces[0].any_encoded());
+    }
+    ScopedEncodingMode scope(EncodingMode::kPlain);
+    NRel out = NRel::ConcatPieces(base.schema(), std::move(pieces));
+    EXPECT_TRUE(out.canonical());
+    EXPECT_FALSE(out.any_encoded());
+    EXPECT_TRUE(BytesEqual(out, base));
+  }
+}
+
+TEST(DeltaWorkload, CancellingSpliceDropsRowsAndCanEmptyTheRelation) {
+  // GF(2): a boundary row duplicated into both adjacent pieces cancels
+  // (1 XOR 1) and must vanish from the splice; splicing a relation against
+  // a full copy of itself empties it — the delta-that-empties-a-relation
+  // storage case.
+  ScopedEncodingMode plain(EncodingMode::kPlain);
+  using GRel = Relation<Gf2Semiring>;
+  const uint64_t seed = 889;
+  GRel base = RandomRelation<Gf2Semiring>({0, 1}, 2000, 150, seed);
+  ASSERT_GT(base.size(), 10u);
+
+  const size_t cut = base.size() / 2;
+  std::vector<Value> row(base.arity());
+  RelationBuilder<Gf2Semiring> b0{base.schema()}, b1{base.schema()};
+  for (size_t i = 0; i < base.size(); ++i) {
+    for (size_t j = 0; j < row.size(); ++j) row[j] = base.at(i, j);
+    if (i < cut) b0.Append(row, 1);
+    if (i >= cut - 1) b1.Append(row, 1);  // row cut-1 lands in both pieces
+  }
+  std::vector<GRel> pieces;
+  pieces.push_back(b0.Build());
+  pieces.push_back(b1.Build());
+  GRel out = GRel::ConcatPieces(base.schema(), std::move(pieces));
+  EXPECT_TRUE(out.canonical());
+  GRel expect = base;
+  expect.set_annot(cut - 1, 0);
+  expect.Compact();
+  EXPECT_TRUE(BytesEqual(out, expect));
+
+  // Full self-cancellation: every row pairs off, the result is empty.
+  std::vector<GRel> both;
+  both.push_back(out);
+  both.push_back(out);
+  GRel empty = GRel::ConcatPieces(out.schema(), std::move(both));
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(empty.canonical());
 }
 
 // --- Parallel canonicalization (the parallelized serial preamble) ----------
