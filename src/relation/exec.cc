@@ -41,10 +41,11 @@ ExecContext& ExecContext::WorkerContext(int i) {
 namespace {
 
 void AppendOp(std::string* out, const char* name, const OpStats& s) {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "%s: calls=%lld in=%lld out=%lld cmp=%lld sorts=%lld "
-                "skips=%lld morsels=%lld seeks=%lld peak=%lld\n",
+                "skips=%lld morsels=%lld seeks=%lld peak=%lld "
+                "simd=%lld scalar_fb=%lld\n",
                 name, static_cast<long long>(s.calls),
                 static_cast<long long>(s.rows_in),
                 static_cast<long long>(s.rows_out),
@@ -53,7 +54,9 @@ void AppendOp(std::string* out, const char* name, const OpStats& s) {
                 static_cast<long long>(s.sort_skips),
                 static_cast<long long>(s.morsels),
                 static_cast<long long>(s.seeks),
-                static_cast<long long>(s.peak_rows));
+                static_cast<long long>(s.peak_rows),
+                static_cast<long long>(s.simd_blocks),
+                static_cast<long long>(s.scalar_fallbacks));
   *out += buf;
 }
 

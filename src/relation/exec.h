@@ -77,6 +77,14 @@ struct OpStats {
   /// form of its peak-materialization-is-the-output guarantee). Combined
   /// with max, not sum, so rollups stay a high-water mark.
   int64_t peak_rows = 0;
+  /// Vector blocks retired by the SIMD kernels (relation/simd.h): frontier
+  /// intersection blocks, merge-advance probes, window decodes. 0 when
+  /// TOPOFAQ_SIMD=off or the host lacks AVX2.
+  int64_t simd_blocks = 0;
+  /// Hot-loop iterations that were eligible for a vector kernel but ran the
+  /// scalar body instead (toggle off, no AVX2, or an ineligible column
+  /// shape — e.g. a permuted or encoded merge side).
+  int64_t scalar_fallbacks = 0;
 
   OpStats& operator+=(const OpStats& o) {
     calls += o.calls;
@@ -88,6 +96,8 @@ struct OpStats {
     morsels += o.morsels;
     seeks += o.seeks;
     peak_rows = peak_rows > o.peak_rows ? peak_rows : o.peak_rows;
+    simd_blocks += o.simd_blocks;
+    scalar_fallbacks += o.scalar_fallbacks;
     return *this;
   }
 };

@@ -29,10 +29,14 @@ namespace {
 ///  3. The closing binary search prefetches both candidate next midpoints
 ///     (plain columns only — packed probes land inside at most two words,
 ///     already covered by the loader), overlapping each dependent probe's
-///     miss with the next.
+///     miss with the next. When the bracket has shrunk to a small window
+///     over a raw Value array (`raw` non-null), the remaining dependent
+///     probes are replaced by one simd::LowerBoundU64 sweep — independent
+///     4-lane compares over memory the search already pulled near cache.
 template <typename Load, typename Prefetch>
-size_t Gallop(Load load, Prefetch prefetch, const Value* samp, size_t lo,
-              size_t hi, uint64_t key, bool strict, int64_t* cmps) {
+size_t Gallop(Load load, Prefetch prefetch, const Value* samp,
+              const Value* raw, int64_t* blocks, size_t lo, size_t hi,
+              uint64_t key, bool strict, int64_t* cmps) {
   auto past = [&](uint64_t v) { return strict ? v > key : v >= key; };
   if (lo >= hi) return hi;
   // Probes accumulate in a register and publish once on exit; a per-probe
@@ -80,9 +84,15 @@ size_t Gallop(Load load, Prefetch prefetch, const Value* samp, size_t lo,
     probe = (step < hi - lo) ? lo + step : hi;
   }
   // Binary search in (prev, cur]; cur == hi means nothing is known past.
+  constexpr size_t kSimdCloseSpan = 128;
+  const bool vec = raw != nullptr && simd::Available();
   size_t a = prev + 1;
   size_t b = cur;
   while (a < b) {
+    if (vec && b - a <= kSimdCloseSpan) {
+      ++probes;
+      return simd::LowerBoundU64(raw, a, b, key, strict, blocks);
+    }
     const size_t mid = a + (b - a) / 2;
     prefetch(a + (mid - a) / 2, mid + 1 + (b - mid) / 2);
     ++probes;
@@ -96,7 +106,7 @@ size_t Gallop(Load load, Prefetch prefetch, const Value* samp, size_t lo,
 }
 
 size_t GallopPlain(const Value* col, const Value* samp, size_t lo, size_t hi,
-                   Value key, bool strict, int64_t* cmps) {
+                   Value key, bool strict, int64_t* cmps, int64_t* blocks) {
   return Gallop(
       [col](size_t i) { return col[i]; },
       [col](size_t m1, size_t m2) {
@@ -111,19 +121,19 @@ size_t GallopPlain(const Value* col, const Value* samp, size_t lo, size_t hi,
         (void)m2;
 #endif
       },
-      samp, lo, hi, key, strict, cmps);
+      samp, col, blocks, lo, hi, key, strict, cmps);
 }
 
 }  // namespace
 
 size_t TrieSeek(const Value* col, const Value* samp, size_t lo, size_t hi,
-                Value key, int64_t* cmps) {
-  return GallopPlain(col, samp, lo, hi, key, /*strict=*/false, cmps);
+                Value key, int64_t* cmps, int64_t* blocks) {
+  return GallopPlain(col, samp, lo, hi, key, /*strict=*/false, cmps, blocks);
 }
 
 size_t TrieRunEnd(const Value* col, const Value* samp, size_t lo, size_t hi,
-                  Value key, int64_t* cmps) {
-  return GallopPlain(col, samp, lo, hi, key, /*strict=*/true, cmps);
+                  Value key, int64_t* cmps, int64_t* blocks) {
+  return GallopPlain(col, samp, lo, hi, key, /*strict=*/true, cmps, blocks);
 }
 
 size_t TrieSeekPacked(const uint64_t* words, int width, const Value* samp,
@@ -161,7 +171,8 @@ size_t TrieSeekPacked(const uint64_t* words, int width, const Value* samp,
   // exists here.
   return Gallop(
       [words, width, mask](size_t i) { return UnpackAt(words, i, width, mask); },
-      [](size_t, size_t) {}, samp, lo, hi, code, /*strict=*/false, cmps);
+      [](size_t, size_t) {}, samp, /*raw=*/nullptr, /*blocks=*/nullptr, lo, hi,
+      code, /*strict=*/false, cmps);
 }
 
 }  // namespace internal

@@ -41,6 +41,7 @@
 #include "relation/exec.h"
 #include "relation/parallel.h"
 #include "relation/relation.h"
+#include "relation/simd.h"
 #include "semiring/variable_ops.h"
 
 namespace topofaq {
@@ -372,12 +373,24 @@ size_t RightLowerBound(const typename A::Col* rk, size_t nk, size_t rn,
   return lo;
 }
 
+/// The raw sorted key array behind a merge side, or nullptr when the column
+/// is encoded — the eligibility probe for the vector merge fast path.
+inline const Value* RawMergeColumn(const Value* c) { return c; }
+inline const Value* RawMergeColumn(const ColView& v) {
+  return v.enc == nullptr ? v.plain : nullptr;
+}
+
 /// Emits the join outputs of left traversal positions [xb, xe) into `b`:
 /// the serial Join emission loop, parameterized over the traversal range so
 /// key-aligned morsels can replay disjoint slices of it on workers. `lall`
 /// is every left column (output assembly — rows decode here, at emission),
 /// `lk`/`rk` the key views, `rex` the right extra columns. `dir` must be
 /// populated when !lmono and rn > 0.
+///
+/// The monotone merge's advance + run scan — a single plain key column in
+/// traversal order — runs through simd::AdvanceU64 (4 key lanes per probe,
+/// same linear walk, same comparison counts); every other shape keeps the
+/// scalar loops.
 template <typename A, CommutativeSemiring S>
 void JoinEmitRange(const Relation<S>& left, const Relation<S>& right,
                    const typename A::Col* lall, const typename A::Col* lk,
@@ -385,12 +398,18 @@ void JoinEmitRange(const Relation<S>& left, const Relation<S>& right,
                    const typename A::Col* rex, size_t nex, const size_t* lpm,
                    const size_t* rpm, bool lmono, const RunDirectory& dir,
                    size_t xb, size_t xe, RelationBuilder<S>* b,
-                   std::vector<Value>* rowbuf, int64_t* cmps) {
+                   std::vector<Value>* rowbuf, OpStats* st) {
   const size_t la = left.arity();
   const size_t rn = right.size();
   if (xb >= xe || rn == 0) return;
+  int64_t* const cmps = &st->comparisons;
   std::vector<Value>& row = *rowbuf;
   row.resize(la + nex);
+
+  const Value* rk0 =
+      (nk == 1 && rpm == nullptr) ? RawMergeColumn(rk[0]) : nullptr;
+  const bool vec = rk0 != nullptr && simd::Available();
+  if (lmono && nk == 1 && rpm == nullptr && !vec) ++st->scalar_fallbacks;
 
   // Monotone morsels entering mid-merge find their right-side start by one
   // binary search instead of replaying the merge from traversal position 0.
@@ -416,17 +435,28 @@ void JoinEmitRange(const Relation<S>& left, const Relation<S>& right,
 #endif
     if (!have_prev || !KeysEqualAt<A>(lk, x, prev_x, nk)) {
       if (lmono) {
-        while (j < rn &&
-               CompareKeysAt<A>(rk, rpm ? rpm[j] : j, lk, x, nk) < 0) {
-          ++*cmps;
-          ++j;
+        if (vec) {
+          const Value key = A::At(lk[0], x);
+          lo = simd::AdvanceU64(rk0, j, rn, key, /*strict=*/false,
+                                &st->simd_blocks);
+          *cmps += static_cast<int64_t>(lo - j);
+          hi = simd::AdvanceU64(rk0, lo, rn, key, /*strict=*/true,
+                                &st->simd_blocks);
+          *cmps += static_cast<int64_t>(hi - lo) + 1;
+          j = hi;
+        } else {
+          while (j < rn &&
+                 CompareKeysAt<A>(rk, rpm ? rpm[j] : j, lk, x, nk) < 0) {
+            ++*cmps;
+            ++j;
+          }
+          lo = hi = j;
+          while (hi < rn &&
+                 CompareKeysAt<A>(rk, rpm ? rpm[hi] : hi, lk, x, nk) == 0)
+            ++hi;
+          *cmps += static_cast<int64_t>(hi - lo) + 1;
+          j = hi;
         }
-        lo = hi = j;
-        while (hi < rn &&
-               CompareKeysAt<A>(rk, rpm ? rpm[hi] : hi, lk, x, nk) == 0)
-          ++hi;
-        *cmps += static_cast<int64_t>(hi - lo) + 1;
-        j = hi;
       } else {
         std::tie(lo, hi) = DirProbe<A>(dir, rk, nk, rn, rpm, lk, x, cmps);
       }
@@ -452,9 +482,15 @@ void SemijoinEmitRange(const Relation<S>& left, const Relation<S>& right,
                        const typename A::Col* lall, const typename A::Col* lk,
                        const typename A::Col* rk, size_t nk, const size_t* rpm,
                        bool lmono, const RunDirectory& dir, size_t xb,
-                       size_t xe, RelationBuilder<S>* b, int64_t* cmps) {
+                       size_t xe, RelationBuilder<S>* b, OpStats* st) {
   const size_t rn = right.size();
   if (xb >= xe || rn == 0) return;
+  int64_t* const cmps = &st->comparisons;
+
+  const Value* rk0 =
+      (nk == 1 && rpm == nullptr) ? RawMergeColumn(rk[0]) : nullptr;
+  const bool vec = rk0 != nullptr && simd::Available();
+  if (lmono && nk == 1 && rpm == nullptr && !vec) ++st->scalar_fallbacks;
 
   size_t j = 0;
   if (lmono && xb > 0) j = RightLowerBound<A>(rk, nk, rn, rpm, lk, xb, cmps);
@@ -464,7 +500,14 @@ void SemijoinEmitRange(const Relation<S>& left, const Relation<S>& right,
   bool matched = false;
   for (size_t x = xb; x < xe; ++x) {
     if (!have_prev || !KeysEqualAt<A>(lk, x, prev_x, nk)) {
-      if (lmono) {
+      if (lmono && vec) {
+        const Value key = A::At(lk[0], x);
+        const size_t jn = simd::AdvanceU64(rk0, j, rn, key, /*strict=*/false,
+                                           &st->simd_blocks);
+        *cmps += static_cast<int64_t>(jn - j) + 1;
+        j = jn;
+        matched = j < rn && rk0[j] == key;
+      } else if (lmono) {
         while (j < rn &&
                CompareKeysAt<A>(rk, rpm ? rpm[j] : j, lk, x, nk) < 0) {
           ++*cmps;
@@ -840,8 +883,7 @@ Relation<S> JoinImpl(const Relation<S>& left, const Relation<S>& right,
         [&](ExecContext& wc, size_t xb, size_t xe, RelationBuilder<S>* b) {
           b->Reserve(xe - xb);
           JoinEmitRange<A>(left, right, lall, lk, rk, nk, rex, nex, lpm, rpm,
-                           lmono, dir, xb, xe, b, &wc.row,
-                           &wc.join.comparisons);
+                           lmono, dir, xb, xe, b, &wc.row, &wc.join);
         });
     for (int w = 0; w < workers; ++w) {
       ExecContext& wc = cx.WorkerContext(w);
@@ -860,7 +902,7 @@ Relation<S> JoinImpl(const Relation<S>& left, const Relation<S>& right,
   RelationBuilder<S> b{std::move(out_schema)};
   b.Reserve(std::max(ln, rn));
   JoinEmitRange<A>(left, right, lall, lk, rk, nk, rex, nex, lpm, rpm, lmono,
-                   dir, 0, ln, &b, &cx.row, &st.comparisons);
+                   dir, 0, ln, &b, &cx.row, &st);
   Relation<S> out = b.Build();
   st.rows_out += static_cast<int64_t>(out.size());
   return out;
@@ -929,7 +971,7 @@ Relation<S> SemijoinImpl(const Relation<S>& left, const Relation<S>& right,
         [&](ExecContext& wc, size_t xb, size_t xe, RelationBuilder<S>* b) {
           b->Reserve(xe - xb);
           SemijoinEmitRange<A>(left, right, lall, lk, rk, nk, rpm, lmono, dir,
-                               xb, xe, b, &wc.semijoin.comparisons);
+                               xb, xe, b, &wc.semijoin);
         });
     for (int w = 0; w < workers; ++w) {
       ExecContext& wc = cx.WorkerContext(w);
@@ -948,7 +990,7 @@ Relation<S> SemijoinImpl(const Relation<S>& left, const Relation<S>& right,
   RelationBuilder<S> b{left.schema()};
   b.Reserve(ln);
   SemijoinEmitRange<A>(left, right, lall, lk, rk, nk, rpm, lmono, dir, 0, ln,
-                       &b, &st.comparisons);
+                       &b, &st);
   Relation<S> out = b.Build();
   st.rows_out += static_cast<int64_t>(out.size());
   return out;

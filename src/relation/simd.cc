@@ -1,0 +1,743 @@
+#include "relation/simd.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+
+// DefaultSimdEnabled() is defined in server/options.cc: every environment
+// knob (TOPOFAQ_SIMD included) is read and parsed in that one file.
+
+namespace topofaq {
+
+namespace {
+
+std::atomic<bool>& SimdSlot() {
+  static std::atomic<bool> on{DefaultSimdEnabled()};
+  return on;
+}
+
+}  // namespace
+
+bool SimdEnabled() { return SimdSlot().load(std::memory_order_relaxed); }
+void SetSimdEnabled(bool on) {
+  SimdSlot().store(on, std::memory_order_relaxed);
+}
+
+namespace simd {
+
+// ---------------------------------------------------------------------------
+// Scalar reference bodies. These define the kernel semantics; the AVX2
+// bodies below must agree with them on every input (tests/simd_kernel_test.cc
+// fuzzes the equivalence).
+
+size_t ScalarLowerBoundU64(const Value* a, size_t lo, size_t hi, Value key,
+                           bool strict) {
+  return static_cast<size_t>(
+      (strict ? std::upper_bound(a + lo, a + hi, key)
+              : std::lower_bound(a + lo, a + hi, key)) -
+      a);
+}
+
+size_t ScalarLowerBoundU32(const uint32_t* a, size_t lo, size_t hi,
+                           uint32_t key, bool strict) {
+  return static_cast<size_t>(
+      (strict ? std::upper_bound(a + lo, a + hi, key)
+              : std::lower_bound(a + lo, a + hi, key)) -
+      a);
+}
+
+size_t ScalarAdvanceU64(const Value* a, size_t i, size_t n, Value key,
+                        bool strict) {
+  if (strict) {
+    while (i < n && a[i] <= key) ++i;
+  } else {
+    while (i < n && a[i] < key) ++i;
+  }
+  return i;
+}
+
+namespace {
+
+/// Shared scalar frontier walk: the classic two-pointer intersection with a
+/// step budget (4 scalar steps ~ one vector block). kMatch positions are the
+/// leftmost occurrences of the smallest common key at or after (i, j) — the
+/// canonical answer every implementation must reproduce.
+template <typename T>
+Frontier ScalarNextMatch(const T* a, size_t i, size_t an, const T* b,
+                         size_t j, size_t bn, size_t max_blocks) {
+  size_t steps = 0;
+  const size_t max_steps = max_blocks * 4;
+  while (i < an && j < bn) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      return {i, j, Frontier::kMatch};
+    }
+    if (++steps >= max_steps && i < an && j < bn)
+      return {i, j, a[i] < b[j] ? Frontier::kSeekA : Frontier::kSeekB};
+  }
+  return {i, j, Frontier::kExhausted};
+}
+
+template <typename T>
+size_t ScalarIntersect(const T* a, size_t an, const T* b, size_t bn, T* out) {
+  size_t i = 0, j = 0, c = 0;
+  while (i < an && j < bn) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out[c++] = a[i];
+      ++i;  // keep j: the next (duplicated) a position may match it too
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+Frontier ScalarNextMatchU64(const Value* a, size_t i, size_t an,
+                            const Value* b, size_t j, size_t bn,
+                            size_t max_blocks) {
+  return ScalarNextMatch(a, i, an, b, j, bn, max_blocks);
+}
+
+Frontier ScalarNextMatchU32(const uint32_t* a, size_t i, size_t an,
+                            const uint32_t* b, size_t j, size_t bn,
+                            size_t max_blocks) {
+  return ScalarNextMatch(a, i, an, b, j, bn, max_blocks);
+}
+
+size_t ScalarIntersectU64(const Value* a, size_t an, const Value* b,
+                          size_t bn, Value* out) {
+  return ScalarIntersect(a, an, b, bn, out);
+}
+
+size_t ScalarIntersectU32(const uint32_t* a, size_t an, const uint32_t* b,
+                          size_t bn, uint32_t* out) {
+  return ScalarIntersect(a, an, b, bn, out);
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 bodies (x86 only, selected at runtime). Unsigned lane compares go
+// through a sign-bit bias: x XOR 2^63 (2^31) maps unsigned order onto the
+// signed order the cmpgt instructions implement.
+
+#if defined(TOPOFAQ_X86_SIMD)
+
+namespace {
+
+constexpr long long kBias64 = static_cast<long long>(0x8000000000000000ull);
+constexpr int kBias32 = static_cast<int>(0x80000000u);
+
+/// Compaction table for 4 64-bit lanes: row m holds the permutevar8x32
+/// indices (32-bit lane pairs) that pack the set bits of m to the front.
+struct Lut64 {
+  alignas(32) int idx[16][8];
+};
+constexpr Lut64 MakeLut64() {
+  Lut64 t{};
+  for (int m = 0; m < 16; ++m) {
+    int o = 0;
+    for (int l = 0; l < 4; ++l) {
+      if (m & (1 << l)) {
+        t.idx[m][o++] = 2 * l;
+        t.idx[m][o++] = 2 * l + 1;
+      }
+    }
+    for (; o < 8; ++o) t.idx[m][o] = 0;
+  }
+  return t;
+}
+constexpr Lut64 kLut64 = MakeLut64();
+
+/// Compaction table for 8 32-bit lanes.
+struct Lut32 {
+  alignas(32) int idx[256][8];
+};
+constexpr Lut32 MakeLut32() {
+  Lut32 t{};
+  for (int m = 0; m < 256; ++m) {
+    int o = 0;
+    for (int l = 0; l < 8; ++l)
+      if (m & (1 << l)) t.idx[m][o++] = l;
+    for (; o < 8; ++o) t.idx[m][o] = 0;
+  }
+  return t;
+}
+constexpr Lut32 kLut32 = MakeLut32();
+
+__attribute__((target("avx2"))) inline __m256i Bias64(__m256i v) {
+  return _mm256_xor_si256(v, _mm256_set1_epi64x(kBias64));
+}
+__attribute__((target("avx2"))) inline __m256i Bias32(__m256i v) {
+  return _mm256_xor_si256(v, _mm256_set1_epi32(kBias32));
+}
+
+__attribute__((target("avx2"))) size_t LowerBoundU64Avx2(
+    const Value* a, size_t lo, size_t hi, Value key, bool strict,
+    int64_t* blocks) {
+  // Branchless count of not-past lanes: the answer is lo + #{t : a[t] < key}
+  // (strict: <= key), and sortedness makes the not-past lanes a prefix — so
+  // a fully-past block also ends the scan.
+  const __m256i kb = Bias64(_mm256_set1_epi64x(static_cast<long long>(key)));
+  size_t i = lo;
+  size_t cnt = 0;
+  int64_t nb = 0;
+  for (; i + 4 <= hi; i += 4) {
+    const __m256i v =
+        Bias64(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)));
+    ++nb;
+    int np;  // bitmask of not-past lanes
+    if (strict) {
+      np = ~_mm256_movemask_pd(
+               _mm256_castsi256_pd(_mm256_cmpgt_epi64(v, kb))) &
+           0xF;
+    } else {
+      np = _mm256_movemask_pd(
+          _mm256_castsi256_pd(_mm256_cmpgt_epi64(kb, v)));
+    }
+    cnt += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(np)));
+    if (np != 0xF) break;  // a past lane appeared: nothing later counts
+  }
+  if (blocks != nullptr) *blocks += nb;
+  if (cnt == i - lo) {  // every scanned lane was not-past: finish the tail
+    size_t t = i;
+    while (t < hi && (strict ? a[t] <= key : a[t] < key)) ++t;
+    return t;
+  }
+  return lo + cnt;
+}
+
+__attribute__((target("avx2"))) size_t LowerBoundU32Avx2(
+    const uint32_t* a, size_t lo, size_t hi, uint32_t key, bool strict,
+    int64_t* blocks) {
+  const __m256i kb =
+      Bias32(_mm256_set1_epi32(static_cast<int>(key)));
+  size_t i = lo;
+  size_t cnt = 0;
+  int64_t nb = 0;
+  for (; i + 8 <= hi; i += 8) {
+    const __m256i v =
+        Bias32(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)));
+    ++nb;
+    int np;
+    if (strict) {
+      np = ~_mm256_movemask_ps(
+               _mm256_castsi256_ps(_mm256_cmpgt_epi32(v, kb))) &
+           0xFF;
+    } else {
+      np = _mm256_movemask_ps(
+          _mm256_castsi256_ps(_mm256_cmpgt_epi32(kb, v)));
+    }
+    cnt += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(np)));
+    if (np != 0xFF) break;
+  }
+  if (blocks != nullptr) *blocks += nb;
+  if (cnt == i - lo) {
+    size_t t = i;
+    while (t < hi && (strict ? a[t] <= key : a[t] < key)) ++t;
+    return t;
+  }
+  return lo + cnt;
+}
+
+__attribute__((target("avx2"))) size_t AdvanceU64Avx2(const Value* a, size_t i,
+                                                      size_t n, Value key,
+                                                      bool strict,
+                                                      int64_t* blocks) {
+  const __m256i kb = Bias64(_mm256_set1_epi64x(static_cast<long long>(key)));
+  int64_t nb = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        Bias64(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)));
+    ++nb;
+    // Past lanes (>= key, strict: > key) form a suffix of the block; the
+    // lowest set bit is the answer.
+    int past;
+    if (strict) {
+      past = _mm256_movemask_pd(
+          _mm256_castsi256_pd(_mm256_cmpgt_epi64(v, kb)));
+    } else {
+      past = ~_mm256_movemask_pd(
+                 _mm256_castsi256_pd(_mm256_cmpgt_epi64(kb, v))) &
+             0xF;
+    }
+    if (past != 0) {
+      if (blocks != nullptr) *blocks += nb;
+      return i + static_cast<size_t>(
+                     __builtin_ctz(static_cast<unsigned>(past)));
+    }
+  }
+  if (blocks != nullptr) *blocks += nb;
+  while (i < n && (strict ? a[i] <= key : a[i] < key)) ++i;
+  return i;
+}
+
+/// All-pairs equality between a 4x64 block and every rotation of another:
+/// nonzero iff some a lane equals some b lane.
+__attribute__((target("avx2"))) inline __m256i AnyEq64(__m256i va,
+                                                       __m256i vb) {
+  __m256i e = _mm256_cmpeq_epi64(va, vb);
+  e = _mm256_or_si256(
+      e, _mm256_cmpeq_epi64(va, _mm256_permute4x64_epi64(vb, 0x39)));
+  e = _mm256_or_si256(
+      e, _mm256_cmpeq_epi64(va, _mm256_permute4x64_epi64(vb, 0x4E)));
+  e = _mm256_or_si256(
+      e, _mm256_cmpeq_epi64(va, _mm256_permute4x64_epi64(vb, 0x93)));
+  return e;
+}
+
+/// All-pairs equality for 8x32 blocks: compare against all 8 rotations.
+__attribute__((target("avx2"))) inline __m256i AnyEq32(__m256i va,
+                                                       __m256i vb) {
+  __m256i e = _mm256_cmpeq_epi32(va, vb);
+  __m256i r = vb;
+  const __m256i rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+  for (int k = 1; k < 8; ++k) {
+    r = _mm256_permutevar8x32_epi32(r, rot1);
+    e = _mm256_or_si256(e, _mm256_cmpeq_epi32(va, r));
+  }
+  return e;
+}
+
+__attribute__((target("avx2"))) Frontier NextMatchU64Avx2(
+    const Value* a, size_t i, size_t an, const Value* b, size_t j, size_t bn,
+    size_t max_blocks, int64_t* blocks) {
+  size_t nb = 0;
+  while (i + 4 <= an && j + 4 <= bn) {
+    const Value amax = a[i + 3];
+    const Value bmax = b[j + 3];
+    if (amax < b[j]) {  // whole a block below b's minimum: skip it
+      i += 4;
+    } else if (bmax < a[i]) {
+      j += 4;
+    } else {
+      const __m256i va =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+      const __m256i e = AnyEq64(va, vb);
+      if (!_mm256_testz_si256(e, e)) {
+        // A match exists within these two blocks; the scalar walk finds the
+        // leftmost pair without leaving them.
+        if (blocks != nullptr) *blocks += static_cast<int64_t>(nb + 1);
+        while (true) {
+          if (a[i] < b[j]) {
+            ++i;
+          } else if (b[j] < a[i]) {
+            ++j;
+          } else {
+            return {i, j, Frontier::kMatch};
+          }
+        }
+      }
+      // No equal pair, so amax != bmax; the smaller-max block can't match
+      // anything later either and retires whole.
+      if (amax < bmax) {
+        i += 4;
+      } else {
+        j += 4;
+      }
+    }
+    if (++nb >= max_blocks && i + 4 <= an && j + 4 <= bn) {
+      if (blocks != nullptr) *blocks += static_cast<int64_t>(nb);
+      return {i, j, a[i] < b[j] ? Frontier::kSeekA : Frontier::kSeekB};
+    }
+  }
+  if (blocks != nullptr) *blocks += static_cast<int64_t>(nb);
+  while (i < an && j < bn) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      return {i, j, Frontier::kMatch};
+    }
+  }
+  return {i, j, Frontier::kExhausted};
+}
+
+__attribute__((target("avx2"))) Frontier NextMatchU32Avx2(
+    const uint32_t* a, size_t i, size_t an, const uint32_t* b, size_t j,
+    size_t bn, size_t max_blocks, int64_t* blocks) {
+  size_t nb = 0;
+  while (i + 8 <= an && j + 8 <= bn) {
+    const uint32_t amax = a[i + 7];
+    const uint32_t bmax = b[j + 7];
+    if (amax < b[j]) {
+      i += 8;
+    } else if (bmax < a[i]) {
+      j += 8;
+    } else {
+      const __m256i va =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+      const __m256i e = AnyEq32(va, vb);
+      if (!_mm256_testz_si256(e, e)) {
+        if (blocks != nullptr) *blocks += static_cast<int64_t>(nb + 1);
+        while (true) {
+          if (a[i] < b[j]) {
+            ++i;
+          } else if (b[j] < a[i]) {
+            ++j;
+          } else {
+            return {i, j, Frontier::kMatch};
+          }
+        }
+      }
+      if (amax < bmax) {
+        i += 8;
+      } else {
+        j += 8;
+      }
+    }
+    if (++nb >= max_blocks && i + 8 <= an && j + 8 <= bn) {
+      if (blocks != nullptr) *blocks += static_cast<int64_t>(nb);
+      return {i, j, a[i] < b[j] ? Frontier::kSeekA : Frontier::kSeekB};
+    }
+  }
+  if (blocks != nullptr) *blocks += static_cast<int64_t>(nb);
+  while (i < an && j < bn) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      return {i, j, Frontier::kMatch};
+    }
+  }
+  return {i, j, Frontier::kExhausted};
+}
+
+// Shuffle-compact the acc-masked lanes of `va` to out + c; returns the new
+// count. Free functions (not lambdas) because GCC does not propagate the
+// enclosing function's target attribute into lambda call operators.
+__attribute__((target("avx2"))) size_t EmitMatches64(__m256i va, __m256i acc,
+                                                     Value* out, size_t c) {
+  const int m = _mm256_movemask_pd(_mm256_castsi256_pd(acc));
+  if (m != 0) {
+    const __m256i idx =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(kLut64.idx[m]));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + c),
+                        _mm256_permutevar8x32_epi32(va, idx));
+    c += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(m)));
+  }
+  return c;
+}
+
+__attribute__((target("avx2"))) size_t EmitMatches32(__m256i va, __m256i acc,
+                                                     uint32_t* out, size_t c) {
+  const int m = _mm256_movemask_ps(_mm256_castsi256_ps(acc));
+  if (m != 0) {
+    const __m256i idx =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(kLut32.idx[m]));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + c),
+                        _mm256_permutevar8x32_epi32(va, idx));
+    c += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(m)));
+  }
+  return c;
+}
+
+__attribute__((target("avx2"))) size_t IntersectU64Avx2(
+    const Value* a, size_t an, const Value* b, size_t bn, Value* out,
+    int64_t* blocks) {
+  size_t i = 0, j = 0, c = 0;
+  size_t jbase = 0;  // value of j when the current a block became current
+  int64_t nb = 0;
+  if (i + 4 <= an && j + 4 <= bn) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+    // acc: per-lane "this a position's value occurred in some b block seen
+    // while this a block was current". Emitted (shuffle-compacted) when the
+    // a block retires; b blocks retire without emission because their
+    // matches against the current a block are already accumulated.
+    __m256i acc = _mm256_setzero_si256();
+    while (i + 4 <= an && j + 4 <= bn) {
+      const Value amax = a[i + 3];
+      const Value bmax = b[j + 3];
+      ++nb;
+      if (amax < b[j]) {  // a block done: flush what earlier b blocks matched
+        c = EmitMatches64(va, acc, out, c);
+        i += 4;
+        jbase = j;
+        acc = _mm256_setzero_si256();
+        if (i + 4 <= an)
+          va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        continue;
+      }
+      if (bmax < a[i]) {  // b block wholly below the a block: no matches
+        j += 4;
+        continue;
+      }
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+      acc = _mm256_or_si256(acc, AnyEq64(va, vb));
+      if (amax <= bmax) {
+        // The a block's matches are fully determined (any later b value
+        // exceeds bmax >= amax): emit and retire it.
+        c = EmitMatches64(va, acc, out, c);
+        i += 4;
+        jbase = j;
+        acc = _mm256_setzero_si256();
+        if (i + 4 <= an)
+          va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      } else {
+        j += 4;  // b retires; its matches are in acc
+      }
+    }
+    // Tail: the current a block is unfinished — rewind b to where this block
+    // became current and let the scalar walk re-find its matches (acc is
+    // dropped; nothing was emitted for this block yet).
+    j = jbase;
+  }
+  if (blocks != nullptr) *blocks += nb;
+  while (i < an && j < bn) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out[c++] = a[i];
+      ++i;
+    }
+  }
+  return c;
+}
+
+__attribute__((target("avx2"))) size_t IntersectU32Avx2(
+    const uint32_t* a, size_t an, const uint32_t* b, size_t bn, uint32_t* out,
+    int64_t* blocks) {
+  size_t i = 0, j = 0, c = 0;
+  size_t jbase = 0;
+  int64_t nb = 0;
+  if (i + 8 <= an && j + 8 <= bn) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+    __m256i acc = _mm256_setzero_si256();
+    while (i + 8 <= an && j + 8 <= bn) {
+      const uint32_t amax = a[i + 7];
+      const uint32_t bmax = b[j + 7];
+      ++nb;
+      if (amax < b[j]) {
+        c = EmitMatches32(va, acc, out, c);
+        i += 8;
+        jbase = j;
+        acc = _mm256_setzero_si256();
+        if (i + 8 <= an)
+          va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        continue;
+      }
+      if (bmax < a[i]) {
+        j += 8;
+        continue;
+      }
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+      acc = _mm256_or_si256(acc, AnyEq32(va, vb));
+      if (amax <= bmax) {
+        c = EmitMatches32(va, acc, out, c);
+        i += 8;
+        jbase = j;
+        acc = _mm256_setzero_si256();
+        if (i + 8 <= an)
+          va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      } else {
+        j += 8;
+      }
+    }
+    j = jbase;
+  }
+  if (blocks != nullptr) *blocks += nb;
+  while (i < an && j < bn) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out[c++] = a[i];
+      ++i;
+    }
+  }
+  return c;
+}
+
+/// Quad-window unpack + decode into 64-bit lanes (widths <= 14, like
+/// ScanChecksumAvx2): one scalar 8-byte load covers four codes, vpsrlv
+/// splits them into lanes, dict codes resolve through a gathered lookup.
+__attribute__((target("avx2"))) void DecodeWindowU64Avx2(
+    const EncodedColumn& e, size_t begin, size_t end, Value* out,
+    int64_t* blocks) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(e.words.data());
+  const size_t w = e.width;
+  const __m256i shifts =
+      _mm256_set_epi64x(static_cast<long long>(3 * w),
+                        static_cast<long long>(2 * w),
+                        static_cast<long long>(w), 0);
+  const __m256i mask = _mm256_set1_epi64x(static_cast<long long>(e.mask()));
+  const __m256i base = _mm256_set1_epi64x(static_cast<long long>(e.base));
+  const bool isdict = e.encoding == ColumnEncoding::kDict;
+  const auto* dict = reinterpret_cast<const long long*>(e.dict.data());
+  size_t i = begin;
+  size_t bit = begin * w;
+  int64_t nb = 0;
+  for (; i + 4 <= end; i += 4, bit += 4 * w) {
+    uint64_t v;
+    std::memcpy(&v, bytes + (bit >> 3), sizeof v);
+    v >>= (bit & 7);
+    const __m256i codes = _mm256_and_si256(
+        _mm256_srlv_epi64(_mm256_set1_epi64x(static_cast<long long>(v)),
+                          shifts),
+        mask);
+    const __m256i keys = isdict ? _mm256_i64gather_epi64(dict, codes, 8)
+                                : _mm256_add_epi64(codes, base);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + (i - begin)), keys);
+    ++nb;
+  }
+  if (blocks != nullptr) *blocks += nb;
+  for (; i < end; ++i) out[i - begin] = e.At(i);
+}
+
+/// Same, narrowed into 32-bit lanes (requires FitsU32(e)): the even 32-bit
+/// halves of the four decoded 64-bit lanes pack into one 16-byte store.
+__attribute__((target("avx2"))) void DecodeWindowU32Avx2(
+    const EncodedColumn& e, size_t begin, size_t end, uint32_t* out,
+    int64_t* blocks) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(e.words.data());
+  const size_t w = e.width;
+  const __m256i shifts =
+      _mm256_set_epi64x(static_cast<long long>(3 * w),
+                        static_cast<long long>(2 * w),
+                        static_cast<long long>(w), 0);
+  const __m256i mask = _mm256_set1_epi64x(static_cast<long long>(e.mask()));
+  const __m256i base = _mm256_set1_epi64x(static_cast<long long>(e.base));
+  const __m256i narrow = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  const bool isdict = e.encoding == ColumnEncoding::kDict;
+  const auto* dict = reinterpret_cast<const long long*>(e.dict.data());
+  size_t i = begin;
+  size_t bit = begin * w;
+  int64_t nb = 0;
+  for (; i + 4 <= end; i += 4, bit += 4 * w) {
+    uint64_t v;
+    std::memcpy(&v, bytes + (bit >> 3), sizeof v);
+    v >>= (bit & 7);
+    const __m256i codes = _mm256_and_si256(
+        _mm256_srlv_epi64(_mm256_set1_epi64x(static_cast<long long>(v)),
+                          shifts),
+        mask);
+    const __m256i keys = isdict ? _mm256_i64gather_epi64(dict, codes, 8)
+                                : _mm256_add_epi64(codes, base);
+    const __m128i packed =
+        _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(keys, narrow));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + (i - begin)), packed);
+    ++nb;
+  }
+  if (blocks != nullptr) *blocks += nb;
+  for (; i < end; ++i)
+    out[i - begin] = static_cast<uint32_t>(e.At(i));
+}
+
+}  // namespace
+
+#endif  // TOPOFAQ_X86_SIMD
+
+// ---------------------------------------------------------------------------
+// Dispatchers.
+
+size_t LowerBoundU64(const Value* a, size_t lo, size_t hi, Value key,
+                     bool strict, int64_t* blocks) {
+#if defined(TOPOFAQ_X86_SIMD)
+  if (Available()) return LowerBoundU64Avx2(a, lo, hi, key, strict, blocks);
+#endif
+  (void)blocks;
+  return ScalarLowerBoundU64(a, lo, hi, key, strict);
+}
+
+size_t LowerBoundU32(const uint32_t* a, size_t lo, size_t hi, uint32_t key,
+                     bool strict, int64_t* blocks) {
+#if defined(TOPOFAQ_X86_SIMD)
+  if (Available()) return LowerBoundU32Avx2(a, lo, hi, key, strict, blocks);
+#endif
+  (void)blocks;
+  return ScalarLowerBoundU32(a, lo, hi, key, strict);
+}
+
+size_t AdvanceU64(const Value* a, size_t i, size_t n, Value key, bool strict,
+                  int64_t* blocks) {
+#if defined(TOPOFAQ_X86_SIMD)
+  if (Available()) return AdvanceU64Avx2(a, i, n, key, strict, blocks);
+#endif
+  (void)blocks;
+  return ScalarAdvanceU64(a, i, n, key, strict);
+}
+
+Frontier NextMatchU64(const Value* a, size_t i, size_t an, const Value* b,
+                      size_t j, size_t bn, size_t max_blocks,
+                      int64_t* blocks) {
+#if defined(TOPOFAQ_X86_SIMD)
+  if (Available())
+    return NextMatchU64Avx2(a, i, an, b, j, bn, max_blocks, blocks);
+#endif
+  (void)blocks;
+  return ScalarNextMatchU64(a, i, an, b, j, bn, max_blocks);
+}
+
+Frontier NextMatchU32(const uint32_t* a, size_t i, size_t an,
+                      const uint32_t* b, size_t j, size_t bn,
+                      size_t max_blocks, int64_t* blocks) {
+#if defined(TOPOFAQ_X86_SIMD)
+  if (Available())
+    return NextMatchU32Avx2(a, i, an, b, j, bn, max_blocks, blocks);
+#endif
+  (void)blocks;
+  return ScalarNextMatchU32(a, i, an, b, j, bn, max_blocks);
+}
+
+size_t IntersectU64(const Value* a, size_t an, const Value* b, size_t bn,
+                    Value* out, int64_t* blocks) {
+#if defined(TOPOFAQ_X86_SIMD)
+  if (Available()) return IntersectU64Avx2(a, an, b, bn, out, blocks);
+#endif
+  (void)blocks;
+  return ScalarIntersectU64(a, an, b, bn, out);
+}
+
+size_t IntersectU32(const uint32_t* a, size_t an, const uint32_t* b,
+                    size_t bn, uint32_t* out, int64_t* blocks) {
+#if defined(TOPOFAQ_X86_SIMD)
+  if (Available()) return IntersectU32Avx2(a, an, b, bn, out, blocks);
+#endif
+  (void)blocks;
+  return ScalarIntersectU32(a, an, b, bn, out);
+}
+
+void DecodeWindowU64(const EncodedColumn& e, size_t begin, size_t end,
+                     Value* out, int64_t* blocks) {
+#if defined(TOPOFAQ_X86_SIMD)
+  if (e.width <= 14 && end - begin >= 4 && Available()) {
+    DecodeWindowU64Avx2(e, begin, end, out, blocks);
+    return;
+  }
+#endif
+  (void)blocks;
+  e.DecodeInto(begin, end, out);
+}
+
+void DecodeWindowU32(const EncodedColumn& e, size_t begin, size_t end,
+                     uint32_t* out, int64_t* blocks) {
+#if defined(TOPOFAQ_X86_SIMD)
+  if (e.width <= 14 && end - begin >= 4 && Available()) {
+    DecodeWindowU32Avx2(e, begin, end, out, blocks);
+    return;
+  }
+#endif
+  (void)blocks;
+  e.VisitValues(begin, end, [out, begin](size_t i, Value v) {
+    out[i - begin] = static_cast<uint32_t>(v);
+  });
+}
+
+}  // namespace simd
+}  // namespace topofaq

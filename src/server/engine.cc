@@ -47,6 +47,7 @@ Result<Relation<S>> RunSolver(const FaqQuery<S>& q, Strategy strategy,
 Engine::Engine(EngineOptions opts)
     : opts_(opts), admission_(opts.admission) {
   SetGlobalEncodingMode(opts_.encoding);
+  SetSimdEnabled(opts_.simd);
   const int n = std::max(1, opts_.dispatchers);
   dispatchers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i)

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <thread>
 
+#include "relation/simd.h"
 #include "util/check.h"
 
 namespace topofaq {
@@ -45,10 +46,24 @@ EncodingMode DefaultEncodingMode() {
   return v;
 }
 
+bool DefaultSimdEnabled() {
+  static const bool v = [] {
+    const char* s = std::getenv("TOPOFAQ_SIMD");
+    if (s == nullptr || *s == '\0' || std::strcmp(s, "auto") == 0 ||
+        std::strcmp(s, "on") == 0 || std::strcmp(s, "1") == 0)
+      return true;
+    if (std::strcmp(s, "off") == 0 || std::strcmp(s, "0") == 0) return false;
+    TOPOFAQ_CHECK_MSG(false, "TOPOFAQ_SIMD must be auto|on|1|off|0");
+    return true;
+  }();
+  return v;
+}
+
 EngineOptions EngineOptions::FromEnv() {
   EngineOptions opts;
   opts.parallelism = DefaultParallelism();
   opts.encoding = DefaultEncodingMode();
+  opts.simd = DefaultSimdEnabled();
   const char* budget = std::getenv("TOPOFAQ_PAGE_BUDGET");
   if (budget != nullptr && *budget != '\0') {
     const long v = std::atol(budget);

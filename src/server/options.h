@@ -17,6 +17,7 @@
 
 #include "relation/encoding.h"
 #include "relation/exec.h"
+#include "relation/simd.h"
 
 namespace topofaq {
 
@@ -50,6 +51,10 @@ struct EngineOptions {
   /// Column encoding policy the engine installs process-wide on
   /// construction (SetGlobalEncodingMode).
   EncodingMode encoding = DefaultEncodingMode();
+  /// Whether the vector kernels (relation/simd.h) may run; installed
+  /// process-wide on construction (SetSimdEnabled). The TOPOFAQ_SIMD knob;
+  /// off forces the guaranteed-equivalent scalar bodies everywhere.
+  bool simd = DefaultSimdEnabled();
   /// Per-node page budget for the streaming network protocols
   /// (protocols/async.h); the TOPOFAQ_PAGE_BUDGET knob. Engine execution is
   /// in-process and ignores it, but it rides along so protocol drivers and
@@ -66,8 +71,9 @@ struct EngineOptions {
 
   /// The one environment parser: TOPOFAQ_PARALLELISM ("max"/"0" = all
   /// cores, n = n workers, unset/invalid = 1), TOPOFAQ_ENCODING
-  /// (auto | plain/off | dict | for), TOPOFAQ_PAGE_BUDGET (pages >= 1,
-  /// unset/invalid = the field default). Other fields keep their defaults.
+  /// (auto | plain/off | dict | for), TOPOFAQ_SIMD (auto/on/1 | off/0),
+  /// TOPOFAQ_PAGE_BUDGET (pages >= 1, unset/invalid = the field default).
+  /// Other fields keep their defaults.
   static EngineOptions FromEnv();
 };
 

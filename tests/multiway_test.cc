@@ -109,6 +109,14 @@ TEST(MultiwayJoin, CountingSemiring) {
 TEST(MultiwayJoin, MinPlusSemiring) { RunSemiringSuite<MinPlusSemiring>(33); }
 TEST(MultiwayJoin, Gf2Semiring) { RunSemiringSuite<Gf2Semiring>(44); }
 
+// The SIMD frontier/seek kernels are pure mechanism: forcing the scalar
+// bodies must reproduce the vector path's bytes on the full semiring suite
+// (the vector leg runs in the tests above under the default toggle).
+TEST(MultiwayJoin, ScalarModeBitIdentical) {
+  ScopedSimdMode off(false);
+  RunSemiringSuite<CountingSemiring>(22);
+}
+
 TEST(MultiwayJoin, SingleRelationIsItsTrieView) {
   auto r = RandomRelation<NaturalSemiring>({3, 1}, 500, 40, 9);
   ExecContext ctx;
