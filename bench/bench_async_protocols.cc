@@ -20,12 +20,14 @@
 // ledger to compare against. Rows are appended to BENCH_relation_ops.json
 // via --out and gated by bench/check_bench_regression.py.
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench/bench_micro_common.h"
 #include "graphalg/topologies.h"
 #include "hypergraph/generators.h"
+#include "obs/trace.h"
 #include "protocols/async.h"
 #include "protocols/distributed.h"
 
@@ -186,6 +188,24 @@ void BenchTopologies(std::vector<Row>* rows, size_t n, int reps) {
   }
 }
 
+/// One untimed traced run of both async protocols, exporting the simulated
+/// timeline (link xmit spans + per-node compute spans, pid 2 in the Chrome
+/// JSON) — what `--trace PATH` produces and tools/check_trace_json.py
+/// validates in CI. Untimed on purpose: tracing every packet would pollute
+/// the wall-clock rows above.
+void WriteTrace(const char* path, bool quick) {
+  obs::TraceSession ts;
+  const auto inst = StarInstance(/*leaves=*/4, quick ? 10000 : 100000);
+  AsyncProtocolOptions opts = AsyncOptions(1);
+  opts.trace = &ts;
+  auto forest = RunCoreForestProtocolAsync(inst, opts);
+  TOPOFAQ_CHECK_MSG(forest.ok(), forest.status().ToString().c_str());
+  auto trivial = RunTrivialProtocolAsync(inst, opts);
+  TOPOFAQ_CHECK_MSG(trivial.ok(), trivial.status().ToString().c_str());
+  ts.WriteChromeJson(path);
+  std::printf("trace: %zu spans -> %s\n", ts.event_count(), path);
+}
+
 void WriteJson(const std::vector<Row>& rows, const char* path) {
   std::vector<std::string> lines;
   char buf[512];
@@ -219,6 +239,9 @@ int main(int argc, char** argv) {
   const auto args = topofaq::bench::ParseMicroBenchArgs(
       argc, argv, "BENCH_async_protocols.json");
   topofaq::g_parallelism = args.parallelism;
+  const char* trace_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
 
   std::printf("parallelism: %d\n", topofaq::g_parallelism);
   std::printf("%-13s %8s %9s %9s %9s %10s %8s %7s %5s %9s %7s\n", "bench",
@@ -237,5 +260,6 @@ int main(int argc, char** argv) {
   }
   std::erase_if(rows, [](const topofaq::Row& r) { return r.n < 100000; });
   topofaq::WriteJson(rows, args.out_path);
+  if (trace_path != nullptr) topofaq::WriteTrace(trace_path, args.quick);
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "graphalg/topologies.h"
 #include "hypergraph/generators.h"
 #include "lowerbounds/bounds.h"
+#include "obs/format.h"
 #include "protocols/distributed.h"
 #include "relation/parallel.h"
 #include "server/engine.h"
@@ -41,10 +42,16 @@ struct BenchArgs {
   /// Kernel parallelism for this process (0 = leave the TOPOFAQ_PARALLELISM
   /// / default-of-1 resolution alone).
   int parallelism = 0;
+  /// Print the full per-row protocol stats block (obs::FormatProtocolStats)
+  /// under each reproduction row.
+  bool verbose = false;
 };
 
-/// Strips the shared flags (--quick, --parallelism N / -j N) out of
-/// argc/argv — remaining flags flow on to benchmark::Initialize. A
+/// Set by ParseBenchArgs from --verbose; read by ReportRow.
+inline bool g_verbose_stats = false;
+
+/// Strips the shared flags (--quick, --verbose, --parallelism N / -j N) out
+/// of argc/argv — remaining flags flow on to benchmark::Initialize. A
 /// --parallelism request is exported through the TOPOFAQ_PARALLELISM
 /// environment variable so every ExecContext the bench (or the protocol
 /// layer beneath it) creates picks it up.
@@ -54,6 +61,9 @@ inline BenchArgs ParseBenchArgs(int* argc, char** argv) {
   for (int i = 1; i < *argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       args.quick = true;
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      args.verbose = true;
+      g_verbose_stats = true;
     } else if ((std::strcmp(argv[i], "--parallelism") == 0 ||
                 std::strcmp(argv[i], "-j") == 0) &&
                i + 1 < *argc) {
@@ -148,6 +158,12 @@ void ReportRow(const char* label, const FaqQuery<S>& query, Graph topology,
       static_cast<long long>(k.rows_out),
       static_cast<long long>(k.sort_skips),
       correct ? "ok" : "MISMATCH");
+  if (g_verbose_stats) {
+    std::printf("  [core-forest] %s",
+                obs::FormatProtocolStats(smart->stats).c_str());
+    std::printf("  [trivial]     %s",
+                obs::FormatProtocolStats(trivial->stats).c_str());
+  }
 }
 
 inline void PrintRowHeader() {

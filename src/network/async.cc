@@ -1,6 +1,8 @@
 #include "network/async.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 #include <utility>
 
 namespace topofaq {
@@ -26,6 +28,11 @@ void AsyncNetwork::SetHandler(NodeId node, Handler h) {
   handlers_[node] = std::move(h);
 }
 
+void AsyncNetwork::set_trace(obs::TraceSession* t) {
+  trace_ = t;
+  xmit_tracks_.assign(static_cast<size_t>(g_.num_edges()), {0, 0});
+}
+
 void AsyncNetwork::Send(NodeId from, NodeId to, Packet p) {
   const int edge = g_.EdgeBetween(from, to);
   TOPOFAQ_CHECK_MSG(edge >= 0, "Send endpoints are not adjacent");
@@ -38,6 +45,31 @@ void AsyncNetwork::Send(NodeId from, NodeId to, Packet p) {
   busy_time_[edge][dir] += serialize;
   total_bits_ += p.bits;
   ++packets_;
+  if (trace_ != nullptr) {
+    // One span per packet on the (edge, direction) track, in simulated time
+    // (1 unit exported as 1 µs). Duration is the serialization interval
+    // [start, start + serialize) only: consecutive packets on one direction
+    // abut rather than overlap, while the latency tail would overlap the
+    // next packet's serialization (transfers pipeline across hops).
+    uint32_t& slot = xmit_tracks_[static_cast<size_t>(edge)][dir];
+    if (slot == 0) {
+      const auto& ep = g_.edge(edge);
+      const NodeId a = dir == 0 ? ep.first : ep.second;
+      const NodeId b = dir == 0 ? ep.second : ep.first;
+      slot = trace_->RegisterTrack(
+                 "link " + std::to_string(a) + "->" + std::to_string(b),
+                 obs::ClockDomain::kSimulated) +
+             1;
+    }
+    char args[128];
+    std::snprintf(args, sizeof(args),
+                  "{\"bits\":%lld,\"stream\":%llu,\"seq\":%lld,\"hop\":%d}",
+                  static_cast<long long>(p.bits),
+                  static_cast<unsigned long long>(p.stream),
+                  static_cast<long long>(p.seq), p.hop);
+    trace_->Emit(p.control ? "ctl" : "page", slot - 1,
+                 obs::ClockDomain::kSimulated, start, serialize, args);
+  }
   const SimTime arrive = start + serialize + link.latency;
   heap_.push(Event{arrive, next_event_id_++,
                    [this, to, p = std::move(p)]() mutable {

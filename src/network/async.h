@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "graphalg/graph.h"
+#include "obs/trace.h"
 
 namespace topofaq {
 
@@ -106,6 +107,17 @@ class AsyncNetwork {
   /// the whole run). Empty-makespan runs report all zeros.
   std::vector<double> EdgeUtilization() const;
 
+  /// Installs (or clears) a span sink. Every Send then records a simulated-
+  /// domain span on a per-(edge, direction) track — ts at serialization
+  /// start, duration exactly the serialization time (such spans never
+  /// overlap on their track by busy_until_ construction; the trailing
+  /// latency is deliberately not part of the span, since deliveries pipeline
+  /// behind the next packet's serialization). Protocol adapters layer node
+  /// compute spans on top via trace(); null (the default) costs one branch
+  /// per Send. Borrowed: the session must outlive the simulation.
+  void set_trace(obs::TraceSession* t);
+  obs::TraceSession* trace() const { return trace_; }
+
  private:
   struct Event {
     SimTime time;
@@ -130,6 +142,10 @@ class AsyncNetwork {
   SimTime makespan_ = 0;
   int64_t total_bits_ = 0;
   int64_t packets_ = 0;
+  obs::TraceSession* trace_ = nullptr;
+  /// Track id + 1 per (edge, direction); 0 = not yet registered (tracks are
+  /// registered lazily so idle links never clutter the export).
+  std::vector<std::array<uint32_t, 2>> xmit_tracks_;
 };
 
 }  // namespace topofaq

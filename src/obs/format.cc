@@ -1,0 +1,51 @@
+#include "obs/format.h"
+
+#include <cstdio>
+
+namespace topofaq {
+namespace obs {
+
+std::string FormatProtocolStats(const ProtocolStats& s) {
+  char buf[384];
+  std::snprintf(
+      buf, sizeof(buf),
+      "protocol: rounds=%lld total_bits=%lld makespan=%.1f pages=%lld "
+      "peak_pages=%lld payload_enc=%lld payload_plain=%lld max_edge_util=%.3f\n",
+      static_cast<long long>(s.rounds), static_cast<long long>(s.total_bits),
+      s.makespan, static_cast<long long>(s.pages),
+      static_cast<long long>(s.max_in_flight_pages),
+      static_cast<long long>(s.payload_bits_encoded),
+      static_cast<long long>(s.payload_bits_plain), s.max_edge_utilization);
+  std::string out = buf;
+  out += FormatOpStats("kernel", s.kernel);
+  return out;
+}
+
+std::string FormatEngineStats(const EngineStats& s) {
+  char buf[384];
+  std::snprintf(buf, sizeof(buf),
+                "engine: submitted=%lld completed=%lld rejected=%lld "
+                "cancelled=%lld failed=%lld subscriptions=%lld "
+                "deltas_applied=%lld deltas_rejected=%lld\n",
+                static_cast<long long>(s.submitted),
+                static_cast<long long>(s.completed),
+                static_cast<long long>(s.rejected),
+                static_cast<long long>(s.cancelled),
+                static_cast<long long>(s.failed),
+                static_cast<long long>(s.subscriptions),
+                static_cast<long long>(s.deltas_applied),
+                static_cast<long long>(s.deltas_rejected));
+  std::string out = buf;
+  std::snprintf(buf, sizeof(buf),
+                "plan cache: hits=%lld misses=%lld evictions=%lld "
+                "hit-rate=%.2f\n",
+                static_cast<long long>(s.plan_cache.hits),
+                static_cast<long long>(s.plan_cache.misses),
+                static_cast<long long>(s.plan_cache.evictions),
+                s.plan_cache.HitRate());
+  out += buf;
+  return out;
+}
+
+}  // namespace obs
+}  // namespace topofaq

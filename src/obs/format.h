@@ -1,0 +1,36 @@
+// The one place stats structs become text (and span-args JSON). Before this
+// header, OpStats had a hand-rolled printf in relation/exec.cc, ProtocolStats
+// another in the protocol benches, and EngineStats a third in topofaq_shell —
+// three renderings that drifted independently. ExecContext::DebugString, the
+// shell's `stats` command, and bench_common's --verbose protocol dump all
+// route through here now.
+//
+// Layering: obs/trace.h and obs/metrics.h depend on nothing above util/.
+// This header is the presentation seam and deliberately sits *above* the
+// structs it renders (protocols/instance.h, server/engine.h) — those layers
+// never include it back. The OpStats-only helpers live in obs/op_format.h
+// (re-exported here) so the relation layer itself can use them.
+#ifndef TOPOFAQ_OBS_FORMAT_H_
+#define TOPOFAQ_OBS_FORMAT_H_
+
+#include <string>
+
+#include "obs/op_format.h"
+#include "protocols/instance.h"
+#include "server/engine.h"
+
+namespace topofaq {
+namespace obs {
+
+/// Multi-line rendering of one protocol run: the round/byte/makespan block,
+/// then the kernel rollup via FormatOpStats.
+std::string FormatProtocolStats(const ProtocolStats& s);
+
+/// Two lines: engine counters, then the plan-cache block — the shell's
+/// `stats` rendering.
+std::string FormatEngineStats(const EngineStats& s);
+
+}  // namespace obs
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_OBS_FORMAT_H_

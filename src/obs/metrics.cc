@@ -1,0 +1,130 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace topofaq {
+namespace obs {
+
+int Histogram::BucketIndex(double v) const {
+  if (!(v >= min_value_)) return 0;  // below range and NaN both land here
+  // v in [min·2^((i-1)/4), min·2^(i/4)) ⇔ i-1 <= 4·log2(v/min) < i.
+  const int i = 1 + static_cast<int>(std::floor(4.0 * std::log2(v / min_value_)));
+  return std::min(i, kBuckets - 1);
+}
+
+double Histogram::BucketLowerEdge(int i) const {
+  if (i <= 0) return 0.0;
+  return min_value_ * std::exp2((i - 1) / 4.0);
+}
+
+void Histogram::Record(double v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  const double clamped = std::max(v, 0.0);
+  sum_fp_.fetch_add(static_cast<uint64_t>(clamped / min_value_ * 1024.0),
+                    std::memory_order_relaxed);
+}
+
+uint64_t Histogram::count() const {
+  uint64_t n = 0;
+  for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+  return n;
+}
+
+double Histogram::sum() const {
+  return static_cast<double>(sum_fp_.load(std::memory_order_relaxed)) *
+         min_value_ / 1024.0;
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(n))));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketLowerEdge(i + 1);
+  }
+  return BucketLowerEdge(kBuckets);  // unreachable unless racing a Record
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_fp_.store(0, std::memory_order_relaxed);
+}
+
+std::string LabeledName(std::string_view base, std::string_view key,
+                        std::string_view value) {
+  std::string out(base);
+  out += '{';
+  out += key;
+  out += "=\"";
+  out += value;
+  out += "\"}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Shared() {
+  static MetricsRegistry* r = new MetricsRegistry();  // never destroyed
+  return *r;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         double min_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(min_value);
+  return *slot;
+}
+
+std::string MetricsRegistry::TextDump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[384];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(buf, sizeof(buf), "counter %s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out += buf;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(buf, sizeof(buf), "gauge %s %lld\n", name.c_str(),
+                  static_cast<long long>(g->value()));
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(buf, sizeof(buf),
+                  "histogram %s count=%llu sum=%.4f p50=%.4f p95=%.4f "
+                  "p99=%.4f\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(h->count()), h->sum(),
+                  h->Quantile(0.50), h->Quantile(0.95), h->Quantile(0.99));
+    out += buf;
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace obs
+}  // namespace topofaq

@@ -1,0 +1,137 @@
+// Process-wide metrics registry: counters, gauges, and fixed log-bucket
+// histograms, registered once by name and recorded lock-free afterwards
+// (docs/observability.md lists every metric the engine registers).
+//
+// Usage contract: Get*() resolves (or creates) a metric under the registry
+// mutex — call it once and keep the reference (metric objects live for the
+// process; the registry never deletes). Recording (Counter::Add,
+// Gauge::Set, Histogram::Record) is a relaxed atomic op with no lock, so
+// hot paths — dispatcher threads, worker morsels — record concurrently
+// without serializing on each other (tests/obs_test.cc hammers one
+// histogram from every core under TSan).
+//
+// Label convention: labels are part of the registered name, rendered
+// Prometheus-style by LabeledName("engine.exec_ms", "class", "point") →
+// `engine.exec_ms{class="point"}`. One (name, label) combination is one
+// metric object; the engine registers its per-QueueClass family at
+// construction, so serving-path lookups never touch the registry map.
+#ifndef TOPOFAQ_OBS_METRICS_H_
+#define TOPOFAQ_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace topofaq {
+namespace obs {
+
+/// Monotone event count.
+class Counter {
+ public:
+  void Add(uint64_t d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depths, in-flight counts).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Fixed log-bucket histogram over non-negative values.
+///
+/// Bucket i >= 1 covers [min_value·2^((i-1)/4), min_value·2^(i/4)) — four
+/// geometric buckets per octave (each ~19% wide), kBuckets of them spanning
+/// min_value .. min_value·2^(kBuckets/4) ≈ 8.8 decades. Bucket 0 absorbs
+/// everything below min_value, the last bucket everything at or above the
+/// top edge. Quantile() walks the cumulative counts and returns the upper
+/// edge of the bucket holding the requested rank, so a reported p99 is an
+/// upper bound on the true p99 that is at most one bucket (~19%) high —
+/// exactly testable, which is what tests/obs_test.cc pins down.
+///
+/// Record is one relaxed fetch_add on the bucket plus one on the sum (the
+/// sum kept as a fixed-point integer so the histogram stays lock-free
+/// without atomic<double> support); never a mutex.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 120;
+
+  explicit Histogram(double min_value = 1e-3) : min_value_(min_value) {}
+
+  void Record(double v);
+  uint64_t count() const;
+  double sum() const;
+  /// Upper edge of the bucket containing rank ceil(q·count) (q in [0,1]);
+  /// 0 when empty. See the class comment for the error bound.
+  double Quantile(double q) const;
+  double min_value() const { return min_value_; }
+  /// Inclusive-lower edge of bucket i (i >= 1); bucket 0's lower edge is 0.
+  double BucketLowerEdge(int i) const;
+  uint64_t BucketCount(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Index of the bucket Record(v) lands in (tests pin the bucket math).
+  int BucketIndex(double v) const;
+  void Reset();
+
+ private:
+  double min_value_;
+  std::atomic<uint64_t> buckets_[kBuckets]{};
+  /// Sum in units of min_value_/1024 (fixed point; see class comment).
+  std::atomic<uint64_t> sum_fp_{0};
+};
+
+/// `base{key="value"}` — the label convention above.
+std::string LabeledName(std::string_view base, std::string_view key,
+                        std::string_view value);
+
+/// The process-wide registry. Metric objects are never destroyed, so a
+/// reference obtained once stays valid for the process lifetime.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Shared();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name, double min_value = 1e-3);
+
+  /// Plaintext dump, one metric per line sorted by name:
+  ///   counter NAME VALUE
+  ///   gauge NAME VALUE
+  ///   histogram NAME count=N sum=S p50=X p95=Y p99=Z
+  /// Engine::MetricsText() returns exactly this.
+  std::string TextDump() const;
+
+  /// Zeroes every registered metric (keeps registrations). Test isolation
+  /// only — concurrent recorders may land increments on either side of the
+  /// reset.
+  void ResetForTest();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_OBS_METRICS_H_

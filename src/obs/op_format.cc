@@ -1,0 +1,66 @@
+#include "obs/op_format.h"
+
+#include <cstdio>
+
+namespace topofaq {
+namespace obs {
+
+std::string FormatOpStats(const char* name, const OpStats& s) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "%s: calls=%lld in=%lld out=%lld cmp=%lld sorts=%lld "
+                "skips=%lld morsels=%lld seeks=%lld peak=%lld "
+                "simd=%lld scalar_fb=%lld\n",
+                name, static_cast<long long>(s.calls),
+                static_cast<long long>(s.rows_in),
+                static_cast<long long>(s.rows_out),
+                static_cast<long long>(s.comparisons),
+                static_cast<long long>(s.sorts),
+                static_cast<long long>(s.sort_skips),
+                static_cast<long long>(s.morsels),
+                static_cast<long long>(s.seeks),
+                static_cast<long long>(s.peak_rows),
+                static_cast<long long>(s.simd_blocks),
+                static_cast<long long>(s.scalar_fallbacks));
+  return buf;
+}
+
+std::string OpStatsJson(const OpStats& s) {
+  char buf[384];
+  std::snprintf(buf, sizeof(buf),
+                "{\"calls\":%lld,\"rows_in\":%lld,\"rows_out\":%lld,"
+                "\"comparisons\":%lld,\"sorts\":%lld,\"sort_skips\":%lld,"
+                "\"morsels\":%lld,\"seeks\":%lld,\"peak_rows\":%lld,"
+                "\"simd_blocks\":%lld,\"scalar_fallbacks\":%lld}",
+                static_cast<long long>(s.calls),
+                static_cast<long long>(s.rows_in),
+                static_cast<long long>(s.rows_out),
+                static_cast<long long>(s.comparisons),
+                static_cast<long long>(s.sorts),
+                static_cast<long long>(s.sort_skips),
+                static_cast<long long>(s.morsels),
+                static_cast<long long>(s.seeks),
+                static_cast<long long>(s.peak_rows),
+                static_cast<long long>(s.simd_blocks),
+                static_cast<long long>(s.scalar_fallbacks));
+  return buf;
+}
+
+OpStats OpStatsDelta(const OpStats& before, const OpStats& after) {
+  OpStats d;
+  d.calls = after.calls - before.calls;
+  d.rows_in = after.rows_in - before.rows_in;
+  d.rows_out = after.rows_out - before.rows_out;
+  d.comparisons = after.comparisons - before.comparisons;
+  d.sorts = after.sorts - before.sorts;
+  d.sort_skips = after.sort_skips - before.sort_skips;
+  d.morsels = after.morsels - before.morsels;
+  d.seeks = after.seeks - before.seeks;
+  d.peak_rows = after.peak_rows;  // high-water mark, not a difference
+  d.simd_blocks = after.simd_blocks - before.simd_blocks;
+  d.scalar_fallbacks = after.scalar_fallbacks - before.scalar_fallbacks;
+  return d;
+}
+
+}  // namespace obs
+}  // namespace topofaq

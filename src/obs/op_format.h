@@ -1,0 +1,33 @@
+// OpStats rendering helpers, split from obs/format.h so the relation layer
+// itself can use them (format.h renders protocol/engine structs and
+// therefore sits above those layers; this header depends only on
+// relation/exec.h). ExecContext::DebugString and the operator span sites in
+// relation/ops.h are the in-layer consumers.
+#ifndef TOPOFAQ_OBS_OP_FORMAT_H_
+#define TOPOFAQ_OBS_OP_FORMAT_H_
+
+#include <string>
+
+#include "relation/exec.h"
+
+namespace topofaq {
+namespace obs {
+
+/// One operator-counter line, newline-terminated:
+///   NAME: calls=.. in=.. out=.. cmp=.. sorts=.. skips=.. morsels=.. seeks=..
+///   peak=.. simd=.. scalar_fb=..
+std::string FormatOpStats(const char* name, const OpStats& s);
+
+/// The counters of `s` as a JSON object — the `args` payload operator spans
+/// carry into the Chrome trace, so a slice click in Perfetto shows the same
+/// numbers FormatOpStats prints.
+std::string OpStatsJson(const OpStats& s);
+
+/// `after - before`, field-wise (peak_rows by max, matching operator+=):
+/// what one operator call contributed to a cumulative OpStats.
+OpStats OpStatsDelta(const OpStats& before, const OpStats& after);
+
+}  // namespace obs
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_OBS_OP_FORMAT_H_

@@ -1,0 +1,122 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace topofaq {
+namespace obs {
+
+namespace {
+
+/// JSON string escaping for track names (span names are identifiers by
+/// contract, but track names carry user text like query tags).
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+int Pid(ClockDomain d) { return d == ClockDomain::kWall ? 1 : 2; }
+
+}  // namespace
+
+TraceSession::TraceSession() : base_(std::chrono::steady_clock::now()) {
+  tracks_.emplace_back("main", ClockDomain::kWall);
+}
+
+uint32_t TraceSession::RegisterTrack(const std::string& name,
+                                     ClockDomain domain) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tracks_.emplace_back(name, domain);
+  return static_cast<uint32_t>(tracks_.size() - 1);
+}
+
+void TraceSession::Emit(const char* name, uint32_t track, ClockDomain domain,
+                        double ts_us, double dur_us, std::string args_json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(
+      TraceEvent{name, track, domain, ts_us, dur_us, std::move(args_json)});
+}
+
+size_t TraceSession::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceSession::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string TraceSession::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[\n";
+  char buf[256];
+  // Process metadata: one Chrome "process" per clock domain.
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"wall clock\"}},\n";
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,"
+      "\"args\":{\"name\":\"simulated time\"}},\n";
+  for (size_t t = 0; t < tracks_.size(); ++t) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
+                  "\"tid\":%zu,\"args\":{\"name\":\"",
+                  Pid(tracks_[t].second), t);
+    out += buf;
+    AppendEscaped(&out, tracks_[t].first);
+    out += "\"}},\n";
+  }
+  for (const TraceEvent& e : events_) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%u,"
+                  "\"ts\":%.3f,\"dur\":%.3f",
+                  e.name, Pid(e.domain), e.track, e.ts_us, e.dur_us);
+    out += buf;
+    if (!e.args_json.empty()) {
+      out += ",\"args\":";
+      out += e.args_json;
+    }
+    out += "},\n";
+  }
+  // Every entry above (metadata included) ends ",\n"; drop the last comma.
+  out.replace(out.size() - 2, 2, "\n");
+  out += "]}\n";
+  return out;
+}
+
+bool TraceSession::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = ToChromeJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace topofaq

@@ -1,0 +1,133 @@
+// Span tracing for one query (or one protocol run): where the time went,
+// as a tree of named intervals, exportable as Chrome trace-event JSON that
+// Perfetto / chrome://tracing load directly (docs/observability.md).
+//
+// Two clock domains, never mixed on one track:
+//
+//  * kWall — microseconds of std::chrono::steady_clock, relative to the
+//    TraceSession's construction. Engine pipeline stages, operator calls,
+//    and worker morsels live here (pid 1 in the exported JSON).
+//  * kSimulated — AsyncNetwork's SimTime, exported 1 unit = 1 µs. Link
+//    transfers and simulated node compute live here (pid 2). A simulated
+//    timeline shares a file with wall spans but never a track, so the two
+//    time bases cannot be visually conflated.
+//
+// Cost contract: every span site is guarded by a raw `TraceSession*` that
+// is null when tracing is off, so a disabled site costs one predictable
+// branch — no atomics, no allocation, no clock read
+// (bench/bench_obs_overhead.cc gates this against the pre-obs baseline).
+// Span names must be string literals (static storage): the Span object
+// stores the pointer, and nothing is copied until the span closes with
+// tracing on.
+//
+// Concurrency: Emit appends under one mutex. Spans are recorded at
+// operator / morsel / pipeline-stage granularity — thousands per query, not
+// millions — so the shared vector is nowhere near contention, and recording
+// from worker threads is TSan-clean by construction (tests/obs_test.cc).
+#ifndef TOPOFAQ_OBS_TRACE_H_
+#define TOPOFAQ_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace topofaq {
+namespace obs {
+
+/// Which clock a span's timestamps belong to. Exported as the Chrome-trace
+/// process id (wall = pid 1, simulated = pid 2), so the two time bases get
+/// separate process groups in the viewer.
+enum class ClockDomain : uint8_t { kWall = 0, kSimulated = 1 };
+
+/// One closed span (a Chrome "X" complete event): [ts_us, ts_us + dur_us)
+/// on `track`, in `domain` time.
+struct TraceEvent {
+  const char* name;  ///< static string — never owned
+  uint32_t track;
+  ClockDomain domain;
+  double ts_us;
+  double dur_us;
+  std::string args_json;  ///< pre-rendered JSON object, or empty
+};
+
+class TraceSession {
+ public:
+  TraceSession();
+
+  /// Registers a named timeline (a Chrome thread). Track 0 always exists as
+  /// "main". Thread-safe; returns the track id to pass to Emit / Span.
+  uint32_t RegisterTrack(const std::string& name,
+                         ClockDomain domain = ClockDomain::kWall);
+
+  /// Wall microseconds since this session was constructed.
+  double NowUs() const { return TimeUs(std::chrono::steady_clock::now()); }
+  /// `tp` as wall microseconds since construction (for intervals whose start
+  /// predates the emitting code, e.g. queue wait measured from enqueue time).
+  double TimeUs(std::chrono::steady_clock::time_point tp) const {
+    return std::chrono::duration<double, std::micro>(tp - base_).count();
+  }
+
+  /// Records one closed span. `name` must be a string literal.
+  void Emit(const char* name, uint32_t track, ClockDomain domain, double ts_us,
+            double dur_us, std::string args_json = {});
+
+  size_t event_count() const;
+  /// Snapshot of the events recorded so far (tests).
+  std::vector<TraceEvent> events() const;
+
+  /// The whole session as Chrome trace-event JSON: {"traceEvents": [...]}
+  /// with one metadata block naming processes (clock domains) and tracks,
+  /// then every span as a "X" complete event.
+  std::string ToChromeJson() const;
+  /// ToChromeJson() to a file; false (with a stderr note) on IO failure.
+  bool WriteChromeJson(const std::string& path) const;
+
+ private:
+  std::chrono::steady_clock::time_point base_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::pair<std::string, ClockDomain>> tracks_;
+};
+
+/// RAII wall-clock span: opens at construction, closes (and records) at
+/// destruction. With a null session the whole object is one branch and a
+/// few register writes — the disabled-site cost contract above.
+class Span {
+ public:
+  Span(TraceSession* session, const char* name, uint32_t track)
+      : session_(session), name_(name), track_(track) {
+    if (session_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~Span() { Close(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a pre-rendered JSON object emitted with the span on close.
+  /// Callers guard the (possibly costly) rendering with `if (trace)`.
+  void SetArgsJson(std::string j) {
+    if (session_ != nullptr) args_ = std::move(j);
+  }
+
+  /// Closes early (idempotent); the destructor is the usual path.
+  void Close() {
+    if (session_ == nullptr) return;
+    const double ts = session_->TimeUs(start_);
+    session_->Emit(name_, track_, ClockDomain::kWall, ts,
+                   session_->NowUs() - ts, std::move(args_));
+    session_ = nullptr;
+  }
+
+ private:
+  TraceSession* session_;
+  const char* name_;
+  uint32_t track_;
+  std::chrono::steady_clock::time_point start_;
+  std::string args_;
+};
+
+}  // namespace obs
+}  // namespace topofaq
+
+#endif  // TOPOFAQ_OBS_TRACE_H_

@@ -38,8 +38,10 @@
 #define TOPOFAQ_PROTOCOLS_ASYNC_H_
 
 #include <algorithm>
+#include <cstdio>
 #include <functional>
 #include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -73,6 +75,15 @@ struct AsyncProtocolOptions {
   /// makespan is pure transport; the *real* kernel work still runs (and is
   /// what the answer is computed from).
   double compute_time_per_row = 0.0;
+  /// Span sink for the simulated timeline (obs/trace.h). When non-null, the
+  /// run exports link transfers (via AsyncNetwork::set_trace) plus one span
+  /// per scheduled compute task — stage name, on a per-player "node N"
+  /// track, [schedule time, schedule time + simulated compute cost] — all in
+  /// the simulated clock domain (pid 2 of the Chrome export). Spans on one
+  /// node's track may overlap: a player can have several leaf computations
+  /// in flight at once, which is exactly the concurrency worth seeing.
+  /// Borrowed; must outlive the call.
+  obs::TraceSession* trace = nullptr;
 };
 
 namespace internal {
@@ -92,6 +103,36 @@ inline void FillAsyncStats(const AsyncNetwork& net, int64_t pages,
   for (double u : st->edge_utilization)
     st->max_edge_utilization = std::max(st->max_edge_utilization, u);
 }
+
+/// Per-player compute-span emitter for the async protocols: one lazily
+/// registered simulated-domain "node N" track per player, one span per
+/// scheduled compute task (interval = [schedule time, + simulated cost],
+/// args = the row count the cost was derived from). Every method is a no-op
+/// when constructed with a null session.
+class NodeComputeTracer {
+ public:
+  NodeComputeTracer(obs::TraceSession* t, int num_nodes) : trace_(t) {
+    if (t != nullptr) tracks_.assign(static_cast<size_t>(num_nodes), 0);
+  }
+
+  void Emit(const char* stage, NodeId node, double start, double dur,
+            size_t rows) {
+    if (trace_ == nullptr) return;
+    uint32_t& slot = tracks_[static_cast<size_t>(node)];
+    if (slot == 0)
+      slot = trace_->RegisterTrack("node " + std::to_string(node),
+                                   obs::ClockDomain::kSimulated) +
+             1;
+    char args[48];
+    std::snprintf(args, sizeof(args), "{\"rows\":%zu}", rows);
+    trace_->Emit(stage, slot - 1, obs::ClockDomain::kSimulated, start, dur,
+                 args);
+  }
+
+ private:
+  obs::TraceSession* trace_;
+  std::vector<uint32_t> tracks_;  // track id + 1; 0 = not yet registered
+};
 
 /// Effective link parameters: the configured ones, with bandwidth derived
 /// from the instance's per-round budget when unset.
@@ -130,6 +171,8 @@ Result<ProtocolResult<S>> RunTrivialProtocolAsync(
   if (!d.ok()) return d.status();
   TOPOFAQ_RETURN_IF_ERROR(internal::ValidateCanonicalInputs(inst));
   AsyncNetwork net(inst.topology, internal::ResolveLink(opts, d->capacity_bits));
+  if (opts.trace != nullptr) net.set_trace(opts.trace);
+  internal::NodeComputeTracer ntrace(opts.trace, inst.topology.num_nodes());
   StreamNet<S> streams(&net, opts.stream);
   ExecContext ctx;
   if (opts.parallelism > 0) ctx.parallelism = opts.parallelism;
@@ -147,7 +190,10 @@ Result<ProtocolResult<S>> RunTrivialProtocolAsync(
   auto solve = [&] {
     size_t rows = 0;
     for (const Relation<S>& r : at_sink) rows += r.size();
-    net.ScheduleAfter(opts.compute_time_per_row * static_cast<double>(rows),
+    const double delay =
+        opts.compute_time_per_row * static_cast<double>(rows);
+    ntrace.Emit("solve", inst.sink, net.now(), delay, rows);
+    net.ScheduleAfter(delay,
                       [&] {
                         FaqQuery<S> q;
                         q.hypergraph = inst.query.hypergraph;
@@ -207,6 +253,8 @@ Result<ProtocolResult<S>> RunCoreForestProtocolAsync(
   const Ghd& ghd = w->decomposition.ghd;
 
   AsyncNetwork net(inst.topology, internal::ResolveLink(opts, d->capacity_bits));
+  if (opts.trace != nullptr) net.set_trace(opts.trace);
+  internal::NodeComputeTracer ntrace(opts.trace, inst.topology.num_nodes());
   StreamNet<S> streams(&net, opts.stream);
   ExecContext ctx;
   if (opts.parallelism > 0) ctx.parallelism = opts.parallelism;
@@ -257,9 +305,15 @@ Result<ProtocolResult<S>> RunCoreForestProtocolAsync(
   std::vector<Relation<S>> gather_parts; // core-bag gather, sync's at_sink
   int gather_pending = 0;
 
-  auto schedule_compute = [&](size_t rows, std::function<void()> fn) {
-    net.ScheduleAfter(opts.compute_time_per_row * static_cast<double>(rows),
-                      std::move(fn));
+  // Every node-local kernel task goes through here, so this is also the one
+  // compute-span site: `stage` names the protocol step, `node` the player
+  // whose simulated track the span lands on.
+  auto schedule_compute = [&](const char* stage, NodeId node, size_t rows,
+                              std::function<void()> fn) {
+    const double delay =
+        opts.compute_time_per_row * static_cast<double>(rows);
+    ntrace.Emit(stage, node, net.now(), delay, rows);
+    net.ScheduleAfter(delay, std::move(fn));
   };
 
   // Mutually recursive stages, declared up front so any of them can chain
@@ -275,7 +329,8 @@ Result<ProtocolResult<S>> RunCoreForestProtocolAsync(
   // (Corollary G.2) and stream the functional message to the center owner.
   compute_message = [&](int i, size_t k) {
     const int c = stars[i].kids[k];
-    schedule_compute(state[c].size(), [&, i, k, c] {
+    schedule_compute("compute_message", node_owner[c], state[c].size(),
+                     [&, i, k, c] {
       Star& s = stars[i];
       const NodeId co = node_owner[s.center];
       const Schema& center_schema = state[s.center].schema();
@@ -308,7 +363,7 @@ Result<ProtocolResult<S>> RunCoreForestProtocolAsync(
   star_join = [&](int i) {
     size_t rows = state[stars[i].center].size();
     for (const Relation<S>& m : stars[i].msg_at_center) rows += m.size();
-    schedule_compute(rows, [&, i] {
+    schedule_compute("star_join", node_owner[stars[i].center], rows, [&, i] {
       Star& s = stars[i];
       for (size_t k = 0; k < s.kids.size(); ++k)
         state[s.center] = Join(state[s.center], s.msg_at_center[k], &ctx);
@@ -356,7 +411,7 @@ Result<ProtocolResult<S>> RunCoreForestProtocolAsync(
   solve_core = [&] {
     size_t rows = 0;
     for (const Relation<S>& r : gather_parts) rows += r.size();
-    schedule_compute(rows, [&] {
+    schedule_compute("solve_core", inst.sink, rows, [&] {
       Relation<S> acc =
           internal::JoinAndEliminate(std::move(gather_parts), inst.query, &ctx);
       acc = Project(acc, inst.query.free_vars, &ctx);
@@ -368,7 +423,7 @@ Result<ProtocolResult<S>> RunCoreForestProtocolAsync(
   finish = [&] {
     if (root_is_relation) {
       const NodeId ro = node_owner[ghd.root()];
-      schedule_compute(state[ghd.root()].size(), [&, ro] {
+      schedule_compute("finish", ro, state[ghd.root()].size(), [&, ro] {
         Relation<S> acc = std::move(state[ghd.root()]);
         std::vector<VarId> bound;
         for (VarId v : acc.schema().vars())

@@ -1,6 +1,6 @@
 #include "relation/exec.h"
 
-#include <cstdio>
+#include "obs/op_format.h"
 
 // DefaultParallelism() is defined in server/options.cc: every environment
 // knob (TOPOFAQ_PARALLELISM included) is read and parsed in that one file.
@@ -31,44 +31,32 @@ ExecContext& ExecContext::WorkerContext(int i) {
     ctx->parallelism = 1;  // workers never fan out again
     workers_.push_back(std::move(ctx));
   }
-  // Workers observe the owner's current cancel token (it may be installed
-  // after the arena was first materialized, or swapped between queries when
-  // an engine reuses a context).
-  workers_[static_cast<size_t>(i)]->cancel = cancel;
-  return *workers_[static_cast<size_t>(i)];
+  // Workers observe the owner's current cancel token and trace session
+  // (either may be installed after the arena was first materialized, or
+  // swapped between queries when an engine reuses a context). Worker i's
+  // spans get their own per-thread track, registered once per session; the
+  // fork/join contract (worker i touched only by one thread per region)
+  // makes this lazy registration race-free.
+  ExecContext& w = *workers_[static_cast<size_t>(i)];
+  w.cancel = cancel;
+  if (w.trace != trace || w.trace_epoch != trace_epoch) {
+    w.trace = trace;
+    w.trace_epoch = trace_epoch;
+    w.trace_track =
+        trace != nullptr
+            ? trace->RegisterTrack("worker " + std::to_string(i))
+            : 0;
+  }
+  return w;
 }
-
-namespace {
-
-void AppendOp(std::string* out, const char* name, const OpStats& s) {
-  char buf[320];
-  std::snprintf(buf, sizeof(buf),
-                "%s: calls=%lld in=%lld out=%lld cmp=%lld sorts=%lld "
-                "skips=%lld morsels=%lld seeks=%lld peak=%lld "
-                "simd=%lld scalar_fb=%lld\n",
-                name, static_cast<long long>(s.calls),
-                static_cast<long long>(s.rows_in),
-                static_cast<long long>(s.rows_out),
-                static_cast<long long>(s.comparisons),
-                static_cast<long long>(s.sorts),
-                static_cast<long long>(s.sort_skips),
-                static_cast<long long>(s.morsels),
-                static_cast<long long>(s.seeks),
-                static_cast<long long>(s.peak_rows),
-                static_cast<long long>(s.simd_blocks),
-                static_cast<long long>(s.scalar_fallbacks));
-  *out += buf;
-}
-
-}  // namespace
 
 std::string ExecContext::DebugString() const {
   std::string out;
-  AppendOp(&out, "join", join);
-  AppendOp(&out, "semijoin", semijoin);
-  AppendOp(&out, "project", project);
-  AppendOp(&out, "eliminate", eliminate);
-  AppendOp(&out, "multiway", multiway);
+  out += obs::FormatOpStats("join", join);
+  out += obs::FormatOpStats("semijoin", semijoin);
+  out += obs::FormatOpStats("project", project);
+  out += obs::FormatOpStats("eliminate", eliminate);
+  out += obs::FormatOpStats("multiway", multiway);
   return out;
 }
 

@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "relation/encoding.h"
 #include "util/types.h"
 
@@ -125,6 +126,33 @@ class ExecContext {
   const std::atomic<bool>* cancel = nullptr;
   bool cancelled() const {
     return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  }
+
+  /// Span sink (obs/trace.h): when non-null, every public operator call and
+  /// every morsel slice records a wall-clock span carrying its OpStats delta
+  /// onto `trace_track`. Null (the default) is tracing off, and every span
+  /// site then costs exactly one branch — the overhead contract
+  /// bench/bench_obs_overhead.cc gates. Borrowed, not owned: the session
+  /// must outlive every operator call made through this context (the engine
+  /// snapshots a shared_ptr per job for exactly this reason).
+  obs::TraceSession* trace = nullptr;
+  /// The track operator spans from this context land on (a per-query track
+  /// for engine jobs; per-worker tracks for morsel spans — WorkerContext
+  /// registers those lazily).
+  uint32_t trace_track = 0;
+  /// Bumped by SetTrace so worker contexts re-register their tracks even
+  /// when a new session lands at a freed session's address (a context that
+  /// outlives many sessions — the engine's per-dispatcher contexts — would
+  /// otherwise keep stale track ids on pointer equality alone).
+  uint32_t trace_epoch = 0;
+
+  /// Installs (or clears, with nullptr) the span sink. Always use this
+  /// rather than assigning `trace` directly — the epoch bump is what keeps
+  /// the worker arena's per-thread tracks in sync across sessions.
+  void SetTrace(obs::TraceSession* t, uint32_t track) {
+    trace = t;
+    trace_track = track;
+    ++trace_epoch;
   }
 
   // Per-operator statistics.

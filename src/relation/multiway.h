@@ -37,6 +37,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/op_format.h"
+#include "obs/trace.h"
 #include "relation/exec.h"
 #include "relation/parallel.h"
 #include "relation/relation.h"
@@ -654,26 +656,12 @@ class MultiwayWalker {
   bool bounded_ = false;
 };
 
-}  // namespace internal
-
-/// Worst-case-optimal natural join of any number of relations; annotations
-/// multiply (⊗). Output schema is the union of the input variables in
-/// ascending VarId order, and the output is canonical.
-///
-/// Leapfrog intersection per variable over the trie views of the inputs
-/// (see the header comment): runtime is O~(Σ inputs + output·Σ seeks) and
-/// the peak materialization is the output itself, so cyclic queries (the
-/// triangle, k-cycles, Loomis–Whitney) never pay the super-AGM pairwise
-/// intermediates. Zero-arity inputs fold into a scalar factor; any empty
-/// input short-circuits to the empty result.
-///
-/// With ctx->parallelism > 1 and a large enough top-level relation, the
-/// outermost variable's key space is cut into key-aligned morsels
-/// (bit-identical splice semantics, like every kernel operator).
+/// The MultiwayJoin body, with the context already resolved; the public
+/// wrapper below adds the trace span (this body has four exits — the
+/// wrapper gives the span a single one).
 template <CommutativeSemiring S>
-Relation<S> MultiwayJoin(std::vector<Relation<S>> inputs,
-                         ExecContext* ctx = nullptr) {
-  ExecContext& cx = ExecContext::Resolve(ctx);
+Relation<S> MultiwayJoinImpl(std::vector<Relation<S>> inputs,
+                             ExecContext& cx) {
   OpStats& st = cx.multiway;
   ++st.calls;
   for (const auto& r : inputs) st.rows_in += static_cast<int64_t>(r.size());
@@ -778,6 +766,36 @@ Relation<S> MultiwayJoin(std::vector<Relation<S>> inputs,
   Relation<S> out = b.Build();
   st.rows_out += static_cast<int64_t>(out.size());
   st.peak_rows = std::max(st.peak_rows, static_cast<int64_t>(out.size()));
+  return out;
+}
+
+}  // namespace internal
+
+/// Worst-case-optimal natural join of any number of relations; annotations
+/// multiply (⊗). Output schema is the union of the input variables in
+/// ascending VarId order, and the output is canonical.
+///
+/// Leapfrog intersection per variable over the trie views of the inputs
+/// (see the header comment): runtime is O~(Σ inputs + output·Σ seeks) and
+/// the peak materialization is the output itself, so cyclic queries (the
+/// triangle, k-cycles, Loomis–Whitney) never pay the super-AGM pairwise
+/// intermediates. Zero-arity inputs fold into a scalar factor; any empty
+/// input short-circuits to the empty result.
+///
+/// With ctx->parallelism > 1 and a large enough top-level relation, the
+/// outermost variable's key space is cut into key-aligned morsels
+/// (bit-identical splice semantics, like every kernel operator).
+template <CommutativeSemiring S>
+Relation<S> MultiwayJoin(std::vector<Relation<S>> inputs,
+                         ExecContext* ctx = nullptr) {
+  ExecContext& cx = ExecContext::Resolve(ctx);
+  // One branch when tracing is off — see Join in relation/ops.h.
+  if (cx.trace == nullptr)
+    return internal::MultiwayJoinImpl<S>(std::move(inputs), cx);
+  obs::Span sp(cx.trace, "multiway", cx.trace_track);
+  const OpStats before = cx.multiway;
+  Relation<S> out = internal::MultiwayJoinImpl<S>(std::move(inputs), cx);
+  sp.SetArgsJson(obs::OpStatsJson(obs::OpStatsDelta(before, cx.multiway)));
   return out;
 }
 

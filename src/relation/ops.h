@@ -38,6 +38,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/op_format.h"
+#include "obs/trace.h"
 #include "relation/exec.h"
 #include "relation/parallel.h"
 #include "relation/relation.h"
@@ -1142,9 +1144,21 @@ Relation<S> EliminateBatch(const Relation<S>& in, const VarId* vb,
 template <CommutativeSemiring S>
 Relation<S> Join(const Relation<S>& left, const Relation<S>& right,
                  ExecContext* ctx = nullptr) {
-  if (left.any_encoded() || right.any_encoded())
-    return internal::JoinImpl<EncodedAccess>(left, right, ctx);
-  return internal::JoinImpl<PlainAccess>(left, right, ctx);
+  ExecContext& cx = ExecContext::Resolve(ctx);
+  const bool enc = left.any_encoded() || right.any_encoded();
+  // Tracing off is the overwhelmingly common case and must stay free: this
+  // one branch is the operator's entire span cost (the contract
+  // bench/bench_obs_overhead.cc gates). Same shape in every wrapper below.
+  if (cx.trace == nullptr) {
+    return enc ? internal::JoinImpl<EncodedAccess>(left, right, &cx)
+               : internal::JoinImpl<PlainAccess>(left, right, &cx);
+  }
+  obs::Span sp(cx.trace, "join", cx.trace_track);
+  const OpStats before = cx.join;
+  Relation<S> out = enc ? internal::JoinImpl<EncodedAccess>(left, right, &cx)
+                        : internal::JoinImpl<PlainAccess>(left, right, &cx);
+  sp.SetArgsJson(obs::OpStatsJson(obs::OpStatsDelta(before, cx.join)));
+  return out;
 }
 
 /// Semijoin left ⋉ right: rows of `left` whose projection onto the shared
@@ -1161,9 +1175,19 @@ Relation<S> Join(const Relation<S>& left, const Relation<S>& right,
 template <CommutativeSemiring S>
 Relation<S> Semijoin(const Relation<S>& left, const Relation<S>& right,
                      ExecContext* ctx = nullptr) {
-  if (left.any_encoded() || right.any_encoded())
-    return internal::SemijoinImpl<EncodedAccess>(left, right, ctx);
-  return internal::SemijoinImpl<PlainAccess>(left, right, ctx);
+  ExecContext& cx = ExecContext::Resolve(ctx);
+  const bool enc = left.any_encoded() || right.any_encoded();
+  if (cx.trace == nullptr) {
+    return enc ? internal::SemijoinImpl<EncodedAccess>(left, right, &cx)
+               : internal::SemijoinImpl<PlainAccess>(left, right, &cx);
+  }
+  obs::Span sp(cx.trace, "semijoin", cx.trace_track);
+  const OpStats before = cx.semijoin;
+  Relation<S> out = enc
+                        ? internal::SemijoinImpl<EncodedAccess>(left, right, &cx)
+                        : internal::SemijoinImpl<PlainAccess>(left, right, &cx);
+  sp.SetArgsJson(obs::OpStatsJson(obs::OpStatsDelta(before, cx.semijoin)));
+  return out;
 }
 
 /// π with ⊕-aggregation: projects onto `keep` (which must be a subset of the
@@ -1178,8 +1202,18 @@ Relation<S> Semijoin(const Relation<S>& left, const Relation<S>& right,
 template <CommutativeSemiring S>
 Relation<S> Project(const Relation<S>& r, const std::vector<VarId>& keep,
                     ExecContext* ctx = nullptr) {
-  if (r.any_encoded()) return internal::ProjectImpl<EncodedAccess>(r, keep, ctx);
-  return internal::ProjectImpl<PlainAccess>(r, keep, ctx);
+  ExecContext& cx = ExecContext::Resolve(ctx);
+  if (cx.trace == nullptr) {
+    return r.any_encoded() ? internal::ProjectImpl<EncodedAccess>(r, keep, &cx)
+                           : internal::ProjectImpl<PlainAccess>(r, keep, &cx);
+  }
+  obs::Span sp(cx.trace, "project", cx.trace_track);
+  const OpStats before = cx.project;
+  Relation<S> out = r.any_encoded()
+                        ? internal::ProjectImpl<EncodedAccess>(r, keep, &cx)
+                        : internal::ProjectImpl<PlainAccess>(r, keep, &cx);
+  sp.SetArgsJson(obs::OpStatsJson(obs::OpStatsDelta(before, cx.project)));
+  return out;
 }
 
 /// Batched multi-variable elimination: removes every variable of `vars`
@@ -1209,6 +1243,11 @@ Relation<S> Eliminate(const Relation<S>& r, std::vector<VarId> vars,
   TOPOFAQ_CHECK_MSG(vars.size() == ops.size(),
                     "one aggregate op per eliminated variable required");
   ExecContext& cx = ExecContext::Resolve(ctx);
+  // Single span over the whole batched loop (one operator call, however many
+  // batches it folds); the per-batch breakdown is visible in the counters it
+  // carries. One branch here when tracing is off — see Join.
+  obs::Span sp(cx.trace, "eliminate", cx.trace_track);
+  const OpStats op_before = cx.trace != nullptr ? cx.eliminate : OpStats{};
   OpStats& st = cx.eliminate;
   ++st.calls;
   st.rows_in += static_cast<int64_t>(r.size());
@@ -1265,6 +1304,8 @@ Relation<S> Eliminate(const Relation<S>& r, std::vector<VarId> vars,
     bi = be;
   }
   st.rows_out += static_cast<int64_t>(src->size());
+  if (cx.trace != nullptr)
+    sp.SetArgsJson(obs::OpStatsJson(obs::OpStatsDelta(op_before, st)));
   return src == &r ? r : std::move(cur);
 }
 

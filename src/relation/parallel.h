@@ -31,11 +31,13 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
 #include "relation/exec.h"
 #include "relation/relation.h"
 
@@ -198,7 +200,22 @@ Relation<S> MorselRun(ExecContext& cx, int workers, Schema schema, size_t n,
   WorkerPool::Shared().ParallelFor(
       std::min<int>(workers, static_cast<int>(m)), m, [&](int w, size_t t) {
         if (cx.cancelled()) return;  // morsel-boundary cancellation check
-        emit(cx.WorkerContext(w), cuts[t], cuts[t + 1], &builders[t]);
+        ExecContext& wc = cx.WorkerContext(w);
+        // One branch per morsel when tracing is off. When on, each slice
+        // becomes a span on worker w's own track (registered by the
+        // pre-fork WorkerContext pass above), so the timeline shows how the
+        // key-aligned cuts actually balanced.
+        if (wc.trace == nullptr) {
+          emit(wc, cuts[t], cuts[t + 1], &builders[t]);
+          return;
+        }
+        obs::Span sp(wc.trace, "morsel", wc.trace_track);
+        emit(wc, cuts[t], cuts[t + 1], &builders[t]);
+        char args[96];
+        std::snprintf(args, sizeof(args),
+                      "{\"task\":%zu,\"begin\":%zu,\"end\":%zu}", t, cuts[t],
+                      cuts[t + 1]);
+        sp.SetArgsJson(args);
       });
   st->morsels += static_cast<int64_t>(m);
   std::vector<Relation<S>> pieces;

@@ -45,9 +45,35 @@ Result<Relation<S>> RunSolver(const FaqQuery<S>& q, Strategy strategy,
 }  // namespace
 
 Engine::Engine(EngineOptions opts)
-    : opts_(opts), admission_(opts.admission) {
+    : opts_(std::move(opts)), admission_(opts_.admission) {
   SetGlobalEncodingMode(opts_.encoding);
   SetSimdEnabled(opts_.simd);
+  // Resolve every metric handle now (registry objects are process-lifetime);
+  // the serving path then records with relaxed atomics only.
+  auto& reg = obs::MetricsRegistry::Shared();
+  m_.submitted = &reg.GetCounter("engine.submitted");
+  m_.completed = &reg.GetCounter("engine.completed");
+  m_.cancelled = &reg.GetCounter("engine.cancelled");
+  m_.failed = &reg.GetCounter("engine.failed");
+  m_.admission_rejected = &reg.GetCounter("engine.admission.rejected");
+  m_.plan_hit = &reg.GetCounter("engine.plan_cache.hit");
+  m_.plan_miss = &reg.GetCounter("engine.plan_cache.miss");
+  m_.ivm_ring = &reg.GetCounter("engine.ivm.ring_deltas");
+  m_.ivm_recompute = &reg.GetCounter("engine.ivm.recompute_deltas");
+  for (QueueClass c :
+       {QueueClass::kPoint, QueueClass::kGeneral, QueueClass::kHeavy}) {
+    const size_t i = static_cast<size_t>(c);
+    m_.queue_ms[i] = &reg.GetHistogram(
+        obs::LabeledName("engine.queue_ms", "class", QueueClassName(c)));
+    m_.exec_ms[i] = &reg.GetHistogram(
+        obs::LabeledName("engine.exec_ms", "class", QueueClassName(c)));
+  }
+  // Residual = (predicted + 1) / (observed + 1): values straddle 1.0 in both
+  // directions (the bound is an over-estimate when > 1), so the histogram
+  // floor sits at 1/16 rather than the default 1e-3 to keep resolution
+  // around 1.
+  m_.bound_residual = &reg.GetHistogram("engine.bound.residual_ratio", 0.0625);
+  if (!opts_.trace_path.empty()) EnableTracing(opts_.trace_path);
   const int n = std::max(1, opts_.dispatchers);
   dispatchers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i)
@@ -61,38 +87,93 @@ Engine::~Engine() {
   }
   cv_.notify_all();
   for (std::thread& t : dispatchers_) t.join();
+  // Every job has delivered, so the active session (if any) is complete:
+  // flush it to the configured path.
+  DisableTracing();
+}
+
+void Engine::EnableTracing(std::string path) {
+  auto s = std::make_shared<obs::TraceSession>();
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_ = std::move(s);
+  trace_path_ = std::move(path);
+}
+
+std::shared_ptr<obs::TraceSession> Engine::DisableTracing() {
+  std::shared_ptr<obs::TraceSession> s;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = std::move(trace_);
+    path = std::move(trace_path_);
+    trace_.reset();
+    trace_path_.clear();
+  }
+  if (s != nullptr && !path.empty()) s->WriteChromeJson(path);
+  return s;
+}
+
+std::shared_ptr<obs::TraceSession> Engine::trace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_;
+}
+
+std::string Engine::MetricsText() const {
+  return obs::MetricsRegistry::Shared().TextDump();
 }
 
 std::shared_ptr<Session> Engine::Submit(QueryRequest req) {
   auto session = std::make_shared<Session>();
+  std::shared_ptr<obs::TraceSession> tr;
+  int64_t seq = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.submitted;
+    seq = ++stats_.submitted;
+    m_.submitted->Add();
     if (stopping_) {
       ++stats_.cancelled;
+      m_.cancelled->Add();
       session->Deliver(Status::Cancelled("engine is shutting down"));
       return session;
     }
+    tr = trace_;
   }
 
-  Assessed a = std::visit(
-      [](const auto& q) {
-        Assessed out;
-        out.validate = q.Validate();
-        if (!out.validate.ok()) return out;
-        out.profiles.reserve(q.relations.size());
-        for (const auto& r : q.relations)
-          out.profiles.push_back(ProfileRelation(r));
-        out.free_vars = q.free_vars;
-        out.domain = q.DomainSize();
-        return out;
-      },
-      req.query);
+  // With tracing on, this query gets its own track; the whole submission
+  // pipeline is one "submit" span with validate / profile / plan / admit
+  // children, closed *before* the queue push so the queue_wait span RunJob
+  // emits (starting at job.enqueued) never overlaps it.
+  uint32_t track = 0;
+  if (tr != nullptr)
+    track = tr->RegisterTrack(req.tag.empty()
+                                  ? "query #" + std::to_string(seq)
+                                  : "query " + req.tag);
+  obs::Span submit_sp(tr.get(), "submit", track);
+
+  Assessed a;
+  {
+    obs::Span sp(tr.get(), "validate", track);
+    a.validate =
+        std::visit([](const auto& q) { return q.Validate(); }, req.query);
+  }
   if (!a.validate.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.failed;
+    m_.failed->Add();
     session->Deliver(a.validate);
     return session;
+  }
+  {
+    obs::Span sp(tr.get(), "profile", track);
+    std::visit(
+        [&a](const auto& q) {
+          a.profiles.reserve(q.relations.size());
+          for (const auto& r : q.relations)
+            a.profiles.push_back(ProfileRelation(r));
+          a.free_vars = q.free_vars;
+          a.domain = q.DomainSize();
+        },
+        req.query);
   }
 
   // Plan through the shared cache with the exact keys YannakakisSolve will
@@ -105,19 +186,28 @@ std::shared_ptr<Session> Engine::Submit(QueryRequest req) {
       req.query);
   bool plan_hit = false;
   WidthResult width;
-  auto w = PlanCache::Shared().PlanFor(h, a.free_vars, &plan_hit);
-  if (w.ok())
-    width = *std::move(w);
-  else
-    width = PlanCache::Shared().Canonical(h, &plan_hit);
+  {
+    obs::Span sp(tr.get(), "plan", track);
+    auto w = PlanCache::Shared().PlanFor(h, a.free_vars, &plan_hit);
+    if (w.ok())
+      width = *std::move(w);
+    else
+      width = PlanCache::Shared().Canonical(h, &plan_hit);
+  }
+  (plan_hit ? m_.plan_hit : m_.plan_miss)->Add();
 
   Job job;
-  job.bounds = admission_.Assess(h, a.profiles, a.free_vars.size(), a.domain,
-                                 width);
-  const Status admit = admission_.Admit(job.bounds);
+  Status admit = Status::Ok();
+  {
+    obs::Span sp(tr.get(), "admit", track);
+    job.bounds = admission_.Assess(h, a.profiles, a.free_vars.size(),
+                                   a.domain, width);
+    admit = admission_.Admit(job.bounds);
+  }
   if (!admit.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.rejected;
+    m_.admission_rejected->Add();
     session->Deliver(admit);
     return session;
   }
@@ -125,6 +215,11 @@ std::shared_ptr<Session> Engine::Submit(QueryRequest req) {
   job.req = std::move(req);
   job.session = session;
   job.plan_cache_hit = plan_hit;
+  job.trace = std::move(tr);
+  job.trace_track = track;
+  // Close before stamping enqueued: the submit span and the queue_wait span
+  // RunJob emits (starting at job.enqueued) stay disjoint by construction.
+  submit_sp.Close();
   job.enqueued = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -198,6 +293,13 @@ void Engine::DispatcherLoop() {
 
 void Engine::RunJob(Job& job, ExecContext& ctx) {
   const auto started = std::chrono::steady_clock::now();
+  if (job.trace != nullptr) {
+    // The wait interval started back at the enqueue timestamp, so the span
+    // is emitted directly with an explicit start rather than through a Span.
+    const double ts = job.trace->TimeUs(job.enqueued);
+    job.trace->Emit("queue_wait", job.trace_track, obs::ClockDomain::kWall,
+                    ts, job.trace->TimeUs(started) - ts);
+  }
   ctx.ResetStats();
   ctx.cancel = job.session->cancel_token();
   // Point lookups always run serially: morsel fan-out costs more than the
@@ -205,8 +307,12 @@ void Engine::RunJob(Job& job, ExecContext& ctx) {
   // pool by a heavy query's morsels.
   ctx.parallelism =
       job.klass == QueueClass::kPoint ? 1 : std::max(1, opts_.parallelism);
+  // Operator and morsel spans of this query land on its track, in the
+  // session it was submitted under (null clears the dispatcher context).
+  ctx.SetTrace(job.trace.get(), job.trace_track);
 
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    obs::Span exec_sp(job.trace.get(), "execute", job.trace_track);
     if (job.work) {
       // Subscription delta: the closure applies it under the session mutex.
       // No cancel token — a delta observed a cancel mid-propagation would
@@ -230,23 +336,40 @@ void Engine::RunJob(Job& job, ExecContext& ctx) {
         job.req.query);
   }();
   ctx.cancel = nullptr;
+  ctx.SetTrace(nullptr, 0);
 
+  const auto finished = std::chrono::steady_clock::now();
+  const size_t ci = static_cast<size_t>(job.klass);
+  m_.queue_ms[ci]->Record(MsSince(job.enqueued, started));
+  m_.exec_ms[ci]->Record(MsSince(started, finished));
   if (result.ok()) {
     result->kernel = ctx.Totals();
     result->bounds = job.bounds;
     result->klass = job.klass;
     result->plan_cache_hit = job.plan_cache_hit;
     result->queue_ms = MsSince(job.enqueued, started);
-    result->exec_ms = MsSince(started, std::chrono::steady_clock::now());
+    result->exec_ms = MsSince(started, finished);
+    // Predicted-vs-observed residual for real queries (delta jobs assess a
+    // different quantity — the delta's own bound). > 1 means the admission
+    // bound over-estimated, the safe direction; the +1s keep empty answers
+    // finite.
+    if (!job.work)
+      m_.bound_residual->Record(
+          (static_cast<double>(job.bounds.predicted_output_rows) + 1.0) /
+          (static_cast<double>(result->observed_rows) + 1.0));
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (result.ok())
+    if (result.ok()) {
       ++stats_.completed;
-    else if (result.status().code() == StatusCode::kCancelled)
+      m_.completed->Add();
+    } else if (result.status().code() == StatusCode::kCancelled) {
       ++stats_.cancelled;
-    else
+      m_.cancelled->Add();
+    } else {
       ++stats_.failed;
+      m_.failed->Add();
+    }
   }
   job.session->Deliver(std::move(result));
 }
@@ -347,6 +470,7 @@ Result<QueryResult> Engine::SubmitDelta(StandingSession* ss, int relation_id,
   if (!admit.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.deltas_rejected;
+    m_.admission_rejected->Add();
     return admit;
   }
 
@@ -354,9 +478,16 @@ Result<QueryResult> Engine::SubmitDelta(StandingSession* ss, int relation_id,
   job.bounds = bounds;
   job.klass = admission_.Classify(bounds);
   job.session = std::make_shared<Session>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job.trace = trace_;
+  }
+  if (job.trace != nullptr)
+    job.trace_track =
+        job.trace->RegisterTrack("delta r" + std::to_string(relation_id));
   job.enqueued = std::chrono::steady_clock::now();
   // The caller blocks on Wait() below, so `ss` outlives the closure.
-  job.work = [ss, relation_id, dp,
+  job.work = [this, ss, relation_id, dp,
               d = std::move(delta)](ExecContext& ctx) mutable
       -> Result<QueryResult> {
     std::lock_guard<std::mutex> lock(ss->mu_);
@@ -365,8 +496,16 @@ Result<QueryResult> Engine::SubmitDelta(StandingSession* ss, int relation_id,
         [&](auto& sq) -> Status {
           using Sm = typename std::decay_t<decltype(sq)>::Semiring;
           Delta<Sm>& dd = std::get<Delta<Sm>>(d);
+          const StandingStats path_before = sq.stats();
           TOPOFAQ_RETURN_IF_ERROR(
               sq.ApplyDelta(relation_id, std::move(dd), &ctx));
+          // Which maintenance path this batch took, as the stats diff
+          // (empty deltas take neither).
+          const StandingStats path_after = sq.stats();
+          m_.ivm_ring->Add(static_cast<uint64_t>(
+              path_after.ring_deltas - path_before.ring_deltas));
+          m_.ivm_recompute->Add(static_cast<uint64_t>(
+              path_after.recompute_deltas - path_before.recompute_deltas));
           out.observed_rows = sq.Current().size();
           // Keep the admission profile current without rescanning: exact
           // row count, monotone upper bound on the leading run.

@@ -41,11 +41,14 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "ghd/plan_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/admission.h"
 #include "server/options.h"
 #include "server/session.h"
@@ -53,16 +56,27 @@
 
 namespace topofaq {
 
-/// Cumulative engine counters plus a plan-cache snapshot.
+/// Cumulative engine counters plus a plan-cache snapshot. Obtained via
+/// Engine::stats(), which reads every counter under the one engine mutex the
+/// writers hold — the snapshot is *coherent*: completed + cancelled + failed
+/// never exceeds submitted, even while dispatchers are mid-delivery.
 struct EngineStats {
+  /// Queries accepted by Submit (before validation/admission).
   int64_t submitted = 0;
-  int64_t rejected = 0;   ///< refused by admission control
-  int64_t completed = 0;  ///< delivered an answer
-  int64_t cancelled = 0;  ///< delivered Status::Cancelled
-  int64_t failed = 0;     ///< delivered any other error
-  int64_t subscriptions = 0;     ///< standing sessions created
-  int64_t deltas_applied = 0;    ///< subscription deltas applied
-  int64_t deltas_rejected = 0;   ///< subscription deltas refused by admission
+  /// Queries refused by admission control.
+  int64_t rejected = 0;
+  /// Queries that delivered an answer.
+  int64_t completed = 0;
+  /// Queries that delivered Status::Cancelled.
+  int64_t cancelled = 0;
+  /// Queries that delivered any other error.
+  int64_t failed = 0;
+  /// Standing sessions created via Subscribe.
+  int64_t subscriptions = 0;
+  /// Subscription deltas applied.
+  int64_t deltas_applied = 0;
+  /// Subscription deltas refused by admission.
+  int64_t deltas_rejected = 0;
   PlanCache::Stats plan_cache;
 };
 
@@ -109,6 +123,33 @@ class Engine {
   EngineStats stats() const;
   const EngineOptions& options() const { return opts_; }
 
+  /// Starts a fresh TraceSession covering every query submitted from now on
+  /// (docs/observability.md): each Submit registers a per-query track and
+  /// records the pipeline as nested wall-clock spans — submit (validate /
+  /// profile / plan / admit as children), queue_wait, execute, with the
+  /// kernel's operator and morsel spans inside execute. `path` is where
+  /// DisableTracing (or the destructor) writes the Chrome trace JSON; empty
+  /// means keep the session in memory only. Replaces any active session
+  /// without writing it. EngineOptions::trace_path (the TOPOFAQ_TRACE knob)
+  /// calls this at construction.
+  void EnableTracing(std::string path = {});
+
+  /// Stops tracing: writes the Chrome JSON to the EnableTracing path (when
+  /// one was given) and returns the finished session, or null if tracing was
+  /// off. Queries already in flight keep recording into the returned session
+  /// (each job snapshots a shared_ptr), so inspect it after their sessions
+  /// resolve.
+  std::shared_ptr<obs::TraceSession> DisableTracing();
+
+  /// The active trace session (null when tracing is off).
+  std::shared_ptr<obs::TraceSession> trace() const;
+
+  /// The process-wide metrics registry rendered as text — per-class
+  /// queue/exec latency quantiles, admission and plan-cache counters, IVM
+  /// path counts, bound-residual quantiles (obs/metrics.h TextDump format).
+  /// Process-wide by design: two engines in one process share the registry.
+  std::string MetricsText() const;
+
  private:
   friend class StandingSession;
 
@@ -119,6 +160,13 @@ class Engine {
     QueueClass klass = QueueClass::kGeneral;
     bool plan_cache_hit = false;
     std::chrono::steady_clock::time_point enqueued;
+    /// Snapshot of the engine's trace session at submit time (null = tracing
+    /// was off): keeps the session alive until the job delivers even if
+    /// DisableTracing raced in, and pins which session the execute-side
+    /// spans land in.
+    std::shared_ptr<obs::TraceSession> trace;
+    /// This query's track in `trace`.
+    uint32_t trace_track = 0;
     /// Non-query work riding the priority queues (subscription deltas):
     /// when set, RunJob executes this instead of the solver path, with
     /// cancellation disabled (a delta must never half-apply).
@@ -140,12 +188,33 @@ class Engine {
   EngineOptions opts_;
   AdmissionController admission_;
 
+  /// Registry handles resolved once at construction (metric objects are
+  /// process-lifetime), so serving-path recording never takes the registry
+  /// map lock. Histogram arrays are indexed by QueueClass.
+  struct Metrics {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* cancelled = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* admission_rejected = nullptr;
+    obs::Counter* plan_hit = nullptr;
+    obs::Counter* plan_miss = nullptr;
+    obs::Counter* ivm_ring = nullptr;
+    obs::Counter* ivm_recompute = nullptr;
+    std::array<obs::Histogram*, 3> queue_ms{};
+    std::array<obs::Histogram*, 3> exec_ms{};
+    obs::Histogram* bound_residual = nullptr;
+  };
+  Metrics m_;
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::array<std::deque<Job>, 3> queues_;  // indexed by QueueClass
   int running_heavy_ = 0;
   bool stopping_ = false;
   EngineStats stats_;
+  std::shared_ptr<obs::TraceSession> trace_;  // null = tracing off
+  std::string trace_path_;                    // written by DisableTracing
 
   std::vector<std::thread> dispatchers_;
 };

@@ -69,6 +69,8 @@ EngineOptions EngineOptions::FromEnv() {
     const long v = std::atol(budget);
     if (v >= 1) opts.page_budget = v;
   }
+  const char* trace = std::getenv("TOPOFAQ_TRACE");
+  if (trace != nullptr && *trace != '\0') opts.trace_path = trace;
   return opts;
 }
 

@@ -14,6 +14,7 @@
 #define TOPOFAQ_SERVER_OPTIONS_H_
 
 #include <cstdint>
+#include <string>
 
 #include "relation/encoding.h"
 #include "relation/exec.h"
@@ -68,11 +69,17 @@ struct EngineOptions {
   /// lookups under sustained heavy load.
   int heavy_slots = 1;
   AdmissionOptions admission;
+  /// When non-empty, the engine starts with tracing enabled (one
+  /// TraceSession spanning its lifetime) and writes the Chrome trace JSON
+  /// here on destruction — the TOPOFAQ_TRACE knob. Empty (default): tracing
+  /// off until Engine::EnableTracing is called.
+  std::string trace_path;
 
   /// The one environment parser: TOPOFAQ_PARALLELISM ("max"/"0" = all
   /// cores, n = n workers, unset/invalid = 1), TOPOFAQ_ENCODING
   /// (auto | plain/off | dict | for), TOPOFAQ_SIMD (auto/on/1 | off/0),
-  /// TOPOFAQ_PAGE_BUDGET (pages >= 1, unset/invalid = the field default).
+  /// TOPOFAQ_PAGE_BUDGET (pages >= 1, unset/invalid = the field default),
+  /// TOPOFAQ_TRACE (a file path; non-empty = trace from startup).
   /// Other fields keep their defaults.
   static EngineOptions FromEnv();
 };

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Validate a topofaq Chrome trace-event JSON export (CI gate).
+
+Checks, in order:
+
+  1. The file parses as JSON and has the Chrome trace shape:
+     {"traceEvents": [...]} with only "X" (complete) and "M" (metadata)
+     events.
+  2. Every "X" event carries the required keys (name, pid, tid, ts, dur),
+     ts/dur are finite and non-negative, and pid is 1 (wall clock) or 2
+     (simulated time) — the two clock domains obs/trace.h exports.
+  3. Per (pid, tid) track, clock domains never mix, and every tid has a
+     thread_name metadata record.
+  4. Wall-clock tracks (pid 1) are proper span *trees*: sorted by
+     (ts, -dur), every span either nests inside the enclosing open span or
+     starts after it ends. Simulated tracks (pid 2) are exempt from nesting
+     — one node legitimately runs overlapping computes in simulated time —
+     but still need ordered, non-negative intervals.
+  5. Every --require NAME appears as at least one span name (CI requires
+     the pipeline stages in the engine smoke trace and the transport spans
+     in the async trace).
+
+Exit 0 on success; 1 with a diagnostic naming the first offending event
+otherwise.
+
+Usage: check_trace_json.py TRACE.json [--require NAME]...
+"""
+
+import argparse
+import json
+import math
+import sys
+
+WALL_PID = 1
+SIM_PID = 2
+# Wall spans from concurrent recorders can interleave clock reads: a child's
+# Emit happens after its interval closes, so sub-microsecond overhangs at
+# span edges are measurement noise, not malformed nesting.
+EDGE_SLACK_US = 1.0
+
+
+def fail(msg):
+    print(f"check_trace_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace JSON file")
+    ap.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="span name that must appear at least once (repeatable)",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{args.trace}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents must be an array")
+
+    named_tracks = set()  # (pid, tid) with a thread_name metadata record
+    spans = []
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail(f"event #{i} is not an object")
+        ph = e.get("ph")
+        if ph == "M":
+            if e.get("name") == "thread_name":
+                named_tracks.add((e.get("pid"), e.get("tid")))
+            continue
+        if ph != "X":
+            fail(f"event #{i}: unexpected ph={ph!r} (only X and M allowed)")
+        for key in ("name", "pid", "tid", "ts", "dur"):
+            if key not in e:
+                fail(f"event #{i} ({e.get('name')!r}): missing {key!r}")
+        pid, ts, dur = e["pid"], e["ts"], e["dur"]
+        if pid not in (WALL_PID, SIM_PID):
+            fail(f"event #{i} ({e['name']!r}): pid {pid} is neither "
+                 f"{WALL_PID} (wall) nor {SIM_PID} (simulated)")
+        for key in ("ts", "dur"):
+            v = e[key]
+            if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
+                fail(f"event #{i} ({e['name']!r}): {key}={v!r} must be a "
+                     "finite non-negative number")
+        spans.append(e)
+
+    if not spans:
+        fail("no X (span) events in the trace")
+
+    tracks = {}
+    for e in spans:
+        tracks.setdefault((e["pid"], e["tid"]), []).append(e)
+
+    for (pid, tid), evs in sorted(tracks.items()):
+        if (pid, tid) not in named_tracks:
+            fail(f"track pid={pid} tid={tid} has spans but no thread_name "
+                 "metadata")
+        if pid == SIM_PID:
+            continue  # overlap allowed in simulated time (see docstring)
+        # Wall track: spans must form a tree — check with an interval stack.
+        stack = []
+        for e in sorted(evs, key=lambda e: (e["ts"], -e["dur"])):
+            start, end = e["ts"], e["ts"] + e["dur"]
+            while stack and start >= stack[-1] - EDGE_SLACK_US:
+                stack.pop()
+            if stack and end > stack[-1] + EDGE_SLACK_US:
+                fail(f"track pid={pid} tid={tid}: span {e['name']!r} "
+                     f"[{start:.3f}, {end:.3f}) overlaps the enclosing span "
+                     f"ending at {stack[-1]:.3f} without nesting")
+            stack.append(end)
+
+    names = {e["name"] for e in spans}
+    missing = [r for r in args.require if r not in names]
+    if missing:
+        fail(f"required span name(s) absent: {', '.join(missing)}; "
+             f"present: {', '.join(sorted(names))}")
+
+    n_wall = sum(len(v) for (p, _), v in tracks.items() if p == WALL_PID)
+    n_sim = sum(len(v) for (p, _), v in tracks.items() if p == SIM_PID)
+    print(f"check_trace_json: OK: {len(spans)} spans "
+          f"({n_wall} wall, {n_sim} simulated) on {len(tracks)} tracks")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,7 +13,10 @@
 //   semiring boolean|natural|counting|minplus
 //   query  q(A) :- R(A,B), S(B,C); min(B)
 //   explain q(A) :- ...                 parse + admission only, don't run
-//   stats                               engine + plan cache counters
+//   stats                               engine counters + metrics registry
+//   trace on [PATH] / trace off         span tracing (Chrome trace JSON;
+//                                       'off' writes PATH and reports the
+//                                       span count)
 //   help / quit
 //
 // Atom names in a query refer to gen/load relation names; atom columns bind
@@ -28,6 +31,7 @@
 #include <vector>
 
 #include "faq/parse.h"
+#include "obs/format.h"
 #include "server/engine.h"
 #include "util/rng.h"
 
@@ -113,20 +117,8 @@ void Dispatch(const ParsedQuery& parsed, ShellState& st, bool execute) {
 }
 
 void PrintStats(const ShellState& st) {
-  const EngineStats s = st.engine.stats();
-  std::printf("engine: submitted=%lld completed=%lld rejected=%lld "
-              "cancelled=%lld failed=%lld\n",
-              static_cast<long long>(s.submitted),
-              static_cast<long long>(s.completed),
-              static_cast<long long>(s.rejected),
-              static_cast<long long>(s.cancelled),
-              static_cast<long long>(s.failed));
-  std::printf("plan cache: hits=%lld misses=%lld evictions=%lld "
-              "hit-rate=%.2f\n",
-              static_cast<long long>(s.plan_cache.hits),
-              static_cast<long long>(s.plan_cache.misses),
-              static_cast<long long>(s.plan_cache.evictions),
-              s.plan_cache.HitRate());
+  std::printf("%s", obs::FormatEngineStats(st.engine.stats()).c_str());
+  std::printf("%s", st.engine.MetricsText().c_str());
 }
 
 void PrintHelp() {
@@ -137,6 +129,7 @@ void PrintHelp() {
       "  semiring boolean|natural|counting|minplus\n"
       "  query  q(A) :- R(A,B), S(B,C); min(B)\n"
       "  explain QUERY                      bounds/class only, no rows\n"
+      "  trace on [PATH] | trace off        span tracing (Chrome JSON)\n"
       "  stats | help | quit\n");
 }
 
@@ -150,6 +143,22 @@ bool HandleLine(const std::string& line, ShellState& st) {
     PrintHelp();
   } else if (cmd == "stats") {
     PrintStats(st);
+  } else if (cmd == "trace") {
+    std::string mode, path;
+    in >> mode >> path;
+    if (mode == "on") {
+      st.engine.EnableTracing(path);
+      std::printf("tracing on%s%s\n", path.empty() ? "" : " -> ",
+                  path.c_str());
+    } else if (mode == "off") {
+      auto tr = st.engine.DisableTracing();
+      if (tr == nullptr)
+        std::printf("tracing was off\n");
+      else
+        std::printf("tracing off: %zu spans recorded\n", tr->event_count());
+    } else {
+      std::printf("usage: trace on [PATH] | trace off\n");
+    }
   } else if (cmd == "semiring") {
     std::string s;
     in >> s;
